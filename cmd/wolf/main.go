@@ -1,0 +1,162 @@
+// Command wolf runs the WOLF deadlock analysis pipeline on a named
+// benchmark workload and prints every detected cycle's classification.
+//
+// Usage:
+//
+//	wolf -workload Jigsaw [-df] [-attempts N] [-seed N] [-v]
+//	wolf -list
+//
+// -df runs the DeadlockFuzzer baseline instead; -v additionally prints
+// each cycle's threads, locks and synchronization dependency graph size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wolf/internal/core"
+	"wolf/internal/immunize"
+	"wolf/internal/race"
+	"wolf/internal/trace"
+	"wolf/internal/workloads"
+	"wolf/sim"
+)
+
+func main() {
+	var (
+		name     = flag.String("workload", "Figure4", "benchmark name (see -list)")
+		list     = flag.Bool("list", false, "list available workloads")
+		df       = flag.Bool("df", false, "run the DeadlockFuzzer baseline instead of WOLF")
+		attempts = flag.Int("attempts", 5, "replay attempts per cycle")
+		seed     = flag.Int64("seed", 0, "detection schedule seed (0 = search for a terminating one)")
+		verbose  = flag.Bool("v", false, "print per-cycle details")
+		data     = flag.Bool("data", false, "enable the value-flow (data dependency) extension")
+		ranked   = flag.Bool("rank", false, "print defects in triage order instead of discovery order")
+		record   = flag.String("record", "", "record the detection trace to this file and exit")
+		offline  = flag.String("trace", "", "analyze a recorded trace file instead of executing (no replay)")
+		races    = flag.Bool("races", false, "also run the FastTrack-style race detector on the detection run")
+		dot      = flag.String("dot", "", "print the synchronization dependency graph of the defect with this signature as Graphviz dot")
+		protect  = flag.Int("immunize", 0, "after analysis, run N random executions with and without Dimmunix-style avoidance of the confirmed deadlocks")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Println(w.Name)
+		}
+		fmt.Println("Figure4\nFigure2\nFigure9\nPhilosophers\nBank")
+		return
+	}
+
+	if *offline != "" {
+		f, err := os.Open(*offline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tr, err := trace.Read(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		rep := core.AnalyzeTrace(tr, core.Config{DataDependency: *data})
+		fmt.Printf("offline analysis of %s (seed %d, %d tuples)\n", *offline, tr.Seed, len(tr.Tuples))
+		fmt.Print(rep)
+		return
+	}
+
+	w, ok := workloads.ByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", *name)
+		os.Exit(1)
+	}
+	s := *seed
+	if s == 0 {
+		found, ok := workloads.FindTerminatingSeed(w.New, 300)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "no terminating detection seed found; pass -seed")
+			os.Exit(1)
+		}
+		s = found
+	}
+	if *record != "" {
+		tr := core.Record(w.New, s, 0)
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := tr.Write(f); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %d tuples (%d steps) from %s seed %d to %s\n",
+			len(tr.Tuples), tr.Steps, w.Name, s, *record)
+		return
+	}
+
+	cfg := core.Config{DetectSeeds: []int64{s}, ReplayAttempts: *attempts, DataDependency: *data}
+	var rep *core.Report
+	if *df {
+		rep = core.AnalyzeDF(w.New, cfg)
+	} else {
+		rep = core.Analyze(w.New, cfg)
+	}
+	fmt.Printf("workload %s, detection seed %d\n", w.Name, s)
+	fmt.Print(rep)
+	if *dot != "" {
+		for _, d := range rep.Defects {
+			if d.Signature != *dot {
+				continue
+			}
+			for _, cr := range d.Cycles {
+				if cr.Gs != nil {
+					fmt.Print(cr.Gs.DOT(d.Signature))
+					return
+				}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "no graph for signature %q (pruned, or unknown signature)\n", *dot)
+		os.Exit(1)
+	}
+	if *ranked {
+		fmt.Println("triage order:")
+		for i, d := range rep.Rank() {
+			fmt.Printf("  %2d. %-16s %s (%d cycles)\n", i+1, d.Class, d.Signature, len(d.Cycles))
+		}
+	}
+	fmt.Printf("detection slowdown %.2fx, SL %.1f, Vs %.1f\n",
+		rep.Timings.DetectionSlowdown(), rep.AvgStackLen(), rep.AvgGsSize())
+	if *protect > 0 {
+		base := immunize.Baseline(w.New, *protect, s+10_000)
+		prot := immunize.Protect(w.New, rep, *protect, s+10_000)
+		fmt.Printf("immunization: %d/%d unprotected runs deadlocked, %d/%d protected runs deadlocked\n",
+			base, *protect, prot, *protect)
+	}
+	if *races {
+		found, _ := race.Check(w.New, sim.NewRandomStrategy(s))
+		if len(found) == 0 {
+			fmt.Println("no data races on shared vars")
+		} else {
+			fmt.Printf("data races (%d):\n%s", len(found), race.Summary(found))
+		}
+	}
+	if *verbose {
+		for _, cr := range rep.Cycles {
+			fmt.Printf("\n%v\n  class: %v", cr.Cycle, cr.Class)
+			if cr.PruneReason != nil {
+				fmt.Printf(" (%s: %s vs %s)", cr.PruneReason.Rule, cr.PruneReason.ThreadA, cr.PruneReason.ThreadB)
+			}
+			if cr.GsSize > 0 {
+				fmt.Printf(", |Gs| = %d", cr.GsSize)
+			}
+			if cr.ReplayAttempts > 0 {
+				fmt.Printf(", %d replay attempt(s)", cr.ReplayAttempts)
+			}
+			fmt.Println()
+		}
+	}
+}

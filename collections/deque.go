@@ -1,0 +1,225 @@
+package collections
+
+// ArrayDeque is a resizable circular-buffer double-ended queue, the
+// java.util.ArrayDeque analogue.
+type ArrayDeque[T comparable] struct {
+	buf  []T
+	head int // index of the first element
+	size int
+}
+
+// NewArrayDeque returns an empty deque with the given initial capacity
+// (rounded up to a power of two, minimum 8).
+func NewArrayDeque[T comparable](capacity int) *ArrayDeque[T] {
+	n := 8
+	for n < capacity {
+		n <<= 1
+	}
+	return &ArrayDeque[T]{buf: make([]T, n)}
+}
+
+// grow doubles the buffer, unrolling the circular layout.
+func (d *ArrayDeque[T]) grow() {
+	nb := make([]T, len(d.buf)*2)
+	for i := 0; i < d.size; i++ {
+		nb[i] = d.buf[(d.head+i)&(len(d.buf)-1)]
+	}
+	d.buf = nb
+	d.head = 0
+}
+
+// AddFirst prepends v.
+func (d *ArrayDeque[T]) AddFirst(v T) {
+	if d.size == len(d.buf) {
+		d.grow()
+	}
+	d.head = (d.head - 1) & (len(d.buf) - 1)
+	d.buf[d.head] = v
+	d.size++
+}
+
+// AddLast appends v.
+func (d *ArrayDeque[T]) AddLast(v T) {
+	if d.size == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.size)&(len(d.buf)-1)] = v
+	d.size++
+}
+
+// PollFirst removes and returns the front element.
+func (d *ArrayDeque[T]) PollFirst() (v T, ok bool) {
+	if d.size == 0 {
+		return v, false
+	}
+	v = d.buf[d.head]
+	var zero T
+	d.buf[d.head] = zero
+	d.head = (d.head + 1) & (len(d.buf) - 1)
+	d.size--
+	return v, true
+}
+
+// PollLast removes and returns the back element.
+func (d *ArrayDeque[T]) PollLast() (v T, ok bool) {
+	if d.size == 0 {
+		return v, false
+	}
+	i := (d.head + d.size - 1) & (len(d.buf) - 1)
+	v = d.buf[i]
+	var zero T
+	d.buf[i] = zero
+	d.size--
+	return v, true
+}
+
+// PeekFirst returns the front element without removing it.
+func (d *ArrayDeque[T]) PeekFirst() (v T, ok bool) {
+	if d.size == 0 {
+		return v, false
+	}
+	return d.buf[d.head], true
+}
+
+// PeekLast returns the back element without removing it.
+func (d *ArrayDeque[T]) PeekLast() (v T, ok bool) {
+	if d.size == 0 {
+		return v, false
+	}
+	return d.buf[(d.head+d.size-1)&(len(d.buf)-1)], true
+}
+
+// Get returns the i-th element from the front.
+func (d *ArrayDeque[T]) Get(i int) T {
+	if i < 0 || i >= d.size {
+		panic("collections: deque index out of range")
+	}
+	return d.buf[(d.head+i)&(len(d.buf)-1)]
+}
+
+// Size returns the element count.
+func (d *ArrayDeque[T]) Size() int { return d.size }
+
+// Contains reports whether v occurs.
+func (d *ArrayDeque[T]) Contains(v T) bool {
+	for i := 0; i < d.size; i++ {
+		if d.Get(i) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Each iterates front to back until fn returns false.
+func (d *ArrayDeque[T]) Each(fn func(v T) bool) {
+	for i := 0; i < d.size; i++ {
+		if !fn(d.Get(i)) {
+			return
+		}
+	}
+}
+
+// Clear removes every element.
+func (d *ArrayDeque[T]) Clear() {
+	var zero T
+	for i := 0; i < d.size; i++ {
+		d.buf[(d.head+i)&(len(d.buf)-1)] = zero
+	}
+	d.head, d.size = 0, 0
+}
+
+// PriorityQueue is a binary min-heap ordered by less, the
+// java.util.PriorityQueue analogue.
+type PriorityQueue[T comparable] struct {
+	heap []T
+	less func(a, b T) bool
+}
+
+// NewPriorityQueue returns an empty queue ordered by less.
+func NewPriorityQueue[T comparable](less func(a, b T) bool) *PriorityQueue[T] {
+	return &PriorityQueue[T]{less: less}
+}
+
+// Push inserts v.
+func (q *PriorityQueue[T]) Push(v T) {
+	q.heap = append(q.heap, v)
+	i := len(q.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(q.heap[i], q.heap[p]) {
+			break
+		}
+		q.heap[i], q.heap[p] = q.heap[p], q.heap[i]
+		i = p
+	}
+}
+
+// Pop removes and returns the minimum element.
+func (q *PriorityQueue[T]) Pop() (v T, ok bool) {
+	if len(q.heap) == 0 {
+		return v, false
+	}
+	v = q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap = q.heap[:last]
+	q.siftDown(0)
+	return v, true
+}
+
+// siftDown restores the heap property from index i.
+func (q *PriorityQueue[T]) siftDown(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(q.heap[l], q.heap[smallest]) {
+			smallest = l
+		}
+		if r < n && q.less(q.heap[r], q.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.heap[i], q.heap[smallest] = q.heap[smallest], q.heap[i]
+		i = smallest
+	}
+}
+
+// Peek returns the minimum element without removing it.
+func (q *PriorityQueue[T]) Peek() (v T, ok bool) {
+	if len(q.heap) == 0 {
+		return v, false
+	}
+	return q.heap[0], true
+}
+
+// Size returns the element count.
+func (q *PriorityQueue[T]) Size() int { return len(q.heap) }
+
+// Remove deletes one occurrence of v, restoring heap order.
+func (q *PriorityQueue[T]) Remove(v T) bool {
+	for i, x := range q.heap {
+		if x != v {
+			continue
+		}
+		last := len(q.heap) - 1
+		q.heap[i] = q.heap[last]
+		q.heap = q.heap[:last]
+		if i < last {
+			q.siftDown(i)
+			// The moved element may also need to rise.
+			for i > 0 {
+				p := (i - 1) / 2
+				if !q.less(q.heap[i], q.heap[p]) {
+					break
+				}
+				q.heap[i], q.heap[p] = q.heap[p], q.heap[i]
+				i = p
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,255 @@
+package collections
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestArrayDequeBasics(t *testing.T) {
+	d := NewArrayDeque[int](2)
+	if _, ok := d.PollFirst(); ok {
+		t.Fatal("PollFirst on empty")
+	}
+	if _, ok := d.PollLast(); ok {
+		t.Fatal("PollLast on empty")
+	}
+	d.AddLast(2)
+	d.AddFirst(1)
+	d.AddLast(3)
+	if d.Size() != 3 {
+		t.Fatalf("size = %d", d.Size())
+	}
+	if v, _ := d.PeekFirst(); v != 1 {
+		t.Fatalf("PeekFirst = %d", v)
+	}
+	if v, _ := d.PeekLast(); v != 3 {
+		t.Fatalf("PeekLast = %d", v)
+	}
+	if d.Get(1) != 2 || !d.Contains(3) || d.Contains(9) {
+		t.Fatal("Get/Contains wrong")
+	}
+	if v, _ := d.PollFirst(); v != 1 {
+		t.Fatalf("PollFirst = %d", v)
+	}
+	if v, _ := d.PollLast(); v != 3 {
+		t.Fatalf("PollLast = %d", v)
+	}
+	d.Clear()
+	if d.Size() != 0 {
+		t.Fatal("Clear wrong")
+	}
+}
+
+// TestArrayDequeWrapAndGrow exercises circular wraparound across growth.
+func TestArrayDequeWrapAndGrow(t *testing.T) {
+	d := NewArrayDeque[int](4)
+	// Force head movement before growing.
+	for i := 0; i < 6; i++ {
+		d.AddLast(i)
+	}
+	for i := 0; i < 4; i++ {
+		d.PollFirst()
+	}
+	for i := 100; i < 160; i++ {
+		d.AddLast(i)
+	}
+	if d.Size() != 62 {
+		t.Fatalf("size = %d, want 62", d.Size())
+	}
+	if v, _ := d.PollFirst(); v != 4 {
+		t.Fatalf("front = %d, want 4", v)
+	}
+}
+
+// TestArrayDequeModel drives the deque against a slice model.
+func TestArrayDequeModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewArrayDeque[int](2)
+		var model []int
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(4) {
+			case 0:
+				v := rng.Intn(100)
+				d.AddFirst(v)
+				model = append([]int{v}, model...)
+			case 1:
+				v := rng.Intn(100)
+				d.AddLast(v)
+				model = append(model, v)
+			case 2:
+				v, ok := d.PollFirst()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			case 3:
+				v, ok := d.PollLast()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[len(model)-1] {
+						return false
+					}
+					model = model[:len(model)-1]
+				}
+			}
+			if d.Size() != len(model) {
+				return false
+			}
+		}
+		for i, v := range model {
+			if d.Get(i) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPriorityQueueOrdering(t *testing.T) {
+	q := NewPriorityQueue[int](IntLess)
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty")
+	}
+	in := []int{5, 1, 9, 1, 7, 3, 8, 2}
+	for _, v := range in {
+		q.Push(v)
+	}
+	if v, _ := q.Peek(); v != 1 {
+		t.Fatalf("Peek = %d", v)
+	}
+	var out []int
+	for q.Size() > 0 {
+		v, _ := q.Pop()
+		out = append(out, v)
+	}
+	if !sort.IntsAreSorted(out) {
+		t.Fatalf("not sorted: %v", out)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("lost elements: %v", out)
+	}
+}
+
+// TestPriorityQueueRemove removes interior elements and keeps order.
+func TestPriorityQueueRemove(t *testing.T) {
+	q := NewPriorityQueue[int](IntLess)
+	for _, v := range []int{4, 8, 2, 6, 9, 1} {
+		q.Push(v)
+	}
+	if !q.Remove(6) || q.Remove(42) {
+		t.Fatal("Remove wrong")
+	}
+	var out []int
+	for q.Size() > 0 {
+		v, _ := q.Pop()
+		out = append(out, v)
+	}
+	want := []int{1, 2, 4, 8, 9}
+	if len(out) != len(want) {
+		t.Fatalf("out = %v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+}
+
+// TestPriorityQueueModel drives the heap against a sorted model.
+func TestPriorityQueueModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := NewPriorityQueue[int](IntLess)
+		var model []int
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := rng.Intn(50)
+				q.Push(v)
+				model = append(model, v)
+				sort.Ints(model)
+			case 2:
+				v, ok := q.Pop()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+		}
+		return q.Size() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSets(t *testing.T) {
+	impls := map[string]Set[int]{
+		"HashSet":       NewHashSet[int](IntHasher),
+		"LinkedHashSet": NewLinkedHashSet[int](IntHasher),
+		"TreeSet":       NewTreeSet[int](IntLess),
+	}
+	for name, s := range impls {
+		t.Run(name, func(t *testing.T) {
+			if !s.Add(3) || s.Add(3) {
+				t.Fatal("Add duplicate handling wrong")
+			}
+			s.Add(1)
+			s.Add(2)
+			if s.Size() != 3 || !s.Contains(2) || s.Contains(9) {
+				t.Fatal("membership wrong")
+			}
+			if !s.Remove(2) || s.Remove(2) {
+				t.Fatal("Remove wrong")
+			}
+			n := 0
+			s.Each(func(int) bool { n++; return true })
+			if n != 2 {
+				t.Fatalf("Each visited %d", n)
+			}
+			s.Clear()
+			if s.Size() != 0 {
+				t.Fatal("Clear wrong")
+			}
+		})
+	}
+}
+
+func TestTreeSetOrdered(t *testing.T) {
+	s := NewTreeSet[int](IntLess)
+	for _, v := range []int{5, 2, 8, 1} {
+		s.Add(v)
+	}
+	var got []int
+	s.Each(func(v int) bool {
+		got = append(got, v)
+		return true
+	})
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("unordered: %v", got)
+	}
+	if f, _ := s.First(); f != 1 {
+		t.Fatalf("First = %d", f)
+	}
+	if l, _ := s.Last(); l != 8 {
+		t.Fatalf("Last = %d", l)
+	}
+}

@@ -1,0 +1,224 @@
+package collections
+
+// Map associates keys with values, the java.util.Map analogue.
+type Map[K comparable, V comparable] interface {
+	// Put stores v under k, returning the replaced value if any.
+	Put(k K, v V) (old V, had bool)
+	// Get returns the value under k.
+	Get(k K) (V, bool)
+	// Remove deletes k, returning the removed value if any.
+	Remove(k K) (V, bool)
+	// ContainsKey reports whether k is present.
+	ContainsKey(k K) bool
+	// Size returns the entry count.
+	Size() int
+	// Each calls fn for every entry (iteration order is
+	// implementation-specific) until fn returns false.
+	Each(fn func(k K, v V) bool)
+	// Keys returns every key in iteration order.
+	Keys() []K
+	// Clear removes every entry.
+	Clear()
+}
+
+// Hasher maps a key to a 64-bit hash.
+type Hasher[K comparable] func(K) uint64
+
+// IntHasher hashes integer keys with a Fibonacci mix.
+func IntHasher(k int) uint64 {
+	x := uint64(k) * 0x9e3779b97f4a7c15
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return x
+}
+
+// StringHasher is the FNV-1a hash.
+func StringHasher(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// hmEntry is a chained hash bucket entry.
+type hmEntry[K comparable, V comparable] struct {
+	key  K
+	val  V
+	hash uint64
+	next *hmEntry[K, V]
+	// before/after thread the insertion-order list for LinkedHashMap.
+	before, after *hmEntry[K, V]
+}
+
+// HashMap is a chained hash table with power-of-two bucket counts and
+// 0.75 load-factor resizing, the java.util.HashMap analogue.
+type HashMap[K comparable, V comparable] struct {
+	hash    Hasher[K]
+	buckets []*hmEntry[K, V]
+	size    int
+	// linked enables insertion-order iteration (LinkedHashMap).
+	linked     bool
+	head, tail *hmEntry[K, V]
+}
+
+// NewHashMap returns an empty map using the given hasher.
+func NewHashMap[K comparable, V comparable](h Hasher[K]) *HashMap[K, V] {
+	return &HashMap[K, V]{hash: h, buckets: make([]*hmEntry[K, V], 16)}
+}
+
+// NewLinkedHashMap returns a map that additionally iterates in insertion
+// order, the java.util.LinkedHashMap analogue.
+func NewLinkedHashMap[K comparable, V comparable](h Hasher[K]) *HashMap[K, V] {
+	m := NewHashMap[K, V](h)
+	m.linked = true
+	return m
+}
+
+// idx returns the bucket index for a hash.
+func (m *HashMap[K, V]) idx(h uint64) int { return int(h) & (len(m.buckets) - 1) }
+
+// find returns the entry for k, or nil.
+func (m *HashMap[K, V]) find(k K) *hmEntry[K, V] {
+	for e := m.buckets[m.idx(m.hash(k))]; e != nil; e = e.next {
+		if e.key == k {
+			return e
+		}
+	}
+	return nil
+}
+
+// Put stores v under k.
+func (m *HashMap[K, V]) Put(k K, v V) (old V, had bool) {
+	if e := m.find(k); e != nil {
+		old, had = e.val, true
+		e.val = v
+		return old, had
+	}
+	if m.size+1 > len(m.buckets)*3/4 {
+		m.resize()
+	}
+	h := m.hash(k)
+	i := m.idx(h)
+	e := &hmEntry[K, V]{key: k, val: v, hash: h, next: m.buckets[i]}
+	m.buckets[i] = e
+	m.size++
+	if m.linked {
+		if m.tail == nil {
+			m.head, m.tail = e, e
+		} else {
+			e.before = m.tail
+			m.tail.after = e
+			m.tail = e
+		}
+	}
+	return old, false
+}
+
+// resize doubles the bucket array and rehashes.
+func (m *HashMap[K, V]) resize() {
+	nb := make([]*hmEntry[K, V], len(m.buckets)*2)
+	mask := len(nb) - 1
+	for _, e := range m.buckets {
+		for e != nil {
+			next := e.next
+			i := int(e.hash) & mask
+			e.next = nb[i]
+			nb[i] = e
+			e = next
+		}
+	}
+	m.buckets = nb
+}
+
+// Get returns the value under k.
+func (m *HashMap[K, V]) Get(k K) (V, bool) {
+	if e := m.find(k); e != nil {
+		return e.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Remove deletes k.
+func (m *HashMap[K, V]) Remove(k K) (V, bool) {
+	i := m.idx(m.hash(k))
+	var prev *hmEntry[K, V]
+	for e := m.buckets[i]; e != nil; prev, e = e, e.next {
+		if e.key != k {
+			continue
+		}
+		if prev == nil {
+			m.buckets[i] = e.next
+		} else {
+			prev.next = e.next
+		}
+		m.size--
+		if m.linked {
+			if e.before != nil {
+				e.before.after = e.after
+			} else {
+				m.head = e.after
+			}
+			if e.after != nil {
+				e.after.before = e.before
+			} else {
+				m.tail = e.before
+			}
+		}
+		return e.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// ContainsKey reports whether k is present.
+func (m *HashMap[K, V]) ContainsKey(k K) bool { return m.find(k) != nil }
+
+// Size returns the entry count.
+func (m *HashMap[K, V]) Size() int { return m.size }
+
+// Each iterates entries: insertion order when linked, bucket order
+// otherwise.
+func (m *HashMap[K, V]) Each(fn func(k K, v V) bool) {
+	if m.linked {
+		for e := m.head; e != nil; e = e.after {
+			if !fn(e.key, e.val) {
+				return
+			}
+		}
+		return
+	}
+	for _, b := range m.buckets {
+		for e := b; e != nil; e = e.next {
+			if !fn(e.key, e.val) {
+				return
+			}
+		}
+	}
+}
+
+// Keys returns every key in iteration order.
+func (m *HashMap[K, V]) Keys() []K {
+	out := make([]K, 0, m.size)
+	m.Each(func(k K, _ V) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// Clear removes every entry.
+func (m *HashMap[K, V]) Clear() {
+	for i := range m.buckets {
+		m.buckets[i] = nil
+	}
+	m.size = 0
+	m.head, m.tail = nil, nil
+}

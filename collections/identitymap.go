@@ -1,0 +1,143 @@
+package collections
+
+// IdentityHashMap is an open-addressing (linear probing) hash table, the
+// java.util.IdentityHashMap analogue. Java compares keys by reference
+// identity; in this library keys are comparable values, so "identity" is
+// value equality, but the probing table structure and its rehashing
+// behaviour follow the original.
+type IdentityHashMap[K comparable, V comparable] struct {
+	hash Hasher[K]
+	keys []K
+	vals []V
+	used []bool
+	size int
+}
+
+// NewIdentityHashMap returns an empty map using the given hasher.
+func NewIdentityHashMap[K comparable, V comparable](h Hasher[K]) *IdentityHashMap[K, V] {
+	const initial = 16
+	return &IdentityHashMap[K, V]{
+		hash: h,
+		keys: make([]K, initial),
+		vals: make([]V, initial),
+		used: make([]bool, initial),
+	}
+}
+
+// probe returns the slot of k, or the first free slot on its probe path.
+func (m *IdentityHashMap[K, V]) probe(k K) int {
+	mask := len(m.keys) - 1
+	i := int(m.hash(k)) & mask
+	for m.used[i] && m.keys[i] != k {
+		i = (i + 1) & mask
+	}
+	return i
+}
+
+// Put stores v under k.
+func (m *IdentityHashMap[K, V]) Put(k K, v V) (old V, had bool) {
+	if m.size+1 > len(m.keys)*2/3 {
+		m.resize()
+	}
+	i := m.probe(k)
+	if m.used[i] {
+		old, had = m.vals[i], true
+		m.vals[i] = v
+		return old, had
+	}
+	m.keys[i], m.vals[i], m.used[i] = k, v, true
+	m.size++
+	return old, false
+}
+
+// resize doubles the table and reinserts.
+func (m *IdentityHashMap[K, V]) resize() {
+	ok, ov, ou := m.keys, m.vals, m.used
+	n := len(ok) * 2
+	m.keys = make([]K, n)
+	m.vals = make([]V, n)
+	m.used = make([]bool, n)
+	m.size = 0
+	for i, u := range ou {
+		if u {
+			m.Put(ok[i], ov[i])
+		}
+	}
+}
+
+// Get returns the value under k.
+func (m *IdentityHashMap[K, V]) Get(k K) (V, bool) {
+	i := m.probe(k)
+	if m.used[i] {
+		return m.vals[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+// Remove deletes k, re-inserting the probe run after it (the standard
+// linear-probing deletion fix).
+func (m *IdentityHashMap[K, V]) Remove(k K) (V, bool) {
+	i := m.probe(k)
+	if !m.used[i] {
+		var zero V
+		return zero, false
+	}
+	removed := m.vals[i]
+	mask := len(m.keys) - 1
+	var zeroK K
+	var zeroV V
+	m.used[i] = false
+	m.keys[i], m.vals[i] = zeroK, zeroV
+	m.size--
+	// Rehash the cluster following i (which may legitimately refill
+	// slot i) — the standard linear-probing deletion fix.
+	j := (i + 1) & mask
+	for m.used[j] {
+		k2, v2 := m.keys[j], m.vals[j]
+		m.used[j] = false
+		m.keys[j], m.vals[j] = zeroK, zeroV
+		m.size--
+		m.Put(k2, v2)
+		j = (j + 1) & mask
+	}
+	return removed, true
+}
+
+// ContainsKey reports whether k is present.
+func (m *IdentityHashMap[K, V]) ContainsKey(k K) bool {
+	return m.used[m.probe(k)]
+}
+
+// Size returns the entry count.
+func (m *IdentityHashMap[K, V]) Size() int { return m.size }
+
+// Each iterates in table order.
+func (m *IdentityHashMap[K, V]) Each(fn func(k K, v V) bool) {
+	for i, u := range m.used {
+		if u && !fn(m.keys[i], m.vals[i]) {
+			return
+		}
+	}
+}
+
+// Keys returns every key in table order.
+func (m *IdentityHashMap[K, V]) Keys() []K {
+	out := make([]K, 0, m.size)
+	m.Each(func(k K, _ V) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// Clear removes every entry.
+func (m *IdentityHashMap[K, V]) Clear() {
+	for i := range m.used {
+		m.used[i] = false
+		var zeroK K
+		var zeroV V
+		m.keys[i], m.vals[i] = zeroK, zeroV
+	}
+	m.size = 0
+}

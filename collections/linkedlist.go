@@ -1,0 +1,177 @@
+package collections
+
+import "fmt"
+
+// node is a doubly-linked list node.
+type node[T comparable] struct {
+	val        T
+	prev, next *node[T]
+}
+
+// LinkedList is a doubly-linked List, the java.util.LinkedList analogue.
+// It also provides deque operations.
+type LinkedList[T comparable] struct {
+	head, tail *node[T]
+	size       int
+}
+
+// NewLinkedList returns an empty list.
+func NewLinkedList[T comparable]() *LinkedList[T] { return &LinkedList[T]{} }
+
+// Add appends v.
+func (l *LinkedList[T]) Add(v T) { l.AddLast(v) }
+
+// AddFirst prepends v.
+func (l *LinkedList[T]) AddFirst(v T) {
+	n := &node[T]{val: v, next: l.head}
+	if l.head != nil {
+		l.head.prev = n
+	} else {
+		l.tail = n
+	}
+	l.head = n
+	l.size++
+}
+
+// AddLast appends v.
+func (l *LinkedList[T]) AddLast(v T) {
+	n := &node[T]{val: v, prev: l.tail}
+	if l.tail != nil {
+		l.tail.next = n
+	} else {
+		l.head = n
+	}
+	l.tail = n
+	l.size++
+}
+
+// nodeAt walks to index i from the nearer end.
+func (l *LinkedList[T]) nodeAt(i int) *node[T] {
+	if i < 0 || i >= l.size {
+		panic(fmt.Sprintf("collections: index %d out of range [0,%d)", i, l.size))
+	}
+	if i < l.size/2 {
+		n := l.head
+		for ; i > 0; i-- {
+			n = n.next
+		}
+		return n
+	}
+	n := l.tail
+	for i = l.size - 1 - i; i > 0; i-- {
+		n = n.prev
+	}
+	return n
+}
+
+// Insert places v at index i.
+func (l *LinkedList[T]) Insert(i int, v T) {
+	switch {
+	case i == 0:
+		l.AddFirst(v)
+	case i == l.size:
+		l.AddLast(v)
+	default:
+		at := l.nodeAt(i)
+		n := &node[T]{val: v, prev: at.prev, next: at}
+		at.prev.next = n
+		at.prev = n
+		l.size++
+	}
+}
+
+// Get returns the element at index i.
+func (l *LinkedList[T]) Get(i int) T { return l.nodeAt(i).val }
+
+// Set replaces index i and returns the old value.
+func (l *LinkedList[T]) Set(i int, v T) T {
+	n := l.nodeAt(i)
+	old := n.val
+	n.val = v
+	return old
+}
+
+// unlink removes n from the chain.
+func (l *LinkedList[T]) unlink(n *node[T]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	l.size--
+}
+
+// RemoveAt deletes index i and returns the removed value.
+func (l *LinkedList[T]) RemoveAt(i int) T {
+	n := l.nodeAt(i)
+	l.unlink(n)
+	return n.val
+}
+
+// Remove deletes the first occurrence of v.
+func (l *LinkedList[T]) Remove(v T) bool {
+	for n := l.head; n != nil; n = n.next {
+		if n.val == v {
+			l.unlink(n)
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveFirst pops the head; ok is false when empty.
+func (l *LinkedList[T]) RemoveFirst() (v T, ok bool) {
+	if l.head == nil {
+		return v, false
+	}
+	n := l.head
+	l.unlink(n)
+	return n.val, true
+}
+
+// RemoveLast pops the tail; ok is false when empty.
+func (l *LinkedList[T]) RemoveLast() (v T, ok bool) {
+	if l.tail == nil {
+		return v, false
+	}
+	n := l.tail
+	l.unlink(n)
+	return n.val, true
+}
+
+// IndexOf returns the first index of v, or -1.
+func (l *LinkedList[T]) IndexOf(v T) int {
+	i := 0
+	for n := l.head; n != nil; n = n.next {
+		if n.val == v {
+			return i
+		}
+		i++
+	}
+	return -1
+}
+
+// Contains reports whether v occurs.
+func (l *LinkedList[T]) Contains(v T) bool { return l.IndexOf(v) >= 0 }
+
+// Size returns the element count.
+func (l *LinkedList[T]) Size() int { return l.size }
+
+// Each iterates head to tail.
+func (l *LinkedList[T]) Each(fn func(v T) bool) {
+	for n := l.head; n != nil; n = n.next {
+		if !fn(n.val) {
+			return
+		}
+	}
+}
+
+// Clear removes every element.
+func (l *LinkedList[T]) Clear() {
+	l.head, l.tail, l.size = nil, nil, 0
+}

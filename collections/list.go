@@ -1,0 +1,160 @@
+// Package collections implements the container library the benchmark
+// workloads exercise: resizable arrays, linked lists, stacks, hash maps,
+// red-black tree maps, linked hash maps, identity maps and weak maps,
+// plus Collections.synchronized*-style wrappers whose compound
+// operations nest lock acquisitions exactly like java.util does.
+//
+// The data structures are real implementations (the workloads do real
+// work between synchronization points); the synchronized wrappers are
+// where the paper's deadlocks live.
+package collections
+
+import "fmt"
+
+// List is an ordered collection, the java.util.List analogue.
+type List[T comparable] interface {
+	// Add appends v.
+	Add(v T)
+	// Insert places v at index i, shifting later elements.
+	Insert(i int, v T)
+	// Get returns the element at index i.
+	Get(i int) T
+	// Set replaces index i and returns the old value.
+	Set(i int, v T) T
+	// RemoveAt deletes index i and returns the removed value.
+	RemoveAt(i int) T
+	// Remove deletes the first occurrence of v.
+	Remove(v T) bool
+	// IndexOf returns the first index of v, or -1.
+	IndexOf(v T) int
+	// Contains reports whether v occurs.
+	Contains(v T) bool
+	// Size returns the element count.
+	Size() int
+	// Each calls fn for every element in order until fn returns false.
+	Each(fn func(v T) bool)
+	// Clear removes every element.
+	Clear()
+}
+
+// ArrayList is a resizable-array List, the java.util.ArrayList analogue.
+type ArrayList[T comparable] struct {
+	data []T
+	size int
+}
+
+// NewArrayList returns an empty ArrayList with the given initial
+// capacity (clamped to at least 1).
+func NewArrayList[T comparable](capacity int) *ArrayList[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ArrayList[T]{data: make([]T, capacity)}
+}
+
+// ensure grows the backing array to hold at least n elements, using the
+// classic 1.5x growth policy.
+func (a *ArrayList[T]) ensure(n int) {
+	if n <= len(a.data) {
+		return
+	}
+	newCap := len(a.data) + len(a.data)/2 + 1
+	if newCap < n {
+		newCap = n
+	}
+	nd := make([]T, newCap)
+	copy(nd, a.data[:a.size])
+	a.data = nd
+}
+
+// Add appends v.
+func (a *ArrayList[T]) Add(v T) {
+	a.ensure(a.size + 1)
+	a.data[a.size] = v
+	a.size++
+}
+
+// Insert places v at index i.
+func (a *ArrayList[T]) Insert(i int, v T) {
+	a.check(i, a.size+1)
+	a.ensure(a.size + 1)
+	copy(a.data[i+1:a.size+1], a.data[i:a.size])
+	a.data[i] = v
+	a.size++
+}
+
+// Get returns the element at index i.
+func (a *ArrayList[T]) Get(i int) T {
+	a.check(i, a.size)
+	return a.data[i]
+}
+
+// Set replaces index i and returns the old value.
+func (a *ArrayList[T]) Set(i int, v T) T {
+	a.check(i, a.size)
+	old := a.data[i]
+	a.data[i] = v
+	return old
+}
+
+// RemoveAt deletes index i and returns the removed value.
+func (a *ArrayList[T]) RemoveAt(i int) T {
+	a.check(i, a.size)
+	old := a.data[i]
+	copy(a.data[i:], a.data[i+1:a.size])
+	a.size--
+	var zero T
+	a.data[a.size] = zero
+	return old
+}
+
+// Remove deletes the first occurrence of v.
+func (a *ArrayList[T]) Remove(v T) bool {
+	if i := a.IndexOf(v); i >= 0 {
+		a.RemoveAt(i)
+		return true
+	}
+	return false
+}
+
+// IndexOf returns the first index of v, or -1.
+func (a *ArrayList[T]) IndexOf(v T) int {
+	for i := 0; i < a.size; i++ {
+		if a.data[i] == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports whether v occurs.
+func (a *ArrayList[T]) Contains(v T) bool { return a.IndexOf(v) >= 0 }
+
+// Size returns the element count.
+func (a *ArrayList[T]) Size() int { return a.size }
+
+// Each iterates in index order.
+func (a *ArrayList[T]) Each(fn func(v T) bool) {
+	for i := 0; i < a.size; i++ {
+		if !fn(a.data[i]) {
+			return
+		}
+	}
+}
+
+// Clear removes every element.
+func (a *ArrayList[T]) Clear() {
+	var zero T
+	for i := 0; i < a.size; i++ {
+		a.data[i] = zero
+	}
+	a.size = 0
+}
+
+// check panics on an out-of-range index, mirroring Java's
+// IndexOutOfBoundsException.
+func (a *ArrayList[T]) check(i, bound int) {
+	if i < 0 || i >= bound {
+		panic(fmt.Sprintf("collections: index %d out of range [0,%d)", i, bound))
+	}
+}

@@ -1,0 +1,246 @@
+package collections
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// listImpls builds each List implementation for table-driven tests.
+func listImpls() map[string]func() List[int] {
+	return map[string]func() List[int]{
+		"ArrayList":  func() List[int] { return NewArrayList[int](2) },
+		"LinkedList": func() List[int] { return NewLinkedList[int]() },
+		"Stack":      func() List[int] { return NewStack[int]() },
+	}
+}
+
+func TestListBasics(t *testing.T) {
+	for name, mk := range listImpls() {
+		t.Run(name, func(t *testing.T) {
+			l := mk()
+			if l.Size() != 0 {
+				t.Fatal("new list not empty")
+			}
+			for i := 0; i < 10; i++ {
+				l.Add(i * 10)
+			}
+			if l.Size() != 10 {
+				t.Fatalf("size = %d, want 10", l.Size())
+			}
+			for i := 0; i < 10; i++ {
+				if got := l.Get(i); got != i*10 {
+					t.Fatalf("Get(%d) = %d, want %d", i, got, i*10)
+				}
+			}
+			if !l.Contains(50) || l.Contains(55) {
+				t.Fatal("Contains wrong")
+			}
+			if l.IndexOf(70) != 7 || l.IndexOf(-1) != -1 {
+				t.Fatal("IndexOf wrong")
+			}
+			if old := l.Set(3, 333); old != 30 || l.Get(3) != 333 {
+				t.Fatal("Set wrong")
+			}
+			if got := l.RemoveAt(0); got != 0 || l.Size() != 9 || l.Get(0) != 10 {
+				t.Fatal("RemoveAt wrong")
+			}
+			if !l.Remove(333) || l.Contains(333) {
+				t.Fatal("Remove wrong")
+			}
+			if l.Remove(999) {
+				t.Fatal("Remove of absent value returned true")
+			}
+			l.Insert(0, -5)
+			if l.Get(0) != -5 {
+				t.Fatal("Insert at head wrong")
+			}
+			l.Insert(l.Size(), 999)
+			if l.Get(l.Size()-1) != 999 {
+				t.Fatal("Insert at tail wrong")
+			}
+			l.Insert(2, 42)
+			if l.Get(2) != 42 {
+				t.Fatal("Insert in middle wrong")
+			}
+			l.Clear()
+			if l.Size() != 0 || l.Contains(10) {
+				t.Fatal("Clear wrong")
+			}
+		})
+	}
+}
+
+func TestListEachEarlyStop(t *testing.T) {
+	for name, mk := range listImpls() {
+		t.Run(name, func(t *testing.T) {
+			l := mk()
+			for i := 0; i < 5; i++ {
+				l.Add(i)
+			}
+			var seen []int
+			l.Each(func(v int) bool {
+				seen = append(seen, v)
+				return v < 2
+			})
+			if len(seen) != 3 {
+				t.Fatalf("early stop visited %v", seen)
+			}
+		})
+	}
+}
+
+func TestListOutOfRangePanics(t *testing.T) {
+	for name, mk := range listImpls() {
+		t.Run(name, func(t *testing.T) {
+			l := mk()
+			l.Add(1)
+			for _, f := range []func(){
+				func() { l.Get(1) },
+				func() { l.Get(-1) },
+				func() { l.RemoveAt(5) },
+				func() { l.Set(2, 0) },
+			} {
+				func() {
+					defer func() {
+						if recover() == nil {
+							t.Error("expected panic")
+						}
+					}()
+					f()
+				}()
+			}
+		})
+	}
+}
+
+// TestListModelProperty drives each implementation against a slice model
+// with random operations.
+func TestListModelProperty(t *testing.T) {
+	for name, mk := range listImpls() {
+		t.Run(name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				l := mk()
+				var model []int
+				for op := 0; op < 300; op++ {
+					switch rng.Intn(6) {
+					case 0, 1:
+						v := rng.Intn(50)
+						l.Add(v)
+						model = append(model, v)
+					case 2:
+						if len(model) > 0 {
+							i := rng.Intn(len(model))
+							if l.RemoveAt(i) != model[i] {
+								return false
+							}
+							model = append(model[:i], model[i+1:]...)
+						}
+					case 3:
+						v := rng.Intn(50)
+						got := l.Contains(v)
+						want := false
+						for _, m := range model {
+							if m == v {
+								want = true
+								break
+							}
+						}
+						if got != want {
+							return false
+						}
+					case 4:
+						i := rng.Intn(len(model) + 1)
+						v := rng.Intn(50)
+						l.Insert(i, v)
+						model = append(model[:i], append([]int{v}, model[i:]...)...)
+					case 5:
+						v := rng.Intn(50)
+						got := l.Remove(v)
+						want := false
+						for i, m := range model {
+							if m == v {
+								want = true
+								model = append(model[:i], model[i+1:]...)
+								break
+							}
+						}
+						if got != want {
+							return false
+						}
+					}
+					if l.Size() != len(model) {
+						return false
+					}
+				}
+				for i, v := range model {
+					if l.Get(i) != v {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestLinkedListDeque(t *testing.T) {
+	l := NewLinkedList[int]()
+	if _, ok := l.RemoveFirst(); ok {
+		t.Fatal("RemoveFirst on empty")
+	}
+	if _, ok := l.RemoveLast(); ok {
+		t.Fatal("RemoveLast on empty")
+	}
+	l.AddFirst(2)
+	l.AddFirst(1)
+	l.AddLast(3)
+	if v, _ := l.RemoveFirst(); v != 1 {
+		t.Fatalf("RemoveFirst = %d, want 1", v)
+	}
+	if v, _ := l.RemoveLast(); v != 3 {
+		t.Fatalf("RemoveLast = %d, want 3", v)
+	}
+	if l.Size() != 1 || l.Get(0) != 2 {
+		t.Fatal("deque ops corrupted list")
+	}
+}
+
+func TestStackOps(t *testing.T) {
+	s := NewStack[string]()
+	if _, ok := s.Pop(); ok {
+		t.Fatal("Pop on empty")
+	}
+	if _, ok := s.Peek(); ok {
+		t.Fatal("Peek on empty")
+	}
+	s.Push("a")
+	s.Push("b")
+	s.Push("c")
+	if v, _ := s.Peek(); v != "c" {
+		t.Fatalf("Peek = %s", v)
+	}
+	if s.Search("c") != 1 || s.Search("a") != 3 || s.Search("x") != -1 {
+		t.Fatal("Search wrong")
+	}
+	if v, _ := s.Pop(); v != "c" {
+		t.Fatalf("Pop = %s", v)
+	}
+	if s.Size() != 2 {
+		t.Fatalf("size = %d", s.Size())
+	}
+}
+
+func TestArrayListGrowth(t *testing.T) {
+	l := NewArrayList[int](1)
+	for i := 0; i < 1000; i++ {
+		l.Add(i)
+	}
+	if l.Size() != 1000 || l.Get(999) != 999 || l.Get(0) != 0 {
+		t.Fatal("growth corrupted data")
+	}
+}

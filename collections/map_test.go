@@ -1,0 +1,249 @@
+package collections
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// mapImpls builds each Map implementation for table-driven tests.
+func mapImpls() map[string]func() Map[int, string] {
+	return map[string]func() Map[int, string]{
+		"HashMap":         func() Map[int, string] { return NewHashMap[int, string](IntHasher) },
+		"TreeMap":         func() Map[int, string] { return NewTreeMap[int, string](IntLess) },
+		"LinkedHashMap":   func() Map[int, string] { return NewLinkedHashMap[int, string](IntHasher) },
+		"IdentityHashMap": func() Map[int, string] { return NewIdentityHashMap[int, string](IntHasher) },
+		"WeakHashMap":     func() Map[int, string] { return NewWeakHashMap[int, string](IntHasher) },
+	}
+}
+
+func TestMapBasics(t *testing.T) {
+	for name, mk := range mapImpls() {
+		t.Run(name, func(t *testing.T) {
+			m := mk()
+			if m.Size() != 0 {
+				t.Fatal("new map not empty")
+			}
+			if _, ok := m.Get(1); ok {
+				t.Fatal("Get on empty")
+			}
+			if _, had := m.Put(1, "one"); had {
+				t.Fatal("Put reported replacement on fresh key")
+			}
+			if old, had := m.Put(1, "uno"); !had || old != "one" {
+				t.Fatalf("Put replace = %q/%v", old, had)
+			}
+			if v, ok := m.Get(1); !ok || v != "uno" {
+				t.Fatalf("Get = %q/%v", v, ok)
+			}
+			if !m.ContainsKey(1) || m.ContainsKey(2) {
+				t.Fatal("ContainsKey wrong")
+			}
+			if v, ok := m.Remove(1); !ok || v != "uno" {
+				t.Fatalf("Remove = %q/%v", v, ok)
+			}
+			if _, ok := m.Remove(1); ok {
+				t.Fatal("double Remove")
+			}
+			if m.Size() != 0 {
+				t.Fatal("size after removal")
+			}
+			for i := 0; i < 100; i++ {
+				m.Put(i, "v")
+			}
+			if m.Size() != 100 {
+				t.Fatalf("size = %d", m.Size())
+			}
+			m.Clear()
+			if m.Size() != 0 || m.ContainsKey(50) {
+				t.Fatal("Clear wrong")
+			}
+		})
+	}
+}
+
+// TestMapModelProperty drives each implementation against Go's map.
+func TestMapModelProperty(t *testing.T) {
+	for name, mk := range mapImpls() {
+		t.Run(name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				m := mk()
+				model := make(map[int]string)
+				vals := []string{"a", "b", "c", "d"}
+				for op := 0; op < 400; op++ {
+					k := rng.Intn(60)
+					switch rng.Intn(4) {
+					case 0, 1:
+						v := vals[rng.Intn(len(vals))]
+						old, had := m.Put(k, v)
+						mold, mhad := model[k]
+						if had != mhad || (had && old != mold) {
+							return false
+						}
+						model[k] = v
+					case 2:
+						old, had := m.Remove(k)
+						mold, mhad := model[k]
+						if had != mhad || (had && old != mold) {
+							return false
+						}
+						delete(model, k)
+					case 3:
+						v, ok := m.Get(k)
+						mv, mok := model[k]
+						if ok != mok || (ok && v != mv) {
+							return false
+						}
+					}
+					if m.Size() != len(model) {
+						return false
+					}
+				}
+				// Full-content comparison via Each.
+				seen := make(map[int]string)
+				m.Each(func(k int, v string) bool {
+					seen[k] = v
+					return true
+				})
+				if len(seen) != len(model) {
+					return false
+				}
+				for k, v := range model {
+					if seen[k] != v {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestTreeMapInvariants checks red-black properties under heavy churn.
+func TestTreeMapInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewTreeMap[int, int](IntLess)
+		live := make(map[int]bool)
+		for op := 0; op < 500; op++ {
+			k := rng.Intn(100)
+			if rng.Intn(3) == 0 {
+				m.Remove(k)
+				delete(live, k)
+			} else {
+				m.Put(k, op)
+				live[k] = true
+			}
+			m.checkInvariants()
+			if m.Size() != len(live) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTreeMapSortedIteration: Each and Keys ascend.
+func TestTreeMapSortedIteration(t *testing.T) {
+	m := NewTreeMap[int, int](IntLess)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		m.Put(rng.Intn(1000), i)
+	}
+	keys := m.Keys()
+	if !sort.IntsAreSorted(keys) {
+		t.Fatalf("keys not sorted: %v", keys)
+	}
+	if k, ok := m.FirstKey(); !ok || k != keys[0] {
+		t.Fatalf("FirstKey = %d, want %d", k, keys[0])
+	}
+	if k, ok := m.LastKey(); !ok || k != keys[len(keys)-1] {
+		t.Fatalf("LastKey = %d, want %d", k, keys[len(keys)-1])
+	}
+	empty := NewTreeMap[int, int](IntLess)
+	if _, ok := empty.FirstKey(); ok {
+		t.Fatal("FirstKey on empty")
+	}
+}
+
+// TestLinkedHashMapOrder: iteration follows insertion order across
+// removals and re-insertions.
+func TestLinkedHashMapOrder(t *testing.T) {
+	m := NewLinkedHashMap[int, string](IntHasher)
+	for _, k := range []int{5, 1, 9, 3} {
+		m.Put(k, "x")
+	}
+	m.Remove(1)
+	m.Put(1, "again") // re-insertion goes to the back
+	want := []int{5, 9, 3, 1}
+	got := m.Keys()
+	if len(got) != len(want) {
+		t.Fatalf("keys = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestHashMapResizePreservesEntries crosses several resize thresholds.
+func TestHashMapResizePreservesEntries(t *testing.T) {
+	m := NewHashMap[int, int](IntHasher)
+	for i := 0; i < 5000; i++ {
+		m.Put(i, i*3)
+	}
+	for i := 0; i < 5000; i++ {
+		if v, ok := m.Get(i); !ok || v != i*3 {
+			t.Fatalf("lost entry %d after resize", i)
+		}
+	}
+}
+
+// TestIdentityMapDeletionCluster: linear-probing deletion must not break
+// probe chains.
+func TestIdentityMapDeletionCluster(t *testing.T) {
+	// Colliding hasher forces one long cluster.
+	m := NewIdentityHashMap[int, int](func(int) uint64 { return 0 })
+	for i := 0; i < 8; i++ {
+		m.Put(i, i)
+	}
+	m.Remove(0) // head of the cluster
+	for i := 1; i < 8; i++ {
+		if v, ok := m.Get(i); !ok || v != i {
+			t.Fatalf("probe chain broken at %d", i)
+		}
+	}
+}
+
+// TestWeakHashMapExpunge: cleared keys vanish at the next operation.
+func TestWeakHashMapExpunge(t *testing.T) {
+	m := NewWeakHashMap[int, string](IntHasher)
+	m.Put(1, "a")
+	m.Put(2, "b")
+	m.ClearRef(1)
+	if m.Size() != 1 {
+		t.Fatalf("size = %d, want 1 after expunge", m.Size())
+	}
+	if m.ContainsKey(1) {
+		t.Fatal("cleared key still present")
+	}
+	// Re-inserting a cleared key resurrects it.
+	m.Put(1, "c")
+	if v, ok := m.Get(1); !ok || v != "c" {
+		t.Fatal("resurrected key lost")
+	}
+	// ClearRef on an absent key is harmless.
+	m.ClearRef(99)
+	if m.Size() != 2 {
+		t.Fatalf("size = %d, want 2", m.Size())
+	}
+}

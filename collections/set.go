@@ -1,0 +1,106 @@
+package collections
+
+// Set is an unordered collection of unique elements, the java.util.Set
+// analogue.
+type Set[T comparable] interface {
+	// Add inserts v, reporting whether it was absent.
+	Add(v T) bool
+	// Remove deletes v, reporting whether it was present.
+	Remove(v T) bool
+	// Contains reports membership.
+	Contains(v T) bool
+	// Size returns the element count.
+	Size() int
+	// Each iterates elements until fn returns false.
+	Each(fn func(v T) bool)
+	// Clear removes every element.
+	Clear()
+}
+
+// unit is the value type backing map-based sets.
+type unit struct{}
+
+// HashSet is a hash-table Set, the java.util.HashSet analogue.
+type HashSet[T comparable] struct {
+	m *HashMap[T, unit]
+}
+
+// NewHashSet returns an empty set using the given hasher.
+func NewHashSet[T comparable](h Hasher[T]) *HashSet[T] {
+	return &HashSet[T]{m: NewHashMap[T, unit](h)}
+}
+
+// NewLinkedHashSet returns a set with insertion-order iteration, the
+// java.util.LinkedHashSet analogue.
+func NewLinkedHashSet[T comparable](h Hasher[T]) *HashSet[T] {
+	return &HashSet[T]{m: NewLinkedHashMap[T, unit](h)}
+}
+
+// Add inserts v.
+func (s *HashSet[T]) Add(v T) bool {
+	_, had := s.m.Put(v, unit{})
+	return !had
+}
+
+// Remove deletes v.
+func (s *HashSet[T]) Remove(v T) bool {
+	_, had := s.m.Remove(v)
+	return had
+}
+
+// Contains reports membership.
+func (s *HashSet[T]) Contains(v T) bool { return s.m.ContainsKey(v) }
+
+// Size returns the element count.
+func (s *HashSet[T]) Size() int { return s.m.Size() }
+
+// Each iterates elements.
+func (s *HashSet[T]) Each(fn func(v T) bool) {
+	s.m.Each(func(k T, _ unit) bool { return fn(k) })
+}
+
+// Clear removes every element.
+func (s *HashSet[T]) Clear() { s.m.Clear() }
+
+// TreeSet is a sorted Set backed by a red-black tree, the
+// java.util.TreeSet analogue.
+type TreeSet[T comparable] struct {
+	m *TreeMap[T, unit]
+}
+
+// NewTreeSet returns an empty set ordered by less.
+func NewTreeSet[T comparable](less func(a, b T) bool) *TreeSet[T] {
+	return &TreeSet[T]{m: NewTreeMap[T, unit](less)}
+}
+
+// Add inserts v.
+func (s *TreeSet[T]) Add(v T) bool {
+	_, had := s.m.Put(v, unit{})
+	return !had
+}
+
+// Remove deletes v.
+func (s *TreeSet[T]) Remove(v T) bool {
+	_, had := s.m.Remove(v)
+	return had
+}
+
+// Contains reports membership.
+func (s *TreeSet[T]) Contains(v T) bool { return s.m.ContainsKey(v) }
+
+// Size returns the element count.
+func (s *TreeSet[T]) Size() int { return s.m.Size() }
+
+// Each iterates in ascending order.
+func (s *TreeSet[T]) Each(fn func(v T) bool) {
+	s.m.Each(func(k T, _ unit) bool { return fn(k) })
+}
+
+// Clear removes every element.
+func (s *TreeSet[T]) Clear() { s.m.Clear() }
+
+// First returns the smallest element.
+func (s *TreeSet[T]) First() (T, bool) { return s.m.FirstKey() }
+
+// Last returns the largest element.
+func (s *TreeSet[T]) Last() (T, bool) { return s.m.LastKey() }

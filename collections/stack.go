@@ -1,0 +1,43 @@
+package collections
+
+// Stack is a LIFO built on an ArrayList, the java.util.Stack analogue
+// (which extends Vector and therefore exposes list operations too).
+type Stack[T comparable] struct {
+	ArrayList[T]
+}
+
+// NewStack returns an empty stack.
+func NewStack[T comparable]() *Stack[T] {
+	return &Stack[T]{ArrayList[T]{data: make([]T, 4)}}
+}
+
+// Push places v on top.
+func (s *Stack[T]) Push(v T) { s.Add(v) }
+
+// Pop removes and returns the top element; ok is false when empty.
+func (s *Stack[T]) Pop() (v T, ok bool) {
+	if s.size == 0 {
+		return v, false
+	}
+	return s.RemoveAt(s.size - 1), true
+}
+
+// Peek returns the top element without removing it; ok is false when
+// empty.
+func (s *Stack[T]) Peek() (v T, ok bool) {
+	if s.size == 0 {
+		return v, false
+	}
+	return s.data[s.size-1], true
+}
+
+// Search returns the 1-based distance of v from the top, or -1
+// (java.util.Stack.search semantics).
+func (s *Stack[T]) Search(v T) int {
+	for i := s.size - 1; i >= 0; i-- {
+		if s.data[i] == v {
+			return s.size - i
+		}
+	}
+	return -1
+}

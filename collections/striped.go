@@ -1,0 +1,103 @@
+package collections
+
+import (
+	"fmt"
+
+	"wolf/sim"
+)
+
+// StripedMap is a lock-striped concurrent map in the style of
+// java.util.concurrent.ConcurrentHashMap's segmented predecessors: the
+// key space is partitioned across independent segments, each guarded by
+// its own monitor, so single-key operations on different segments never
+// contend and never nest — a deadlock-free-by-design counterpoint to
+// the SyncMap wrapper whose compound operations nest two monitors.
+//
+// Whole-map operations (Size, EachKey) lock segments one at a time in
+// ascending index order, the canonical ordered-acquisition discipline
+// that keeps the lock graph acyclic.
+type StripedMap[K comparable, V comparable] struct {
+	hash Hasher[K]
+	segs []stripe[K, V]
+}
+
+// stripe is one segment.
+type stripe[K comparable, V comparable] struct {
+	mu *sim.Lock
+	m  *HashMap[K, V]
+}
+
+// NewStripedMap returns a map with the given number of segments
+// (rounded up to a power of two, minimum 2). instance names the segment
+// locks ("StripedMap.seg<i>#<instance>").
+func NewStripedMap[K comparable, V comparable](w *sim.World, instance string, h Hasher[K], segments int) *StripedMap[K, V] {
+	n := 2
+	for n < segments {
+		n <<= 1
+	}
+	sm := &StripedMap[K, V]{hash: h}
+	for i := 0; i < n; i++ {
+		sm.segs = append(sm.segs, stripe[K, V]{
+			mu: w.NewLock(fmt.Sprintf("StripedMap.seg%d#%s", i, instance)),
+			m:  NewHashMap[K, V](h),
+		})
+	}
+	return sm
+}
+
+// Segments returns the segment count.
+func (sm *StripedMap[K, V]) Segments() int { return len(sm.segs) }
+
+// seg returns the stripe for k.
+func (sm *StripedMap[K, V]) seg(k K) *stripe[K, V] {
+	return &sm.segs[int(sm.hash(k))&(len(sm.segs)-1)]
+}
+
+// Put stores v under k, locking only k's segment.
+func (sm *StripedMap[K, V]) Put(t *sim.Thread, k K, v V) (old V, had bool) {
+	s := sm.seg(k)
+	t.WithLock(s.mu, "StripedMap.java:put", func() { old, had = s.m.Put(k, v) })
+	return old, had
+}
+
+// Get returns the value under k, locking only k's segment.
+func (sm *StripedMap[K, V]) Get(t *sim.Thread, k K) (v V, ok bool) {
+	s := sm.seg(k)
+	t.WithLock(s.mu, "StripedMap.java:get", func() { v, ok = s.m.Get(k) })
+	return v, ok
+}
+
+// Remove deletes k, locking only k's segment.
+func (sm *StripedMap[K, V]) Remove(t *sim.Thread, k K) (v V, ok bool) {
+	s := sm.seg(k)
+	t.WithLock(s.mu, "StripedMap.java:remove", func() { v, ok = s.m.Remove(k) })
+	return v, ok
+}
+
+// Size sums segment sizes, locking segments one at a time in index
+// order (never holding two at once).
+func (sm *StripedMap[K, V]) Size(t *sim.Thread) int {
+	n := 0
+	for i := range sm.segs {
+		s := &sm.segs[i]
+		t.WithLock(s.mu, "StripedMap.java:size", func() { n += s.m.Size() })
+	}
+	return n
+}
+
+// EachKey visits every key, segment by segment in index order.
+func (sm *StripedMap[K, V]) EachKey(t *sim.Thread, fn func(k K) bool) {
+	for i := range sm.segs {
+		s := &sm.segs[i]
+		keep := true
+		t.WithLock(s.mu, "StripedMap.java:keys", func() {
+			s.m.Each(func(k K, _ V) bool {
+				keep = fn(k)
+				return keep
+			})
+		})
+		if !keep {
+			return
+		}
+	}
+}

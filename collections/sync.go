@@ -1,0 +1,243 @@
+package collections
+
+import (
+	"wolf/sim"
+)
+
+// Source sites of the synchronized wrappers, mirroring the
+// java.util.Collections line numbers the paper reports. Compound
+// operations (AddAll, RemoveAll, Equals) acquire this collection's mutex
+// at one site and the other collection's mutex at another while still
+// holding the first — the nesting pattern behind Figures 2 and 9.
+const (
+	SiteCollEquals    = "Collections.java:1561"
+	SiteCollSize      = "Collections.java:1565"
+	SiteCollContains  = "Collections.java:1567"
+	SiteCollToArray   = "Collections.java:1570"
+	SiteCollGet       = "Collections.java:1574"
+	SiteCollAdd       = "Collections.java:1577"
+	SiteCollRemove    = "Collections.java:1581"
+	SiteCollClear     = "Collections.java:1584"
+	SiteCollAddAll    = "Collections.java:1591"
+	SiteCollRemoveAll = "Collections.java:1594"
+
+	SiteMapEquals      = "Collections.java:2024"
+	SiteMapSize        = "Collections.java:2028"
+	SiteMapGet         = "Collections.java:2031"
+	SiteMapPut         = "Collections.java:2034"
+	SiteMapRemove      = "Collections.java:2037"
+	SiteMapContainsKey = "Collections.java:2043"
+	SiteMapClear       = "Collections.java:2046"
+	SiteMapKeys        = "Collections.java:2049"
+)
+
+// SyncList is a synchronized view of a List, the
+// Collections.synchronizedList analogue. Every operation runs inside
+// the view's mutex; compound operations touch the other view's mutex
+// while holding this one.
+type SyncList[T comparable] struct {
+	mu   *sim.Lock
+	list List[T]
+}
+
+// NewSyncList wraps list in a synchronized view. instance names the
+// mutex ("SyncColl.mutex#" + instance), so views created here share a
+// lock abstraction, as same-site Java allocations do.
+func NewSyncList[T comparable](w *sim.World, instance string, list List[T]) *SyncList[T] {
+	return &SyncList[T]{mu: w.NewLock("SyncColl.mutex#" + instance), list: list}
+}
+
+// Mutex exposes the view's lock for tests and harnesses.
+func (s *SyncList[T]) Mutex() *sim.Lock { return s.mu }
+
+// Unwrap returns the backing list (callers must hold the mutex).
+func (s *SyncList[T]) Unwrap() List[T] { return s.list }
+
+// Add appends v under the mutex.
+func (s *SyncList[T]) Add(t *sim.Thread, v T) {
+	t.WithLock(s.mu, SiteCollAdd, func() { s.list.Add(v) })
+}
+
+// Remove deletes the first occurrence of v under the mutex.
+func (s *SyncList[T]) Remove(t *sim.Thread, v T) (ok bool) {
+	t.WithLock(s.mu, SiteCollRemove, func() { ok = s.list.Remove(v) })
+	return ok
+}
+
+// Contains reports membership under the mutex.
+func (s *SyncList[T]) Contains(t *sim.Thread, v T) (ok bool) {
+	t.WithLock(s.mu, SiteCollContains, func() { ok = s.list.Contains(v) })
+	return ok
+}
+
+// Size returns the element count under the mutex.
+func (s *SyncList[T]) Size(t *sim.Thread) (n int) {
+	t.WithLock(s.mu, SiteCollSize, func() { n = s.list.Size() })
+	return n
+}
+
+// Get returns the element at index i under the mutex.
+func (s *SyncList[T]) Get(t *sim.Thread, i int) (v T) {
+	t.WithLock(s.mu, SiteCollGet, func() { v = s.list.Get(i) })
+	return v
+}
+
+// Clear removes every element under the mutex.
+func (s *SyncList[T]) Clear(t *sim.Thread) {
+	t.WithLock(s.mu, SiteCollClear, func() { s.list.Clear() })
+}
+
+// ToArray snapshots the elements under the mutex.
+func (s *SyncList[T]) ToArray(t *sim.Thread) (out []T) {
+	t.WithLock(s.mu, SiteCollToArray, func() {
+		out = make([]T, 0, s.list.Size())
+		s.list.Each(func(v T) bool {
+			out = append(out, v)
+			return true
+		})
+	})
+	return out
+}
+
+// AddAll appends every element of other: it locks this view's mutex
+// (Collections.java:1591), then snapshots other via ToArray, which locks
+// other's mutex (1570) — the nested acquisition of the paper's Figure 9.
+func (s *SyncList[T]) AddAll(t *sim.Thread, other *SyncList[T]) {
+	t.Lock(s.mu, SiteCollAddAll)
+	for _, v := range other.ToArray(t) {
+		s.list.Add(v)
+	}
+	t.Unlock(s.mu, SiteCollAddAll)
+}
+
+// RemoveAll removes every element contained in other: it locks this
+// view's mutex (1594) and probes other.Contains (1567) while holding it.
+func (s *SyncList[T]) RemoveAll(t *sim.Thread, other *SyncList[T]) (removed int) {
+	t.Lock(s.mu, SiteCollRemoveAll)
+	var keep []T
+	s.list.Each(func(v T) bool {
+		if other.Contains(t, v) {
+			removed++
+		} else {
+			keep = append(keep, v)
+		}
+		return true
+	})
+	if removed > 0 {
+		s.list.Clear()
+		for _, v := range keep {
+			s.list.Add(v)
+		}
+	}
+	t.Unlock(s.mu, SiteCollRemoveAll)
+	return removed
+}
+
+// Equals compares element sequences: it locks this view's mutex (1561)
+// and queries other.Size (1565) and other.Get (1574) while holding it.
+func (s *SyncList[T]) Equals(t *sim.Thread, other *SyncList[T]) (eq bool) {
+	t.Lock(s.mu, SiteCollEquals)
+	eq = true
+	if other.Size(t) != s.list.Size() {
+		eq = false
+	} else {
+		i := 0
+		s.list.Each(func(v T) bool {
+			if other.Get(t, i) != v {
+				eq = false
+				return false
+			}
+			i++
+			return true
+		})
+	}
+	t.Unlock(s.mu, SiteCollEquals)
+	return eq
+}
+
+// SyncMap is a synchronized view of a Map, the
+// Collections.synchronizedMap analogue.
+type SyncMap[K comparable, V comparable] struct {
+	mu *sim.Lock
+	m  Map[K, V]
+}
+
+// NewSyncMap wraps m in a synchronized view; instance names the mutex
+// ("SyncMap.mutex#" + instance).
+func NewSyncMap[K comparable, V comparable](w *sim.World, instance string, m Map[K, V]) *SyncMap[K, V] {
+	return &SyncMap[K, V]{mu: w.NewLock("SyncMap.mutex#" + instance), m: m}
+}
+
+// Mutex exposes the view's lock for tests and harnesses.
+func (s *SyncMap[K, V]) Mutex() *sim.Lock { return s.mu }
+
+// Unwrap returns the backing map (callers must hold the mutex).
+func (s *SyncMap[K, V]) Unwrap() Map[K, V] { return s.m }
+
+// Put stores v under k under the mutex.
+func (s *SyncMap[K, V]) Put(t *sim.Thread, k K, v V) (old V, had bool) {
+	t.WithLock(s.mu, SiteMapPut, func() { old, had = s.m.Put(k, v) })
+	return old, had
+}
+
+// Get returns the value under k under the mutex.
+func (s *SyncMap[K, V]) Get(t *sim.Thread, k K) (v V, ok bool) {
+	t.WithLock(s.mu, SiteMapGet, func() { v, ok = s.m.Get(k) })
+	return v, ok
+}
+
+// Remove deletes k under the mutex.
+func (s *SyncMap[K, V]) Remove(t *sim.Thread, k K) (v V, ok bool) {
+	t.WithLock(s.mu, SiteMapRemove, func() { v, ok = s.m.Remove(k) })
+	return v, ok
+}
+
+// ContainsKey reports key membership under the mutex.
+func (s *SyncMap[K, V]) ContainsKey(t *sim.Thread, k K) (ok bool) {
+	t.WithLock(s.mu, SiteMapContainsKey, func() { ok = s.m.ContainsKey(k) })
+	return ok
+}
+
+// Size returns the entry count under the mutex.
+func (s *SyncMap[K, V]) Size(t *sim.Thread) (n int) {
+	t.WithLock(s.mu, SiteMapSize, func() { n = s.m.Size() })
+	return n
+}
+
+// Keys snapshots the keys under the mutex.
+func (s *SyncMap[K, V]) Keys(t *sim.Thread) (ks []K) {
+	t.WithLock(s.mu, SiteMapKeys, func() { ks = s.m.Keys() })
+	return ks
+}
+
+// Clear removes every entry under the mutex.
+func (s *SyncMap[K, V]) Clear(t *sim.Thread) {
+	t.WithLock(s.mu, SiteMapClear, func() { s.m.Clear() })
+}
+
+// Equals implements AbstractMap.equals through the synchronized view:
+// it locks this map's mutex (Collections.java:2024), compares sizes —
+// calling other.Size, which briefly locks other's mutex (2028, the
+// paper's "line 509") — and then compares values per key via other.Get
+// (2031, the paper's "line 522"). Two threads equals-ing two maps in
+// opposite orders produce exactly the four cycles of the paper's
+// Figure 2, of which the last (both blocked at the Get) is infeasible
+// because of the interim Size acquisition.
+func (s *SyncMap[K, V]) Equals(t *sim.Thread, other *SyncMap[K, V]) (eq bool) {
+	t.Lock(s.mu, SiteMapEquals)
+	eq = true
+	if other.Size(t) != s.m.Size() {
+		eq = false
+	} else {
+		s.m.Each(func(k K, v V) bool {
+			ov, ok := other.Get(t, k)
+			if !ok || ov != v {
+				eq = false
+				return false
+			}
+			return true
+		})
+	}
+	t.Unlock(s.mu, SiteMapEquals)
+	return eq
+}

@@ -1,0 +1,420 @@
+package collections
+
+// TreeMap is a red-black tree map with sorted iteration, the
+// java.util.TreeMap analogue.
+type TreeMap[K comparable, V comparable] struct {
+	less func(a, b K) bool
+	root *rbNode[K, V]
+	size int
+}
+
+// rbColor is a node colour.
+type rbColor bool
+
+const (
+	red   rbColor = false
+	black rbColor = true
+)
+
+// rbNode is a tree node.
+type rbNode[K comparable, V comparable] struct {
+	key                 K
+	val                 V
+	color               rbColor
+	left, right, parent *rbNode[K, V]
+}
+
+// NewTreeMap returns an empty tree map ordered by less.
+func NewTreeMap[K comparable, V comparable](less func(a, b K) bool) *TreeMap[K, V] {
+	return &TreeMap[K, V]{less: less}
+}
+
+// IntLess orders ints ascending.
+func IntLess(a, b int) bool { return a < b }
+
+// StringLess orders strings lexicographically.
+func StringLess(a, b string) bool { return a < b }
+
+// find returns the node for k, or nil.
+func (t *TreeMap[K, V]) find(k K) *rbNode[K, V] {
+	n := t.root
+	for n != nil {
+		switch {
+		case t.less(k, n.key):
+			n = n.left
+		case t.less(n.key, k):
+			n = n.right
+		default:
+			return n
+		}
+	}
+	return nil
+}
+
+// Get returns the value under k.
+func (t *TreeMap[K, V]) Get(k K) (V, bool) {
+	if n := t.find(k); n != nil {
+		return n.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// ContainsKey reports whether k is present.
+func (t *TreeMap[K, V]) ContainsKey(k K) bool { return t.find(k) != nil }
+
+// Size returns the entry count.
+func (t *TreeMap[K, V]) Size() int { return t.size }
+
+// rotateLeft rotates the subtree rooted at x leftward.
+func (t *TreeMap[K, V]) rotateLeft(x *rbNode[K, V]) {
+	y := x.right
+	x.right = y.left
+	if y.left != nil {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+}
+
+// rotateRight rotates the subtree rooted at x rightward.
+func (t *TreeMap[K, V]) rotateRight(x *rbNode[K, V]) {
+	y := x.left
+	x.left = y.right
+	if y.right != nil {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+}
+
+// Put stores v under k.
+func (t *TreeMap[K, V]) Put(k K, v V) (old V, had bool) {
+	var parent *rbNode[K, V]
+	n := t.root
+	for n != nil {
+		parent = n
+		switch {
+		case t.less(k, n.key):
+			n = n.left
+		case t.less(n.key, k):
+			n = n.right
+		default:
+			old, had = n.val, true
+			n.val = v
+			return old, had
+		}
+	}
+	nn := &rbNode[K, V]{key: k, val: v, color: red, parent: parent}
+	switch {
+	case parent == nil:
+		t.root = nn
+	case t.less(k, parent.key):
+		parent.left = nn
+	default:
+		parent.right = nn
+	}
+	t.size++
+	t.fixInsert(nn)
+	return old, false
+}
+
+// fixInsert restores red-black invariants after inserting z.
+func (t *TreeMap[K, V]) fixInsert(z *rbNode[K, V]) {
+	for z.parent != nil && z.parent.color == red {
+		gp := z.parent.parent
+		if z.parent == gp.left {
+			u := gp.right
+			if u != nil && u.color == red {
+				z.parent.color = black
+				u.color = black
+				gp.color = red
+				z = gp
+				continue
+			}
+			if z == z.parent.right {
+				z = z.parent
+				t.rotateLeft(z)
+			}
+			z.parent.color = black
+			gp.color = red
+			t.rotateRight(gp)
+		} else {
+			u := gp.left
+			if u != nil && u.color == red {
+				z.parent.color = black
+				u.color = black
+				gp.color = red
+				z = gp
+				continue
+			}
+			if z == z.parent.left {
+				z = z.parent
+				t.rotateRight(z)
+			}
+			z.parent.color = black
+			gp.color = red
+			t.rotateLeft(gp)
+		}
+	}
+	t.root.color = black
+}
+
+// minimum returns the leftmost node under n.
+func minimum[K comparable, V comparable](n *rbNode[K, V]) *rbNode[K, V] {
+	for n.left != nil {
+		n = n.left
+	}
+	return n
+}
+
+// transplant replaces subtree u with subtree v (v may be nil); returns
+// v's parent pointer holder for fixups.
+func (t *TreeMap[K, V]) transplant(u, v *rbNode[K, V]) {
+	switch {
+	case u.parent == nil:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	if v != nil {
+		v.parent = u.parent
+	}
+}
+
+// Remove deletes k. The deletion fixup follows CLRS, treating nil
+// children as black leaves via the parent parameter.
+func (t *TreeMap[K, V]) Remove(k K) (V, bool) {
+	z := t.find(k)
+	if z == nil {
+		var zero V
+		return zero, false
+	}
+	removed := z.val
+	t.size--
+
+	y := z
+	yColor := y.color
+	var x, xParent *rbNode[K, V]
+	switch {
+	case z.left == nil:
+		x, xParent = z.right, z.parent
+		t.transplant(z, z.right)
+	case z.right == nil:
+		x, xParent = z.left, z.parent
+		t.transplant(z, z.left)
+	default:
+		y = minimum(z.right)
+		yColor = y.color
+		x = y.right
+		if y.parent == z {
+			xParent = y
+		} else {
+			xParent = y.parent
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.color = z.color
+	}
+	if yColor == black {
+		t.fixDelete(x, xParent)
+	}
+	return removed, true
+}
+
+// fixDelete restores invariants after removing a black node; x (possibly
+// nil) is the doubly-black node, parent its parent.
+func (t *TreeMap[K, V]) fixDelete(x, parent *rbNode[K, V]) {
+	for x != t.root && (x == nil || x.color == black) {
+		if parent == nil {
+			break
+		}
+		if x == parent.left {
+			w := parent.right
+			if w != nil && w.color == red {
+				w.color = black
+				parent.color = red
+				t.rotateLeft(parent)
+				w = parent.right
+			}
+			if w == nil {
+				x, parent = parent, parent.parent
+				continue
+			}
+			lBlack := w.left == nil || w.left.color == black
+			rBlack := w.right == nil || w.right.color == black
+			if lBlack && rBlack {
+				w.color = red
+				x, parent = parent, parent.parent
+				continue
+			}
+			if rBlack {
+				if w.left != nil {
+					w.left.color = black
+				}
+				w.color = red
+				t.rotateRight(w)
+				w = parent.right
+			}
+			w.color = parent.color
+			parent.color = black
+			if w.right != nil {
+				w.right.color = black
+			}
+			t.rotateLeft(parent)
+			x = t.root
+			parent = nil
+		} else {
+			w := parent.left
+			if w != nil && w.color == red {
+				w.color = black
+				parent.color = red
+				t.rotateRight(parent)
+				w = parent.left
+			}
+			if w == nil {
+				x, parent = parent, parent.parent
+				continue
+			}
+			lBlack := w.left == nil || w.left.color == black
+			rBlack := w.right == nil || w.right.color == black
+			if lBlack && rBlack {
+				w.color = red
+				x, parent = parent, parent.parent
+				continue
+			}
+			if lBlack {
+				if w.right != nil {
+					w.right.color = black
+				}
+				w.color = red
+				t.rotateLeft(w)
+				w = parent.left
+			}
+			w.color = parent.color
+			parent.color = black
+			if w.left != nil {
+				w.left.color = black
+			}
+			t.rotateRight(parent)
+			x = t.root
+			parent = nil
+		}
+	}
+	if x != nil {
+		x.color = black
+	}
+}
+
+// Each iterates entries in ascending key order.
+func (t *TreeMap[K, V]) Each(fn func(k K, v V) bool) {
+	var walk func(n *rbNode[K, V]) bool
+	walk = func(n *rbNode[K, V]) bool {
+		if n == nil {
+			return true
+		}
+		if !walk(n.left) {
+			return false
+		}
+		if !fn(n.key, n.val) {
+			return false
+		}
+		return walk(n.right)
+	}
+	walk(t.root)
+}
+
+// Keys returns every key in ascending order.
+func (t *TreeMap[K, V]) Keys() []K {
+	out := make([]K, 0, t.size)
+	t.Each(func(k K, _ V) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// Clear removes every entry.
+func (t *TreeMap[K, V]) Clear() {
+	t.root = nil
+	t.size = 0
+}
+
+// FirstKey returns the smallest key; ok is false when empty.
+func (t *TreeMap[K, V]) FirstKey() (k K, ok bool) {
+	if t.root == nil {
+		return k, false
+	}
+	return minimum(t.root).key, true
+}
+
+// LastKey returns the largest key; ok is false when empty.
+func (t *TreeMap[K, V]) LastKey() (k K, ok bool) {
+	if t.root == nil {
+		return k, false
+	}
+	n := t.root
+	for n.right != nil {
+		n = n.right
+	}
+	return n.key, true
+}
+
+// checkInvariants verifies red-black properties; used by tests. It
+// returns the black height and panics on violation.
+func (t *TreeMap[K, V]) checkInvariants() int {
+	if t.root != nil && t.root.color != black {
+		panic("collections: red root")
+	}
+	var walk func(n *rbNode[K, V]) int
+	walk = func(n *rbNode[K, V]) int {
+		if n == nil {
+			return 1
+		}
+		if n.color == red {
+			if (n.left != nil && n.left.color == red) || (n.right != nil && n.right.color == red) {
+				panic("collections: red node with red child")
+			}
+		}
+		if n.left != nil && n.left.parent != n {
+			panic("collections: broken parent link (left)")
+		}
+		if n.right != nil && n.right.parent != n {
+			panic("collections: broken parent link (right)")
+		}
+		lh := walk(n.left)
+		rh := walk(n.right)
+		if lh != rh {
+			panic("collections: unequal black heights")
+		}
+		if n.color == black {
+			lh++
+		}
+		return lh
+	}
+	return walk(t.root)
+}

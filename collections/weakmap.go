@@ -1,0 +1,94 @@
+package collections
+
+// WeakHashMap is a hash map whose entries disappear once their keys are
+// no longer strongly referenced, the java.util.WeakHashMap analogue.
+// Go's runtime does not expose the JVM's reference queues, so weakness
+// is simulated: keys registered as unreachable via ClearRef are expunged
+// lazily on the next structural operation, which is observationally how
+// WeakHashMap behaves (stale entries vanish at unpredictable map
+// touches). This preserves the synchronization-relevant behaviour — the
+// timing of internal expunge work inside size()/get() — that the
+// paper's workloads exercise.
+type WeakHashMap[K comparable, V comparable] struct {
+	inner   *HashMap[K, V]
+	cleared map[K]bool
+	// pendingExpunge batches cleared keys like the JVM's reference
+	// queue: they are removed on the next map operation.
+	pendingExpunge []K
+}
+
+// NewWeakHashMap returns an empty weak map using the given hasher.
+func NewWeakHashMap[K comparable, V comparable](h Hasher[K]) *WeakHashMap[K, V] {
+	return &WeakHashMap[K, V]{
+		inner:   NewHashMap[K, V](h),
+		cleared: make(map[K]bool),
+	}
+}
+
+// ClearRef marks k's referent as garbage collected; the entry will be
+// expunged at the next map operation.
+func (m *WeakHashMap[K, V]) ClearRef(k K) {
+	if !m.cleared[k] {
+		m.cleared[k] = true
+		m.pendingExpunge = append(m.pendingExpunge, k)
+	}
+}
+
+// expunge removes entries whose keys were cleared.
+func (m *WeakHashMap[K, V]) expunge() {
+	for _, k := range m.pendingExpunge {
+		m.inner.Remove(k)
+	}
+	m.pendingExpunge = m.pendingExpunge[:0]
+}
+
+// Put stores v under k, resurrecting a cleared key.
+func (m *WeakHashMap[K, V]) Put(k K, v V) (old V, had bool) {
+	m.expunge()
+	delete(m.cleared, k)
+	return m.inner.Put(k, v)
+}
+
+// Get returns the value under k.
+func (m *WeakHashMap[K, V]) Get(k K) (V, bool) {
+	m.expunge()
+	return m.inner.Get(k)
+}
+
+// Remove deletes k.
+func (m *WeakHashMap[K, V]) Remove(k K) (V, bool) {
+	m.expunge()
+	delete(m.cleared, k)
+	return m.inner.Remove(k)
+}
+
+// ContainsKey reports whether k is present (and not cleared).
+func (m *WeakHashMap[K, V]) ContainsKey(k K) bool {
+	m.expunge()
+	return m.inner.ContainsKey(k)
+}
+
+// Size returns the live entry count.
+func (m *WeakHashMap[K, V]) Size() int {
+	m.expunge()
+	return m.inner.Size()
+}
+
+// Each iterates live entries.
+func (m *WeakHashMap[K, V]) Each(fn func(k K, v V) bool) {
+	m.expunge()
+	m.inner.Each(fn)
+}
+
+// Keys returns every live key.
+func (m *WeakHashMap[K, V]) Keys() []K {
+	m.expunge()
+	return m.inner.Keys()
+}
+
+// Clear removes every entry.
+func (m *WeakHashMap[K, V]) Clear() {
+	m.pendingExpunge = m.pendingExpunge[:0]
+	m.cleared = make(map[K]bool)
+	m.inner.Clear()
+}

@@ -1,0 +1,69 @@
+// Immunize: closing the loop from detection to defense.
+//
+// WOLF's output is more than a bug report: a confirmed deadlock carries
+// the exact acquisition signature needed to avoid it at runtime, the
+// idea behind Dimmunix (Jula et al., OSDI 2008), which the paper cites
+// in its introduction. This example analyzes the bank-transfer
+// workload, then re-runs it under random schedules with and without the
+// signature-driven avoidance.
+//
+//	go run ./examples/immunize
+package main
+
+import (
+	"fmt"
+
+	"wolf/internal/core"
+	"wolf/internal/immunize"
+	"wolf/sim"
+)
+
+// factory is the textbook transfer deadlock: two tellers moving money
+// between the same pair of accounts in opposite directions.
+func factory() (sim.Program, sim.Options) {
+	type account struct {
+		mu      *sim.Lock
+		balance int
+	}
+	var a, b *account
+	opts := sim.Options{Setup: func(w *sim.World) {
+		a = &account{mu: w.NewLock("account#A"), balance: 100}
+		b = &account{mu: w.NewLock("account#B"), balance: 100}
+	}}
+	transfer := func(u *sim.Thread, from, to *account, amount int, tag string) {
+		u.Lock(from.mu, "bank.go:lock-from-"+tag)
+		u.Yield("bank.go:audit-" + tag)
+		u.Lock(to.mu, "bank.go:lock-to-"+tag)
+		from.balance -= amount
+		to.balance += amount
+		u.Unlock(to.mu, "bank.go:u1-"+tag)
+		u.Unlock(from.mu, "bank.go:u2-"+tag)
+	}
+	prog := func(t *sim.Thread) {
+		t1 := t.Go("teller", func(u *sim.Thread) { transfer(u, a, b, 10, "ab") }, "spawn1")
+		t2 := t.Go("teller", func(u *sim.Thread) { transfer(u, b, a, 20, "ba") }, "spawn2")
+		t.Join(t1, "j1")
+		t.Join(t2, "j2")
+	}
+	return prog, opts
+}
+
+func main() {
+	// Step 1: find a terminating schedule and confirm the deadlock.
+	var seed int64
+	for seed = 1; ; seed++ {
+		prog, opts := factory()
+		if out := sim.Run(prog, sim.NewRandomStrategy(seed), opts); out.Kind == sim.Terminated {
+			break
+		}
+	}
+	rep := core.Analyze(factory, core.Config{DetectSeeds: []int64{seed}, ReplayAttempts: 5})
+	fmt.Print(rep)
+
+	// Step 2: defend future executions with the confirmed signatures.
+	const runs = 200
+	base := immunize.Baseline(factory, runs, 9000)
+	prot := immunize.Protect(factory, rep, runs, 9000)
+	fmt.Printf("\nwithout immunization: %3d/%d runs deadlock\n", base, runs)
+	fmt.Printf("with immunization:    %3d/%d runs deadlock\n", prot, runs)
+}

@@ -1,0 +1,3 @@
+module wolf
+
+go 1.24

@@ -1,0 +1,492 @@
+// Package core wires WOLF's components into the end-to-end pipeline of
+// the paper's Figure 3: instrumented execution → extended dynamic cycle
+// detection → Pruner → Generator → Replayer, plus the DeadlockFuzzer
+// baseline pipeline used for comparison.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"wolf/internal/detect"
+	"wolf/internal/fuzzer"
+	"wolf/internal/pruner"
+	"wolf/internal/replay"
+	"wolf/internal/sdg"
+	"wolf/internal/trace"
+	"wolf/internal/vclock"
+	"wolf/sim"
+)
+
+// Classification is the pipeline's verdict on a cycle or defect.
+type Classification int
+
+const (
+	// Unknown: not refuted, not reproduced — left for manual analysis.
+	Unknown Classification = iota
+	// FalseByPruner: refuted by the vector-clock Pruner (Algorithm 2).
+	FalseByPruner
+	// FalseByGenerator: refuted by a cyclic synchronization dependency
+	// graph (Algorithm 3).
+	FalseByGenerator
+	// Confirmed: automatically reproduced by the Replayer (or the
+	// DeadlockFuzzer baseline) — a true positive.
+	Confirmed
+	// FalseByData: refuted by the value-flow extension — Gs becomes
+	// cyclic only once type-V (data dependency) edges are added. Only
+	// produced when Config.DataDependency is set; the paper lists this
+	// analysis as future work (Section 4.4).
+	FalseByData
+)
+
+// String names the classification.
+func (c Classification) String() string {
+	switch c {
+	case FalseByPruner:
+		return "false(pruner)"
+	case FalseByGenerator:
+		return "false(generator)"
+	case Confirmed:
+		return "confirmed"
+	case FalseByData:
+		return "false(data)"
+	default:
+		return "unknown"
+	}
+}
+
+// IsFalse reports whether the classification is either false-positive
+// verdict.
+func (c Classification) IsFalse() bool {
+	return c == FalseByPruner || c == FalseByGenerator || c == FalseByData
+}
+
+// Config controls an analysis.
+type Config struct {
+	// DetectSeeds are the schedule seeds of the recorded detection runs;
+	// {1} when empty. Each seed contributes one trace.
+	DetectSeeds []int64
+	// MaxCycleLen bounds detected cycle length (detect.DefaultMaxLength
+	// when zero).
+	MaxCycleLen int
+	// ReplayAttempts is the per-cycle reproduction budget
+	// (replay.DefaultAttempts when zero).
+	ReplayAttempts int
+	// ReplaySeed seeds reproduction attempts.
+	ReplaySeed int64
+	// MaxSteps bounds each run (sim.DefaultMaxSteps when zero).
+	MaxSteps int
+	// DisablePruner skips Algorithm 2 (ablation).
+	DisablePruner bool
+	// DisableGenerator skips Algorithm 3's cycle check (ablation); Gs is
+	// still built to drive the Replayer.
+	DisableGenerator bool
+	// EdgeKinds restricts Gs edges used for replay (sdg.AllKinds when
+	// zero; ablation).
+	EdgeKinds sdg.Kind
+	// NoReduce disables the MagicFuzzer-style tuple reduction before
+	// cycle detection (ablation).
+	NoReduce bool
+	// DataDependency enables the value-flow extension: shared-variable
+	// accesses recorded through sim.Var add type-V edges to Gs, letting
+	// the Generator refute deadlocks that the recorded control flow
+	// makes impossible (the paper's Section 4.4 future work).
+	DataDependency bool
+}
+
+func (cfg *Config) detectSeeds() []int64 {
+	if len(cfg.DetectSeeds) == 0 {
+		return []int64{1}
+	}
+	return cfg.DetectSeeds
+}
+
+func (cfg *Config) edgeKinds() sdg.Kind {
+	kinds := cfg.EdgeKinds
+	if kinds == 0 {
+		kinds = sdg.AllKinds
+	}
+	if cfg.DataDependency {
+		kinds |= sdg.V
+	}
+	return kinds
+}
+
+// CycleReport is the pipeline outcome for one detected cycle.
+type CycleReport struct {
+	// Cycle is the detected potential deadlock.
+	Cycle *detect.Cycle
+	// Trace is the recorded execution the cycle was detected on.
+	Trace *trace.Trace
+	// Class is the verdict.
+	Class Classification
+	// PruneReason explains a FalseByPruner verdict.
+	PruneReason *pruner.Explain
+	// Gs is the synchronization dependency graph (nil when pruned).
+	Gs *sdg.Graph
+	// GsSize is the paper's Vs statistic for this cycle.
+	GsSize int
+	// ReplayAttempts counts reproduction runs performed.
+	ReplayAttempts int
+}
+
+// DefectReport aggregates the cycles sharing one source-location
+// signature (the paper's defect counting, Section 4.3).
+type DefectReport struct {
+	// Signature is the canonical sorted site list.
+	Signature string
+	// Cycles are the per-cycle reports.
+	Cycles []*CycleReport
+	// Class is the defect verdict: Confirmed if any cycle reproduced,
+	// false if every cycle was refuted, Unknown otherwise.
+	Class Classification
+}
+
+// classify derives the defect verdict from its cycles.
+func (d *DefectReport) classify() {
+	anyConfirmed, anyUnknown, anyGen, anyData := false, false, false, false
+	for _, cr := range d.Cycles {
+		switch cr.Class {
+		case Confirmed:
+			anyConfirmed = true
+		case Unknown:
+			anyUnknown = true
+		case FalseByGenerator:
+			anyGen = true
+		case FalseByData:
+			anyData = true
+		}
+	}
+	switch {
+	case anyConfirmed:
+		d.Class = Confirmed
+	case anyUnknown:
+		d.Class = Unknown
+	case anyGen:
+		d.Class = FalseByGenerator
+	case anyData:
+		d.Class = FalseByData
+	default:
+		d.Class = FalseByPruner
+	}
+}
+
+// Timings records wall-clock durations of the pipeline phases.
+type Timings struct {
+	// Uninstrumented is the bare program run time (same seeds, no
+	// listeners; best of several repetitions), the baseline for the
+	// paper's slowdown column.
+	Uninstrumented time.Duration
+	// Instrumented is the recorded execution time (listeners attached),
+	// excluding post-mortem analysis.
+	Instrumented time.Duration
+	// CycleDetect covers the post-mortem lock-graph cycle search.
+	CycleDetect time.Duration
+	// Prune covers Algorithm 2.
+	Prune time.Duration
+	// Generate covers Algorithm 3.
+	Generate time.Duration
+	// Replay covers all reproduction runs.
+	Replay time.Duration
+}
+
+// Detect is the total detection time: instrumented execution plus the
+// cycle search.
+func (t Timings) Detect() time.Duration { return t.Instrumented + t.CycleDetect }
+
+// DetectionSlowdown is the instrumented execution time relative to the
+// uninstrumented run (Table 1's Slowdown column: the runtime cost of
+// recording; cycle search, pruning and generation happen after exit).
+func (t Timings) DetectionSlowdown() float64 {
+	if t.Uninstrumented <= 0 {
+		return 0
+	}
+	return float64(t.Instrumented) / float64(t.Uninstrumented)
+}
+
+// Report is the result of analyzing one workload.
+type Report struct {
+	// Tool is "wolf" or "deadlockfuzzer".
+	Tool string
+	// Cycles holds one report per detected cycle (deduplicated across
+	// detection seeds).
+	Cycles []*CycleReport
+	// Defects groups cycles by signature.
+	Defects []*DefectReport
+	// Timings are the phase durations.
+	Timings Timings
+}
+
+// CountCycles tallies cycle verdicts: false positives (pruner,
+// generator), confirmed, unknown.
+func (r *Report) CountCycles() (pr, gen, confirmed, unknown int) {
+	for _, cr := range r.Cycles {
+		switch cr.Class {
+		case FalseByPruner:
+			pr++
+		case FalseByGenerator, FalseByData:
+			gen++
+		case Confirmed:
+			confirmed++
+		default:
+			unknown++
+		}
+	}
+	return
+}
+
+// CountDefects tallies defect verdicts.
+func (r *Report) CountDefects() (pr, gen, confirmed, unknown int) {
+	for _, d := range r.Defects {
+		switch d.Class {
+		case FalseByPruner:
+			pr++
+		case FalseByGenerator, FalseByData:
+			gen++
+		case Confirmed:
+			confirmed++
+		default:
+			unknown++
+		}
+	}
+	return
+}
+
+// AvgStackLen is the paper's SL statistic averaged over all cycles.
+func (r *Report) AvgStackLen() float64 {
+	if len(r.Cycles) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, cr := range r.Cycles {
+		sum += cr.Cycle.AvgStackDepth()
+	}
+	return sum / float64(len(r.Cycles))
+}
+
+// AvgGsSize is the paper's Vs statistic averaged over unpruned cycles.
+func (r *Report) AvgGsSize() float64 {
+	n, sum := 0, 0
+	for _, cr := range r.Cycles {
+		if cr.GsSize > 0 {
+			n++
+			sum += cr.GsSize
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// String renders a human-readable summary.
+func (r *Report) String() string {
+	var sb strings.Builder
+	byClass := make(map[Classification]int)
+	for _, d := range r.Defects {
+		byClass[d.Class]++
+	}
+	fmt.Fprintf(&sb, "[%s] defects: %d (false: %d pruner + %d generator + %d data, confirmed: %d, unknown: %d)\n",
+		r.Tool, len(r.Defects), byClass[FalseByPruner], byClass[FalseByGenerator],
+		byClass[FalseByData], byClass[Confirmed], byClass[Unknown])
+	for _, d := range r.Defects {
+		fmt.Fprintf(&sb, "  %-14s %s (%d cycles)\n", d.Class, d.Signature, len(d.Cycles))
+	}
+	return sb.String()
+}
+
+// cycleKey identifies a cycle across detection seeds for deduplication:
+// the multiset of stable acquisition keys plus held contexts.
+func cycleKey(c *detect.Cycle) string {
+	parts := make([]string, 0, len(c.Tuples))
+	for _, tp := range c.Tuples {
+		held := make([]string, 0, len(tp.Held))
+		for _, h := range tp.Held {
+			held = append(held, h.Key.String())
+		}
+		sort.Strings(held)
+		parts = append(parts, tp.Key.String()+"<"+strings.Join(held, ",")+">")
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "|")
+}
+
+// record runs one instrumented execution and returns its trace plus the
+// execution's wall time.
+func record(f sim.Factory, seed int64, maxSteps int, timestamps bool) (*trace.Trace, time.Duration) {
+	prog, opts := f()
+	var vt *vclock.Tracker
+	if timestamps {
+		vt = vclock.NewTracker()
+		opts.Listeners = append(opts.Listeners, vt)
+	}
+	rec := trace.NewRecorder(vt)
+	opts.Listeners = append(opts.Listeners, rec)
+	if maxSteps > 0 {
+		opts.MaxSteps = maxSteps
+	}
+	start := time.Now()
+	sim.Run(prog, sim.NewRandomStrategy(seed), opts)
+	dur := time.Since(start)
+	return rec.Finish(seed), dur
+}
+
+// detectAll runs detection over every seed, deduplicates cycles, and
+// accumulates the instrumented-execution and cycle-search timings.
+func detectAll(f sim.Factory, cfg *Config, timestamps bool, tm *Timings) []*CycleReport {
+	seen := make(map[string]bool)
+	var out []*CycleReport
+	for _, seed := range cfg.detectSeeds() {
+		tr, runDur := record(f, seed, cfg.MaxSteps, timestamps)
+		tm.Instrumented += runDur
+		start := time.Now()
+		cycles := detect.Cycles(tr, detect.Config{MaxLength: cfg.MaxCycleLen, NoReduce: cfg.NoReduce})
+		tm.CycleDetect += time.Since(start)
+		for _, c := range cycles {
+			key := cycleKey(c)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, &CycleReport{Cycle: c, Trace: tr})
+		}
+	}
+	return out
+}
+
+// baseline measures the best-of-3 uninstrumented run time over the
+// detection seeds; the minimum filters scheduler and allocator noise on
+// these microsecond-scale runs.
+func baseline(f sim.Factory, cfg *Config) time.Duration {
+	best := time.Duration(0)
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		for _, seed := range cfg.detectSeeds() {
+			prog, opts := f()
+			if cfg.MaxSteps > 0 {
+				opts.MaxSteps = cfg.MaxSteps
+			}
+			sim.Run(prog, sim.NewRandomStrategy(seed), opts)
+		}
+		d := time.Since(start)
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Analyze runs the full WOLF pipeline on the workload built by f.
+func Analyze(f sim.Factory, cfg Config) *Report {
+	rep := &Report{Tool: "wolf"}
+
+	// Baseline run time for the slowdown statistic.
+	rep.Timings.Uninstrumented = baseline(f, &cfg)
+
+	// Extended dynamic cycle detection (Algorithm 1 + cycle detection).
+	rep.Cycles = detectAll(f, &cfg, true, &rep.Timings)
+
+	// Pruner (Algorithm 2).
+	start := time.Now()
+	if !cfg.DisablePruner {
+		for _, cr := range rep.Cycles {
+			res := pruner.Prune([]*detect.Cycle{cr.Cycle}, cr.Trace.Clocks)
+			if res.Verdicts[0] == pruner.False {
+				cr.Class = FalseByPruner
+				cr.PruneReason = res.Reasons[0]
+			}
+		}
+	}
+	rep.Timings.Prune = time.Since(start)
+
+	// Generator (Algorithm 3, optionally with the value-flow extension).
+	start = time.Now()
+	for _, cr := range rep.Cycles {
+		if cr.Class == FalseByPruner {
+			continue
+		}
+		cr.Gs = sdg.BuildKinds(cr.Cycle, cr.Trace, cfg.edgeKinds())
+		cr.GsSize = cr.Gs.Size()
+		if !cfg.DisableGenerator && cr.Gs.Cyclic() {
+			cr.Class = FalseByGenerator
+			if cfg.DataDependency {
+				// Attribute the refutation: if the graph is acyclic
+				// without the V edges, only the data dependency proves
+				// infeasibility.
+				base := sdg.BuildKinds(cr.Cycle, cr.Trace, cfg.edgeKinds()&^sdg.V)
+				if !base.Cyclic() {
+					cr.Class = FalseByData
+				}
+			}
+		}
+	}
+	rep.Timings.Generate = time.Since(start)
+
+	// Replayer (Algorithm 4).
+	start = time.Now()
+	for _, cr := range rep.Cycles {
+		if cr.Class != Unknown {
+			continue
+		}
+		res := replay.Reproduce(f, cr.Gs, cr.Cycle, replay.Config{
+			Attempts: cfg.ReplayAttempts,
+			BaseSeed: cfg.ReplaySeed,
+			MaxSteps: cfg.MaxSteps,
+		})
+		cr.ReplayAttempts = res.Attempts
+		if res.Reproduced {
+			cr.Class = Confirmed
+		}
+	}
+	rep.Timings.Replay = time.Since(start)
+
+	rep.group()
+	return rep
+}
+
+// AnalyzeDF runs the DeadlockFuzzer baseline pipeline: iGoodLock
+// detection (no timestamps), no pruning, abstraction-based randomized
+// reproduction.
+func AnalyzeDF(f sim.Factory, cfg Config) *Report {
+	rep := &Report{Tool: "deadlockfuzzer"}
+
+	rep.Timings.Uninstrumented = baseline(f, &cfg)
+	rep.Cycles = detectAll(f, &cfg, false, &rep.Timings)
+
+	start := time.Now()
+	for _, cr := range rep.Cycles {
+		res := fuzzer.Reproduce(f, cr.Cycle, fuzzer.Config{
+			Attempts: cfg.ReplayAttempts,
+			BaseSeed: cfg.ReplaySeed,
+			MaxSteps: cfg.MaxSteps,
+		})
+		cr.ReplayAttempts = res.Attempts
+		if res.Reproduced {
+			cr.Class = Confirmed
+		}
+	}
+	rep.Timings.Replay = time.Since(start)
+
+	rep.group()
+	return rep
+}
+
+// group buckets cycle reports into defect reports by signature.
+func (r *Report) group() {
+	bySig := make(map[string]*DefectReport)
+	for _, cr := range r.Cycles {
+		sig := cr.Cycle.Signature()
+		d := bySig[sig]
+		if d == nil {
+			d = &DefectReport{Signature: sig}
+			bySig[sig] = d
+			r.Defects = append(r.Defects, d)
+		}
+		d.Cycles = append(d.Cycles, cr)
+	}
+	for _, d := range r.Defects {
+		d.classify()
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"time"
+
+	"wolf/internal/detect"
+	"wolf/internal/pruner"
+	"wolf/internal/sdg"
+	"wolf/internal/trace"
+	"wolf/sim"
+)
+
+// AnalyzeTrace runs the offline half of the pipeline — cycle detection,
+// Pruner and Generator — on a previously recorded trace (see the trace
+// package's Write/Read). Replay needs the program, so surviving
+// potential deadlocks stay Unknown; use Analyze for the full pipeline.
+func AnalyzeTrace(tr *trace.Trace, cfg Config) *Report {
+	rep := &Report{Tool: "wolf(offline)"}
+	start := time.Now()
+	for _, c := range detect.Cycles(tr, detect.Config{MaxLength: cfg.MaxCycleLen, NoReduce: cfg.NoReduce}) {
+		rep.Cycles = append(rep.Cycles, &CycleReport{Cycle: c, Trace: tr})
+	}
+	rep.Timings.CycleDetect = time.Since(start)
+
+	start = time.Now()
+	if !cfg.DisablePruner && tr.Clocks != nil {
+		for _, cr := range rep.Cycles {
+			res := pruner.Prune([]*detect.Cycle{cr.Cycle}, tr.Clocks)
+			if res.Verdicts[0] == pruner.False {
+				cr.Class = FalseByPruner
+				cr.PruneReason = res.Reasons[0]
+			}
+		}
+	}
+	rep.Timings.Prune = time.Since(start)
+
+	start = time.Now()
+	for _, cr := range rep.Cycles {
+		if cr.Class == FalseByPruner {
+			continue
+		}
+		cr.Gs = sdg.BuildKinds(cr.Cycle, tr, cfg.edgeKinds())
+		cr.GsSize = cr.Gs.Size()
+		if !cfg.DisableGenerator && cr.Gs.Cyclic() {
+			cr.Class = FalseByGenerator
+			if cfg.DataDependency {
+				base := sdg.BuildKinds(cr.Cycle, tr, cfg.edgeKinds()&^sdg.V)
+				if !base.Cyclic() {
+					cr.Class = FalseByData
+				}
+			}
+		}
+	}
+	rep.Timings.Generate = time.Since(start)
+
+	rep.group()
+	return rep
+}
+
+// Record performs one instrumented run with the given seed and returns
+// the recorded trace, for offline analysis or archiving.
+func Record(f sim.Factory, seed int64, maxSteps int) *trace.Trace {
+	tr, _ := record(f, seed, maxSteps, true)
+	return tr
+}

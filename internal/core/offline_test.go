@@ -1,0 +1,71 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"wolf/internal/trace"
+)
+
+// TestOfflineAnalysisRoundTrip: record a trace, serialize it, reload it,
+// and run the offline pipeline — verdicts match the online pipeline up
+// to replay (confirmed defects appear as unknown offline).
+func TestOfflineAnalysisRoundTrip(t *testing.T) {
+	seed := findDetectionSeed(t, figure2Factory)
+	tr := Record(figure2Factory, seed, 0)
+	if len(tr.Tuples) == 0 {
+		t.Fatal("empty trace")
+	}
+
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	offline := AnalyzeTrace(loaded, Config{})
+	online := Analyze(figure2Factory, Config{DetectSeeds: []int64{seed}})
+	if len(offline.Defects) != len(online.Defects) {
+		t.Fatalf("offline defects = %d, online = %d", len(offline.Defects), len(online.Defects))
+	}
+	for _, od := range offline.Defects {
+		var match *DefectReport
+		for _, nd := range online.Defects {
+			if nd.Signature == od.Signature {
+				match = nd
+			}
+		}
+		if match == nil {
+			t.Fatalf("offline defect %s not found online", od.Signature)
+		}
+		switch match.Class {
+		case Confirmed:
+			if od.Class != Unknown {
+				t.Errorf("%s: offline class %v, want unknown (no replay offline)", od.Signature, od.Class)
+			}
+		default:
+			if od.Class != match.Class {
+				t.Errorf("%s: offline class %v, online %v", od.Signature, od.Class, match.Class)
+			}
+		}
+	}
+}
+
+// TestOfflineWithoutClocks: a trace without vector clocks (base
+// recorder) skips pruning but still runs the Generator.
+func TestOfflineWithoutClocks(t *testing.T) {
+	seed := findDetectionSeed(t, fig4Factory)
+	tr := Record(fig4Factory, seed, 0)
+	tr.Clocks = nil
+	rep := AnalyzeTrace(tr, Config{})
+	pr, _, _, _ := rep.CountDefects()
+	if pr != 0 {
+		t.Fatalf("pruner ran without clocks: %d", pr)
+	}
+	if len(rep.Cycles) != 2 {
+		t.Fatalf("cycles = %d, want 2", len(rep.Cycles))
+	}
+}

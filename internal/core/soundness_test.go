@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wolf/internal/explore"
+	"wolf/sim"
+)
+
+// randomProgram generates a small branch-free multithreaded program:
+// main spawns 2-3 workers (sometimes joining one before spawning the
+// next, which creates prunable non-overlap), and each worker performs a
+// few nested lock-pair sections over a small lock pool. Branch-free
+// programs make the explorer's verdict a sound ground truth for the
+// pipeline's per-trace claims.
+func randomProgram(progSeed int64) sim.Factory {
+	return func() (sim.Program, sim.Options) {
+		rng := rand.New(rand.NewSource(progSeed))
+		nLocks := 2 + rng.Intn(2)   // 2-3 locks
+		nThreads := 2 + rng.Intn(2) // 2-3 workers
+		joinEarly := rng.Intn(3) == 0
+
+		locks := make([]*sim.Lock, nLocks)
+		opts := sim.Options{Setup: func(w *sim.World) {
+			for i := range locks {
+				locks[i] = w.NewLock(fmt.Sprintf("L%d", i))
+			}
+		}}
+
+		type section struct{ outer, inner int }
+		bodies := make([][]section, nThreads)
+		for ti := range bodies {
+			n := 1 + rng.Intn(2) // 1-2 sections
+			for s := 0; s < n; s++ {
+				outer := rng.Intn(nLocks)
+				inner := rng.Intn(nLocks)
+				for inner == outer {
+					inner = rng.Intn(nLocks)
+				}
+				bodies[ti] = append(bodies[ti], section{outer, inner})
+			}
+		}
+
+		worker := func(ti int) sim.Program {
+			return func(u *sim.Thread) {
+				for si, sec := range bodies[ti] {
+					so := fmt.Sprintf("t%d.%d.o", ti, si)
+					si2 := fmt.Sprintf("t%d.%d.i", ti, si)
+					u.Lock(locks[sec.outer], so)
+					u.Lock(locks[sec.inner], si2)
+					u.Unlock(locks[sec.inner], si2+"u")
+					u.Unlock(locks[sec.outer], so+"u")
+				}
+			}
+		}
+		prog := func(th *sim.Thread) {
+			var hs []*sim.Thread
+			for ti := 0; ti < nThreads; ti++ {
+				h := th.Go("w", worker(ti), fmt.Sprintf("spawn%d", ti))
+				if joinEarly && ti == 0 {
+					th.Join(h, "earlyjoin")
+				} else {
+					hs = append(hs, h)
+				}
+			}
+			for i, h := range hs {
+				th.Join(h, fmt.Sprintf("join%d", i))
+			}
+		}
+		return prog, opts
+	}
+}
+
+// TestPipelineSoundnessAgainstExplorer machine-checks the paper's
+// correctness claims on dozens of random programs:
+//
+//   - a cycle classified false (Pruner or Generator) must be infeasible
+//     in EVERY schedule (exhaustively verified);
+//   - a confirmed cycle must be feasible (trivially, it was reproduced —
+//     but the explorer must agree, validating the hit criterion).
+func TestPipelineSoundnessAgainstExplorer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive exploration is slow")
+	}
+	checkedFalse, checkedConfirmed := 0, 0
+	for progSeed := int64(0); progSeed < 24; progSeed++ {
+		f := randomProgram(progSeed)
+		rep := Analyze(f, Config{DetectSeeds: []int64{1, 2, 3}, ReplayAttempts: 3})
+		if len(rep.Cycles) == 0 {
+			continue
+		}
+		ground, err := explore.Explore(f, explore.Limits{MaxRuns: 15_000})
+		if err != nil {
+			t.Fatalf("prog %d: %v", progSeed, err)
+		}
+		if ground.Truncated {
+			continue // inconclusive ground truth; skip
+		}
+		for _, cr := range rep.Cycles {
+			feasible := ground.CycleFeasible(cr.Cycle)
+			switch {
+			case cr.Class.IsFalse():
+				checkedFalse++
+				if feasible {
+					t.Errorf("prog %d: cycle %v classified %v but is feasible (UNSOUND)",
+						progSeed, cr.Cycle, cr.Class)
+				}
+			case cr.Class == Confirmed:
+				checkedConfirmed++
+				if !feasible {
+					t.Errorf("prog %d: cycle %v confirmed but explorer finds it infeasible",
+						progSeed, cr.Cycle)
+				}
+			}
+		}
+	}
+	t.Logf("checked %d false verdicts and %d confirmations against ground truth",
+		checkedFalse, checkedConfirmed)
+	if checkedFalse == 0 {
+		t.Error("no false verdicts were exercised; strengthen the generator")
+	}
+	if checkedConfirmed == 0 {
+		t.Error("no confirmations were exercised; strengthen the generator")
+	}
+}
+
+// TestReplayEffectiveness: across random programs with feasible cycles,
+// the Gs-driven replay confirms a healthy majority — mirroring the
+// paper's 68% confirmation rate of unpruned defects.
+func TestReplayEffectiveness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive exploration is slow")
+	}
+	feasibleTotal, confirmed := 0, 0
+	for progSeed := int64(100); progSeed < 124; progSeed++ {
+		f := randomProgram(progSeed)
+		rep := Analyze(f, Config{DetectSeeds: []int64{1, 2, 3}, ReplayAttempts: 5})
+		if len(rep.Cycles) == 0 {
+			continue
+		}
+		ground, err := explore.Explore(f, explore.Limits{MaxRuns: 15_000})
+		if err != nil || ground.Truncated {
+			continue
+		}
+		for _, cr := range rep.Cycles {
+			if ground.CycleFeasible(cr.Cycle) {
+				feasibleTotal++
+				if cr.Class == Confirmed {
+					confirmed++
+				}
+			}
+		}
+	}
+	if feasibleTotal == 0 {
+		t.Skip("no feasible cycles generated")
+	}
+	rate := float64(confirmed) / float64(feasibleTotal)
+	t.Logf("confirmed %d/%d feasible cycles (%.0f%%)", confirmed, feasibleTotal, rate*100)
+	if rate < 0.6 {
+		t.Errorf("replay confirmed only %.0f%% of feasible cycles, want >= 60%%", rate*100)
+	}
+}

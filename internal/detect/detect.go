@@ -1,0 +1,298 @@
+// Package detect implements iGoodLock-style cycle detection over the
+// lock dependency relation Dσ — the detection half of WOLF's Extended
+// Dynamic Cycle Detector (Section 3.1/3.2 of the paper).
+//
+// A potential deadlock is a cycle θ = {η1 … ηn} of Dσ tuples where
+//
+//   - lock(ηi) ∈ lockset(ηi+1) for every consecutive pair, and
+//     lock(ηn) ∈ lockset(η1): every thread waits for a lock held by the
+//     next;
+//   - locksets are pairwise disjoint (no guard lock) and all threads are
+//     distinct (each thread contributes one edge).
+//
+// Cycles are canonicalized so each set of tuples is reported once: the
+// first tuple belongs to the lexicographically smallest thread in the
+// cycle.
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wolf/internal/trace"
+)
+
+// DefaultMaxLength bounds cycle length (number of threads involved) when
+// a Config leaves it zero. Deadlocks among more than a handful of threads
+// are vanishingly rare in practice.
+const DefaultMaxLength = 4
+
+// Cycle is one potential deadlock: Tuples[i+1] holds the lock Tuples[i]
+// is acquiring (cyclically).
+type Cycle struct {
+	Tuples []*trace.Tuple
+}
+
+// Threads returns the names of the threads in the cycle, in cycle order.
+func (c *Cycle) Threads() []string {
+	out := make([]string, len(c.Tuples))
+	for i, tp := range c.Tuples {
+		out[i] = tp.Thread
+	}
+	return out
+}
+
+// Sites returns the source locations of the deadlocking acquisitions, in
+// cycle order.
+func (c *Cycle) Sites() []string {
+	out := make([]string, len(c.Tuples))
+	for i, tp := range c.Tuples {
+		out[i] = tp.Site
+	}
+	return out
+}
+
+// Signature is the canonical defect identity of the cycle: the sorted
+// source locations of its deadlocking acquisitions. The paper counts
+// defects by these signatures (Section 4.3): two cycles whose
+// acquisitions come from the same source locations are one defect.
+func (c *Cycle) Signature() string {
+	sites := c.Sites()
+	sort.Strings(sites)
+	return strings.Join(sites, "+")
+}
+
+// String renders the cycle as thread:lock@site waiting chains.
+func (c *Cycle) String() string {
+	var parts []string
+	for _, tp := range c.Tuples {
+		parts = append(parts, fmt.Sprintf("%s holds{%s} wants %s@%s",
+			tp.Thread, strings.Join(tp.LockNames(), ","), tp.Lock, tp.Site))
+	}
+	return "{" + strings.Join(parts, " | ") + "}"
+}
+
+// AvgStackDepth is the paper's SL statistic: the average acquisition
+// stack length across the cycle's tuples.
+func (c *Cycle) AvgStackDepth() float64 {
+	if len(c.Tuples) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, tp := range c.Tuples {
+		sum += tp.StackDepth()
+	}
+	return float64(sum) / float64(len(c.Tuples))
+}
+
+// Config controls cycle detection.
+type Config struct {
+	// MaxLength bounds the number of threads per cycle;
+	// DefaultMaxLength when zero.
+	MaxLength int
+	// NoReduce disables the MagicFuzzer-style pre-pass that iteratively
+	// discards tuples provably outside every cycle (Cai and Chan, ICSE
+	// 2012). Reduction never changes the result; the switch exists for
+	// ablation benchmarks.
+	NoReduce bool
+}
+
+// Cycles finds every potential deadlock in tr.
+func Cycles(tr *trace.Trace, cfg Config) []*Cycle {
+	maxLen := cfg.MaxLength
+	if maxLen <= 0 {
+		maxLen = DefaultMaxLength
+	}
+	tuples := tr.Tuples
+	if !cfg.NoReduce {
+		tuples = Reduce(tuples)
+	}
+	d := &detector{maxLen: maxLen}
+	// Index tuples by held lock so "who holds ℓ" lookups are O(1).
+	d.byHeld = make(map[string][]*trace.Tuple)
+	for _, tp := range tuples {
+		for _, h := range tp.Held {
+			d.byHeld[h.Lock] = append(d.byHeld[h.Lock], tp)
+		}
+	}
+	for _, tp := range tuples {
+		if len(tp.Held) == 0 {
+			continue // cannot participate: holds nothing for others to wait on
+		}
+		d.chain = d.chain[:0]
+		d.extend(tp)
+	}
+	return d.found
+}
+
+// Reduce iteratively removes tuples that cannot belong to any cycle —
+// the lock-dependency reduction of MagicFuzzer. A tuple η = (t, L, ℓ)
+// survives only while both hold:
+//
+//   - some other thread's surviving tuple holds ℓ (someone to wait on),
+//     and
+//   - some other thread's surviving tuple acquires a lock in L (someone
+//     waiting on us).
+//
+// Removing a tuple can invalidate others, so the filter runs to a fixed
+// point. On traces dominated by non-conflicting lock activity (a busy
+// server's request traffic) this discards nearly everything before the
+// exponential chain search runs.
+func Reduce(tuples []*trace.Tuple) []*trace.Tuple {
+	alive := make(map[*trace.Tuple]bool, len(tuples))
+	n := 0
+	for _, tp := range tuples {
+		if len(tp.Held) > 0 {
+			alive[tp] = true
+			n++
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		// heldBy[l] and wants[l] count surviving tuples per thread set;
+		// recomputing per round keeps the code simple and each round is
+		// linear.
+		heldBy := make(map[string]map[string]bool, n)
+		wants := make(map[string]map[string]bool, n)
+		for tp := range alive {
+			addLockThread(wants, tp.Lock, tp.Thread)
+			for _, h := range tp.Held {
+				addLockThread(heldBy, h.Lock, tp.Thread)
+			}
+		}
+		for tp := range alive {
+			if !otherThread(heldBy[tp.Lock], tp.Thread) || !anyWanted(wants, tp) {
+				delete(alive, tp)
+				changed = true
+			}
+		}
+	}
+	out := make([]*trace.Tuple, 0, len(alive))
+	for _, tp := range tuples {
+		if alive[tp] {
+			out = append(out, tp)
+		}
+	}
+	return out
+}
+
+// addLockThread records that thread relates to lock.
+func addLockThread(m map[string]map[string]bool, lock, thread string) {
+	set := m[lock]
+	if set == nil {
+		set = make(map[string]bool, 2)
+		m[lock] = set
+	}
+	set[thread] = true
+}
+
+// otherThread reports whether the set contains a thread other than self.
+func otherThread(set map[string]bool, self string) bool {
+	for th := range set {
+		if th != self {
+			return true
+		}
+	}
+	return false
+}
+
+// anyWanted reports whether some other thread acquires one of tp's held
+// locks.
+func anyWanted(wants map[string]map[string]bool, tp *trace.Tuple) bool {
+	for _, h := range tp.Held {
+		if otherThread(wants[h.Lock], tp.Thread) {
+			return true
+		}
+	}
+	return false
+}
+
+type detector struct {
+	maxLen int
+	byHeld map[string][]*trace.Tuple
+	chain  []*trace.Tuple
+	found  []*Cycle
+}
+
+// extend grows the current chain with tp and explores continuations.
+// Invariant: chain[i+1] holds lock(chain[i]); chain[0] has the smallest
+// thread name (rotation canonicalization).
+func (d *detector) extend(tp *trace.Tuple) {
+	d.chain = append(d.chain, tp)
+	defer func() { d.chain = d.chain[:len(d.chain)-1] }()
+
+	first := d.chain[0]
+	// Close the cycle: the first tuple holds what the last one wants.
+	if len(d.chain) >= 2 && first.HoldsLock(tp.Lock) {
+		cyc := &Cycle{Tuples: append([]*trace.Tuple(nil), d.chain...)}
+		d.found = append(d.found, cyc)
+		// A longer cycle through the same prefix would reuse tp's thread
+		// differently; keep exploring other extensions but do not extend
+		// past a closing tuple with the same tuple again — continue below
+		// is still valid for longer cycles through different locks.
+	}
+	if len(d.chain) == d.maxLen {
+		return
+	}
+	for _, next := range d.byHeld[tp.Lock] {
+		if next.Thread <= first.Thread {
+			continue // canonical rotation: chain[0] is the min thread
+		}
+		if d.conflicts(next) {
+			continue
+		}
+		d.extend(next)
+	}
+}
+
+// conflicts reports whether next violates the distinct-thread or
+// guard-lock conditions against the current chain.
+func (d *detector) conflicts(next *trace.Tuple) bool {
+	for _, tp := range d.chain {
+		if tp.Thread == next.Thread {
+			return true
+		}
+		// Pairwise disjoint locksets (a shared held lock guards the
+		// would-be deadlock).
+		for _, h := range next.Held {
+			if tp.HoldsLock(h.Lock) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Defect groups the cycles that share a source-location signature.
+// Fixing the defect means changing those source locations; reproducing
+// any one of its cycles proves the defect (Section 4.3).
+type Defect struct {
+	// Signature is the canonical sorted site list.
+	Signature string
+	// Cycles are the lock-graph cycles with this signature.
+	Cycles []*Cycle
+}
+
+// String renders the defect's signature.
+func (df *Defect) String() string {
+	return fmt.Sprintf("defect[%s] (%d cycles)", df.Signature, len(df.Cycles))
+}
+
+// GroupDefects buckets cycles into defects by signature, preserving first
+// occurrence order.
+func GroupDefects(cycles []*Cycle) []*Defect {
+	bySig := make(map[string]*Defect)
+	var out []*Defect
+	for _, c := range cycles {
+		sig := c.Signature()
+		df := bySig[sig]
+		if df == nil {
+			df = &Defect{Signature: sig}
+			bySig[sig] = df
+			out = append(out, df)
+		}
+		df.Cycles = append(df.Cycles, c)
+	}
+	return out
+}

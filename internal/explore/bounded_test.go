@@ -1,0 +1,70 @@
+package explore
+
+import (
+	"testing"
+)
+
+// TestPreemptionBoundFindsDeadlock: the two-lock inversion needs exactly
+// one preemption (switch away from a thread holding its first lock), so
+// bound 1 finds it while bound 0 cannot.
+func TestPreemptionBoundFindsDeadlock(t *testing.T) {
+	res0, err := Explore(twoLockFactory, Limits{BoundPreemptions: true, MaxPreemptions: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res0.DeadlockFound() {
+		t.Fatalf("bound 0 found a deadlock:\n%v", res0)
+	}
+	res1, err := Explore(twoLockFactory, Limits{BoundPreemptions: true, MaxPreemptions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res1.DeadlockFound() {
+		t.Fatalf("bound 1 missed the deadlock:\n%v", res1)
+	}
+}
+
+// TestPreemptionBoundShrinksSpace: the bounded search explores far fewer
+// schedules than the exhaustive one — CHESS's polynomial-space claim.
+func TestPreemptionBoundShrinksSpace(t *testing.T) {
+	full, err := Explore(figure2Factory, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded, err := Explore(figure2Factory, Limits{BoundPreemptions: true, MaxPreemptions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded.Truncated {
+		t.Fatal("bounded search truncated")
+	}
+	if bounded.Runs*4 > full.Runs {
+		t.Fatalf("bound 2 explored %d of %d schedules; expected a large reduction",
+			bounded.Runs, full.Runs)
+	}
+	// The empirical CHESS claim: small bounds still find the bugs. All
+	// three feasible deadlock states appear with two preemptions.
+	if len(bounded.Deadlocks) != 3 {
+		t.Fatalf("bound 2 found %d deadlock states, want 3:\n%v", len(bounded.Deadlocks), bounded)
+	}
+}
+
+// TestPreemptionZeroIsCooperative: bound 0 explores only non-preemptive
+// schedules — the run count equals the number of orderings produced by
+// switching exclusively at blocking points.
+func TestPreemptionZeroIsCooperative(t *testing.T) {
+	res, err := Explore(twoLockFactory, Limits{BoundPreemptions: true, MaxPreemptions: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs == 0 || res.Truncated {
+		t.Fatalf("unexpected result: %v", res)
+	}
+	full, err := Explore(twoLockFactory, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs >= full.Runs {
+		t.Fatalf("cooperative space (%d) not smaller than full (%d)", res.Runs, full.Runs)
+	}
+}

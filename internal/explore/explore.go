@@ -1,0 +1,250 @@
+// Package explore enumerates every schedule of a (small) sim program and
+// decides deadlock feasibility exactly. It is the ground-truth oracle the
+// test suite uses to machine-check the WOLF pipeline: the Pruner and
+// Generator must never discard a feasible deadlock, and every confirmed
+// deadlock must actually be reachable.
+//
+// The explorer performs stateless depth-first search over scheduling
+// decisions, in the style of systematic concurrency testing tools like
+// CHESS: a run is re-executed from scratch following a recorded prefix of
+// thread picks; when more than one thread is enabled the run is halted
+// and every choice is explored. Runs advance deterministically through
+// forced segments (exactly one enabled thread) without branching, so the
+// number of re-executions equals the number of branch points, not steps.
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wolf/internal/detect"
+	"wolf/sim"
+)
+
+// Limits bounds an exploration.
+type Limits struct {
+	// MaxRuns caps the number of complete schedules; DefaultMaxRuns when
+	// zero. The result is marked Truncated when the cap is hit.
+	MaxRuns int
+	// MaxSteps bounds each run's length (sim.DefaultMaxSteps when zero).
+	MaxSteps int
+	// BoundPreemptions enables CHESS-style iterative context bounding:
+	// schedules may contain at most MaxPreemptions preemptive switches
+	// (switching away from a thread that could have continued).
+	// Non-preemptive switches — the running thread blocked or exited —
+	// are always free. Musuvathi and Qadeer's empirical result is that
+	// small bounds (≤2) expose most concurrency bugs while shrinking the
+	// schedule space polynomially.
+	BoundPreemptions bool
+	// MaxPreemptions is the bound when BoundPreemptions is set.
+	MaxPreemptions int
+}
+
+// DefaultMaxRuns caps exploration when Limits.MaxRuns is zero.
+const DefaultMaxRuns = 100_000
+
+// Deadlock is one distinct deadlocked stop state found by exploration.
+type Deadlock struct {
+	// Pairs is the multiset of (site, lock) pairs of threads blocked on
+	// lock acquisitions, sorted; the canonical fingerprint.
+	Pairs []Pair
+	// Count is how many explored schedules ended in this state.
+	Count int
+}
+
+// Pair is a blocked acquisition: source site and lock name.
+type Pair struct {
+	Site string
+	Lock string
+}
+
+// String formats the pair as site/lock.
+func (p Pair) String() string { return p.Site + "/" + p.Lock }
+
+// fingerprint canonicalizes a pair multiset.
+func fingerprint(pairs []Pair) string {
+	ss := make([]string, len(pairs))
+	for i, p := range pairs {
+		ss[i] = p.String()
+	}
+	sort.Strings(ss)
+	return strings.Join(ss, "+")
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	// Runs is the number of complete schedules explored.
+	Runs int
+	// Terminated counts schedules where every thread finished.
+	Terminated int
+	// Errors counts schedules ending in a program error.
+	Errors int
+	// Deadlocks maps fingerprints to distinct deadlock states.
+	Deadlocks map[string]*Deadlock
+	// Truncated is true when MaxRuns stopped the search early; absence
+	// of a deadlock is then inconclusive.
+	Truncated bool
+}
+
+// DeadlockFound reports whether any deadlock was reachable.
+func (r *Result) DeadlockFound() bool { return len(r.Deadlocks) > 0 }
+
+// CycleFeasible reports whether some explored deadlock contains every
+// deadlocking acquisition of the cycle — the same criterion the
+// Replayer's hit check uses, evaluated against exhaustive ground truth.
+func (r *Result) CycleFeasible(c *detect.Cycle) bool {
+	for _, d := range r.Deadlocks {
+		if covers(d.Pairs, c) {
+			return true
+		}
+	}
+	return false
+}
+
+// covers reports whether the pair multiset includes each of the cycle's
+// (site, lock) needs with multiplicity.
+func covers(pairs []Pair, c *detect.Cycle) bool {
+	avail := make(map[Pair]int, len(pairs))
+	for _, p := range pairs {
+		avail[p]++
+	}
+	for _, tp := range c.Tuples {
+		k := Pair{Site: tp.Site, Lock: tp.Lock}
+		if avail[k] == 0 {
+			return false
+		}
+		avail[k]--
+	}
+	return true
+}
+
+// String renders the result summary.
+func (r *Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d runs (%d terminated, %d errors, truncated=%v)",
+		r.Runs, r.Terminated, r.Errors, r.Truncated)
+	for fp, d := range r.Deadlocks {
+		fmt.Fprintf(&sb, "\n  deadlock %s ×%d", fp, d.Count)
+	}
+	return sb.String()
+}
+
+// prefixStrategy replays a recorded pick prefix, then continues through
+// forced segments and halts at the first real branch point.
+type prefixStrategy struct {
+	prefix []string // thread names to pick, in order
+	pos    int
+	// walked extends prefix with the forced picks taken after it.
+	walked []string
+	err    error
+}
+
+// Pick follows the prefix, auto-advances when unique, halts on branching.
+func (s *prefixStrategy) Pick(_ *sim.World, enabled []*sim.Thread) *sim.Thread {
+	if s.pos < len(s.prefix) {
+		name := s.prefix[s.pos]
+		s.pos++
+		for _, t := range enabled {
+			if t.Name() == name {
+				return t
+			}
+		}
+		s.err = fmt.Errorf("explore: thread %q not enabled at step %d; program is schedule-nondeterministic", name, s.pos-1)
+		return nil
+	}
+	if len(enabled) == 1 {
+		s.walked = append(s.walked, enabled[0].Name())
+		return enabled[0]
+	}
+	return nil // branch point: halt and fork
+}
+
+// Explore exhaustively enumerates schedules of the program built by f.
+func Explore(f sim.Factory, lim Limits) (*Result, error) {
+	maxRuns := lim.MaxRuns
+	if maxRuns <= 0 {
+		maxRuns = DefaultMaxRuns
+	}
+	res := &Result{Deadlocks: make(map[string]*Deadlock)}
+	// Iterative DFS over prefixes (explicit stack avoids deep recursion).
+	type node struct {
+		prefix      []string
+		preemptions int
+	}
+	stack := []node{{}}
+	for len(stack) > 0 {
+		if res.Runs >= maxRuns {
+			res.Truncated = true
+			return res, nil
+		}
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		prog, opts := f()
+		st := &prefixStrategy{prefix: cur.prefix}
+		if lim.MaxSteps > 0 {
+			opts.MaxSteps = lim.MaxSteps
+		}
+		out := sim.Run(prog, st, opts)
+		if st.err != nil {
+			return nil, st.err
+		}
+		switch out.Kind {
+		case sim.Halted:
+			base := append(append([]string(nil), cur.prefix...), st.walked...)
+			last := ""
+			if len(base) > 0 {
+				last = base[len(base)-1]
+			}
+			lastEnabled := false
+			for _, name := range out.EnabledAtHalt {
+				if name == last {
+					lastEnabled = true
+				}
+			}
+			// Push choices in reverse so exploration visits them in
+			// creation order. Switching away from a still-enabled
+			// running thread is a preemption; once the bound is spent,
+			// only the running thread may continue.
+			for i := len(out.EnabledAtHalt) - 1; i >= 0; i-- {
+				name := out.EnabledAtHalt[i]
+				pre := cur.preemptions
+				if lastEnabled && name != last {
+					if lim.BoundPreemptions && pre >= lim.MaxPreemptions {
+						continue
+					}
+					pre++
+				}
+				child := append(append([]string(nil), base...), name)
+				stack = append(stack, node{prefix: child, preemptions: pre})
+			}
+		case sim.Terminated:
+			res.Runs++
+			res.Terminated++
+		case sim.Deadlocked:
+			res.Runs++
+			var pairs []Pair
+			for _, b := range out.Blocked {
+				if b.Op.Kind == sim.OpLock {
+					pairs = append(pairs, Pair{Site: b.Op.Site, Lock: b.Op.Lock.Name()})
+				}
+			}
+			fp := fingerprint(pairs)
+			d := res.Deadlocks[fp]
+			if d == nil {
+				sort.Slice(pairs, func(i, j int) bool { return pairs[i].String() < pairs[j].String() })
+				d = &Deadlock{Pairs: pairs}
+				res.Deadlocks[fp] = d
+			}
+			d.Count++
+		case sim.StepLimit:
+			res.Runs++
+			res.Errors++
+		case sim.ProgramError:
+			res.Runs++
+			res.Errors++
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,255 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"wolf/internal/detect"
+	"wolf/internal/trace"
+	"wolf/internal/vclock"
+	"wolf/sim"
+)
+
+// twoLockFactory: the classic two-thread inversion.
+func twoLockFactory() (sim.Program, sim.Options) {
+	var a, b *sim.Lock
+	opts := sim.Options{Setup: func(w *sim.World) {
+		a, b = w.NewLock("A"), w.NewLock("B")
+	}}
+	prog := func(th *sim.Thread) {
+		h := th.Go("w", func(u *sim.Thread) {
+			u.Lock(b, "w1")
+			u.Lock(a, "w2")
+			u.Unlock(a, "w3")
+			u.Unlock(b, "w4")
+		}, "m1")
+		th.Lock(a, "m2")
+		th.Lock(b, "m3")
+		th.Unlock(b, "m4")
+		th.Unlock(a, "m5")
+		th.Join(h, "m6")
+	}
+	return prog, opts
+}
+
+func TestTwoLockExploration(t *testing.T) {
+	res, err := Explore(twoLockFactory, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatal("tiny program truncated")
+	}
+	if !res.DeadlockFound() {
+		t.Fatal("deadlock not found")
+	}
+	if len(res.Deadlocks) != 1 {
+		t.Fatalf("distinct deadlocks = %d, want 1:\n%v", len(res.Deadlocks), res)
+	}
+	for fp, d := range res.Deadlocks {
+		if fp != "m3/B+w2/A" {
+			t.Errorf("fingerprint = %s, want m3/B+w2/A", fp)
+		}
+		if d.Count < 1 {
+			t.Error("zero count")
+		}
+	}
+	if res.Terminated == 0 {
+		t.Error("no terminating schedule found")
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d, want 0", res.Errors)
+	}
+}
+
+// TestGuardedNoDeadlock: a guard lock makes the inversion safe; the
+// explorer must prove it.
+func TestGuardedNoDeadlock(t *testing.T) {
+	f := func() (sim.Program, sim.Options) {
+		var g, a, b *sim.Lock
+		opts := sim.Options{Setup: func(w *sim.World) {
+			g, a, b = w.NewLock("G"), w.NewLock("A"), w.NewLock("B")
+		}}
+		prog := func(th *sim.Thread) {
+			h := th.Go("w", func(u *sim.Thread) {
+				u.Lock(g, "wg")
+				u.Lock(b, "w1")
+				u.Lock(a, "w2")
+				u.Unlock(a, "w3")
+				u.Unlock(b, "w4")
+				u.Unlock(g, "wg2")
+			}, "m1")
+			th.Lock(g, "mg")
+			th.Lock(a, "m2")
+			th.Lock(b, "m3")
+			th.Unlock(b, "m4")
+			th.Unlock(a, "m5")
+			th.Unlock(g, "mg2")
+			th.Join(h, "m6")
+		}
+		return prog, opts
+	}
+	res, err := Explore(f, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlockFound() {
+		t.Fatalf("guarded program deadlocked:\n%v", res)
+	}
+}
+
+// figure2Factory: the paper's Figure 2 synchronized-maps scenario.
+func figure2Factory() (sim.Program, sim.Options) {
+	var m1, m2 *sim.Lock
+	opts := sim.Options{Setup: func(w *sim.World) {
+		m1, m2 = w.NewLock("SM1.mutex"), w.NewLock("SM2.mutex")
+	}}
+	equals := func(mine, other *sim.Lock) sim.Program {
+		return func(u *sim.Thread) {
+			u.Lock(mine, "2024")
+			u.Lock(other, "509")
+			u.Unlock(other, "509u")
+			u.Lock(other, "522")
+			u.Unlock(other, "522u")
+			u.Unlock(mine, "2025")
+		}
+	}
+	prog := func(th *sim.Thread) {
+		h1 := th.Go("t1", equals(m1, m2), "s1")
+		h2 := th.Go("t2", equals(m2, m1), "s2")
+		th.Join(h1, "j1")
+		th.Join(h2, "j2")
+	}
+	return prog, opts
+}
+
+// TestFigure2GroundTruth: exhaustive exploration confirms the paper's
+// claim — θ1, θ2, θ3 are reachable, θ4 (both threads at 522) is not, in
+// ANY interleaving.
+func TestFigure2GroundTruth(t *testing.T) {
+	res, err := Explore(figure2Factory, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatal("exploration truncated; raise MaxRuns")
+	}
+	for fp := range res.Deadlocks {
+		if strings.Count(fp, "522/") == 2 {
+			t.Fatalf("impossible θ4 deadlock reached: %s", fp)
+		}
+	}
+	// θ1: both blocked at 509.
+	wantTheta1 := false
+	wantMixed := 0
+	for fp := range res.Deadlocks {
+		c509 := strings.Count(fp, "509/")
+		c522 := strings.Count(fp, "522/")
+		if c509 == 2 {
+			wantTheta1 = true
+		}
+		if c509 == 1 && c522 == 1 {
+			wantMixed++
+		}
+	}
+	if !wantTheta1 {
+		t.Errorf("θ1 (509+509) not found:\n%v", res)
+	}
+	if wantMixed != 2 {
+		t.Errorf("mixed deadlocks (θ2, θ3) = %d, want 2:\n%v", wantMixed, res)
+	}
+}
+
+// TestCycleFeasibleAgainstDetector: record Figure 2's trace, detect the
+// four cycles, and verify the explorer judges exactly θ4 infeasible.
+func TestCycleFeasibleAgainstDetector(t *testing.T) {
+	prog, opts := figure2Factory()
+	vt := vclock.NewTracker()
+	rec := trace.NewRecorder(vt)
+	opts.Listeners = append(opts.Listeners, vt, rec)
+	out := sim.Run(prog, sim.FirstEnabled{}, opts)
+	if out.Kind != sim.Terminated {
+		t.Fatalf("outcome = %v", out)
+	}
+	tr := rec.Finish(0)
+	cycles := detect.Cycles(tr, detect.Config{})
+	if len(cycles) != 4 {
+		t.Fatalf("cycles = %d, want 4", len(cycles))
+	}
+	res, err := Explore(figure2Factory, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cycles {
+		feasible := res.CycleFeasible(c)
+		if c.Signature() == "522+522" && feasible {
+			t.Errorf("θ4 judged feasible")
+		}
+		if c.Signature() != "522+522" && !feasible {
+			t.Errorf("cycle %s judged infeasible, want feasible", c.Signature())
+		}
+	}
+}
+
+// TestTruncation: a big program trips MaxRuns and reports Truncated.
+func TestTruncation(t *testing.T) {
+	f := func() (sim.Program, sim.Options) {
+		var l *sim.Lock
+		opts := sim.Options{Setup: func(w *sim.World) { l = w.NewLock("L") }}
+		prog := func(th *sim.Thread) {
+			var hs []*sim.Thread
+			for i := 0; i < 6; i++ {
+				hs = append(hs, th.Go("w", func(u *sim.Thread) {
+					for j := 0; j < 4; j++ {
+						u.Lock(l, "a")
+						u.Unlock(l, "b")
+					}
+				}, "m"))
+			}
+			for _, h := range hs {
+				th.Join(h, "j")
+			}
+		}
+		return prog, opts
+	}
+	res, err := Explore(f, Limits{MaxRuns: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatalf("expected truncation: %v", res)
+	}
+}
+
+// TestDeterministicRunCount: exploring twice gives identical statistics.
+func TestDeterministicRunCount(t *testing.T) {
+	r1, err1 := Explore(twoLockFactory, Limits{})
+	r2, err2 := Explore(twoLockFactory, Limits{})
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if r1.Runs != r2.Runs || r1.Terminated != r2.Terminated {
+		t.Fatalf("nondeterministic exploration: %v vs %v", r1, r2)
+	}
+}
+
+// TestSingleThreadNoBranching: a sequential program explores in one run.
+func TestSingleThreadNoBranching(t *testing.T) {
+	f := func() (sim.Program, sim.Options) {
+		var l *sim.Lock
+		opts := sim.Options{Setup: func(w *sim.World) { l = w.NewLock("L") }}
+		return func(th *sim.Thread) {
+			for i := 0; i < 10; i++ {
+				th.Lock(l, "a")
+				th.Unlock(l, "b")
+			}
+		}, opts
+	}
+	res, err := Explore(f, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 1 || res.Terminated != 1 {
+		t.Fatalf("runs = %d terminated = %d, want 1/1", res.Runs, res.Terminated)
+	}
+}

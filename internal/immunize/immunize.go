@@ -1,0 +1,207 @@
+// Package immunize provides runtime deadlock avoidance driven by WOLF's
+// output, in the spirit of Dimmunix ("Deadlock Immunity: Enabling
+// Systems to Defend Against Deadlocks", Jula et al., OSDI 2008), which
+// the paper cites as motivation: once a deadlock has been detected and
+// confirmed, future executions can defend against its signature.
+//
+// An Immunizer wraps any scheduling strategy. It knows the confirmed
+// cycles' signatures — for each cycle member, the source site of the
+// blocked acquisition and the site at which the guarding lock was
+// acquired. Before letting a thread take the final step into a known
+// signature (every other member already in position), the immunizer
+// simply refuses to schedule that thread until the pattern dissolves,
+// breaking the cyclic wait while preserving progress: if only avoided
+// threads remain runnable, the least-recently-avoided one is released
+// (the avoidance is best-effort, like Dimmunix's).
+package immunize
+
+import (
+	"wolf/internal/core"
+	"wolf/internal/detect"
+	"wolf/sim"
+)
+
+// member is one position of a deadlock signature: the thread holds a
+// lock acquired at HoldSite and blocks acquiring at WaitSite.
+type member struct {
+	holdSite string
+	waitSite string
+}
+
+// signature is the site pattern of one confirmed cycle.
+type signature struct {
+	members []member
+}
+
+// Immunizer is a sim.Strategy wrapper that avoids known deadlock
+// signatures.
+type Immunizer struct {
+	// Base picks among the threads the immunizer allows.
+	Base sim.Strategy
+	sigs []signature
+	// Avoided counts scheduling decisions where a thread was held back.
+	Avoided int
+	// holdSites tracks, per thread, the sites of currently held locks
+	// (maintained from events).
+	holdSites map[string]map[string]string // thread → lock name → acquisition site
+}
+
+// New builds an immunizer from the confirmed defects of a WOLF report.
+func New(base sim.Strategy, rep *core.Report) *Immunizer {
+	im := &Immunizer{Base: base, holdSites: make(map[string]map[string]string)}
+	for _, cr := range rep.Cycles {
+		if cr.Class != core.Confirmed {
+			continue
+		}
+		im.AddCycle(cr.Cycle)
+	}
+	return im
+}
+
+// AddCycle registers one cycle's signature.
+func (im *Immunizer) AddCycle(c *detect.Cycle) {
+	var sig signature
+	for i, tp := range c.Tuples {
+		// The guarding lock is the one the previous cycle member waits
+		// for; record the site where this member acquired it.
+		prev := c.Tuples[(i+len(c.Tuples)-1)%len(c.Tuples)]
+		holdSite, _ := tp.SiteOf(prev.Lock)
+		sig.members = append(sig.members, member{holdSite: holdSite, waitSite: tp.Site})
+	}
+	im.sigs = append(im.sigs, sig)
+}
+
+// Signatures returns the number of registered signatures.
+func (im *Immunizer) Signatures() int { return len(im.sigs) }
+
+// OnEvent maintains per-thread hold-site bookkeeping.
+func (im *Immunizer) OnEvent(ev sim.Event) {
+	name := ev.Thread.Name()
+	switch ev.Op.Kind {
+	case sim.OpLock, sim.OpWaitResume:
+		if ev.Reentrant {
+			return
+		}
+		m := im.holdSites[name]
+		if m == nil {
+			m = make(map[string]string)
+			im.holdSites[name] = m
+		}
+		m[ev.Op.Lock.Name()] = ev.Op.Site
+	case sim.OpUnlock, sim.OpWait:
+		if ev.Reentrant {
+			return
+		}
+		delete(im.holdSites[name], ev.Op.Lock.Name())
+	}
+}
+
+// Pick filters out threads whose next acquisition would complete a known
+// signature, then delegates to the base strategy.
+func (im *Immunizer) Pick(w *sim.World, enabled []*sim.Thread) *sim.Thread {
+	var safe []*sim.Thread
+	for _, t := range enabled {
+		if im.wouldComplete(w, t) {
+			im.Avoided++
+			continue
+		}
+		safe = append(safe, t)
+	}
+	if len(safe) == 0 {
+		// Progress guarantee: all runnable threads are being avoided —
+		// release them all to the base strategy rather than stalling.
+		safe = enabled
+	}
+	return im.Base.Pick(w, safe)
+}
+
+// wouldComplete reports whether scheduling t's pending acquisition would
+// complete the *hold pattern* of some known signature: t is about to
+// acquire at a member's hold site while every other member's hold site
+// is already covered by a distinct thread. This is the last moment the
+// scheduler still has a say — once all holds are in place the cyclic
+// waits form without any further scheduling decisions — so, like
+// Dimmunix, the immunizer yields the acquisition until the pattern
+// dissolves.
+func (im *Immunizer) wouldComplete(w *sim.World, t *sim.Thread) bool {
+	op := t.Pending()
+	if op.Kind != sim.OpLock || t.Holds(op.Lock) {
+		return false
+	}
+	for _, sig := range im.sigs {
+		for i, m := range sig.members {
+			if op.Site == m.holdSite && im.othersHold(w, sig, i, t.Name()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// othersHold reports whether each member of sig other than index skip is
+// matched by a distinct live thread (different from self) holding a lock
+// acquired at that member's hold site.
+func (im *Immunizer) othersHold(w *sim.World, sig signature, skip int, self string) bool {
+	used := map[string]bool{self: true}
+	for i, m := range sig.members {
+		if i == skip {
+			continue
+		}
+		found := false
+		for _, t := range w.Threads() {
+			name := t.Name()
+			if used[name] || t.Terminated() {
+				continue
+			}
+			if im.holdsSite(name, m.holdSite) {
+				used[name] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// holdsSite reports whether thread holds a lock acquired at site.
+func (im *Immunizer) holdsSite(thread, site string) bool {
+	for _, s := range im.holdSites[thread] {
+		if s == site {
+			return true
+		}
+	}
+	return false
+}
+
+// Protect runs the program n times under random schedules wrapped by an
+// immunizer built from the report's confirmed cycles, and reports how
+// many runs still deadlocked — the avoidance effectiveness measure.
+// Run i uses schedule seed baseSeed + i.
+func Protect(f sim.Factory, rep *core.Report, n int, baseSeed int64) (deadlocks int) {
+	for i := 0; i < n; i++ {
+		prog, opts := f()
+		inst := New(sim.NewRandomStrategy(baseSeed+int64(i)), rep)
+		opts.Listeners = append(opts.Listeners, inst)
+		out := sim.Run(prog, inst, opts)
+		if out.Kind == sim.Deadlocked {
+			deadlocks++
+		}
+	}
+	return deadlocks
+}
+
+// Baseline runs the program n times under plain random schedules,
+// reporting the unprotected deadlock count for comparison.
+func Baseline(f sim.Factory, n int, baseSeed int64) (deadlocks int) {
+	for i := 0; i < n; i++ {
+		prog, opts := f()
+		out := sim.Run(prog, sim.NewRandomStrategy(baseSeed+int64(i)), opts)
+		if out.Kind == sim.Deadlocked {
+			deadlocks++
+		}
+	}
+	return deadlocks
+}

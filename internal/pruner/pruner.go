@@ -1,0 +1,104 @@
+// Package pruner implements WOLF's Pruner (Algorithm 2 of the paper): it
+// eliminates potential deadlocks whose threads provably cannot overlap,
+// using the (S, J) vector clocks recorded by the extended detector.
+//
+// For a cycle θ and every ordered pair of its tuples (ηi, ηj) with
+// threads ti ≠ tj, the cycle is a false positive if either
+//
+//   - tj's deadlocking acquisition always completes before ti starts
+//     (Vi(tj).S > ηj.τ), or
+//   - tj always terminates before ti's deadlocking acquisition
+//     (Vi(tj).J ≠ ⊥ and Vi(tj).J ≤ ηi.τ).
+//
+// The canonical example is the paper's Figure 1 (and θ1 of Figure 4): a
+// thread that starts another while holding both cycle locks can never
+// deadlock with it at those acquisitions.
+package pruner
+
+import (
+	"wolf/internal/detect"
+	"wolf/internal/vclock"
+)
+
+// Verdict classifies a cycle after pruning.
+type Verdict int
+
+const (
+	// Unknown: the Pruner could not refute the cycle; it remains a
+	// potential deadlock.
+	Unknown Verdict = iota
+	// False: the cycle can never manifest; eliminated.
+	False
+)
+
+// String returns "unknown" or "false".
+func (v Verdict) String() string {
+	if v == False {
+		return "false"
+	}
+	return "unknown"
+}
+
+// Explain records why a cycle was pruned.
+type Explain struct {
+	// ThreadA and ThreadB are the two cycle threads the refutation is
+	// about (ta = ηi's thread, tb = ηj's thread).
+	ThreadA, ThreadB string
+	// Rule is "start-order" for the S check or "join-order" for the J
+	// check.
+	Rule string
+}
+
+// Result maps each input cycle (by slice position) to its verdict.
+type Result struct {
+	// Verdicts is parallel to the input cycle slice.
+	Verdicts []Verdict
+	// Reasons holds an explanation for every False verdict, nil
+	// otherwise; parallel to Verdicts.
+	Reasons []*Explain
+	// Kept and Pruned partition the input cycles.
+	Kept, Pruned []*detect.Cycle
+}
+
+// Prune applies Algorithm 2 to every cycle, with clocks indexed by
+// sim.ThreadID as produced by trace.Trace.Clocks.
+func Prune(cycles []*detect.Cycle, clocks []vclock.Vector) *Result {
+	res := &Result{
+		Verdicts: make([]Verdict, len(cycles)),
+		Reasons:  make([]*Explain, len(cycles)),
+	}
+	for ci, c := range cycles {
+		res.Verdicts[ci], res.Reasons[ci] = pruneOne(c, clocks)
+		if res.Verdicts[ci] == False {
+			res.Pruned = append(res.Pruned, c)
+		} else {
+			res.Kept = append(res.Kept, c)
+		}
+	}
+	return res
+}
+
+// pruneOne checks every ordered pair of tuples in the cycle.
+func pruneOne(c *detect.Cycle, clocks []vclock.Vector) (Verdict, *Explain) {
+	for i, ei := range c.Tuples {
+		var vi vclock.Vector
+		if int(ei.ThreadID) < len(clocks) {
+			vi = clocks[ei.ThreadID]
+		}
+		for j, ej := range c.Tuples {
+			if i == j {
+				continue
+			}
+			p := vi.At(ej.ThreadID)
+			// Check 1: tj's acquisition precedes ti's start.
+			if p.S != vclock.Bottom && p.S > ej.Tau && ej.Tau != vclock.Bottom {
+				return False, &Explain{ThreadA: ei.Thread, ThreadB: ej.Thread, Rule: "start-order"}
+			}
+			// Check 2: tj joined before ti's acquisition.
+			if p.J != vclock.Bottom && p.J <= ei.Tau {
+				return False, &Explain{ThreadA: ei.Thread, ThreadB: ej.Thread, Rule: "join-order"}
+			}
+		}
+	}
+	return Unknown, nil
+}

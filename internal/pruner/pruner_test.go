@@ -1,0 +1,245 @@
+package pruner
+
+import (
+	"testing"
+
+	"wolf/internal/detect"
+	"wolf/internal/trace"
+	"wolf/internal/vclock"
+	"wolf/sim"
+)
+
+// record runs prog under the extended recorder.
+func record(t *testing.T, prog sim.Program, opts sim.Options, s sim.Strategy) *trace.Trace {
+	t.Helper()
+	vt := vclock.NewTracker()
+	rec := trace.NewRecorder(vt)
+	opts.Listeners = append(opts.Listeners, vt, rec)
+	out := sim.Run(prog, s, opts)
+	if out.Kind == sim.ProgramError {
+		t.Fatalf("outcome = %v", out)
+	}
+	return rec.Finish(0)
+}
+
+// TestFigure4Pruning: θ1 (main's first l2 acquisition at timestamp 1 vs
+// t3, which starts afterwards) is pruned; θ2 survives. This is the
+// paper's running example outcome (Section 3.3).
+func TestFigure4Pruning(t *testing.T) {
+	var l1, l2, l3 *sim.Lock
+	opts := sim.Options{Setup: func(w *sim.World) {
+		l1, l2, l3 = w.NewLock("l1"), w.NewLock("l2"), w.NewLock("l3")
+	}}
+	t3body := func(u *sim.Thread) {
+		u.Lock(l3, "31")
+		u.Lock(l2, "32")
+		u.Lock(l1, "33")
+		u.Unlock(l1, "34")
+		u.Unlock(l2, "35")
+		u.Unlock(l3, "36")
+	}
+	prog := func(th *sim.Thread) {
+		th.Lock(l1, "11")
+		th.Lock(l2, "12")
+		th.Unlock(l2, "13")
+		th.Unlock(l1, "14")
+		th.Go("t2", func(u *sim.Thread) { u.Go("t3", t3body, "21") }, "15")
+		th.Lock(l3, "16")
+		th.Unlock(l3, "17")
+		th.Lock(l1, "18")
+		th.Lock(l2, "19")
+		th.Unlock(l2, "20")
+		th.Unlock(l1, "21")
+	}
+	tr := record(t, prog, opts, sim.FirstEnabled{})
+	cycles := detect.Cycles(tr, detect.Config{})
+	if len(cycles) != 2 {
+		t.Fatalf("cycles = %d, want 2", len(cycles))
+	}
+	res := Prune(cycles, tr.Clocks)
+	if len(res.Pruned) != 1 || len(res.Kept) != 1 {
+		t.Fatalf("pruned/kept = %d/%d, want 1/1\npruned: %v\nkept: %v",
+			len(res.Pruned), len(res.Kept), res.Pruned, res.Kept)
+	}
+	if sig := res.Pruned[0].Signature(); sig != "12+33" {
+		t.Errorf("pruned cycle = %s, want 12+33 (θ1)", sig)
+	}
+	if sig := res.Kept[0].Signature(); sig != "19+33" {
+		t.Errorf("kept cycle = %s, want 19+33 (θ2)", sig)
+	}
+	for i, v := range res.Verdicts {
+		if v == False {
+			if res.Reasons[i] == nil || res.Reasons[i].Rule != "start-order" {
+				t.Errorf("pruned reason = %+v, want start-order", res.Reasons[i])
+			}
+		}
+	}
+}
+
+// TestFigure1Pattern: the Jigsaw ThreadCache false positive — t1 starts
+// t2 while holding both locks; the cycle is pruned entirely.
+func TestFigure1Pattern(t *testing.T) {
+	var tc, ct *sim.Lock
+	opts := sim.Options{Setup: func(w *sim.World) {
+		tc, ct = w.NewLock("ThreadCache"), w.NewLock("CachedThread")
+	}}
+	prog := func(th *sim.Thread) {
+		// t1: initialize() synchronized on TC, start() synchronized on CT.
+		th.Lock(tc, "401")
+		th.Lock(ct, "75")
+		h := th.Go("cached", func(u *sim.Thread) {
+			// t2: waitForRunner() on CT, isFree() on TC.
+			u.Lock(ct, "24")
+			u.Lock(tc, "175")
+			u.Unlock(tc, "176")
+			u.Unlock(ct, "56")
+		}, "76")
+		th.Unlock(ct, "78")
+		th.Unlock(tc, "417")
+		th.Join(h, "end")
+	}
+	tr := record(t, prog, opts, sim.NewRandomStrategy(3))
+	cycles := detect.Cycles(tr, detect.Config{})
+	if len(cycles) != 1 {
+		t.Fatalf("cycles = %d, want 1", len(cycles))
+	}
+	res := Prune(cycles, tr.Clocks)
+	if len(res.Pruned) != 1 {
+		t.Fatalf("the Figure 1 start-order false positive was not pruned: %v", cycles[0])
+	}
+}
+
+// TestJoinOrderPruning: t1 joins t2 before performing its inverted
+// acquisitions — no overlap is possible.
+func TestJoinOrderPruning(t *testing.T) {
+	var a, b *sim.Lock
+	opts := sim.Options{Setup: func(w *sim.World) {
+		a, b = w.NewLock("A"), w.NewLock("B")
+	}}
+	prog := func(th *sim.Thread) {
+		h := th.Go("w", func(u *sim.Thread) {
+			u.Lock(b, "w1")
+			u.Lock(a, "w2")
+			u.Unlock(a, "w3")
+			u.Unlock(b, "w4")
+		}, "m1")
+		th.Join(h, "m2") // strict ordering: w finished before main acquires
+		th.Lock(a, "m3")
+		th.Lock(b, "m4")
+		th.Unlock(b, "m5")
+		th.Unlock(a, "m6")
+	}
+	tr := record(t, prog, opts, sim.NewRandomStrategy(1))
+	cycles := detect.Cycles(tr, detect.Config{})
+	if len(cycles) != 1 {
+		t.Fatalf("cycles = %d, want 1", len(cycles))
+	}
+	res := Prune(cycles, tr.Clocks)
+	if len(res.Pruned) != 1 {
+		t.Fatal("join-ordered false positive not pruned")
+	}
+	for _, r := range res.Reasons {
+		if r != nil && r.Rule != "join-order" {
+			t.Errorf("rule = %s, want join-order", r.Rule)
+		}
+	}
+}
+
+// TestRealDeadlockSurvives: two concurrently-live threads with inverted
+// acquisitions must not be pruned.
+func TestRealDeadlockSurvives(t *testing.T) {
+	var a, b *sim.Lock
+	opts := sim.Options{Setup: func(w *sim.World) {
+		a, b = w.NewLock("A"), w.NewLock("B")
+	}}
+	prog := func(th *sim.Thread) {
+		h := th.Go("w", func(u *sim.Thread) {
+			u.Lock(b, "w1")
+			u.Lock(a, "w2")
+			u.Unlock(a, "w3")
+			u.Unlock(b, "w4")
+		}, "m1")
+		th.Lock(a, "m2")
+		th.Lock(b, "m3")
+		th.Unlock(b, "m4")
+		th.Unlock(a, "m5")
+		th.Join(h, "m6")
+	}
+	// Sequential schedule records both orders without deadlocking.
+	tr := record(t, prog, opts, sim.FirstEnabled{})
+	cycles := detect.Cycles(tr, detect.Config{})
+	if len(cycles) != 1 {
+		t.Fatalf("cycles = %d, want 1", len(cycles))
+	}
+	res := Prune(cycles, tr.Clocks)
+	if len(res.Kept) != 1 {
+		t.Fatalf("real deadlock pruned: %+v", res.Reasons)
+	}
+}
+
+// TestSiblingsAfterSequentialStarts: main starts w1, joins it, then
+// starts w2 — w1/w2 cycles are pruned via transitive join knowledge.
+func TestSiblingsAfterSequentialStarts(t *testing.T) {
+	var a, b *sim.Lock
+	opts := sim.Options{Setup: func(w *sim.World) {
+		a, b = w.NewLock("A"), w.NewLock("B")
+	}}
+	prog := func(th *sim.Thread) {
+		h1 := th.Go("w1", func(u *sim.Thread) {
+			u.Lock(a, "x1")
+			u.Lock(b, "x2")
+			u.Unlock(b, "x3")
+			u.Unlock(a, "x4")
+		}, "m1")
+		th.Join(h1, "m2")
+		h2 := th.Go("w2", func(u *sim.Thread) {
+			u.Lock(b, "y1")
+			u.Lock(a, "y2")
+			u.Unlock(a, "y3")
+			u.Unlock(b, "y4")
+		}, "m3")
+		th.Join(h2, "m4")
+	}
+	tr := record(t, prog, opts, sim.NewRandomStrategy(2))
+	cycles := detect.Cycles(tr, detect.Config{})
+	if len(cycles) != 1 {
+		t.Fatalf("cycles = %d, want 1", len(cycles))
+	}
+	res := Prune(cycles, tr.Clocks)
+	if len(res.Pruned) != 1 {
+		t.Fatal("sequentially-separated siblings not pruned")
+	}
+}
+
+// TestConcurrentSiblingsSurvive: two overlapping siblings stay Unknown.
+func TestConcurrentSiblingsSurvive(t *testing.T) {
+	var a, b *sim.Lock
+	opts := sim.Options{Setup: func(w *sim.World) {
+		a, b = w.NewLock("A"), w.NewLock("B")
+	}}
+	prog := func(th *sim.Thread) {
+		h1 := th.Go("w1", func(u *sim.Thread) {
+			u.Lock(a, "x1")
+			u.Lock(b, "x2")
+			u.Unlock(b, "x3")
+			u.Unlock(a, "x4")
+		}, "m1")
+		h2 := th.Go("w2", func(u *sim.Thread) {
+			u.Lock(b, "y1")
+			u.Lock(a, "y2")
+			u.Unlock(a, "y3")
+			u.Unlock(b, "y4")
+		}, "m2")
+		th.Join(h1, "m3")
+		th.Join(h2, "m4")
+	}
+	tr := record(t, prog, opts, sim.FirstEnabled{})
+	cycles := detect.Cycles(tr, detect.Config{})
+	if len(cycles) != 1 {
+		t.Fatalf("cycles = %d, want 1", len(cycles))
+	}
+	res := Prune(cycles, tr.Clocks)
+	if len(res.Kept) != 1 {
+		t.Fatalf("concurrent siblings wrongly pruned: %+v", res.Reasons[0])
+	}
+}

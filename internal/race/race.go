@@ -1,0 +1,309 @@
+// Package race implements a FastTrack-style dynamic data-race detector
+// (Flanagan and Freund, PLDI 2009) over sim executions.
+//
+// The WOLF paper's Pruner is explicitly "motivated by" vector-clock race
+// detectors (Section 5); this package completes the lineage: it tracks
+// full happens-before vector clocks through lock releases/acquisitions,
+// thread start/join and monitor wait/notify, and checks every sim.Var
+// access against the variable's last-writer epoch and read history.
+// Unlike FastTrack proper it does not need the epoch-to-VC adaptive
+// trick for performance (sim workloads are small), but it implements the
+// same adaptive read representation for fidelity: a single read epoch
+// while reads are totally ordered, inflating to a read vector under
+// concurrent reads.
+package race
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wolf/sim"
+)
+
+// epoch is a (thread, clock) pair, FastTrack's scalar summary.
+type epoch struct {
+	tid sim.ThreadID
+	clk int
+}
+
+// vc is a dense vector clock.
+type vc []int
+
+// at returns the component for tid.
+func (v vc) at(tid sim.ThreadID) int {
+	if int(tid) < len(v) {
+		return v[tid]
+	}
+	return 0
+}
+
+// set grows and assigns.
+func (v *vc) set(tid sim.ThreadID, val int) {
+	for int(tid) >= len(*v) {
+		*v = append(*v, 0)
+	}
+	(*v)[tid] = val
+}
+
+// join folds other into v.
+func (v *vc) join(other vc) {
+	for i, c := range other {
+		if c > v.at(sim.ThreadID(i)) {
+			v.set(sim.ThreadID(i), c)
+		}
+	}
+}
+
+// happensBefore reports whether epoch e is ordered before the thread
+// clock v (e.clk <= v[e.tid]).
+func (e epoch) happensBefore(v vc) bool { return e.clk <= v.at(e.tid) }
+
+// varState is FastTrack's per-variable metadata.
+type varState struct {
+	write epoch
+	// readEpoch summarizes reads while they are totally ordered;
+	// readVC takes over after concurrent reads (readShared true).
+	readEpoch  epoch
+	readVC     vc
+	readShared bool
+	// lastWriteSite and lastReadSites support reporting.
+	writeSite string
+	readSites map[sim.ThreadID]string
+}
+
+// Race is one detected conflicting access pair.
+type Race struct {
+	// Var is the variable's stable name.
+	Var string
+	// Kind is "write-write", "read-write" or "write-read".
+	Kind string
+	// PrevThread/PrevSite identify the earlier access.
+	PrevThread string
+	PrevSite   string
+	// Thread/Site identify the racing access.
+	Thread string
+	Site   string
+}
+
+// String renders the race report.
+func (r Race) String() string {
+	return fmt.Sprintf("race on %s (%s): %s@%s vs %s@%s",
+		r.Var, r.Kind, r.PrevThread, r.PrevSite, r.Thread, r.Site)
+}
+
+// key canonicalizes a race for deduplication (unordered site pair).
+func (r Race) key() string {
+	a, b := r.PrevSite, r.Site
+	if a > b {
+		a, b = b, a
+	}
+	return r.Var + "|" + r.Kind + "|" + a + "|" + b
+}
+
+// Detector is a sim.Listener that reports data races on sim.Var
+// accesses.
+type Detector struct {
+	clocks  []vc
+	lockRel map[string]vc
+	vars    map[string]*varState
+	names   []string
+	seen    map[string]bool
+	races   []Race
+}
+
+// NewDetector returns an empty detector.
+func NewDetector() *Detector {
+	return &Detector{
+		lockRel: make(map[string]vc),
+		vars:    make(map[string]*varState),
+		seen:    make(map[string]bool),
+	}
+}
+
+// Races returns the deduplicated races in detection order.
+func (d *Detector) Races() []Race { return d.races }
+
+// RacyVars returns the sorted names of variables with at least one race.
+func (d *Detector) RacyVars() []string {
+	set := make(map[string]bool)
+	for _, r := range d.races {
+		set[r.Var] = true
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ensure sizes clocks (and the thread's initial self-component) for tid.
+func (d *Detector) ensure(tid sim.ThreadID, name string) {
+	for int(tid) >= len(d.clocks) {
+		d.clocks = append(d.clocks, nil)
+		d.names = append(d.names, "")
+	}
+	if d.clocks[tid] == nil {
+		var v vc
+		v.set(tid, 1)
+		d.clocks[tid] = v
+	}
+	d.names[tid] = name
+}
+
+// increment bumps the thread's own component.
+func (d *Detector) increment(tid sim.ThreadID) {
+	d.clocks[tid].set(tid, d.clocks[tid].at(tid)+1)
+}
+
+// OnEvent applies happens-before updates and access checks.
+func (d *Detector) OnEvent(ev sim.Event) {
+	t := ev.Thread.ID()
+	d.ensure(t, ev.Thread.Name())
+	switch ev.Op.Kind {
+	case sim.OpStart:
+		c := ev.Op.Child.ID()
+		d.ensure(c, ev.Op.Child.Name())
+		d.clocks[c].join(d.clocks[t])
+		d.increment(t)
+		d.increment(c)
+	case sim.OpJoin:
+		c := ev.Op.Target.ID()
+		d.ensure(c, ev.Op.Target.Name())
+		d.clocks[t].join(d.clocks[c])
+		d.increment(t)
+	case sim.OpUnlock, sim.OpWait:
+		if ev.Reentrant {
+			return
+		}
+		rel := make(vc, len(d.clocks[t]))
+		copy(rel, d.clocks[t])
+		d.lockRel[ev.Op.Lock.Name()] = rel
+		d.increment(t)
+	case sim.OpLock, sim.OpWaitResume:
+		if ev.Reentrant {
+			return
+		}
+		if rel, ok := d.lockRel[ev.Op.Lock.Name()]; ok {
+			d.clocks[t].join(rel)
+		}
+	case sim.OpNotify, sim.OpNotifyAll:
+		// The waiter synchronizes through the monitor reacquisition;
+		// publish the notifier's clock on the monitor as well so the
+		// notify → wakeup order is visible even without an interleaved
+		// unlock.
+		rel := make(vc, len(d.clocks[t]))
+		copy(rel, d.clocks[t])
+		d.lockRel[ev.Op.Lock.Name()] = rel
+		d.increment(t)
+	case sim.OpLoad:
+		d.read(t, ev.Op.Var.Name(), ev.Op.Site)
+	case sim.OpStore:
+		d.write(t, ev.Op.Var.Name(), ev.Op.Site)
+	}
+}
+
+// state returns (allocating) the variable's metadata.
+func (d *Detector) state(name string) *varState {
+	vs := d.vars[name]
+	if vs == nil {
+		vs = &varState{readSites: make(map[sim.ThreadID]string)}
+		d.vars[name] = vs
+	}
+	return vs
+}
+
+// read applies FastTrack's read rule.
+func (d *Detector) read(t sim.ThreadID, name, site string) {
+	vs := d.state(name)
+	myVC := d.clocks[t]
+	// write-read check.
+	if vs.write.clk != 0 && !vs.write.happensBefore(myVC) {
+		d.report(Race{
+			Var: name, Kind: "write-read",
+			PrevThread: d.names[vs.write.tid], PrevSite: vs.writeSite,
+			Thread: d.names[t], Site: site,
+		})
+	}
+	me := epoch{tid: t, clk: myVC.at(t)}
+	if vs.readShared {
+		vs.readVC.set(t, me.clk)
+	} else if vs.readEpoch.clk == 0 || vs.readEpoch.tid == t {
+		vs.readEpoch = me
+	} else if vs.readEpoch.happensBefore(myVC) {
+		vs.readEpoch = me
+	} else {
+		// Concurrent reads: inflate to a read vector.
+		vs.readShared = true
+		vs.readVC = nil
+		vs.readVC.set(vs.readEpoch.tid, vs.readEpoch.clk)
+		vs.readVC.set(t, me.clk)
+	}
+	vs.readSites[t] = site
+}
+
+// write applies FastTrack's write rule.
+func (d *Detector) write(t sim.ThreadID, name, site string) {
+	vs := d.state(name)
+	myVC := d.clocks[t]
+	if vs.write.clk != 0 && !vs.write.happensBefore(myVC) {
+		d.report(Race{
+			Var: name, Kind: "write-write",
+			PrevThread: d.names[vs.write.tid], PrevSite: vs.writeSite,
+			Thread: d.names[t], Site: site,
+		})
+	}
+	if vs.readShared {
+		for i, clk := range vs.readVC {
+			rt := sim.ThreadID(i)
+			if clk != 0 && rt != t && !(epoch{tid: rt, clk: clk}).happensBefore(myVC) {
+				d.report(Race{
+					Var: name, Kind: "read-write",
+					PrevThread: d.names[rt], PrevSite: vs.readSites[rt],
+					Thread: d.names[t], Site: site,
+				})
+			}
+		}
+	} else if vs.readEpoch.clk != 0 && vs.readEpoch.tid != t && !vs.readEpoch.happensBefore(myVC) {
+		d.report(Race{
+			Var: name, Kind: "read-write",
+			PrevThread: d.names[vs.readEpoch.tid], PrevSite: vs.readSites[vs.readEpoch.tid],
+			Thread: d.names[t], Site: site,
+		})
+	}
+	vs.write = epoch{tid: t, clk: myVC.at(t)}
+	vs.writeSite = site
+	vs.readShared = false
+	vs.readEpoch = epoch{}
+	vs.readVC = nil
+}
+
+// report deduplicates and records a race.
+func (d *Detector) report(r Race) {
+	if d.seen[r.key()] {
+		return
+	}
+	d.seen[r.key()] = true
+	d.races = append(d.races, r)
+}
+
+// Check runs the program once under the given strategy and returns the
+// detected races.
+func Check(f sim.Factory, s sim.Strategy) ([]Race, *sim.Outcome) {
+	prog, opts := f()
+	det := NewDetector()
+	opts.Listeners = append(opts.Listeners, det)
+	out := sim.Run(prog, s, opts)
+	return det.Races(), out
+}
+
+// Summary renders races one per line.
+func Summary(races []Race) string {
+	var sb strings.Builder
+	for _, r := range races {
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,261 @@
+package race
+
+import (
+	"testing"
+
+	"wolf/sim"
+)
+
+// TestUnsynchronizedWriteWriteRace: two threads store the same Var with
+// no ordering.
+func TestUnsynchronizedWriteWriteRace(t *testing.T) {
+	f := func() (sim.Program, sim.Options) {
+		var x *sim.Var
+		opts := sim.Options{Setup: func(w *sim.World) { x = w.NewVar("x", 0) }}
+		prog := func(th *sim.Thread) {
+			a := th.Go("a", func(u *sim.Thread) { u.Store(x, 1, "a:1") }, "m1")
+			b := th.Go("b", func(u *sim.Thread) { u.Store(x, 2, "b:1") }, "m2")
+			th.Join(a, "m3")
+			th.Join(b, "m4")
+		}
+		return prog, opts
+	}
+	races, out := Check(f, sim.NewRandomStrategy(1))
+	if out.Kind != sim.Terminated {
+		t.Fatalf("outcome = %v", out)
+	}
+	if len(races) != 1 || races[0].Kind != "write-write" {
+		t.Fatalf("races = %v, want one write-write", races)
+	}
+}
+
+// TestLockProtectedAccessesAreClean: the same accesses under a common
+// lock report nothing.
+func TestLockProtectedAccessesAreClean(t *testing.T) {
+	f := func() (sim.Program, sim.Options) {
+		var x *sim.Var
+		var mu *sim.Lock
+		opts := sim.Options{Setup: func(w *sim.World) {
+			x = w.NewVar("x", 0)
+			mu = w.NewLock("mu")
+		}}
+		body := func(tag string, val int) sim.Program {
+			return func(u *sim.Thread) {
+				u.Lock(mu, tag+":l")
+				_ = u.LoadInt(x, tag+":r")
+				u.Store(x, val, tag+":w")
+				u.Unlock(mu, tag+":u")
+			}
+		}
+		prog := func(th *sim.Thread) {
+			a := th.Go("a", body("a", 1), "m1")
+			b := th.Go("b", body("b", 2), "m2")
+			th.Join(a, "m3")
+			th.Join(b, "m4")
+		}
+		return prog, opts
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		races, out := Check(f, sim.NewRandomStrategy(seed))
+		if out.Kind != sim.Terminated {
+			t.Fatalf("seed %d: outcome = %v", seed, out)
+		}
+		if len(races) != 0 {
+			t.Fatalf("seed %d: false race: %v", seed, races)
+		}
+	}
+}
+
+// TestStartJoinOrderIsClean: parent writes before start and after join.
+func TestStartJoinOrderIsClean(t *testing.T) {
+	f := func() (sim.Program, sim.Options) {
+		var x *sim.Var
+		opts := sim.Options{Setup: func(w *sim.World) { x = w.NewVar("x", 0) }}
+		prog := func(th *sim.Thread) {
+			th.Store(x, 1, "m:w1")
+			c := th.Go("c", func(u *sim.Thread) {
+				_ = u.LoadInt(x, "c:r")
+				u.Store(x, 2, "c:w")
+			}, "m1")
+			th.Join(c, "m2")
+			th.Store(x, 3, "m:w2")
+		}
+		return prog, opts
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		races, _ := Check(f, sim.NewRandomStrategy(seed))
+		if len(races) != 0 {
+			t.Fatalf("seed %d: false race: %v", seed, races)
+		}
+	}
+}
+
+// TestReadWriteRace: unordered read against a later write.
+func TestReadWriteRace(t *testing.T) {
+	f := func() (sim.Program, sim.Options) {
+		var x *sim.Var
+		opts := sim.Options{Setup: func(w *sim.World) { x = w.NewVar("x", 0) }}
+		prog := func(th *sim.Thread) {
+			a := th.Go("reader", func(u *sim.Thread) { _ = u.LoadInt(x, "r:1") }, "m1")
+			b := th.Go("writer", func(u *sim.Thread) { u.Store(x, 1, "w:1") }, "m2")
+			th.Join(a, "m3")
+			th.Join(b, "m4")
+		}
+		return prog, opts
+	}
+	found := false
+	for seed := int64(0); seed < 20 && !found; seed++ {
+		races, _ := Check(f, sim.NewRandomStrategy(seed))
+		for _, r := range races {
+			if r.Kind == "read-write" || r.Kind == "write-read" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("read/write race never detected")
+	}
+}
+
+// TestSharedReadsThenWrite: concurrent readers inflate the read vector;
+// a racing writer conflicts with each.
+func TestSharedReadsThenWrite(t *testing.T) {
+	f := func() (sim.Program, sim.Options) {
+		var x *sim.Var
+		opts := sim.Options{Setup: func(w *sim.World) { x = w.NewVar("x", 0) }}
+		prog := func(th *sim.Thread) {
+			r1 := th.Go("r1", func(u *sim.Thread) { _ = u.LoadInt(x, "r1:1") }, "m1")
+			r2 := th.Go("r2", func(u *sim.Thread) { _ = u.LoadInt(x, "r2:1") }, "m2")
+			w1 := th.Go("w1", func(u *sim.Thread) { u.Store(x, 5, "w1:1") }, "m3")
+			th.Join(r1, "m4")
+			th.Join(r2, "m5")
+			th.Join(w1, "m6")
+		}
+		return prog, opts
+	}
+	// Force both reads before the write: round robin runs creation order.
+	races, out := Check(f, &sim.RoundRobin{})
+	if out.Kind != sim.Terminated {
+		t.Fatalf("outcome = %v", out)
+	}
+	rw := 0
+	for _, r := range races {
+		if r.Kind == "read-write" {
+			rw++
+		}
+	}
+	if rw < 2 {
+		t.Fatalf("races = %v, want read-write against both readers", races)
+	}
+}
+
+// TestWaitNotifySynchronizes: the watcher pattern guarded by a monitor
+// handshake is race-free, while the bare flag poll is racy.
+func TestWaitNotifySynchronizes(t *testing.T) {
+	clean := func() (sim.Program, sim.Options) {
+		var x *sim.Var
+		var mon *sim.Lock
+		opts := sim.Options{Setup: func(w *sim.World) {
+			x = w.NewVar("x", 0)
+			mon = w.NewLock("mon")
+		}}
+		prog := func(th *sim.Thread) {
+			c := th.Go("c", func(u *sim.Thread) {
+				u.Lock(mon, "c:l")
+				u.Wait(mon, "c:wait")
+				u.Unlock(mon, "c:u")
+				_ = u.LoadInt(x, "c:r") // ordered after the notifier's store
+			}, "m1")
+			for mon.Waiters() == 0 {
+				th.Yield("m:poll")
+			}
+			th.Store(x, 42, "m:w")
+			th.Lock(mon, "m:l")
+			th.Notify(mon, "m:n")
+			th.Unlock(mon, "m:u")
+			th.Join(c, "m2")
+		}
+		return prog, opts
+	}
+	races, out := Check(clean, &sim.RoundRobin{})
+	if out.Kind != sim.Terminated {
+		t.Fatalf("outcome = %v", out)
+	}
+	if len(races) != 0 {
+		t.Fatalf("wait/notify handshake reported races: %v", races)
+	}
+}
+
+// TestRacyFlagPollDetected: the Jigsaw watcher pattern (unsynchronized
+// flag) is itself a data race — detectable by this tool even though the
+// deadlock analysis classifies the associated cycle false(data).
+func TestRacyFlagPollDetected(t *testing.T) {
+	f := func() (sim.Program, sim.Options) {
+		var flag *sim.Var
+		opts := sim.Options{Setup: func(w *sim.World) { flag = w.NewVar("ready", false) }}
+		prog := func(th *sim.Thread) {
+			pub := th.Go("pub", func(u *sim.Thread) { u.Store(flag, true, "pub:w") }, "m1")
+			wat := th.Go("wat", func(u *sim.Thread) {
+				for i := 0; i < 5 && !u.LoadBool(flag, "wat:r"); i++ {
+					u.Yield("wat:y")
+				}
+			}, "m2")
+			th.Join(pub, "m3")
+			th.Join(wat, "m4")
+		}
+		return prog, opts
+	}
+	found := false
+	for seed := int64(0); seed < 20 && !found; seed++ {
+		races, _ := Check(f, sim.NewRandomStrategy(seed))
+		found = len(races) > 0
+	}
+	if !found {
+		t.Fatal("racy flag poll never detected")
+	}
+}
+
+// TestDedupAcrossIterations: repeated racy accesses from the same sites
+// report once.
+func TestDedupAcrossIterations(t *testing.T) {
+	f := func() (sim.Program, sim.Options) {
+		var x *sim.Var
+		opts := sim.Options{Setup: func(w *sim.World) { x = w.NewVar("x", 0) }}
+		prog := func(th *sim.Thread) {
+			a := th.Go("a", func(u *sim.Thread) {
+				for i := 0; i < 5; i++ {
+					u.Store(x, i, "a:w")
+				}
+			}, "m1")
+			b := th.Go("b", func(u *sim.Thread) {
+				for i := 0; i < 5; i++ {
+					u.Store(x, -i, "b:w")
+				}
+			}, "m2")
+			th.Join(a, "m3")
+			th.Join(b, "m4")
+		}
+		return prog, opts
+	}
+	races, _ := Check(f, &sim.RoundRobin{})
+	if len(races) != 1 {
+		t.Fatalf("races = %v, want exactly one deduplicated report", races)
+	}
+	if got := NewDetectorRacyVarsHelper(races); len(got) != 1 || got[0] != "x" {
+		t.Fatalf("racy vars = %v", got)
+	}
+}
+
+// NewDetectorRacyVarsHelper extracts racy var names from a race list
+// (mirrors Detector.RacyVars for externally collected slices).
+func NewDetectorRacyVarsHelper(races []Race) []string {
+	set := map[string]bool{}
+	var out []string
+	for _, r := range races {
+		if !set[r.Var] {
+			set[r.Var] = true
+			out = append(out, r.Var)
+		}
+	}
+	return out
+}

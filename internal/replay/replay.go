@@ -1,0 +1,219 @@
+// Package replay implements WOLF's Replayer (Algorithm 4 of the paper):
+// it re-executes a program while steering the schedule so the
+// synchronization dependency graph Gs of a potential deadlock is
+// satisfied, which drives the execution into the deadlock and confirms
+// the defect automatically.
+//
+// The Replayer monitors only the k threads of the k-thread cycle
+// (matching the paper's implementation note in Section 4): other threads
+// run freely. A cycle thread about to acquire a lock whose Gs vertex
+// still has an unsatisfied cross-thread dependency is paused; once the
+// dependency's source acquisition executes (or is skipped by divergent
+// control flow) the vertex is pruned and the thread released. If every
+// runnable thread is paused, a random one is force-released to guarantee
+// progress.
+package replay
+
+import (
+	"math/rand"
+
+	"wolf/internal/detect"
+	"wolf/internal/sdg"
+	"wolf/internal/trace"
+	"wolf/sim"
+)
+
+// DefaultAttempts is the pre-determined number of replay trials before a
+// defect is left for manual comprehension.
+const DefaultAttempts = 5
+
+// Factory produces a fresh program and options for one run. Workload
+// state must be rebuilt on every call so replays are independent.
+type Factory = sim.Factory
+
+// Config controls reproduction.
+type Config struct {
+	// Attempts is the number of replay trials; DefaultAttempts when zero.
+	Attempts int
+	// BaseSeed seeds the replayer's tie-breaking randomness; attempt i
+	// uses BaseSeed + i.
+	BaseSeed int64
+	// MaxSteps bounds each replay run (sim.DefaultMaxSteps when zero).
+	MaxSteps int
+	// EdgeKinds restricts which Gs edge kinds steer the replay
+	// (sdg.AllKinds when zero); used by ablation benchmarks.
+	EdgeKinds sdg.Kind
+}
+
+// Result reports a reproduction attempt series.
+type Result struct {
+	// Reproduced is true when some attempt deadlocked at the cycle's
+	// source locations.
+	Reproduced bool
+	// Attempts is the number of runs executed (stops early on success).
+	Attempts int
+	// Hits counts successful attempts (equals 0 or 1 unless RunAll).
+	Hits int
+	// LastOutcome is the outcome of the final attempt.
+	LastOutcome *sim.Outcome
+}
+
+// strategy implements sim.Strategy and sim.Listener for one replay run.
+type strategy struct {
+	g       *sdg.Graph
+	inCycle map[string]bool
+	rng     *rand.Rand
+	// occ mirrors the trace recorder's per-thread per-site occurrence
+	// counters so pending acquisitions map to the same stable keys the
+	// Gs vertices carry.
+	occ map[string]map[string]int
+	// forced counts force-releases (diagnostics: nonzero means Gs could
+	// not be followed exactly).
+	forced int
+}
+
+// Pick implements Algorithm 4's scheduling: cycle threads whose next
+// acquisition has an unsatisfied cross-thread dependency are paused;
+// everything else is fair game. If only paused threads remain, one is
+// released at random.
+func (s *strategy) Pick(_ *sim.World, enabled []*sim.Thread) *sim.Thread {
+	var allowed, paused []*sim.Thread
+	for _, t := range enabled {
+		if op := t.Pending(); s.inCycle[t.Name()] && isSteerable(op) && !(isAcquire(op) && t.Holds(op.Lock)) {
+			key := trace.NextKey(s.occ, t.Name(), op.Site)
+			if s.g.Blocked(key) {
+				paused = append(paused, t)
+				continue
+			}
+		}
+		allowed = append(allowed, t)
+	}
+	if len(allowed) == 0 {
+		// Algorithm 4 lines 5-7: release a random paused thread so the
+		// run cannot get stuck on unsatisfiable dependencies.
+		s.forced++
+		return paused[s.rng.Intn(len(paused))]
+	}
+	return allowed[s.rng.Intn(len(allowed))]
+}
+
+// OnEvent prunes Gs as the run progresses: an executed acquisition of a
+// cycle thread removes its vertex and everything that had to precede it
+// (executed or skipped); a terminated cycle thread releases all its
+// remaining vertices.
+func (s *strategy) OnEvent(ev sim.Event) {
+	name := ev.Thread.Name()
+	if !s.inCycle[name] {
+		return
+	}
+	switch ev.Op.Kind {
+	case sim.OpLock, sim.OpWaitResume:
+		if ev.Reentrant {
+			return
+		}
+		s.g.Executed(trace.CountKey(s.occ, name, ev.Op.Site))
+	case sim.OpLoad, sim.OpStore:
+		// Data vertices exist only in graphs built with type-V edges;
+		// Executed is a no-op otherwise.
+		s.g.Executed(trace.CountKey(s.occ, name, ev.Op.Site))
+	case sim.OpExit, sim.OpPanic:
+		s.g.RemoveThread(name)
+	}
+}
+
+// isAcquire reports whether op blocks on a lock acquisition (a plain
+// Lock or a post-notification monitor reacquisition).
+func isAcquire(op sim.Op) bool {
+	return op.Kind == sim.OpLock || op.Kind == sim.OpWaitResume
+}
+
+// isSteerable reports whether the replayer may pause a thread before op
+// to satisfy a Gs dependency: lock acquisitions always; loads when the
+// graph carries value-flow vertices for them.
+func isSteerable(op sim.Op) bool {
+	return isAcquire(op) || op.Kind == sim.OpLoad
+}
+
+// Attempt performs one steered re-execution and returns its outcome.
+// g is cloned; the caller's graph is not mutated.
+func Attempt(f Factory, g *sdg.Graph, cycle *detect.Cycle, seed int64, maxSteps int) *sim.Outcome {
+	prog, opts := f()
+	st := &strategy{
+		g:       g.Clone(),
+		inCycle: make(map[string]bool, len(cycle.Tuples)),
+		rng:     rand.New(rand.NewSource(seed)),
+		occ:     make(map[string]map[string]int),
+	}
+	for _, tp := range cycle.Tuples {
+		st.inCycle[tp.Thread] = true
+	}
+	opts.Listeners = append(opts.Listeners, st)
+	if maxSteps > 0 {
+		opts.MaxSteps = maxSteps
+	}
+	return sim.Run(prog, st, opts)
+}
+
+// Hit reports whether out reproduced the cycle: the run deadlocked and
+// for every deadlocking acquisition of the cycle a distinct thread is
+// blocked acquiring the same lock from the same source location (the
+// paper's hit criterion — deadlocking "at the exact location"; a
+// deadlock at other sites is not a hit).
+func Hit(out *sim.Outcome, cycle *detect.Cycle) bool {
+	if !out.Deadlocked() {
+		return false
+	}
+	type need struct{ site, lock string }
+	avail := make(map[need]int)
+	for _, b := range out.Blocked {
+		if b.Op.Kind == sim.OpLock {
+			avail[need{b.Op.Site, b.Op.Lock.Name()}]++
+		}
+	}
+	for _, tp := range cycle.Tuples {
+		k := need{tp.Site, tp.Lock}
+		if avail[k] == 0 {
+			return false
+		}
+		avail[k]--
+	}
+	return true
+}
+
+// Reproduce runs up to cfg.Attempts steered executions, stopping at the
+// first hit.
+func Reproduce(f Factory, g *sdg.Graph, cycle *detect.Cycle, cfg Config) Result {
+	attempts := cfg.Attempts
+	if attempts <= 0 {
+		attempts = DefaultAttempts
+	}
+	var res Result
+	for i := 0; i < attempts; i++ {
+		out := Attempt(f, g, cycle, cfg.BaseSeed+int64(i), cfg.MaxSteps)
+		res.Attempts++
+		res.LastOutcome = out
+		if Hit(out, cycle) {
+			res.Reproduced = true
+			res.Hits++
+			return res
+		}
+	}
+	return res
+}
+
+// HitRate runs exactly runs attempts without early exit and returns the
+// fraction that reproduced the cycle — the paper's Figure 8 statistic
+// (hit rate over 100 runs per potential deadlock).
+func HitRate(f Factory, g *sdg.Graph, cycle *detect.Cycle, runs int, cfg Config) float64 {
+	if runs <= 0 {
+		return 0
+	}
+	hits := 0
+	for i := 0; i < runs; i++ {
+		out := Attempt(f, g, cycle, cfg.BaseSeed+int64(i), cfg.MaxSteps)
+		if Hit(out, cycle) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(runs)
+}

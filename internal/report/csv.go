@@ -1,0 +1,60 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the campaign results as machine-readable CSV: one row
+// per benchmark with both tools' defect and cycle classifications,
+// statistics and timings (nanoseconds). Downstream plotting scripts can
+// regenerate every figure from this file.
+func WriteCSV(w io.Writer, results []*Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"benchmark", "seed",
+		"defects", "fp_pruner", "fp_generator", "tp_wolf", "unk_wolf",
+		"tp_df", "unk_df",
+		"cycles", "cycles_fp", "cycles_tp_wolf", "cycles_tp_df",
+		"slowdown", "sl", "vs",
+		"wolf_detect_ns", "wolf_prune_ns", "wolf_generate_ns", "wolf_replay_ns",
+		"df_detect_ns", "df_replay_ns",
+		"hit_wolf", "hit_df",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range results {
+		pr, gen, tpW, unkW := r.Wolf.CountDefects()
+		_, _, tpD, unkD := r.DF.CountDefects()
+		cpr, cgen, ctpW, _ := r.Wolf.CountCycles()
+		_, _, ctpD, _ := r.DF.CountCycles()
+		row := []string{
+			r.Workload.Name,
+			strconv.FormatInt(r.Seed, 10),
+			strconv.Itoa(len(r.Wolf.Defects)),
+			strconv.Itoa(pr), strconv.Itoa(gen), strconv.Itoa(tpW), strconv.Itoa(unkW),
+			strconv.Itoa(tpD), strconv.Itoa(unkD),
+			strconv.Itoa(len(r.Wolf.Cycles)),
+			strconv.Itoa(cpr + cgen), strconv.Itoa(ctpW), strconv.Itoa(ctpD),
+			fmt.Sprintf("%.3f", r.Wolf.Timings.DetectionSlowdown()),
+			fmt.Sprintf("%.2f", r.Wolf.AvgStackLen()),
+			fmt.Sprintf("%.2f", r.Wolf.AvgGsSize()),
+			strconv.FormatInt(int64(r.Wolf.Timings.Detect()), 10),
+			strconv.FormatInt(int64(r.Wolf.Timings.Prune), 10),
+			strconv.FormatInt(int64(r.Wolf.Timings.Generate), 10),
+			strconv.FormatInt(int64(r.Wolf.Timings.Replay), 10),
+			strconv.FormatInt(int64(r.DF.Timings.Detect()), 10),
+			strconv.FormatInt(int64(r.DF.Timings.Replay), 10),
+			fmt.Sprintf("%.3f", r.HitWolf),
+			fmt.Sprintf("%.3f", r.HitDF),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,328 @@
+package sdg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wolf/internal/trace"
+)
+
+// edge is one adjacency entry.
+type edge struct {
+	to   int
+	kind Kind
+}
+
+// Graph is a synchronization dependency graph. Vertices are interned to
+// dense integers so construction and per-replay cloning stay cheap even
+// for the large graphs long traces produce (the paper's Vs statistic
+// reaches the thousands).
+type Graph struct {
+	ids      map[trace.Key]int
+	verts    []Vertex
+	dead     []bool
+	out, in  [][]edge
+	byThread map[string][]int
+	live     int
+}
+
+// newGraph returns an empty graph sized for about n vertices.
+func newGraph(n int) *Graph {
+	return &Graph{
+		ids:      make(map[trace.Key]int, n),
+		verts:    make([]Vertex, 0, n),
+		dead:     make([]bool, 0, n),
+		out:      make([][]edge, 0, n),
+		in:       make([][]edge, 0, n),
+		byThread: make(map[string][]int, 4),
+	}
+}
+
+// intern returns the id for key, creating the vertex if needed.
+func (g *Graph) intern(key trace.Key, lock string) int {
+	if id, ok := g.ids[key]; ok {
+		return id
+	}
+	id := len(g.verts)
+	g.ids[key] = id
+	g.verts = append(g.verts, Vertex{Key: key, Lock: lock})
+	g.dead = append(g.dead, false)
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.byThread[key.Thread] = append(g.byThread[key.Thread], id)
+	g.live++
+	return id
+}
+
+// internData returns the id for a data event's vertex, creating it with
+// the event's variable as the "lock" label.
+func (g *Graph) internData(de *trace.DataEvent) int {
+	return g.intern(de.Key, "var:"+de.Var)
+}
+
+// addEdgeIDs records u → v, merging kinds; self edges are ignored.
+func (g *Graph) addEdgeIDs(u, v int, k Kind) {
+	if u == v {
+		return
+	}
+	for i := range g.out[u] {
+		if g.out[u][i].to == v {
+			g.out[u][i].kind |= k
+			for j := range g.in[v] {
+				if g.in[v][j].to == u {
+					g.in[v][j].kind |= k
+					break
+				}
+			}
+			return
+		}
+	}
+	g.out[u] = append(g.out[u], edge{to: v, kind: k})
+	g.in[v] = append(g.in[v], edge{to: u, kind: k})
+}
+
+// Size returns the number of live vertices (the paper's Vs statistic).
+func (g *Graph) Size() int { return g.live }
+
+// Edges returns the number of distinct live (u, v) pairs.
+func (g *Graph) Edges() int {
+	n := 0
+	for u, es := range g.out {
+		if g.dead[u] {
+			continue
+		}
+		for _, e := range es {
+			if !g.dead[e.to] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Empty reports whether no vertices remain.
+func (g *Graph) Empty() bool { return g.live == 0 }
+
+// Vertex returns the live vertex at key, or nil. The pointer aliases
+// graph storage and is valid until the graph is released.
+func (g *Graph) Vertex(key trace.Key) *Vertex {
+	if id, ok := g.ids[key]; ok && !g.dead[id] {
+		return &g.verts[id]
+	}
+	return nil
+}
+
+// HasEdge reports whether u → v exists (live) with any kind in mask.
+func (g *Graph) HasEdge(u, v trace.Key, mask Kind) bool {
+	ui, ok := g.ids[u]
+	if !ok || g.dead[ui] {
+		return false
+	}
+	vi, ok := g.ids[v]
+	if !ok || g.dead[vi] {
+		return false
+	}
+	for _, e := range g.out[ui] {
+		if e.to == vi {
+			return e.kind&mask != 0
+		}
+	}
+	return false
+}
+
+// Cyclic reports whether Gs contains a cycle, which proves the
+// associated potential deadlock is a false positive (Algorithm 3,
+// line 30).
+func (g *Graph) Cyclic() bool { return len(g.FindCycle()) > 0 }
+
+// FindCycle returns the vertices of one cycle in order, or nil if the
+// graph is acyclic.
+func (g *Graph) FindCycle() []trace.Key {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int8, len(g.verts))
+	parent := make([]int, len(g.verts))
+	var cycle []trace.Key
+
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		for _, e := range g.out[u] {
+			v := e.to
+			if g.dead[v] {
+				continue
+			}
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				// Back edge u → v closes a cycle v … u.
+				var ids []int
+				ids = append(ids, v)
+				for x := u; x != v; x = parent[x] {
+					ids = append(ids, x)
+				}
+				for i := len(ids) - 1; i >= 0; i-- {
+					cycle = append(cycle, g.verts[ids[i]].Key)
+				}
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for _, u := range g.sortedIDs() {
+		if color[u] == white {
+			if dfs(u) {
+				return cycle
+			}
+		}
+	}
+	return nil
+}
+
+// sortedIDs returns live vertex ids in deterministic key order.
+func (g *Graph) sortedIDs() []int {
+	out := make([]int, 0, g.live)
+	for id := range g.verts {
+		if !g.dead[id] {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return g.verts[out[i]].Key.Less(g.verts[out[j]].Key)
+	})
+	return out
+}
+
+// CrossThreadBlockers returns the source vertices of live edges into v
+// from other threads — the dependencies that must be satisfied before
+// the acquisition at v may execute (Algorithm 4, line 18).
+func (g *Graph) CrossThreadBlockers(v trace.Key) []trace.Key {
+	vi, ok := g.ids[v]
+	if !ok || g.dead[vi] {
+		return nil
+	}
+	var out []trace.Key
+	for _, e := range g.in[vi] {
+		if !g.dead[e.to] && g.verts[e.to].Key.Thread != v.Thread {
+			out = append(out, g.verts[e.to].Key)
+		}
+	}
+	return out
+}
+
+// Blocked reports whether the acquisition at v must wait for another
+// thread's acquisition.
+func (g *Graph) Blocked(v trace.Key) bool {
+	vi, ok := g.ids[v]
+	if !ok || g.dead[vi] {
+		return false
+	}
+	for _, e := range g.in[vi] {
+		if !g.dead[e.to] && g.verts[e.to].Key.Thread != v.Thread {
+			return true
+		}
+	}
+	return false
+}
+
+// removeID tombstones a vertex; incident edges die with it because
+// traversals skip dead endpoints.
+func (g *Graph) removeID(id int) {
+	if g.dead[id] {
+		return
+	}
+	g.dead[id] = true
+	g.live--
+}
+
+// Executed informs the graph that the acquisition at key ran: the vertex
+// and every vertex that reaches it are removed (Algorithm 4, lines
+// 22-23). Ancestors either executed already or were skipped by divergent
+// control flow — the paper's vertex-skipping rule — so they are stale
+// either way. A key with no live vertex is a no-op.
+func (g *Graph) Executed(key trace.Key) {
+	id, ok := g.ids[key]
+	if !ok || g.dead[id] {
+		return
+	}
+	stack := []int{id}
+	seen := make([]bool, len(g.verts))
+	seen[id] = true
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.in[x] {
+			if !seen[e.to] && !g.dead[e.to] {
+				seen[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+		g.removeID(x)
+	}
+}
+
+// RemoveThread deletes every remaining vertex of thread (without the
+// ancestor cascade): the thread terminated, so its pending acquisitions
+// can never execute and must not block other threads forever.
+func (g *Graph) RemoveThread(thread string) {
+	for _, id := range g.byThread[thread] {
+		g.removeID(id)
+	}
+}
+
+// ThreadVertices returns the live vertices of thread in trace order.
+func (g *Graph) ThreadVertices(thread string) []trace.Key {
+	var out []trace.Key
+	for _, id := range g.byThread[thread] {
+		if !g.dead[id] {
+			out = append(out, g.verts[id].Key)
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy for one replay attempt. Vertex and
+// edge storage is shared: removal only tombstones entries in the dead
+// bitmap, and addEdgeIDs is never called after Build, so sharing is
+// safe; only the dead bitmap and live count are duplicated.
+func (g *Graph) Clone() *Graph {
+	return &Graph{
+		ids:      g.ids,
+		verts:    g.verts,
+		dead:     append([]bool(nil), g.dead...),
+		out:      g.out,
+		in:       g.in,
+		byThread: g.byThread,
+		live:     g.live,
+	}
+}
+
+// String renders live vertices and edges deterministically.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, id := range g.sortedIDs() {
+		fmt.Fprintf(&sb, "%v", &g.verts[id])
+		var es []string
+		for _, e := range g.out[id] {
+			if !g.dead[e.to] {
+				es = append(es, fmt.Sprintf("-%v->%v", e.kind, g.verts[e.to].Key))
+			}
+		}
+		sort.Strings(es)
+		for _, e := range es {
+			sb.WriteString(" ")
+			sb.WriteString(e)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

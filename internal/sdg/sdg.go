@@ -1,0 +1,244 @@
+// Package sdg implements WOLF's Generator (Algorithm 3 of the paper): it
+// builds the synchronization dependency graph Gs of a potential deadlock
+// from the recorded trace.
+//
+// Vertices are (thread, acquisition, lock) triples — the lock
+// acquisitions leading up to (and including) the deadlocking acquisitions,
+// identified by their stable cross-run keys (thread, site, occurrence).
+// An edge (u, v) means the acquisition at u must execute before the
+// acquisition at v for the deadlock to manifest. Three edge kinds:
+//
+//   - type-D: the deadlock condition itself — each cycle thread must
+//     acquire-and-hold its lock before the neighbouring thread's blocked
+//     acquisition of the same lock.
+//   - type-C: context — locks held at the deadlock must be acquired by
+//     the cycle thread only after every other cycle thread's earlier
+//     acquisitions of the same lock, so the deadlocking context can be
+//     set up.
+//   - type-P: program order within each cycle thread.
+//
+// A cycle in Gs proves the deadlock infeasible for the observed trace
+// (the paper's Figure 7(b), the interim-acquisition pattern of Figure 2's
+// θ4); an acyclic Gs drives the Replayer.
+package sdg
+
+import (
+	"fmt"
+	"strings"
+
+	"wolf/internal/detect"
+	"wolf/internal/trace"
+)
+
+// Kind is a bitmask of edge kinds between two vertices.
+type Kind uint8
+
+const (
+	// D is a type-D (deadlock) edge.
+	D Kind = 1 << iota
+	// C is a type-C (context) edge.
+	C
+	// P is a type-P (program order) edge.
+	P
+	// V is a type-V (value flow) edge — the data-dependency extension
+	// the paper proposes as future work (Section 4.4): a load that
+	// steered a cycle thread's control flow must re-observe the store
+	// that produced its value, so the store must precede the load.
+	V
+	// AllKinds includes the paper's edge kinds (no data edges).
+	AllKinds = D | C | P
+	// AllWithData adds the value-flow extension.
+	AllWithData = AllKinds | V
+)
+
+// String renders the kinds present in the mask.
+func (k Kind) String() string {
+	var parts []string
+	if k&D != 0 {
+		parts = append(parts, "D")
+	}
+	if k&C != 0 {
+		parts = append(parts, "C")
+	}
+	if k&P != 0 {
+		parts = append(parts, "P")
+	}
+	if k&V != 0 {
+		parts = append(parts, "V")
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, "")
+}
+
+// Vertex is one lock acquisition in Gs.
+type Vertex struct {
+	// Key identifies the acquisition across runs.
+	Key trace.Key
+	// Lock is the acquired lock's stable name.
+	Lock string
+}
+
+// Thread returns the acquiring thread's stable name.
+func (v *Vertex) Thread() string { return v.Key.Thread }
+
+// String renders the vertex as (thread, site#occ, lock).
+func (v *Vertex) String() string {
+	return fmt.Sprintf("(%s,%s#%d,%s)", v.Key.Thread, v.Key.Site, v.Key.Occ, v.Lock)
+}
+
+// Build constructs Gs for cycle c over trace tr with every edge kind.
+func Build(c *detect.Cycle, tr *trace.Trace) *Graph {
+	return BuildKinds(c, tr, AllKinds)
+}
+
+// BuildKinds constructs Gs restricted to the given edge kinds; used by
+// ablation experiments (for example, replaying without type-C edges).
+func BuildKinds(c *detect.Cycle, tr *trace.Trace, kinds Kind) *Graph {
+	// D'σ: for every cycle thread, the tuples strictly before its
+	// deadlocking acquisition.
+	prefix := make(map[string][]*trace.Tuple, len(c.Tuples))
+	capacity := len(c.Tuples)
+	for _, tp := range c.Tuples {
+		prefix[tp.Thread] = tr.Prefix(tp.Thread, tp.Pos)
+		capacity += tp.Pos + len(tp.Held)
+	}
+	g := newGraph(capacity)
+
+	// vertexFor interns the vertex of tuple tp's acquisition of lock lk
+	// (either the pending lock or a held one).
+	vertexFor := func(tp *trace.Tuple, lk string) int {
+		key, ok := tp.Mu(lk)
+		if !ok {
+			panic(fmt.Sprintf("sdg: tuple %v has no µ for lock %s", tp, lk))
+		}
+		return g.intern(key, lk)
+	}
+
+	if kinds&D != 0 {
+		// Type-D: for every pair ηi, ηj in θ with lock(ηi) ∈ lockset(ηj):
+		// the acquisition of ℓi held by tj precedes ti's blocked
+		// acquisition of ℓi.
+		for _, ei := range c.Tuples {
+			for _, ej := range c.Tuples {
+				if ei == ej || !ej.HoldsLock(ei.Lock) {
+					continue
+				}
+				v := vertexFor(ei, ei.Lock)
+				u := vertexFor(ej, ei.Lock)
+				g.addEdgeIDs(u, v, D)
+			}
+		}
+	}
+
+	if kinds&C != 0 {
+		// Type-C: every lock in a cycle tuple's context (held locks plus
+		// the pending lock, as in the paper's Figure 7(a)) must be
+		// acquired by the cycle thread after the other cycle threads'
+		// earlier acquisitions of the same lock.
+		for _, ei := range c.Tuples {
+			locks := append(ei.LockNames(), ei.Lock)
+			for _, lk := range locks {
+				v := vertexFor(ei, lk)
+				for _, ts := range prefix {
+					for _, ex := range ts {
+						if ex.Thread == ei.Thread || ex.Lock != lk {
+							continue
+						}
+						g.addEdgeIDs(vertexFor(ex, lk), v, C)
+					}
+				}
+			}
+		}
+	}
+
+	if kinds&P != 0 {
+		// Type-P: program order over each cycle thread's D'σ tuples plus
+		// its deadlocking tuple.
+		for _, tp := range c.Tuples {
+			seq := append(append([]*trace.Tuple(nil), prefix[tp.Thread]...), tp)
+			for i := 0; i+1 < len(seq); i++ {
+				u := vertexFor(seq[i], seq[i].Lock)
+				v := vertexFor(seq[i+1], seq[i+1].Lock)
+				g.addEdgeIDs(u, v, P)
+			}
+		}
+	}
+
+	if kinds&V != 0 {
+		addDataEdges(g, c, tr, vertexFor)
+	}
+	return g
+}
+
+// addDataEdges implements the value-flow extension. For the recorded
+// control flow of each cycle thread to repeat, every load it performed
+// before its deadlocking acquisition must observe the same store. When
+// that store was issued by another cycle thread, the store must execute
+// first, so:
+//
+//   - the load and its producing store become vertices, anchored into
+//     their threads' program order next to the surrounding lock
+//     acquisitions (for stores after the thread's deadlocking
+//     acquisition, the anchor is the deadlocking acquisition itself);
+//   - a type-V edge runs store → load.
+//
+// A cycle through a V edge proves the deadlock incompatible with the
+// recorded value flow: reproducing the paths requires the producer to
+// have already passed the point where the deadlock must block it. This
+// refutes the paper's "unknown due to data dependency" defects.
+func addDataEdges(g *Graph, c *detect.Cycle, tr *trace.Trace, vertexFor func(*trace.Tuple, string) int) {
+	inCycle := make(map[string]*trace.Tuple, len(c.Tuples))
+	for _, tp := range c.Tuples {
+		inCycle[tp.Thread] = tp
+	}
+	// anchor interns a data event and ties it into its thread's program
+	// order between the neighbouring acquisition vertices.
+	anchor := func(de *trace.DataEvent) int {
+		id := g.internData(de)
+		deadlock := inCycle[de.Thread]
+		tuples := tr.ByThread(de.Thread)
+		// Previous acquisition in program order (clamped to the
+		// deadlocking acquisition for post-deadlock stores).
+		prev := de.PosAfter - 1
+		if prev > deadlock.Pos {
+			prev = deadlock.Pos
+		}
+		if prev >= 0 {
+			g.addEdgeIDs(vertexFor(tuples[prev], tuples[prev].Lock), id, V)
+		}
+		// Next acquisition, only within the deadlock prefix.
+		if de.PosAfter <= deadlock.Pos {
+			next := tuples[de.PosAfter]
+			g.addEdgeIDs(id, vertexFor(next, next.Lock), V)
+		}
+		return id
+	}
+	for _, tp := range c.Tuples {
+		for _, de := range tr.DataByThread(tp.Thread) {
+			if de.Store || de.PosAfter > tp.Pos || de.Observed.Zero() {
+				continue // only pre-deadlock loads with a foreign producer
+			}
+			src, ok := inCycle[de.Observed.Thread]
+			if !ok || src.Thread == tp.Thread {
+				continue // producer is not a monitored cycle thread
+			}
+			store := findStore(tr, de.Observed)
+			if store == nil {
+				continue
+			}
+			g.addEdgeIDs(anchor(store), anchor(de), V)
+		}
+	}
+}
+
+// findStore resolves a store key to its recorded event.
+func findStore(tr *trace.Trace, key trace.Key) *trace.DataEvent {
+	for _, de := range tr.DataByThread(key.Thread) {
+		if de.Key == key {
+			return de
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"testing"
+
+	"wolf/internal/vclock"
+	"wolf/sim"
+)
+
+// benchProgram: several threads with nested sections and data traffic.
+func benchProgram(iters int) (sim.Program, sim.Options) {
+	var a, b, c *sim.Lock
+	var v *sim.Var
+	opts := sim.Options{Setup: func(w *sim.World) {
+		a, b, c = w.NewLock("A"), w.NewLock("B"), w.NewLock("C")
+		v = w.NewVar("v", 0)
+	}}
+	prog := func(th *sim.Thread) {
+		var hs []*sim.Thread
+		for i := 0; i < 4; i++ {
+			hs = append(hs, th.Go("w", func(u *sim.Thread) {
+				for j := 0; j < iters; j++ {
+					u.Lock(a, "s1")
+					u.Lock(b, "s2")
+					u.Store(v, j, "s3")
+					u.Unlock(b, "s4")
+					u.Lock(c, "s5")
+					u.Unlock(c, "s6")
+					u.Unlock(a, "s7")
+				}
+			}, "m"))
+		}
+		for _, h := range hs {
+			th.Join(h, "j")
+		}
+	}
+	return prog, opts
+}
+
+// BenchmarkRecorder measures full extended-detector instrumentation
+// (vector clocks + Dσ recording) per recorded run.
+func BenchmarkRecorder(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prog, opts := benchProgram(20)
+		vt := vclock.NewTracker()
+		rec := NewRecorder(vt)
+		opts.Listeners = append(opts.Listeners, vt, rec)
+		out := sim.Run(prog, sim.NewRandomStrategy(int64(i)), opts)
+		if out.Kind == sim.ProgramError {
+			b.Fatal(out)
+		}
+		if tr := rec.Finish(int64(i)); len(tr.Tuples) == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+// BenchmarkBareRun is the uninstrumented baseline for BenchmarkRecorder
+// (their ratio is the Table 1 slowdown statistic at micro scale).
+func BenchmarkBareRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prog, opts := benchProgram(20)
+		out := sim.Run(prog, sim.NewRandomStrategy(int64(i)), opts)
+		if out.Kind == sim.ProgramError {
+			b.Fatal(out)
+		}
+	}
+}
+
+// BenchmarkSerialize measures trace write+read round trips.
+func BenchmarkSerialize(b *testing.B) {
+	prog, opts := benchProgram(20)
+	vt := vclock.NewTracker()
+	rec := NewRecorder(vt)
+	opts.Listeners = append(opts.Listeners, vt, rec)
+	sim.Run(prog, sim.NewRandomStrategy(1), opts)
+	tr := rec.Finish(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf discard
+		if err := tr.Write(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// discard is an io.Writer that counts bytes.
+type discard struct{ n int }
+
+func (d *discard) Write(p []byte) (int, error) {
+	d.n += len(p)
+	return len(p), nil
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wolf/internal/vclock"
+)
+
+// fileFormat is the on-disk representation of a Trace. The schema is
+// versioned so recorded traces stay readable across tool versions.
+type fileFormat struct {
+	Version int             `json:"version"`
+	Seed    int64           `json:"seed"`
+	Steps   int             `json:"steps"`
+	Taus    []int           `json:"taus,omitempty"`
+	Clocks  [][]clockPair   `json:"clocks,omitempty"`
+	Tuples  []*Tuple        `json:"tuples"`
+	Threads map[string]bool `json:"-"`
+}
+
+// clockPair mirrors vclock.SJ for encoding.
+type clockPair struct {
+	S int `json:"s"`
+	J int `json:"j"`
+}
+
+// formatVersion is the current trace schema version.
+const formatVersion = 1
+
+// Write serializes the trace as JSON.
+func (tr *Trace) Write(w io.Writer) error {
+	ff := fileFormat{
+		Version: formatVersion,
+		Seed:    tr.Seed,
+		Steps:   tr.Steps,
+		Taus:    tr.Taus,
+		Tuples:  tr.Tuples,
+	}
+	for _, v := range tr.Clocks {
+		row := make([]clockPair, len(v))
+		for i, p := range v {
+			row[i] = clockPair{S: p.S, J: p.J}
+		}
+		ff.Clocks = append(ff.Clocks, row)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&ff)
+}
+
+// Read deserializes a trace written by Write, rebuilding the per-thread
+// indexes.
+func Read(r io.Reader) (*Trace, error) {
+	var ff fileFormat
+	if err := json.NewDecoder(r).Decode(&ff); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if ff.Version != formatVersion {
+		return nil, fmt.Errorf("trace: unsupported format version %d (want %d)", ff.Version, formatVersion)
+	}
+	tr := &Trace{
+		Tuples:   ff.Tuples,
+		byThread: make(map[string][]*Tuple),
+		Taus:     ff.Taus,
+		Steps:    ff.Steps,
+		Seed:     ff.Seed,
+	}
+	for _, row := range ff.Clocks {
+		v := make(vclock.Vector, len(row))
+		for i, p := range row {
+			v[i] = vclock.SJ{S: p.S, J: p.J}
+		}
+		tr.Clocks = append(tr.Clocks, v)
+	}
+	// Rebuild per-thread sequences and validate positions.
+	for _, tp := range tr.Tuples {
+		if tp == nil {
+			return nil, fmt.Errorf("trace: null tuple")
+		}
+		seq := tr.byThread[tp.Thread]
+		if tp.Pos != len(seq) {
+			return nil, fmt.Errorf("trace: tuple %v has position %d, want %d", tp, tp.Pos, len(seq))
+		}
+		tr.byThread[tp.Thread] = append(seq, tp)
+	}
+	return tr, nil
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wolf/internal/vclock"
+	"wolf/sim"
+)
+
+// roundTrip writes and re-reads a trace.
+func roundTrip(t *testing.T, tr *Trace) *Trace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestSerializeRoundTrip: every field survives a write/read cycle.
+func TestSerializeRoundTrip(t *testing.T) {
+	prog, opts, _ := fig4()
+	vt := vclock.NewTracker()
+	rec := NewRecorder(vt)
+	opts.Listeners = append(opts.Listeners, vt, rec)
+	out := sim.Run(prog, sim.FirstEnabled{}, opts)
+	if out.Kind != sim.Terminated {
+		t.Fatalf("outcome = %v", out)
+	}
+	tr := rec.Finish(42)
+	got := roundTrip(t, tr)
+
+	if got.Seed != 42 || got.Steps != tr.Steps {
+		t.Fatalf("metadata lost: seed=%d steps=%d", got.Seed, got.Steps)
+	}
+	if len(got.Tuples) != len(tr.Tuples) {
+		t.Fatalf("tuples = %d, want %d", len(got.Tuples), len(tr.Tuples))
+	}
+	for i, tp := range tr.Tuples {
+		g := got.Tuples[i]
+		if g.Thread != tp.Thread || g.Lock != tp.Lock || g.Key != tp.Key ||
+			g.Tau != tp.Tau || g.Idx != tp.Idx || len(g.Held) != len(tp.Held) {
+			t.Fatalf("tuple %d mismatch: %v vs %v", i, g, tp)
+		}
+		for j := range tp.Held {
+			if g.Held[j] != tp.Held[j] {
+				t.Fatalf("tuple %d held %d mismatch", i, j)
+			}
+		}
+	}
+	if len(got.Clocks) != len(tr.Clocks) {
+		t.Fatalf("clocks = %d, want %d", len(got.Clocks), len(tr.Clocks))
+	}
+	for i := range tr.Clocks {
+		for j := range tr.Clocks[i] {
+			if got.Clocks[i].At(sim.ThreadID(j)) != tr.Clocks[i][j] {
+				t.Fatalf("clock %d/%d mismatch", i, j)
+			}
+		}
+	}
+	// Per-thread views are rebuilt.
+	if len(got.ByThread("main")) != len(tr.ByThread("main")) {
+		t.Fatal("byThread not rebuilt")
+	}
+}
+
+// TestReadRejectsBadVersion guards the version gate.
+func TestReadRejectsBadVersion(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"version":99,"tuples":[]}`)); err == nil {
+		t.Fatal("expected version error")
+	}
+}
+
+// TestReadRejectsGarbage rejects malformed input.
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+// TestReadRejectsInconsistentPositions: tuple positions must match their
+// per-thread order.
+func TestReadRejectsInconsistentPositions(t *testing.T) {
+	in := `{"version":1,"tuples":[{"Thread":"main","Lock":"L","Pos":5}]}`
+	if _, err := Read(strings.NewReader(in)); err == nil {
+		t.Fatal("expected position error")
+	}
+}

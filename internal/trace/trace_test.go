@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"testing"
+
+	"wolf/internal/vclock"
+	"wolf/sim"
+)
+
+// fig4 builds the paper's Figure 4 program. Sites are the paper's
+// execution indices rendered as strings so tests can refer to them.
+func fig4() (sim.Program, sim.Options, func() (*sim.Lock, *sim.Lock, *sim.Lock)) {
+	var l1, l2, l3 *sim.Lock
+	opts := sim.Options{Setup: func(w *sim.World) {
+		l1, l2, l3 = w.NewLock("l1"), w.NewLock("l2"), w.NewLock("l3")
+	}}
+	t3body := func(u *sim.Thread) {
+		u.Lock(l3, "31")
+		u.Lock(l2, "32")
+		u.Lock(l1, "33")
+		u.Unlock(l1, "34")
+		u.Unlock(l2, "35")
+		u.Unlock(l3, "36")
+	}
+	t2body := func(u *sim.Thread) { u.Go("t3", t3body, "21") }
+	prog := func(th *sim.Thread) {
+		th.Lock(l1, "11")
+		th.Lock(l2, "12")
+		th.Unlock(l2, "13")
+		th.Unlock(l1, "14")
+		th.Go("t2", t2body, "15")
+		th.Lock(l3, "16")
+		th.Unlock(l3, "17")
+		th.Lock(l1, "18")
+		th.Lock(l2, "19")
+		th.Unlock(l2, "20")
+		th.Unlock(l1, "21")
+	}
+	return prog, opts, func() (*sim.Lock, *sim.Lock, *sim.Lock) { return l1, l2, l3 }
+}
+
+// Record runs prog with an extended (timestamped) recorder.
+func record(t *testing.T, prog sim.Program, opts sim.Options, s sim.Strategy) *Trace {
+	t.Helper()
+	vt := vclock.NewTracker()
+	rec := NewRecorder(vt)
+	opts.Listeners = append(opts.Listeners, vt, rec)
+	out := sim.Run(prog, s, opts)
+	if out.Kind == sim.ProgramError {
+		t.Fatalf("outcome = %v", out)
+	}
+	return rec.Finish(0)
+}
+
+// TestFigure5Dsigma reproduces the extended Dσ on the right of Figure 5:
+// eight tuples with the timestamps the paper lists.
+func TestFigure5Dsigma(t *testing.T) {
+	prog, opts, _ := fig4()
+	tr := record(t, prog, opts, sim.FirstEnabled{})
+	if len(tr.Tuples) != 8 {
+		t.Fatalf("|Dσ| = %d, want 8:\n%v", len(tr.Tuples), tr)
+	}
+	main := tr.ByThread("main")
+	t3 := tr.ByThread("main/t2.0/t3.0")
+	if len(main) != 5 || len(t3) != 3 {
+		t.Fatalf("per-thread tuple counts = %d/%d, want 5/3", len(main), len(t3))
+	}
+	// η'2 = (t1, {ℓ1}, ℓ2, {11,12}, 1)
+	eta2 := main[1]
+	if eta2.Lock != "l2" || len(eta2.Held) != 1 || eta2.Held[0].Lock != "l1" || eta2.Tau != 1 {
+		t.Errorf("η2 = %v, want (main,{l1},l2,...,1)", eta2)
+	}
+	if eta2.Held[0].Idx != (sim.Index{Thread: "main", Seq: 1}) {
+		t.Errorf("η2 context = %v, want main:1", eta2.Held[0].Idx)
+	}
+	// η'5 = (t3, {ℓ3,ℓ2}, ℓ1, {31,32,33}, 1)
+	eta5 := t3[2]
+	if eta5.Lock != "l1" || len(eta5.Held) != 2 || eta5.Tau != 1 {
+		t.Errorf("η5 = %v, want (t3,{l3,l2},l1,...,1)", eta5)
+	}
+	if eta5.Held[0].Lock != "l3" || eta5.Held[1].Lock != "l2" {
+		t.Errorf("η5 lockset order = %v, want [l3 l2]", eta5.LockNames())
+	}
+	// η'6 = (t1, {}, ℓ3, {16}, 2): timestamp advanced to 2 after starting t2.
+	eta6 := main[2]
+	if eta6.Lock != "l3" || len(eta6.Held) != 0 || eta6.Tau != 2 {
+		t.Errorf("η6 = %v, want (main,{},l3,...,2)", eta6)
+	}
+	// η'8 = (t1, {ℓ1}, ℓ2, {18,19}, 2)
+	eta8 := main[4]
+	if eta8.Lock != "l2" || eta8.Tau != 2 || len(eta8.Held) != 1 {
+		t.Errorf("η8 = %v, want (main,{l1},l2,...,2)", eta8)
+	}
+}
+
+// TestMuFunction: µ maps held locks to their context indices and the
+// pending lock to the tuple's own index.
+func TestMuFunction(t *testing.T) {
+	prog, opts, _ := fig4()
+	tr := record(t, prog, opts, sim.FirstEnabled{})
+	eta5 := tr.ByThread("main/t2.0/t3.0")[2]
+	t3 := "main/t2.0/t3.0"
+	if k, ok := eta5.Mu("l3"); !ok || k != (Key{Thread: t3, Site: "31", Occ: 1}) {
+		t.Errorf("µ5(l3) = %v/%v, want %s@31#1", k, ok, t3)
+	}
+	if k, ok := eta5.Mu("l2"); !ok || k != (Key{Thread: t3, Site: "32", Occ: 1}) {
+		t.Errorf("µ5(l2) = %v/%v, want %s@32#1", k, ok, t3)
+	}
+	if k, ok := eta5.Mu("l1"); !ok || k != eta5.Key {
+		t.Errorf("µ5(l1) = %v/%v, want own key %v", k, ok, eta5.Key)
+	}
+	if _, ok := eta5.Mu("nonexistent"); ok {
+		t.Error("µ5(nonexistent) should not resolve")
+	}
+}
+
+// TestReentrantAcquisitionsNotRecorded: only first acquisitions enter Dσ.
+func TestReentrantAcquisitionsNotRecorded(t *testing.T) {
+	var l *sim.Lock
+	opts := sim.Options{Setup: func(w *sim.World) { l = w.NewLock("L") }}
+	prog := func(th *sim.Thread) {
+		th.Lock(l, "a")
+		th.Lock(l, "b")
+		th.Unlock(l, "c")
+		th.Unlock(l, "d")
+	}
+	tr := record(t, prog, opts, sim.FirstEnabled{})
+	if len(tr.Tuples) != 1 {
+		t.Fatalf("|Dσ| = %d, want 1 (reentrant skipped):\n%v", len(tr.Tuples), tr)
+	}
+}
+
+// TestOutOfOrderRelease: releasing locks in non-LIFO order keeps the
+// lockset correct (Java allows it through explicit monitors).
+func TestOutOfOrderRelease(t *testing.T) {
+	var a, b, c *sim.Lock
+	opts := sim.Options{Setup: func(w *sim.World) {
+		a, b, c = w.NewLock("A"), w.NewLock("B"), w.NewLock("C")
+	}}
+	prog := func(th *sim.Thread) {
+		th.Lock(a, "1")
+		th.Lock(b, "2")
+		th.Unlock(a, "3") // out of order
+		th.Lock(c, "4")
+		th.Unlock(c, "5")
+		th.Unlock(b, "6")
+	}
+	tr := record(t, prog, opts, sim.FirstEnabled{})
+	last := tr.ByThread("main")[2]
+	if last.Lock != "C" {
+		t.Fatalf("last tuple lock = %s, want C", last.Lock)
+	}
+	if got := last.LockNames(); len(got) != 1 || got[0] != "B" {
+		t.Fatalf("lockset at C = %v, want [B]", got)
+	}
+}
+
+// TestPrefixSlicing: D'σ prefixes stop strictly before the given position.
+func TestPrefixSlicing(t *testing.T) {
+	prog, opts, _ := fig4()
+	tr := record(t, prog, opts, sim.FirstEnabled{})
+	main := tr.ByThread("main")
+	pre := tr.Prefix("main", main[4].Pos)
+	if len(pre) != 4 {
+		t.Fatalf("prefix length = %d, want 4", len(pre))
+	}
+	for _, tp := range pre {
+		if tp.Idx.Seq >= main[4].Idx.Seq {
+			t.Errorf("prefix contains tuple %v at or after the boundary", tp)
+		}
+	}
+	if got := tr.Prefix("main", 99); len(got) != 5 {
+		t.Errorf("over-long prefix = %d tuples, want 5", len(got))
+	}
+	if got := tr.Prefix("absent", 3); len(got) != 0 {
+		t.Errorf("prefix of unknown thread = %d tuples, want 0", len(got))
+	}
+}
+
+// TestThreadsOrder lists threads by first acquisition.
+func TestThreadsOrder(t *testing.T) {
+	prog, opts, _ := fig4()
+	tr := record(t, prog, opts, sim.FirstEnabled{})
+	names := tr.Threads()
+	if len(names) != 2 || names[0] != "main" || names[1] != "main/t2.0/t3.0" {
+		t.Fatalf("threads = %v", names)
+	}
+}
+
+// TestBaseRecorderWithoutTimestamps: a nil tracker records Tau = Bottom,
+// modeling the original iGoodLock detector.
+func TestBaseRecorderWithoutTimestamps(t *testing.T) {
+	prog, opts, _ := fig4()
+	rec := NewRecorder(nil)
+	opts.Listeners = append(opts.Listeners, rec)
+	out := sim.Run(prog, sim.FirstEnabled{}, opts)
+	if out.Kind != sim.Terminated {
+		t.Fatalf("outcome = %v", out)
+	}
+	tr := rec.Finish(0)
+	for _, tp := range tr.Tuples {
+		if tp.Tau != vclock.Bottom {
+			t.Fatalf("tuple %v has timestamp without a tracker", tp)
+		}
+	}
+	if tr.Clocks != nil {
+		t.Fatal("base trace should have no clocks")
+	}
+}

@@ -1,0 +1,196 @@
+// Package vclock implements the timestamp machinery of WOLF's Extended
+// Dynamic Cycle Detector (Algorithm 1 of the paper).
+//
+// Every thread t carries a scalar timestamp τ(t), incremented whenever t
+// starts or joins another thread, and a vector clock V(t) of ordered
+// pairs (S, J), one per thread t':
+//
+//   - S: operations of t' with timestamp < S always complete before t
+//     begins execution — they can never overlap with t.
+//   - J: operations of t with timestamp >= J always execute after t' has
+//     joined (terminated) — they can never overlap with t'.
+//
+// ⊥ (not started / never joined) is represented as 0; real timestamps
+// start at 1.
+package vclock
+
+import (
+	"fmt"
+
+	"wolf/sim"
+)
+
+// Bottom is the ⊥ timestamp.
+const Bottom = 0
+
+// SJ is one ordered pair of a thread's vector clock.
+type SJ struct {
+	// S is the start boundary: operations of the other thread with
+	// timestamp < S precede this thread's entire execution.
+	S int
+	// J is the join boundary: operations of this thread with timestamp
+	// >= J follow the other thread's entire execution. Bottom when the
+	// other thread has not joined.
+	J int
+}
+
+// String formats the pair, rendering Bottom as ⊥.
+func (p SJ) String() string {
+	f := func(v int) string {
+		if v == Bottom {
+			return "⊥"
+		}
+		return fmt.Sprint(v)
+	}
+	return "(" + f(p.S) + "," + f(p.J) + ")"
+}
+
+// Vector is one thread's vector clock, indexed by sim.ThreadID. Missing
+// entries are (⊥, ⊥).
+type Vector []SJ
+
+// At returns the pair for thread id, defaulting to (⊥, ⊥).
+func (v Vector) At(id sim.ThreadID) SJ {
+	if int(id) < len(v) {
+		return v[id]
+	}
+	return SJ{}
+}
+
+// grown returns v extended to hold index id.
+func (v Vector) grown(id sim.ThreadID) Vector {
+	for int(id) >= len(v) {
+		v = append(v, SJ{})
+	}
+	return v
+}
+
+// clone returns a copy of v sized to at least n entries.
+func (v Vector) clone(n int) Vector {
+	out := make(Vector, max(len(v), n))
+	copy(out, v)
+	return out
+}
+
+// Tracker maintains τ and V for every thread of one run. It implements
+// sim.Listener; install it before any listener that reads timestamps so
+// each event is stamped before consumers observe it.
+type Tracker struct {
+	tau    []int
+	clocks []Vector
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker { return &Tracker{} }
+
+// Tau returns τ(id), Bottom if the thread has not started.
+func (tr *Tracker) Tau(id sim.ThreadID) int {
+	if int(id) < len(tr.tau) {
+		return tr.tau[id]
+	}
+	return Bottom
+}
+
+// Clock returns V(id). The returned vector is live; do not modify it.
+func (tr *Tracker) Clock(id sim.ThreadID) Vector {
+	if int(id) < len(tr.clocks) {
+		return tr.clocks[id]
+	}
+	return nil
+}
+
+// Snapshot returns a deep copy of every thread's final vector clock,
+// indexed by thread ID, for use by the Pruner after the run.
+func (tr *Tracker) Snapshot() []Vector {
+	out := make([]Vector, len(tr.clocks))
+	for i, v := range tr.clocks {
+		out[i] = v.clone(len(tr.clocks))
+	}
+	return out
+}
+
+// Taus returns a copy of every thread's final scalar timestamp.
+func (tr *Tracker) Taus() []int {
+	out := make([]int, len(tr.tau))
+	copy(out, tr.tau)
+	return out
+}
+
+// ensure sizes internal state for thread id.
+func (tr *Tracker) ensure(id sim.ThreadID) {
+	for int(id) >= len(tr.tau) {
+		tr.tau = append(tr.tau, Bottom)
+		tr.clocks = append(tr.clocks, nil)
+	}
+}
+
+// OnEvent applies Algorithm 1's timestamp updates.
+func (tr *Tracker) OnEvent(ev sim.Event) {
+	t := ev.Thread.ID()
+	tr.ensure(t)
+	// Line 11: a thread's timestamp becomes 1 when it first executes.
+	if tr.tau[t] == Bottom {
+		tr.tau[t] = 1
+	}
+	switch ev.Op.Kind {
+	case sim.OpStart:
+		c := ev.Op.Child.ID()
+		tr.ensure(c)
+		// Lines 14-21.
+		tr.tau[t]++
+		tr.tau[c] = 1
+		n := max(int(t), int(c)) + 1
+		vc := tr.clocks[c].clone(n)
+		vp := tr.clocks[t]
+		for i := range vc {
+			id := sim.ThreadID(i)
+			// Threads already joined relative to the parent can never
+			// overlap with the child either.
+			if vp.At(id).J != Bottom {
+				vc[i].J = tr.tau[c]
+			}
+			if id == t {
+				vc[i].S = tr.tau[t]
+			} else {
+				vc[i].S = vp.At(id).S
+			}
+		}
+		tr.clocks[c] = vc
+	case sim.OpJoin:
+		c := ev.Op.Target.ID()
+		tr.ensure(c)
+		// Lines 23-28.
+		tr.tau[t]++
+		n := max(int(t), int(c)) + 1
+		vp := tr.clocks[t].clone(n)
+		vc := tr.clocks[c]
+		for i := range vp {
+			id := sim.ThreadID(i)
+			if id == c || (vc.At(id).J != Bottom && vp[i].J == Bottom) {
+				vp[i].J = tr.tau[t]
+			}
+		}
+		tr.clocks[t] = vp
+	}
+}
+
+// NeverOverlap applies the Pruner's two checks (Algorithm 2) to a pair of
+// lock acquisitions: acquisition a by thread ta at timestamp tauA, and
+// acquisition b by thread tb at timestamp tauB, given ta's final vector
+// clock va. It reports true when the two acquisitions provably cannot
+// overlap in any schedule of the observed trace:
+//
+//   - tb's acquisition always completes before ta starts
+//     (va(tb).S > tauB), or
+//   - tb always terminates before ta's acquisition
+//     (va(tb).J != ⊥ and va(tb).J <= tauA).
+func NeverOverlap(va Vector, tb sim.ThreadID, tauA, tauB int) bool {
+	p := va.At(tb)
+	if p.S != Bottom && p.S > tauB {
+		return true
+	}
+	if p.J != Bottom && p.J <= tauA {
+		return true
+	}
+	return false
+}

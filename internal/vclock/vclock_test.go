@@ -1,0 +1,233 @@
+package vclock
+
+import (
+	"testing"
+
+	"wolf/sim"
+)
+
+// runFig4 executes the paper's Figure 4 program (threads t1, t2, t3;
+// t1 starts t2, t2 starts t3) under the given strategy and returns the
+// tracker and the world.
+func runFig4(t *testing.T, strategy sim.Strategy) (*Tracker, *sim.World) {
+	t.Helper()
+	var l1, l2, l3 *sim.Lock
+	tr := NewTracker()
+	opts := sim.Options{
+		Setup: func(w *sim.World) {
+			l1, l2, l3 = w.NewLock("l1"), w.NewLock("l2"), w.NewLock("l3")
+		},
+		Listeners: []sim.Listener{tr},
+	}
+	t3body := func(u *sim.Thread) {
+		u.Lock(l3, "31")
+		u.Lock(l2, "32")
+		u.Lock(l1, "33")
+		u.Unlock(l1, "34")
+		u.Unlock(l2, "35")
+		u.Unlock(l3, "36")
+	}
+	t2body := func(u *sim.Thread) {
+		u.Go("t3", t3body, "21")
+	}
+	prog := func(th *sim.Thread) {
+		th.Lock(l1, "11")
+		th.Lock(l2, "12")
+		th.Unlock(l2, "13")
+		th.Unlock(l1, "14")
+		th.Go("t2", t2body, "15")
+		th.Lock(l3, "16")
+		th.Unlock(l3, "17")
+		th.Lock(l1, "18")
+		th.Lock(l2, "19")
+		th.Unlock(l2, "20")
+		th.Unlock(l1, "21")
+	}
+	out := sim.Run(prog, strategy, opts)
+	if out.Kind != sim.Terminated && out.Kind != sim.Deadlocked {
+		t.Fatalf("outcome = %v", out)
+	}
+	return tr, out.World
+}
+
+// TestFigure6Timestamps reproduces the vector clock values the paper
+// derives in Figure 6: V1 = <⊥,⊥,⊥>, V2 = <(2,⊥),⊥,⊥>,
+// V3 = <(2,⊥),(2,⊥),⊥>.
+func TestFigure6Timestamps(t *testing.T) {
+	tr, w := runFig4(t, sim.FirstEnabled{})
+	t1 := w.ThreadByName("main")
+	t2 := w.ThreadByName("main/t2.0")
+	t3 := w.ThreadByName("main/t2.0/t3.0")
+	if t1 == nil || t2 == nil || t3 == nil {
+		t.Fatal("threads not found")
+	}
+	if got := tr.Tau(t1.ID()); got != 2 {
+		t.Errorf("τ(t1) = %d, want 2", got)
+	}
+	if got := tr.Tau(t2.ID()); got != 2 {
+		t.Errorf("τ(t2) = %d, want 2", got)
+	}
+	if got := tr.Tau(t3.ID()); got != 1 {
+		t.Errorf("τ(t3) = %d, want 1", got)
+	}
+	v1, v2, v3 := tr.Clock(t1.ID()), tr.Clock(t2.ID()), tr.Clock(t3.ID())
+	for id := sim.ThreadID(0); int(id) < 3; id++ {
+		if p := v1.At(id); p != (SJ{}) {
+			t.Errorf("V1(%d) = %v, want (⊥,⊥)", id, p)
+		}
+	}
+	if p := v2.At(t1.ID()); p != (SJ{S: 2}) {
+		t.Errorf("V2(t1) = %v, want (2,⊥)", p)
+	}
+	if p := v2.At(t3.ID()); p != (SJ{}) {
+		t.Errorf("V2(t3) = %v, want (⊥,⊥)", p)
+	}
+	if p := v3.At(t1.ID()); p != (SJ{S: 2}) {
+		t.Errorf("V3(t1) = %v, want (2,⊥)", p)
+	}
+	if p := v3.At(t2.ID()); p != (SJ{S: 2}) {
+		t.Errorf("V3(t2) = %v, want (2,⊥)", p)
+	}
+}
+
+// TestFigure6AcrossSchedules: the final clocks are schedule-independent
+// for Figure 4's program because start edges alone determine them.
+func TestFigure6AcrossSchedules(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		tr, w := runFig4(t, sim.NewRandomStrategy(seed))
+		t1 := w.ThreadByName("main")
+		t3 := w.ThreadByName("main/t2.0/t3.0")
+		if t3 == nil {
+			continue // deadlocked before t3 started
+		}
+		if p := tr.Clock(t3.ID()).At(t1.ID()); p != (SJ{S: 2}) {
+			t.Errorf("seed %d: V3(t1) = %v, want (2,⊥)", seed, p)
+		}
+	}
+}
+
+// TestJoinSetsJ: after p joins c, Vp(c).J records p's timestamp at the
+// join, so later operations of p can be ordered after all of c.
+func TestJoinSetsJ(t *testing.T) {
+	tr := NewTracker()
+	var cID sim.ThreadID
+	prog := func(th *sim.Thread) {
+		h := th.Go("c", func(u *sim.Thread) { u.Yield("c1") }, "m1")
+		cID = h.ID()
+		th.Join(h, "m2")
+		th.Yield("m3")
+	}
+	out := sim.Run(prog, sim.NewRandomStrategy(1), sim.Options{Listeners: []sim.Listener{tr}})
+	if out.Kind != sim.Terminated {
+		t.Fatalf("outcome = %v", out)
+	}
+	mainID := out.World.ThreadByName("main").ID()
+	// main: τ=1 initially, 2 after start, 3 after join.
+	if got := tr.Tau(mainID); got != 3 {
+		t.Errorf("τ(main) = %d, want 3", got)
+	}
+	if p := tr.Clock(mainID).At(cID); p.J != 3 {
+		t.Errorf("Vmain(c).J = %d, want 3", p.J)
+	}
+}
+
+// TestTransitiveJoin: if p joins c, then p starts d, d can never overlap
+// with c (the paper's transitivity rule in lines 15-17 of Algorithm 1).
+func TestTransitiveJoin(t *testing.T) {
+	tr := NewTracker()
+	var cID, dID sim.ThreadID
+	prog := func(th *sim.Thread) {
+		c := th.Go("c", func(u *sim.Thread) { u.Yield("c1") }, "m1")
+		cID = c.ID()
+		th.Join(c, "m2")
+		d := th.Go("d", func(u *sim.Thread) { u.Yield("d1") }, "m3")
+		dID = d.ID()
+		th.Join(d, "m4")
+	}
+	out := sim.Run(prog, sim.NewRandomStrategy(1), sim.Options{Listeners: []sim.Listener{tr}})
+	if out.Kind != sim.Terminated {
+		t.Fatalf("outcome = %v", out)
+	}
+	// d inherits a J boundary for c: everything d does (τ >= J) is after
+	// c joined.
+	if p := tr.Clock(dID).At(cID); p.J == Bottom {
+		t.Errorf("Vd(c).J = ⊥, want set (transitive join)")
+	} else if p.J != 1 {
+		t.Errorf("Vd(c).J = %d, want 1 (τd at creation)", p.J)
+	}
+}
+
+// TestTransitiveJoinViaSibling: t joins c inside another thread, then the
+// *parent* of that thread must not inherit the boundary, but a child
+// started by the joiner must.
+func TestTransitiveJoinViaSibling(t *testing.T) {
+	tr := NewTracker()
+	var cID, gID sim.ThreadID
+	prog := func(th *sim.Thread) {
+		c := th.Go("c", func(u *sim.Thread) { u.Yield("c1") }, "m1")
+		cID = c.ID()
+		j := th.Go("joiner", func(u *sim.Thread) {
+			u.Join(c, "j1")
+			g := u.Go("g", func(v *sim.Thread) { v.Yield("g1") }, "j2")
+			gID = g.ID()
+			u.Join(g, "j3")
+		}, "m2")
+		th.Join(j, "m3")
+	}
+	out := sim.Run(prog, sim.NewRandomStrategy(2), sim.Options{Listeners: []sim.Listener{tr}})
+	if out.Kind != sim.Terminated {
+		t.Fatalf("outcome = %v", out)
+	}
+	if p := tr.Clock(gID).At(cID); p.J == Bottom {
+		t.Error("Vg(c).J = ⊥, want set: g was started after its parent joined c")
+	}
+	mainID := out.World.ThreadByName("main").ID()
+	// main joined "joiner", and joiner had joined c, so transitively main
+	// acquires c's J boundary at the join (Algorithm 1 line 25).
+	if p := tr.Clock(mainID).At(cID); p.J == Bottom {
+		t.Error("Vmain(c).J = ⊥, want set via transitive join")
+	}
+}
+
+// TestNeverOverlap covers both Pruner conditions directly.
+func TestNeverOverlap(t *testing.T) {
+	// Condition 1: b's acquisition (tauB=1) precedes a's thread start
+	// (S=2).
+	va := Vector{0: {S: 2}}
+	if !NeverOverlap(va, 0, 1, 1) {
+		t.Error("S condition: want never-overlap")
+	}
+	if NeverOverlap(va, 0, 1, 2) {
+		t.Error("S condition with tauB=2: want possible overlap")
+	}
+	// Condition 2: b joined before a's acquisition (J=3 <= tauA).
+	va = Vector{0: {J: 3}}
+	if !NeverOverlap(va, 0, 3, 1) {
+		t.Error("J condition: want never-overlap")
+	}
+	if NeverOverlap(va, 0, 2, 1) {
+		t.Error("J condition with tauA=2: want possible overlap")
+	}
+	// Bottom clock: nothing is provable.
+	if NeverOverlap(Vector{}, 0, 1, 1) {
+		t.Error("bottom clock: want possible overlap")
+	}
+}
+
+// TestSnapshotIsDeepCopy: mutating a snapshot does not affect the tracker.
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	tr := NewTracker()
+	prog := func(th *sim.Thread) {
+		h := th.Go("c", func(u *sim.Thread) {}, "m1")
+		th.Join(h, "m2")
+	}
+	sim.Run(prog, sim.NewRandomStrategy(1), sim.Options{Listeners: []sim.Listener{tr}})
+	snap := tr.Snapshot()
+	if len(snap) < 2 {
+		t.Fatalf("snapshot has %d clocks, want >= 2", len(snap))
+	}
+	snap[0][1] = SJ{S: 99, J: 99}
+	if tr.Clock(0).At(1) == (SJ{S: 99, J: 99}) {
+		t.Error("snapshot aliases tracker state")
+	}
+}

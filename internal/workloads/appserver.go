@@ -1,0 +1,107 @@
+package workloads
+
+import (
+	"fmt"
+
+	"wolf/collections"
+	"wolf/sim"
+)
+
+// AppServer is an integration workload composing the other substrates
+// into one application: request handlers consult a striped session map
+// (deadlock-free by design), push work through a bounded queue
+// (wait/notify), log through the hierarchical logger (bug 24159's
+// inversion) and update an LRU response cache. The composite contains
+// exactly the defects of its parts — the logging inversion and the
+// queue-monitor/stats inversion — and the pipeline must classify them
+// amid all the unrelated synchronization.
+func AppServer() Workload {
+	const handlers = 3
+	factory := func() (sim.Program, sim.Options) {
+		var (
+			sessions *collections.StripedMap[int, string]
+			queue    *boundedQueue
+			stats    *sim.Lock
+			h        *hierarchy
+			cache    *lruCache
+			done     int
+		)
+		opts := sim.Options{Setup: func(w *sim.World) {
+			sessions = collections.NewStripedMap[int, string](w, "sessions", collections.IntHasher, 4)
+			queue = &boundedQueue{
+				mon:   w.NewLock("AppQueue.mon"),
+				items: collections.NewLinkedList[int](),
+				cap:   2,
+			}
+			stats = w.NewLock("AppStats")
+			app := &appender{mu: w.NewLock("appender#app"), name: "app", layout: "plain"}
+			root := &category{
+				mu:        w.NewLock("category#app"),
+				name:      "app",
+				level:     1,
+				appenders: collections.NewArrayList[int](1),
+			}
+			root.appenders.Add(0)
+			h = &hierarchy{appenders: []*appender{app}, root: root}
+			root.hier = h
+			cache = newLRUCache(w, 8)
+			done = 0
+		}}
+		prog := func(th *sim.Thread) {
+			var hs []*sim.Thread
+			// Request handlers: session lookup, enqueue, cache, log.
+			for i := 0; i < handlers; i++ {
+				i := i
+				hs = append(hs, th.Go("handler", func(u *sim.Thread) {
+					for r := 0; r < 3; r++ {
+						sessions.Put(u, i*10+r, "session")
+						queue.put(u, i*10+r)
+						if _, ok := cache.get(u, r); !ok {
+							cache.put(u, r, fmt.Sprintf("body-%d", r))
+						}
+						h.root.log(u, logEvent{level: 2, msg: "served"})
+					}
+				}, "app.go:accept"))
+			}
+			// Worker: drains the queue, bumps stats under the queue
+			// monitor (half of the queue/stats inversion).
+			hs = append(hs, th.Go("worker", func(u *sim.Thread) {
+				for r := 0; r < handlers*3; r++ {
+					v := queue.get(u)
+					u.Lock(queue.mon, "app.go:71")
+					u.Lock(stats, "app.go:73")
+					done += v % 3
+					u.Unlock(stats, "app.go:75")
+					u.Unlock(queue.mon, "app.go:77")
+				}
+			}, "app.go:spawnWorker"))
+			// Monitor thread: inverts stats/queue-monitor order.
+			hs = append(hs, th.Go("monitor", func(u *sim.Thread) {
+				for r := 0; r < 2; r++ {
+					u.Lock(stats, "app.go:monitor.18")
+					u.Lock(queue.mon, "app.go:monitor.20")
+					_ = queue.items.Size()
+					u.Unlock(queue.mon, "app.go:monitor.22")
+					u.Unlock(stats, "app.go:monitor.24")
+				}
+			}, "app.go:spawnMonitor"))
+			// Admin thread: reconfigures the appender (the logging
+			// inversion's other half).
+			hs = append(hs, th.Go("admin", func(u *sim.Thread) {
+				h.appenders[0].setLayout(u, h.root, "pattern")
+			}, "app.go:spawnAdmin"))
+			for _, x := range hs {
+				th.Join(x, "app.go:shutdown")
+			}
+		}
+		return prog, opts
+	}
+	return Workload{
+		Name: "AppServer",
+		New:  factory,
+		Paper: PaperRow{
+			// Integration workload, not a paper row: two real defects.
+			Defects: 2, TPWolf: 2,
+		},
+	}
+}

@@ -1,0 +1,113 @@
+package workloads
+
+import (
+	"fmt"
+
+	"wolf/collections"
+	"wolf/sim"
+)
+
+// cache4j.go models the cache4j benchmark: a synchronized LRU object
+// cache hammered by several client threads. Its locking is disciplined
+// (one cache-wide monitor, never nested), so no deadlock exists; the
+// row exists to measure detection overhead on a lock-heavy program.
+
+// lruCache is a blocking LRU cache in the style of
+// cache4j's SynchronizedCache: a hash map plus an eviction list behind
+// one monitor.
+type lruCache struct {
+	mu       *sim.Lock
+	capacity int
+	items    *collections.HashMap[int, string]
+	order    *collections.LinkedList[int]
+	hits     int
+	misses   int
+	evicted  int
+}
+
+// newLRUCache builds a cache with the given capacity.
+func newLRUCache(w *sim.World, capacity int) *lruCache {
+	return &lruCache{
+		mu:       w.NewLock("cache4j.SynchronizedCache"),
+		capacity: capacity,
+		items:    collections.NewHashMap[int, string](collections.IntHasher),
+		order:    collections.NewLinkedList[int](),
+	}
+}
+
+// get returns the cached value, refreshing recency
+// (SynchronizedCache.java:49).
+func (c *lruCache) get(t *sim.Thread, key int) (string, bool) {
+	var v string
+	var ok bool
+	t.WithLock(c.mu, "SynchronizedCache.java:49", func() {
+		v, ok = c.items.Get(key)
+		if ok {
+			c.hits++
+			c.order.Remove(key)
+			c.order.AddLast(key)
+		} else {
+			c.misses++
+		}
+	})
+	return v, ok
+}
+
+// put inserts a value, evicting the least recently used entry when full
+// (SynchronizedCache.java:62).
+func (c *lruCache) put(t *sim.Thread, key int, val string) {
+	t.WithLock(c.mu, "SynchronizedCache.java:62", func() {
+		if _, had := c.items.Put(key, val); had {
+			c.order.Remove(key)
+		} else if c.items.Size() > c.capacity {
+			if victim, ok := c.order.RemoveFirst(); ok {
+				c.items.Remove(victim)
+				c.evicted++
+			}
+		}
+		c.order.AddLast(key)
+	})
+}
+
+// Cache4j is the Table 1 "cache4j" row: zero deadlocks, pure overhead
+// measurement.
+func Cache4j() Workload {
+	const (
+		clients  = 4
+		requests = 25
+		capacity = 16
+	)
+	factory := func() (sim.Program, sim.Options) {
+		var cache *lruCache
+		opts := sim.Options{Setup: func(w *sim.World) {
+			cache = newLRUCache(w, capacity)
+		}}
+		prog := func(th *sim.Thread) {
+			var hs []*sim.Thread
+			for i := 0; i < clients; i++ {
+				i := i
+				hs = append(hs, th.Go("client", func(u *sim.Thread) {
+					rng := u.Rand()
+					for r := 0; r < requests; r++ {
+						key := rng.Intn(40)
+						if _, ok := cache.get(u, key); !ok {
+							cache.put(u, key, fmt.Sprintf("value-%d-%d", i, key))
+						}
+					}
+				}, "spawn"))
+			}
+			for _, h := range hs {
+				th.Join(h, "gather")
+			}
+		}
+		return prog, opts
+	}
+	return Workload{
+		Name: "cache4j",
+		New:  factory,
+		Paper: PaperRow{
+			LoC: "3,897", Slowdown: 1.32,
+			// All defect and cycle counts are zero.
+		},
+	}
+}

@@ -1,0 +1,137 @@
+package workloads
+
+import (
+	"fmt"
+
+	"wolf/collections"
+	"wolf/sim"
+)
+
+// newList instantiates the backing list implementation for a list
+// benchmark.
+func newList(kind string) collections.List[int] {
+	switch kind {
+	case "ArrayList":
+		return collections.NewArrayList[int](4)
+	case "Stack":
+		return collections.NewStack[int]()
+	case "LinkedList":
+		return collections.NewLinkedList[int]()
+	default:
+		panic(fmt.Sprintf("workloads: unknown list kind %q", kind))
+	}
+}
+
+// newMap instantiates the backing map implementation for a map
+// benchmark.
+func newMap(kind string) collections.Map[int, string] {
+	switch kind {
+	case "HashMap":
+		return collections.NewHashMap[int, string](collections.IntHasher)
+	case "TreeMap":
+		return collections.NewTreeMap[int, string](collections.IntLess)
+	case "WeakHashMap":
+		return collections.NewWeakHashMap[int, string](collections.IntHasher)
+	case "LinkedHashMap":
+		return collections.NewLinkedHashMap[int, string](collections.IntHasher)
+	case "IdentityHashMap":
+		return collections.NewIdentityHashMap[int, string](collections.IntHasher)
+	default:
+		panic(fmt.Sprintf("workloads: unknown map kind %q", kind))
+	}
+}
+
+// listFactory builds the list harness: two twin workers exercise Equals,
+// RemoveAll and AddAll over two synchronized views in opposite orders.
+// The initial sizes differ (1 vs 2), so Equals always takes the
+// size-only path and every thread's acquisition sequence is
+// schedule-independent. Each worker produces nested acquisitions at
+// Collections.java:1565 (size inside equals), :1567 (contains inside
+// removeAll) and :1570 (toArray inside addAll) while holding its own
+// view's mutex — six defects, all real.
+func listFactory(kind string) sim.Factory {
+	return func() (sim.Program, sim.Options) {
+		var sc1, sc2 *collections.SyncList[int]
+		opts := sim.Options{Setup: func(w *sim.World) {
+			l1, l2 := newList(kind), newList(kind)
+			l1.Add(101)
+			l2.Add(201)
+			l2.Add(202)
+			sc1 = collections.NewSyncList[int](w, "SC1", l1)
+			sc2 = collections.NewSyncList[int](w, "SC2", l2)
+		}}
+		ops := func(mine, other *collections.SyncList[int]) sim.Program {
+			return func(u *sim.Thread) {
+				mine.Equals(u, other)    // 1561 → other 1565 (size-only path)
+				mine.RemoveAll(u, other) // 1594 → other 1567 per element
+				mine.AddAll(u, other)    // 1591 → other 1570
+			}
+		}
+		prog := func(th *sim.Thread) {
+			t1 := th.Go("worker", ops(sc1, sc2), "spawn")
+			t2 := th.Go("worker", ops(sc2, sc1), "spawn")
+			th.Join(t1, "j1")
+			th.Join(t2, "j2")
+		}
+		return prog, opts
+	}
+}
+
+// ListBench is one of the three list rows of Table 1 (ArrayList, Stack,
+// LinkedList): 6 defects / 9 cycles in the paper, all real; WOLF
+// reproduces every defect, DeadlockFuzzer roughly half.
+func ListBench(kind string) Workload {
+	return Workload{
+		Name: kind,
+		New:  listFactory(kind),
+		Paper: PaperRow{
+			LoC: "17,633", SL: 4.2, Vs: 4.7, Slowdown: 1.95,
+			Defects: 6, TPWolf: 6, TPDF: 3, UnkDF: 3,
+			Cycles: 9, CyclesTPWolf: 9, CyclesTPDF: 3,
+			HitWolf: 0.95, HitDF: 0.35,
+		},
+	}
+}
+
+// mapFactory builds the map harness of the paper's Figure 2: two
+// workers equals two equal one-entry synchronized maps in opposite
+// orders. Equals locks its own mutex (Collections.java:2024), briefly
+// locks the other's for the size check (:2028 — the paper's "line 509")
+// and again per entry for the value comparison (:2031 — "line 522").
+// Four cycles, three defects; the both-at-:2031 cycle is infeasible and
+// eliminated by the Generator.
+func mapFactory(kind string) sim.Factory {
+	return func() (sim.Program, sim.Options) {
+		var sm1, sm2 *collections.SyncMap[int, string]
+		opts := sim.Options{Setup: func(w *sim.World) {
+			m1, m2 := newMap(kind), newMap(kind)
+			m1.Put(7, "x")
+			m2.Put(7, "x")
+			sm1 = collections.NewSyncMap[int, string](w, "SM1", m1)
+			sm2 = collections.NewSyncMap[int, string](w, "SM2", m2)
+		}}
+		prog := func(th *sim.Thread) {
+			t1 := th.Go("worker", func(u *sim.Thread) { sm1.Equals(u, sm2) }, "spawn")
+			t2 := th.Go("worker", func(u *sim.Thread) { sm2.Equals(u, sm1) }, "spawn")
+			th.Join(t1, "j1")
+			th.Join(t2, "j2")
+		}
+		return prog, opts
+	}
+}
+
+// MapBench is one of the five map rows of Table 1: 3 defects / 4 cycles,
+// one eliminated by the Generator, the other two confirmed by both tools
+// (WOLF far more reliably — Figure 8).
+func MapBench(kind string) Workload {
+	return Workload{
+		Name: kind,
+		New:  mapFactory(kind),
+		Paper: PaperRow{
+			LoC: "18,911", SL: 4.1, Vs: 4, Slowdown: 2.2,
+			Defects: 3, FPGen: 1, TPWolf: 2, TPDF: 2, UnkDF: 1,
+			Cycles: 4, CyclesFPWolf: 1, CyclesTPWolf: 3, CyclesTPDF: 3,
+			HitWolf: 0.95, HitDF: 0.55,
+		},
+	}
+}

@@ -1,0 +1,66 @@
+package workloads
+
+import (
+	"testing"
+
+	"wolf/internal/core"
+)
+
+// TestDataDependencyExtensionOnJigsaw: with the value-flow extension
+// enabled, the 17 flag-ordered defects that plain WOLF leaves unknown
+// are refuted as false(data) — the paper's Section 4.4 conjecture,
+// implemented. The base verdicts (7 pruner false positives, 6 confirmed)
+// are unchanged.
+func TestDataDependencyExtensionOnJigsaw(t *testing.T) {
+	w := Jigsaw()
+	seed, ok := FindTerminatingSeed(w.New, 300)
+	if !ok {
+		t.Fatal("no terminating seed")
+	}
+	rep := core.Analyze(w.New, core.Config{
+		DetectSeeds:    []int64{seed},
+		ReplayAttempts: 5,
+		DataDependency: true,
+	})
+	pr, gen, conf, unk := rep.CountDefects()
+	if pr != 7 || conf != 6 {
+		t.Errorf("pruner FP=%d confirmed=%d, want 7/6", pr, conf)
+	}
+	if unk != 0 {
+		t.Errorf("unknown = %d, want 0 (all data defects refuted)", unk)
+	}
+	if gen != 17 {
+		t.Errorf("generator+data FP = %d, want 17", gen)
+	}
+	dataCount := 0
+	for _, d := range rep.Defects {
+		if d.Class == core.FalseByData {
+			dataCount++
+			if !contains(d.Signature, "EventWatcher") {
+				t.Errorf("non-watcher defect %s classified false(data)", d.Signature)
+			}
+		}
+	}
+	if dataCount != 17 {
+		t.Errorf("false(data) defects = %d, want 17", dataCount)
+	}
+}
+
+// TestDataDependencySoundOnRealDefects: enabling the extension must not
+// refute reproducible deadlocks on any benchmark.
+func TestDataDependencySoundOnRealDefects(t *testing.T) {
+	for _, name := range []string{"JavaLogging", "ArrayList", "HashMap", "TaskQueue"} {
+		w, _ := ByName(name)
+		seed, ok := FindTerminatingSeed(w.New, 300)
+		if !ok {
+			t.Fatalf("%s: no seed", name)
+		}
+		base := core.Analyze(w.New, core.Config{DetectSeeds: []int64{seed}, ReplayAttempts: 5})
+		ext := core.Analyze(w.New, core.Config{DetectSeeds: []int64{seed}, ReplayAttempts: 5, DataDependency: true})
+		_, _, confBase, _ := base.CountDefects()
+		_, _, confExt, _ := ext.CountDefects()
+		if confExt < confBase {
+			t.Errorf("%s: extension lost confirmations (%d → %d)", name, confBase, confExt)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package workloads
+
+import (
+	"wolf/collections"
+	"wolf/sim"
+)
+
+// Figure4 is the paper's running example (Figure 4): three threads,
+// three locks, cycles θ1 (pruned: t1 transitively starts t3) and θ2
+// (real, reliably replayable).
+func Figure4() Workload {
+	factory := func() (sim.Program, sim.Options) {
+		var l1, l2, l3 *sim.Lock
+		opts := sim.Options{Setup: func(w *sim.World) {
+			l1, l2, l3 = w.NewLock("l1"), w.NewLock("l2"), w.NewLock("l3")
+		}}
+		t3body := func(u *sim.Thread) {
+			u.Lock(l3, "31")
+			u.Lock(l2, "32")
+			u.Lock(l1, "33")
+			u.Unlock(l1, "34")
+			u.Unlock(l2, "35")
+			u.Unlock(l3, "36")
+		}
+		prog := func(th *sim.Thread) {
+			th.Lock(l1, "11")
+			th.Lock(l2, "12")
+			th.Unlock(l2, "13")
+			th.Unlock(l1, "14")
+			th.Go("t2", func(u *sim.Thread) { u.Go("t3", t3body, "21") }, "15")
+			th.Lock(l3, "16")
+			th.Unlock(l3, "17")
+			th.Lock(l1, "18")
+			th.Lock(l2, "19")
+			th.Unlock(l2, "20")
+			th.Unlock(l1, "21")
+		}
+		return prog, opts
+	}
+	return Workload{
+		Name: "Figure4",
+		New:  factory,
+		Paper: PaperRow{
+			Defects: 2, FPPruner: 1, TPWolf: 1,
+			Cycles: 2, CyclesFPWolf: 1, CyclesTPWolf: 1,
+		},
+	}
+}
+
+// Figure2 is the paper's Figure 2: two threads equals-ing two
+// synchronized maps in opposite orders; four cycles, of which θ4 is
+// eliminated by the Generator's cyclic Gs.
+func Figure2() Workload {
+	return Workload{
+		Name: "Figure2",
+		New:  mapFactory("HashMap"),
+		Paper: PaperRow{
+			Defects: 3, FPGen: 1, TPWolf: 2,
+			Cycles: 4, CyclesFPWolf: 1, CyclesTPWolf: 3,
+		},
+	}
+}
+
+// Figure9 is the paper's Figure 9: twin worker threads (identical
+// creation site) on two same-site synchronized collections. The real
+// 1567+1570 deadlock is reliably reproduced by WOLF and essentially
+// never by DeadlockFuzzer (abstraction collision).
+func Figure9() Workload {
+	factory := func() (sim.Program, sim.Options) {
+		var sc1, sc2 *collections.SyncList[int]
+		opts := sim.Options{Setup: func(w *sim.World) {
+			a := collections.NewArrayList[int](4)
+			b := collections.NewArrayList[int](4)
+			a.Add(1)
+			b.Add(2)
+			sc1 = collections.NewSyncList[int](w, "SC1", a)
+			sc2 = collections.NewSyncList[int](w, "SC2", b)
+		}}
+		prog := func(th *sim.Thread) {
+			t1 := th.Go("worker", func(u *sim.Thread) {
+				sc1.AddAll(u, sc2)
+			}, "spawn")
+			t2 := th.Go("worker", func(u *sim.Thread) {
+				sc2.AddAll(u, sc1) // the prelude that confuses DF
+				sc2.RemoveAll(u, sc1)
+			}, "spawn")
+			th.Join(t1, "j1")
+			th.Join(t2, "j2")
+		}
+		return prog, opts
+	}
+	return Workload{
+		Name: "Figure9",
+		New:  factory,
+		Paper: PaperRow{
+			HitWolf: 1.0, HitDF: 0.0,
+		},
+	}
+}
+
+// Philosophers is the classic N-way dining philosophers cycle; every
+// fork pair is a potential deadlock edge and the N-cycle is real.
+func Philosophers(n int) Workload {
+	factory := func() (sim.Program, sim.Options) {
+		forks := make([]*sim.Lock, n)
+		opts := sim.Options{Setup: func(w *sim.World) {
+			for i := range forks {
+				forks[i] = w.NewLock(forkName(i))
+			}
+		}}
+		prog := func(th *sim.Thread) {
+			var hs []*sim.Thread
+			for i := 0; i < n; i++ {
+				i := i
+				hs = append(hs, th.Go("phil", func(u *sim.Thread) {
+					left, right := forks[i], forks[(i+1)%n]
+					u.Lock(left, philSite(i, "left"))
+					u.Yield(philSite(i, "think"))
+					u.Lock(right, philSite(i, "right"))
+					u.Unlock(right, philSite(i, "downR"))
+					u.Unlock(left, philSite(i, "downL"))
+				}, "seat"))
+			}
+			for _, h := range hs {
+				th.Join(h, "gather")
+			}
+		}
+		return prog, opts
+	}
+	return Workload{Name: "Philosophers", New: factory}
+}
+
+func forkName(i int) string { return "fork#" + string(rune('0'+i)) }
+
+func philSite(i int, what string) string {
+	return "Philosopher.java:" + what + string(rune('0'+i))
+}
+
+// Bank models the textbook transfer deadlock: transfer(a, b) locks both
+// accounts in argument order, so concurrent opposite transfers deadlock.
+func Bank() Workload {
+	factory := func() (sim.Program, sim.Options) {
+		type account struct {
+			mu      *sim.Lock
+			balance int
+		}
+		var accounts []*account
+		opts := sim.Options{Setup: func(w *sim.World) {
+			accounts = nil
+			for i := 0; i < 3; i++ {
+				accounts = append(accounts, &account{
+					mu:      w.NewLock("account#" + string(rune('A'+i))),
+					balance: 100,
+				})
+			}
+		}}
+		transfer := func(u *sim.Thread, from, to *account, amount int, tag string) {
+			u.Lock(from.mu, "Bank.java:transfer-from-"+tag)
+			u.Yield("Bank.java:audit-" + tag)
+			u.Lock(to.mu, "Bank.java:transfer-to-"+tag)
+			from.balance -= amount
+			to.balance += amount
+			u.Unlock(to.mu, "Bank.java:release-to-"+tag)
+			u.Unlock(from.mu, "Bank.java:release-from-"+tag)
+		}
+		prog := func(th *sim.Thread) {
+			h1 := th.Go("teller", func(u *sim.Thread) {
+				transfer(u, accounts[0], accounts[1], 10, "ab")
+				transfer(u, accounts[1], accounts[2], 5, "bc")
+			}, "spawn1")
+			h2 := th.Go("teller", func(u *sim.Thread) {
+				transfer(u, accounts[1], accounts[0], 20, "ba")
+			}, "spawn2")
+			th.Join(h1, "j1")
+			th.Join(h2, "j2")
+		}
+		return prog, opts
+	}
+	return Workload{Name: "Bank", New: factory}
+}

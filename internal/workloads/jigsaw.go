@@ -1,0 +1,272 @@
+package workloads
+
+import (
+	"fmt"
+
+	"wolf/collections"
+	"wolf/sim"
+)
+
+// jigsaw.go models the Jigsaw web-server benchmark — the paper's
+// largest subject (160 KLoC; 30 defects, of which 7 are start-order
+// false positives, 6 are real and reproducible, and 17 remain unknown
+// because data dependencies the analysis cannot see make them
+// infeasible). The mini server preserves those three defect families:
+//
+//  1. Thread-cache initialization (the paper's Figure 1): the server
+//     starts each cached worker while holding both the ThreadCache and
+//     the CachedThread monitors; the worker acquires them in the
+//     opposite order. A lock-graph cycle exists but the start-order
+//     vector clocks prune it. One defect per server module (7).
+//  2. Request/admin inversions over a resource and its servlet context,
+//     executed by twin worker threads (same creation site, Figure 9
+//     style): each pair yields a symmetric serve/serve deadlock that
+//     both tools reproduce and a mixed serve/admin deadlock that only
+//     WOLF's concrete-thread, Gs-ordered replay reproduces. Three pairs
+//     → 6 real defects, 3 of them DeadlockFuzzer-hard.
+//  3. Flag-ordered inversions: a publisher performs lock(X); lock(Y)
+//     sections and raises a plain data flag after releasing; a watcher
+//     performs the inverted section only once it observes the flag. The
+//     lock graph contains the cycle and neither the Pruner (the threads
+//     overlap) nor the Generator (Gs is acyclic) can refute it, but no
+//     schedule deadlocks — the paper's "unknown due to data dependency"
+//     category (17 defects).
+const (
+	jigsawFPModules    = 7
+	jigsawRealPairs    = 3
+	jigsawDataPairs    = 17
+	jigsawServeIters   = 4
+	jigsawAdminIters   = 4
+	jigsawChainLen     = 3
+	jigsawPollBudget   = 120
+	jigsawStartupDelay = 150
+	jigsawClients      = 8
+	jigsawClientReqs   = 120
+)
+
+// jigsawState is the shared server state of one run.
+type jigsawState struct {
+	threadCache  *sim.Lock
+	cachedTh     []*sim.Lock
+	res, ctx     []*sim.Lock
+	dataX, dataY []*sim.Lock
+	flags        []*sim.Var
+	routeLock    *sim.Lock
+	routes       *collections.TreeMap[string, string]
+	statLock     *sim.Lock
+	served       int
+}
+
+// lookup does real routing work under the shared route lock — noise
+// acquisitions that fatten Gs the way a real server's shared structures
+// do.
+func (j *jigsawState) lookup(t *sim.Thread, path string, site string) string {
+	var out string
+	t.WithLock(j.routeLock, site, func() {
+		if v, ok := j.routes.Get(path); ok {
+			out = v
+		} else {
+			out = "404"
+		}
+	})
+	return out
+}
+
+// bump updates server statistics under the stat lock.
+func (j *jigsawState) bump(t *sim.Thread, site string) {
+	t.WithLock(j.statLock, site, func() { j.served++ })
+}
+
+// cachedWorker is the Figure 1 counterpart: waitForRunner locks the
+// CachedThread monitor, then isFree locks the ThreadCache.
+func (j *jigsawState) cachedWorker(k int) sim.Program {
+	return func(u *sim.Thread) {
+		u.Lock(j.cachedTh[k], fmt.Sprintf("CachedThread%d.java:24", k))
+		u.Lock(j.threadCache, fmt.Sprintf("ThreadCache%d.java:175", k))
+		u.Unlock(j.threadCache, fmt.Sprintf("ThreadCache%d.java:176", k))
+		u.Unlock(j.cachedTh[k], fmt.Sprintf("CachedThread%d.java:56", k))
+		j.bump(u, "httpd.java:stats")
+	}
+}
+
+// chainSites returns the private session/parser/buffer lock chain a
+// handler holds while touching a resource, deepening lock stacks the
+// way Jigsaw's nested monitors do.
+func (j *jigsawState) withChain(u *sim.Thread, tag string, body func()) {
+	var chain []*sim.Lock
+	for c := 0; c < jigsawChainLen; c++ {
+		l := u.NewLock(fmt.Sprintf("session.%s.%d", tag, c))
+		u.Lock(l, fmt.Sprintf("Session.java:%s.%d", tag, c))
+		chain = append(chain, l)
+	}
+	body()
+	for i := len(chain) - 1; i >= 0; i-- {
+		u.Unlock(chain[i], fmt.Sprintf("Session.java:%s.%d.u", tag, i))
+	}
+}
+
+// serveOp locks first then second — the request path
+// (HttpdResource.java:serve holds the resource, then the context).
+func (j *jigsawState) serveOp(u *sim.Thread, p int, first, second *sim.Lock, iter int) {
+	j.withChain(u, fmt.Sprintf("serve%d", p), func() {
+		u.Lock(first, fmt.Sprintf("HttpdResource%d.java:88", p))
+		j.lookup(u, "/index", fmt.Sprintf("Daemon%d.java:route", p))
+		u.Lock(second, fmt.Sprintf("ServletContext%d.java:142", p))
+		u.Unlock(second, fmt.Sprintf("ServletContext%d.java:144", p))
+		u.Unlock(first, fmt.Sprintf("HttpdResource%d.java:97", p))
+	})
+	_ = iter
+}
+
+// adminOp locks the context then the resource — the reconfiguration
+// path (AdminServer.java) that inverts serveOp's order.
+func (j *jigsawState) adminOp(u *sim.Thread, p int) {
+	j.withChain(u, fmt.Sprintf("admin%d", p), func() {
+		u.Lock(j.ctx[p], fmt.Sprintf("AdminServer%d.java:210", p))
+		j.bump(u, "httpd.java:stats")
+		u.Lock(j.res[p], fmt.Sprintf("AdminServer%d.java:223", p))
+		u.Unlock(j.res[p], fmt.Sprintf("AdminServer%d.java:225", p))
+		u.Unlock(j.ctx[p], fmt.Sprintf("AdminServer%d.java:230", p))
+	})
+}
+
+// publisher performs ordered lock(X); lock(Y) sections and raises the
+// pair's flag only after releasing everything.
+func (j *jigsawState) publisher(q int) sim.Program {
+	return func(u *sim.Thread) {
+		for i := 0; i < 2; i++ {
+			u.Lock(j.dataX[q], fmt.Sprintf("ResourceStore%d.java:55", q))
+			u.Lock(j.dataY[q], fmt.Sprintf("ResourceStore%d.java:61", q))
+			u.Unlock(j.dataY[q], fmt.Sprintf("ResourceStore%d.java:63", q))
+			u.Unlock(j.dataX[q], fmt.Sprintf("ResourceStore%d.java:66", q))
+		}
+		// The flag is a plain data write: invisible to the lock
+		// analysis, visible to the value-flow extension.
+		u.Store(j.flags[q], true, fmt.Sprintf("ResourceStore%d.java:70", q))
+	}
+}
+
+// watcher polls the flag (bounded, like a handler timeout) and performs
+// the inverted section only after observing it — which is only possible
+// once the publisher has finished, so the inversion can never overlap.
+func (j *jigsawState) watcher(q int) sim.Program {
+	return func(u *sim.Thread) {
+		site := fmt.Sprintf("EventWatcher%d.java:poll", q)
+		seen := false
+		for i := 0; i < jigsawPollBudget; i++ {
+			if u.LoadBool(j.flags[q], site) {
+				seen = true
+				break
+			}
+			u.Yield(site + ".spin")
+		}
+		if !seen {
+			return
+		}
+		u.Lock(j.dataY[q], fmt.Sprintf("EventWatcher%d.java:80", q))
+		u.Lock(j.dataX[q], fmt.Sprintf("EventWatcher%d.java:84", q))
+		u.Unlock(j.dataX[q], fmt.Sprintf("EventWatcher%d.java:86", q))
+		u.Unlock(j.dataY[q], fmt.Sprintf("EventWatcher%d.java:89", q))
+	}
+}
+
+// Jigsaw is the Table 1 "Jigsaw" row.
+func Jigsaw() Workload {
+	factory := func() (sim.Program, sim.Options) {
+		var j *jigsawState
+		opts := sim.Options{Setup: func(w *sim.World) {
+			j = &jigsawState{
+				threadCache: w.NewLock("ThreadCache#0"),
+				routeLock:   w.NewLock("RouteTable"),
+				statLock:    w.NewLock("ServerStats"),
+				routes:      collections.NewTreeMap[string, string](collections.StringLess),
+			}
+			j.routes.Put("/index", "index.html")
+			j.routes.Put("/admin", "admin.html")
+			for k := 0; k < jigsawFPModules; k++ {
+				j.cachedTh = append(j.cachedTh, w.NewLock(fmt.Sprintf("CachedThread#%d", k)))
+			}
+			for p := 0; p < jigsawRealPairs; p++ {
+				j.res = append(j.res, w.NewLock(fmt.Sprintf("Resource#%d", p)))
+				j.ctx = append(j.ctx, w.NewLock(fmt.Sprintf("Context#%d", p)))
+			}
+			for q := 0; q < jigsawDataPairs; q++ {
+				j.dataX = append(j.dataX, w.NewLock(fmt.Sprintf("StoreX#%d", q)))
+				j.dataY = append(j.dataY, w.NewLock(fmt.Sprintf("StoreY#%d", q)))
+				j.flags = append(j.flags, w.NewVar(fmt.Sprintf("storeReady#%d", q), false))
+			}
+		}}
+		prog := func(th *sim.Thread) {
+			var hs []*sim.Thread
+			// Family 1: thread-cache initialization (Figure 1 × 7).
+			th.Lock(j.threadCache, "ThreadCache.java:401")
+			for k := 0; k < jigsawFPModules; k++ {
+				th.Lock(j.cachedTh[k], fmt.Sprintf("CachedThread%d.java:75", k))
+				hs = append(hs, th.Go("cached", j.cachedWorker(k), fmt.Sprintf("CachedThread%d.java:76", k)))
+				th.Unlock(j.cachedTh[k], fmt.Sprintf("CachedThread%d.java:78", k))
+			}
+			th.Unlock(j.threadCache, "ThreadCache.java:417")
+
+			// Family 2: twin request/admin workers per resource pair.
+			for p := 0; p < jigsawRealPairs; p++ {
+				p := p
+				hs = append(hs, th.Go("httpd-worker", func(u *sim.Thread) {
+					for i := 0; i < jigsawServeIters; i++ {
+						j.serveOp(u, p, j.res[p], j.ctx[p], i)
+					}
+				}, "httpd.java:spawn"))
+				hs = append(hs, th.Go("httpd-worker", func(u *sim.Thread) {
+					// Accept-queue latency: the second worker usually
+					// starts after the first has drained its requests,
+					// so recorded runs rarely deadlock — the replayer
+					// must force the overlap from the trace alone.
+					for i := 0; i < jigsawStartupDelay; i++ {
+						u.Yield("httpd.java:accept")
+					}
+					// Prelude: the same serve code on the same locks in
+					// swapped roles — the Figure 9 abstraction trap.
+					for i := 0; i < jigsawServeIters; i++ {
+						j.serveOp(u, p, j.ctx[p], j.res[p], i)
+					}
+					for i := 0; i < jigsawAdminIters; i++ {
+						j.adminOp(u, p)
+					}
+				}, "httpd.java:spawn"))
+			}
+
+			// Background traffic: plain clients hammering the route
+			// table and statistics — single-lock operations that make
+			// the execution dominated by ordinary request work, as a
+			// real server's is.
+			for c := 0; c < jigsawClients; c++ {
+				hs = append(hs, th.Go("client", func(u *sim.Thread) {
+					for r := 0; r < jigsawClientReqs; r++ {
+						j.lookup(u, "/index", "Client.java:get")
+						j.bump(u, "httpd.java:stats")
+					}
+				}, "httpd.java:accept-client"))
+			}
+
+			// Family 3: flag-ordered publisher/watcher pairs.
+			for q := 0; q < jigsawDataPairs; q++ {
+				hs = append(hs, th.Go("publisher", j.publisher(q), "ResourceStore.java:start"))
+				hs = append(hs, th.Go("watcher", j.watcher(q), "EventWatcher.java:start"))
+			}
+
+			for _, h := range hs {
+				th.Join(h, "httpd.java:shutdown")
+			}
+		}
+		return prog, opts
+	}
+	return Workload{
+		Name: "Jigsaw",
+		New:  factory,
+		Paper: PaperRow{
+			LoC: "160,388", SL: 11, Vs: 1486, Slowdown: 1.23,
+			Defects: 30, FPPruner: 7, TPWolf: 6, TPDF: 3, UnkWolf: 17, UnkDF: 27,
+			Cycles: 265, CyclesFPWolf: 83, CyclesTPWolf: 97, CyclesTPDF: 35,
+			HitWolf: 0.5, HitDF: 0.1,
+		},
+	}
+}

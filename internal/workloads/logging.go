@@ -1,0 +1,129 @@
+package workloads
+
+import (
+	"wolf/collections"
+	"wolf/sim"
+)
+
+// logging.go models the Java Logging benchmark (jakarta-log4j 1.2.8) and
+// its bug 24159: the logging path locks the Category (logger) monitor
+// and then each Appender's monitor, while appender reconfiguration locks
+// the Appender monitor and emits an internal diagnostic through the
+// logger — the classic inverted pair. Two distinct reconfiguration
+// entry points give the benchmark's two defects; DeadlockFuzzer's
+// randomized pausing is biased toward the one earlier in the code
+// (SetLayout), leaving the second unknown, exactly as in Table 1.
+
+// logEvent is a log record.
+type logEvent struct {
+	level int
+	msg   string
+}
+
+// appender writes formatted events; its monitor guards layout state.
+type appender struct {
+	mu     *sim.Lock
+	name   string
+	layout string
+	errors int
+	out    []string
+}
+
+// category is a named logger; its monitor guards the appender list and
+// the effective level.
+type category struct {
+	mu        *sim.Lock
+	name      string
+	level     int
+	appenders *collections.ArrayList[int] // indices into the hierarchy's appender table
+	hier      *hierarchy
+}
+
+// hierarchy owns loggers and appenders.
+type hierarchy struct {
+	appenders []*appender
+	root      *category
+}
+
+// callAppenders is Category.callAppenders (Category.java:204): lock the
+// category, then deliver to each appender (AppenderSkeleton.java:231).
+func (c *category) log(t *sim.Thread, ev logEvent) {
+	t.Lock(c.mu, "Category.java:204")
+	if ev.level >= c.level {
+		c.appenders.Each(func(i int) bool {
+			a := c.hier.appenders[i]
+			t.Lock(a.mu, "AppenderSkeleton.java:231")
+			a.out = append(a.out, a.layout+":"+ev.msg)
+			t.Unlock(a.mu, "AppenderSkeleton.java:233")
+			return true
+		})
+	}
+	t.Unlock(c.mu, "Category.java:206")
+}
+
+// setLayout is AppenderSkeleton.setLayout (AppenderSkeleton.java:76):
+// lock the appender, then emit a configuration diagnostic through the
+// logger (Category.java:59).
+func (a *appender) setLayout(t *sim.Thread, root *category, layout string) {
+	t.Lock(a.mu, "AppenderSkeleton.java:76")
+	a.layout = layout
+	t.Lock(root.mu, "Category.java:59") // LogLog diagnostic through the logger
+	_ = root.level
+	t.Unlock(root.mu, "Category.java:60")
+	t.Unlock(a.mu, "AppenderSkeleton.java:78")
+}
+
+// setErrorHandler is AppenderSkeleton.setErrorHandler
+// (AppenderSkeleton.java:94), with the same nested diagnostic
+// (Category.java:63).
+func (a *appender) setErrorHandler(t *sim.Thread, root *category) {
+	t.Lock(a.mu, "AppenderSkeleton.java:94")
+	a.errors = 0
+	t.Lock(root.mu, "Category.java:63")
+	_ = root.level
+	t.Unlock(root.mu, "Category.java:64")
+	t.Unlock(a.mu, "AppenderSkeleton.java:96")
+}
+
+// JavaLogging is the Table 1 "Java Logging" row: two defects (bug 24159
+// through two reconfiguration entry points), both confirmed by WOLF,
+// only the first by DeadlockFuzzer.
+func JavaLogging() Workload {
+	factory := func() (sim.Program, sim.Options) {
+		var h *hierarchy
+		opts := sim.Options{Setup: func(w *sim.World) {
+			app := &appender{mu: w.NewLock("appender#console"), name: "console", layout: "plain"}
+			root := &category{
+				mu:        w.NewLock("category#root"),
+				name:      "root",
+				level:     1,
+				appenders: collections.NewArrayList[int](1),
+			}
+			root.appenders.Add(0)
+			h = &hierarchy{appenders: []*appender{app}, root: root}
+			root.hier = h
+		}}
+		prog := func(th *sim.Thread) {
+			logger := th.Go("logger", func(u *sim.Thread) {
+				h.root.log(u, logEvent{level: 2, msg: "request served"})
+			}, "spawnLog")
+			config := th.Go("config", func(u *sim.Thread) {
+				h.appenders[0].setLayout(u, h.root, "pattern")
+				h.appenders[0].setErrorHandler(u, h.root)
+			}, "spawnCfg")
+			th.Join(logger, "j1")
+			th.Join(config, "j2")
+		}
+		return prog, opts
+	}
+	return Workload{
+		Name: "JavaLogging",
+		New:  factory,
+		Paper: PaperRow{
+			LoC: "4,248", SL: 10, Vs: 20, Slowdown: 1.07,
+			Defects: 2, TPWolf: 2, TPDF: 1, UnkDF: 1,
+			Cycles: 2, CyclesTPWolf: 2, CyclesTPDF: 1,
+			HitWolf: 1.0, HitDF: 0.5,
+		},
+	}
+}

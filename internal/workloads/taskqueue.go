@@ -1,0 +1,119 @@
+package workloads
+
+import (
+	"wolf/collections"
+	"wolf/sim"
+)
+
+// taskqueue.go is an extension workload exercising monitor Wait/Notify:
+// a bounded producer/consumer queue in the style of java.util.concurrent
+// precursors, plus a resource deadlock between the queue monitor and a
+// statistics lock. WOLF targets resource deadlocks; the condition
+// synchronization is realistic traffic the detector and replayer must
+// tolerate (waits release the monitor, resumes reacquire it).
+
+// boundedQueue is a classic monitor-based bounded buffer.
+type boundedQueue struct {
+	mon   *sim.Lock
+	items *collections.LinkedList[int]
+	cap   int
+}
+
+// put blocks while the queue is full (BoundedQueue.java:31).
+func (q *boundedQueue) put(t *sim.Thread, v int) {
+	t.Lock(q.mon, "BoundedQueue.java:29")
+	for q.items.Size() >= q.cap {
+		t.Wait(q.mon, "BoundedQueue.java:31")
+	}
+	q.items.AddLast(v)
+	t.NotifyAll(q.mon, "BoundedQueue.java:34")
+	t.Unlock(q.mon, "BoundedQueue.java:36")
+}
+
+// get blocks while the queue is empty (BoundedQueue.java:44).
+func (q *boundedQueue) get(t *sim.Thread) int {
+	t.Lock(q.mon, "BoundedQueue.java:42")
+	for q.items.Size() == 0 {
+		t.Wait(q.mon, "BoundedQueue.java:44")
+	}
+	v, _ := q.items.RemoveFirst()
+	t.NotifyAll(q.mon, "BoundedQueue.java:47")
+	t.Unlock(q.mon, "BoundedQueue.java:49")
+	return v
+}
+
+// TaskQueue is the wait/notify extension workload: one defect (queue
+// monitor vs statistics lock), detected and confirmed amid condition
+// synchronization traffic.
+func TaskQueue() Workload {
+	const (
+		producers = 2
+		consumers = 2
+		tasks     = 6
+		capacity  = 2
+	)
+	factory := func() (sim.Program, sim.Options) {
+		var (
+			q     *boundedQueue
+			stats *sim.Lock
+			done  int
+		)
+		opts := sim.Options{Setup: func(w *sim.World) {
+			q = &boundedQueue{
+				mon:   w.NewLock("BoundedQueue.mon"),
+				items: collections.NewLinkedList[int](),
+				cap:   capacity,
+			}
+			stats = w.NewLock("WorkerStats")
+			done = 0
+		}}
+		prog := func(th *sim.Thread) {
+			var hs []*sim.Thread
+			for p := 0; p < producers; p++ {
+				p := p
+				hs = append(hs, th.Go("producer", func(u *sim.Thread) {
+					for i := 0; i < tasks/producers; i++ {
+						q.put(u, p*100+i)
+					}
+				}, "Pool.java:spawnP"))
+			}
+			for c := 0; c < consumers; c++ {
+				hs = append(hs, th.Go("consumer", func(u *sim.Thread) {
+					for i := 0; i < tasks/consumers; i++ {
+						v := q.get(u)
+						// Record completion: stats lock nested under
+						// the queue monitor.
+						u.Lock(q.mon, "Worker.java:71")
+						u.Lock(stats, "Worker.java:73")
+						done += v % 7
+						u.Unlock(stats, "Worker.java:75")
+						u.Unlock(q.mon, "Worker.java:77")
+					}
+				}, "Pool.java:spawnC"))
+			}
+			// The monitoring thread inverts the order: stats, then the
+			// queue monitor to read the backlog.
+			hs = append(hs, th.Go("monitor", func(u *sim.Thread) {
+				for i := 0; i < 3; i++ {
+					u.Lock(stats, "Monitor.java:18")
+					u.Lock(q.mon, "Monitor.java:20")
+					_ = q.items.Size()
+					u.Unlock(q.mon, "Monitor.java:22")
+					u.Unlock(stats, "Monitor.java:24")
+				}
+			}, "Pool.java:spawnM"))
+			for _, h := range hs {
+				th.Join(h, "Pool.java:join")
+			}
+		}
+		return prog, opts
+	}
+	return Workload{
+		Name: "TaskQueue",
+		New:  factory,
+		Paper: PaperRow{
+			// Extension workload; not a Table 1 row.
+			Defects: 1, TPWolf: 1,
+		},
+	}
+}

@@ -1,0 +1,104 @@
+// Package workloads defines the benchmark programs of the paper's
+// evaluation (Section 4): an object cache (cache4j), a mini web server
+// (Jigsaw), a hierarchical logging library (Java Logging / log4j bug
+// 24159) and eight java.util collection harnesses, plus the paper's
+// illustrative figures and a few classics used by examples.
+//
+// Each workload is a sim.Factory whose synchronization skeleton mirrors
+// the original benchmark's, so the WOLF pipeline faces the same
+// detection, pruning, generation and replay problems the paper reports.
+// Expected outcomes (the paper's table rows) are attached for the
+// reporting harness.
+package workloads
+
+import (
+	"wolf/sim"
+)
+
+// PaperRow is the paper's reported outcome for one benchmark, used by
+// the report package to print paper-vs-measured comparisons.
+type PaperRow struct {
+	// LoC is the benchmark size the paper lists (our analogue is much
+	// smaller; the column is reproduced for reference).
+	LoC string
+	// SL is the average stack-trace length (our analogue: average lock
+	// stack depth; see EXPERIMENTS.md).
+	SL float64
+	// Vs is the average number of vertices in Gs.
+	Vs float64
+	// Slowdown is the detection slowdown (Table 1).
+	Slowdown float64
+	// Defects and the per-tool classification counts (Table 1).
+	Defects, FPPruner, FPGen, TPWolf, TPDF, UnkWolf, UnkDF int
+	// Cycles and the per-tool cycle-level counts (Table 2).
+	Cycles, CyclesFPWolf, CyclesTPWolf, CyclesTPDF int
+	// HitWolf and HitDF are approximate Figure 8 hit rates.
+	HitWolf, HitDF float64
+}
+
+// Workload is one benchmark.
+type Workload struct {
+	// Name is the benchmark's table name.
+	Name string
+	// New builds a fresh program + options per run.
+	New sim.Factory
+	// Paper is the paper's reported row.
+	Paper PaperRow
+}
+
+// All returns every Table 1 benchmark in the paper's row order.
+func All() []Workload {
+	return []Workload{
+		Cache4j(),
+		Jigsaw(),
+		JavaLogging(),
+		ListBench("ArrayList"),
+		ListBench("Stack"),
+		ListBench("LinkedList"),
+		MapBench("HashMap"),
+		MapBench("TreeMap"),
+		MapBench("WeakHashMap"),
+		MapBench("LinkedHashMap"),
+		MapBench("IdentityHashMap"),
+	}
+}
+
+// ByName returns the workload with the given table name.
+func ByName(name string) (Workload, bool) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	switch name {
+	case "Figure4":
+		return Figure4(), true
+	case "Figure2":
+		return Figure2(), true
+	case "Figure9":
+		return Figure9(), true
+	case "Philosophers":
+		return Philosophers(5), true
+	case "Bank":
+		return Bank(), true
+	case "TaskQueue":
+		return TaskQueue(), true
+	case "AppServer":
+		return AppServer(), true
+	}
+	return Workload{}, false
+}
+
+// FindTerminatingSeed searches for a schedule seed whose recorded run
+// terminates (so detection observes the complete trace), preferring the
+// smallest. Detection on a deadlocked run still works but sees a
+// truncated trace.
+func FindTerminatingSeed(f sim.Factory, tries int) (int64, bool) {
+	for seed := int64(1); seed <= int64(tries); seed++ {
+		prog, opts := f()
+		if out := sim.Run(prog, sim.NewRandomStrategy(seed), opts); out.Kind == sim.Terminated {
+			return seed, true
+		}
+	}
+	return 0, false
+}

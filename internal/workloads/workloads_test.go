@@ -1,0 +1,264 @@
+package workloads
+
+import (
+	"testing"
+
+	"wolf/internal/core"
+	"wolf/sim"
+)
+
+// analyzeBoth runs both pipelines on the workload with its discovered
+// detection seed.
+func analyzeBoth(t *testing.T, w Workload, attempts int) (*core.Report, *core.Report) {
+	t.Helper()
+	seed, ok := FindTerminatingSeed(w.New, 300)
+	if !ok {
+		t.Fatalf("%s: no terminating seed", w.Name)
+	}
+	cfg := core.Config{DetectSeeds: []int64{seed}, ReplayAttempts: attempts}
+	return core.Analyze(w.New, cfg), core.AnalyzeDF(w.New, cfg)
+}
+
+// expect captures the measured shape a workload must produce. Counts
+// marked -1 are not asserted exactly.
+type expect struct {
+	defects, fpPr, fpGen, tpWolf, unkWolf int
+	tpDF, unkDF                           int
+}
+
+// TestTable1Shapes locks in the per-benchmark defect classification that
+// reproduces the paper's Table 1 rows.
+func TestTable1Shapes(t *testing.T) {
+	cases := map[string]expect{
+		"cache4j":         {0, 0, 0, 0, 0, 0, 0},
+		"Jigsaw":          {30, 7, 0, 6, 17, 3, 27},
+		"JavaLogging":     {2, 0, 0, 2, 0, 1, 1},
+		"ArrayList":       {6, 0, 0, 6, 0, 3, 3},
+		"Stack":           {6, 0, 0, 6, 0, 3, 3},
+		"LinkedList":      {6, 0, 0, 6, 0, 3, 3},
+		"HashMap":         {3, 0, 1, 2, 0, 2, 1},
+		"TreeMap":         {3, 0, 1, 2, 0, 2, 1},
+		"WeakHashMap":     {3, 0, 1, 2, 0, 2, 1},
+		"LinkedHashMap":   {3, 0, 1, 2, 0, 2, 1},
+		"IdentityHashMap": {3, 0, 1, 2, 0, 2, 1},
+	}
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			want, ok := cases[w.Name]
+			if !ok {
+				t.Fatalf("no expectation for %s", w.Name)
+			}
+			wolf, df := analyzeBoth(t, w, 5)
+			pr, gen, tpW, unkW := wolf.CountDefects()
+			if len(wolf.Defects) != want.defects || pr != want.fpPr || gen != want.fpGen ||
+				tpW != want.tpWolf || unkW != want.unkWolf {
+				t.Errorf("WOLF defects=%d FP=%d+%d TP=%d UNK=%d, want %d FP=%d+%d TP=%d UNK=%d\n%v",
+					len(wolf.Defects), pr, gen, tpW, unkW,
+					want.defects, want.fpPr, want.fpGen, want.tpWolf, want.unkWolf, wolf)
+			}
+			dpr, dgen, tpD, unkD := df.CountDefects()
+			if dpr != 0 || dgen != 0 {
+				t.Errorf("DF reported false positives %d+%d", dpr, dgen)
+			}
+			if tpD != want.tpDF || unkD != want.unkDF {
+				t.Errorf("DF TP=%d UNK=%d, want TP=%d UNK=%d\n%v", tpD, unkD, want.tpDF, want.unkDF, df)
+			}
+			if tpW < tpD {
+				t.Errorf("WOLF confirmed fewer defects (%d) than DF (%d)", tpW, tpD)
+			}
+		})
+	}
+}
+
+// TestCycleCountsStable locks in cycle-level counts (our analogue of
+// Table 2's Cycles column; absolute values differ from the paper's
+// harnesses, the tool relationship must not).
+func TestCycleCountsStable(t *testing.T) {
+	wants := map[string]int{
+		"cache4j": 0, "Jigsaw": 137, "JavaLogging": 2,
+		"ArrayList": 12, "Stack": 12, "LinkedList": 12,
+		"HashMap": 4, "TreeMap": 4, "WeakHashMap": 4,
+		"LinkedHashMap": 4, "IdentityHashMap": 4,
+	}
+	for _, w := range All() {
+		wolf, df := analyzeBoth(t, w, 1)
+		if got := len(wolf.Cycles); got != wants[w.Name] {
+			t.Errorf("%s: WOLF cycles = %d, want %d", w.Name, got, wants[w.Name])
+		}
+		if got := len(df.Cycles); got != wants[w.Name] {
+			t.Errorf("%s: DF cycles = %d, want %d (same detector)", w.Name, got, wants[w.Name])
+		}
+		_, _, tpWc, _ := wolf.CountCycles()
+		_, _, tpDc, _ := df.CountCycles()
+		if wants[w.Name] > 0 && tpWc < tpDc {
+			t.Errorf("%s: WOLF confirmed fewer cycles (%d) than DF (%d)", w.Name, tpWc, tpDc)
+		}
+	}
+}
+
+// TestJigsawFamilies: the three defect families land in the right
+// buckets (Figure 1 pattern → pruner, flag-ordered → unknown, twin
+// inversions → confirmed).
+func TestJigsawFamilies(t *testing.T) {
+	w := Jigsaw()
+	wolf, _ := analyzeBoth(t, w, 5)
+	for _, d := range wolf.Defects {
+		sig := d.Signature
+		switch {
+		case contains(sig, "ThreadCache"):
+			if d.Class != core.FalseByPruner {
+				t.Errorf("thread-cache defect %s classified %v, want false(pruner)", sig, d.Class)
+			}
+		case contains(sig, "EventWatcher"):
+			if d.Class != core.Unknown {
+				t.Errorf("flag-ordered defect %s classified %v, want unknown", sig, d.Class)
+			}
+		case contains(sig, "ServletContext") || contains(sig, "AdminServer"):
+			if d.Class != core.Confirmed {
+				t.Errorf("inversion defect %s classified %v, want confirmed", sig, d.Class)
+			}
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestPhilosophersDetected: the N-cycle is detected and confirmed.
+func TestPhilosophersDetected(t *testing.T) {
+	w := Philosophers(4)
+	seed, ok := FindTerminatingSeed(w.New, 500)
+	if !ok {
+		t.Fatal("no terminating seed")
+	}
+	rep := core.Analyze(w.New, core.Config{
+		DetectSeeds: []int64{seed}, ReplayAttempts: 10, MaxCycleLen: 4,
+	})
+	if len(rep.Cycles) == 0 {
+		t.Fatal("no cycles detected")
+	}
+	_, _, conf, _ := rep.CountDefects()
+	if conf == 0 {
+		t.Fatalf("no philosopher deadlock confirmed:\n%v", rep)
+	}
+}
+
+// TestBankDetected: the transfer inversion is detected and confirmed.
+func TestBankDetected(t *testing.T) {
+	w := Bank()
+	seed, ok := FindTerminatingSeed(w.New, 300)
+	if !ok {
+		t.Fatal("no terminating seed")
+	}
+	rep := core.Analyze(w.New, core.Config{DetectSeeds: []int64{seed}, ReplayAttempts: 5})
+	_, _, conf, _ := rep.CountDefects()
+	if conf == 0 {
+		t.Fatalf("no bank deadlock confirmed:\n%v", rep)
+	}
+}
+
+// TestWorkloadsAreReentrant: factories build independent state; two
+// sequential runs do not interfere.
+func TestWorkloadsAreReentrant(t *testing.T) {
+	for _, w := range All() {
+		for i := 0; i < 2; i++ {
+			prog, opts := w.New()
+			out := sim.Run(prog, sim.FirstEnabled{}, opts)
+			if out.Kind == sim.ProgramError {
+				t.Fatalf("%s run %d: %v", w.Name, i, out)
+			}
+		}
+	}
+}
+
+// TestByName resolves every table workload and the extras.
+func TestByName(t *testing.T) {
+	for _, name := range []string{
+		"cache4j", "Jigsaw", "JavaLogging", "ArrayList", "HashMap",
+		"Figure4", "Figure2", "Figure9", "Philosophers", "Bank",
+	} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("ByName(%q) failed", name)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) succeeded")
+	}
+}
+
+// TestFigure4Workload: the running example classifies as in the paper.
+func TestFigure4Workload(t *testing.T) {
+	w := Figure4()
+	wolf, _ := analyzeBoth(t, w, 5)
+	pr, gen, conf, unk := wolf.CountDefects()
+	if pr != 1 || gen != 0 || conf != 1 || unk != 0 {
+		t.Fatalf("Figure4 = FP %d+%d TP %d UNK %d, want 1+0/1/0", pr, gen, conf, unk)
+	}
+}
+
+// TestTaskQueueWithWaitNotify: the queue-monitor/stats inversion is
+// detected and confirmed despite wait/notify traffic around it.
+func TestTaskQueueWithWaitNotify(t *testing.T) {
+	w := TaskQueue()
+	seed, ok := FindTerminatingSeed(w.New, 500)
+	if !ok {
+		t.Fatal("no terminating seed")
+	}
+	rep := core.Analyze(w.New, core.Config{DetectSeeds: []int64{seed}, ReplayAttempts: 10})
+	if len(rep.Defects) == 0 {
+		t.Fatal("no defects detected")
+	}
+	confirmedWorker := false
+	for _, d := range rep.Defects {
+		if d.Class == core.Confirmed && contains(d.Signature, "Worker.java:73") {
+			confirmedWorker = true
+		}
+	}
+	if !confirmedWorker {
+		t.Fatalf("queue/stats inversion not confirmed:\n%v", rep)
+	}
+}
+
+// TestAppServerIntegration: the composite application exposes exactly
+// its parts' defects (logging inversion + queue/stats inversion), both
+// confirmed, with no false alarms from the striped map, the cache or
+// the bounded queue itself.
+func TestAppServerIntegration(t *testing.T) {
+	w := AppServer()
+	seed, ok := FindTerminatingSeed(w.New, 500)
+	if !ok {
+		t.Fatal("no terminating seed")
+	}
+	rep := core.Analyze(w.New, core.Config{DetectSeeds: []int64{seed}, ReplayAttempts: 10})
+	sawQueue, sawLogging := false, false
+	for _, d := range rep.Defects {
+		switch {
+		case contains(d.Signature, "app.go:73") || contains(d.Signature, "monitor.20"):
+			sawQueue = true
+			if d.Class != core.Confirmed {
+				t.Errorf("queue/stats defect %s = %v, want confirmed", d.Signature, d.Class)
+			}
+		case contains(d.Signature, "AppenderSkeleton") || contains(d.Signature, "Category"):
+			sawLogging = true
+			if d.Class != core.Confirmed {
+				t.Errorf("logging defect %s = %v, want confirmed", d.Signature, d.Class)
+			}
+		case contains(d.Signature, "StripedMap") || contains(d.Signature, "SynchronizedCache"):
+			t.Errorf("false alarm on deadlock-free substrate: %s (%v)", d.Signature, d.Class)
+		}
+	}
+	if !sawQueue || !sawLogging {
+		t.Fatalf("missing expected defects (queue=%v logging=%v):\n%v", sawQueue, sawLogging, rep)
+	}
+}

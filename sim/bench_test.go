@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkStepThroughput measures raw scheduler throughput: one thread
+// spinning on yields (pure announce/execute round trips).
+func BenchmarkStepThroughput(b *testing.B) {
+	prog := func(t *Thread) {
+		for i := 0; i < b.N; i++ {
+			t.Yield("spin")
+		}
+	}
+	b.ReportAllocs()
+	out := Run(prog, FirstEnabled{}, Options{MaxSteps: b.N + 16})
+	if out.Kind != Terminated && out.Kind != StepLimit {
+		b.Fatalf("outcome = %v", out)
+	}
+}
+
+// BenchmarkLockUnlock measures the lock/unlock pair cost including event
+// dispatch to one listener.
+func BenchmarkLockUnlock(b *testing.B) {
+	var l *Lock
+	count := 0
+	prog := func(t *Thread) {
+		for i := 0; i < b.N; i++ {
+			t.Lock(l, "a")
+			t.Unlock(l, "b")
+		}
+	}
+	b.ReportAllocs()
+	out := Run(prog, FirstEnabled{}, Options{
+		Setup:     func(w *World) { l = w.NewLock("L") },
+		MaxSteps:  2*b.N + 16,
+		Listeners: []Listener{ListenerFunc(func(Event) { count++ })},
+	})
+	if out.Kind != Terminated && out.Kind != StepLimit {
+		b.Fatalf("outcome = %v", out)
+	}
+}
+
+// BenchmarkContextSwitch measures ping-pong between two threads through
+// a contended lock (worst-case switch density).
+func BenchmarkContextSwitch(b *testing.B) {
+	var l *Lock
+	prog := func(t *Thread) {
+		h := t.Go("peer", func(u *Thread) {
+			for i := 0; i < b.N; i++ {
+				u.Lock(l, "p1")
+				u.Unlock(l, "p2")
+			}
+		}, "m0")
+		for i := 0; i < b.N; i++ {
+			t.Lock(l, "m1")
+			t.Unlock(l, "m2")
+		}
+		t.Join(h, "m3")
+	}
+	b.ReportAllocs()
+	out := Run(prog, &RoundRobin{}, Options{
+		Setup:    func(w *World) { l = w.NewLock("L") },
+		MaxSteps: 8*b.N + 64,
+	})
+	if out.Kind != Terminated && out.Kind != StepLimit {
+		b.Fatalf("outcome = %v", out)
+	}
+}
+
+// BenchmarkSpawnJoin measures thread lifecycle cost.
+func BenchmarkSpawnJoin(b *testing.B) {
+	prog := func(t *Thread) {
+		for i := 0; i < b.N; i++ {
+			h := t.Go("child", func(u *Thread) {}, "m0")
+			t.Join(h, "m1")
+		}
+	}
+	b.ReportAllocs()
+	out := Run(prog, FirstEnabled{}, Options{MaxSteps: 8*b.N + 64})
+	if out.Kind != Terminated && out.Kind != StepLimit {
+		b.Fatalf("outcome = %v", out)
+	}
+}
+
+// BenchmarkManyThreadsFanout measures scheduling with wide enabled sets.
+func BenchmarkManyThreadsFanout(b *testing.B) {
+	for _, n := range []int{8, 64} {
+		b.Run(fmt.Sprintf("threads=%d", n), func(b *testing.B) {
+			iters := b.N/n + 1
+			prog := func(t *Thread) {
+				var hs []*Thread
+				for i := 0; i < n; i++ {
+					hs = append(hs, t.Go("w", func(u *Thread) {
+						for j := 0; j < iters; j++ {
+							u.Yield("y")
+						}
+					}, "m0"))
+				}
+				for _, h := range hs {
+					t.Join(h, "m1")
+				}
+			}
+			b.ReportAllocs()
+			out := Run(prog, NewRandomStrategy(1), Options{MaxSteps: n*iters + 4*n + 64})
+			if out.Kind != Terminated && out.Kind != StepLimit {
+				b.Fatalf("outcome = %v", out)
+			}
+		})
+	}
+}

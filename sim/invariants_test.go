@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomOpsProgram generates a structurally random but well-formed
+// program: workers perform properly bracketed lock sections (possibly
+// nested), yields, and var traffic.
+func randomOpsProgram(progSeed int64) (Program, Options) {
+	rng := rand.New(rand.NewSource(progSeed))
+	nLocks := 2 + rng.Intn(3)
+	nWorkers := 1 + rng.Intn(4)
+	locks := make([]*Lock, nLocks)
+	var flag *Var
+	opts := Options{Setup: func(w *World) {
+		for i := range locks {
+			locks[i] = w.NewLock(fmt.Sprintf("L%d", i))
+		}
+		flag = w.NewVar("flag", 0)
+	}}
+	type section struct {
+		locks  []int // nesting chain
+		yields int
+	}
+	plans := make([][]section, nWorkers)
+	for i := range plans {
+		for s := 0; s < 1+rng.Intn(3); s++ {
+			sec := section{yields: rng.Intn(2)}
+			perm := rng.Perm(nLocks)
+			sec.locks = perm[:1+rng.Intn(nLocks)]
+			plans[i] = append(plans[i], sec)
+		}
+	}
+	prog := func(th *Thread) {
+		var hs []*Thread
+		for i, plan := range plans {
+			i, plan := i, plan
+			hs = append(hs, th.Go("w", func(u *Thread) {
+				for si, sec := range plan {
+					for li, l := range sec.locks {
+						u.Lock(locks[l], fmt.Sprintf("w%d.%d.%d", i, si, li))
+					}
+					for y := 0; y < sec.yields; y++ {
+						u.Yield("y")
+					}
+					u.Store(flag, i, fmt.Sprintf("w%d.%d.s", i, si))
+					for li := len(sec.locks) - 1; li >= 0; li-- {
+						u.Unlock(locks[sec.locks[li]], "u")
+					}
+				}
+			}, "spawn"))
+		}
+		for _, h := range hs {
+			th.Join(h, "join")
+		}
+	}
+	return prog, opts
+}
+
+// TestInvariantsUnderRandomSchedules machine-checks core runtime
+// invariants across random programs and schedules:
+//
+//   - a lock's owner always holds it (cross-checked at every event);
+//   - per-thread execution indices increase by exactly one;
+//   - on Terminated outcomes every lock is free;
+//   - on Deadlocked outcomes at least two threads are blocked and every
+//     blocked Lock operation targets a lock held by somebody else.
+func TestInvariantsUnderRandomSchedules(t *testing.T) {
+	check := func(progSeed, schedSeed int64) bool {
+		prog, opts := randomOpsProgram(progSeed)
+		lastSeq := make(map[string]int)
+		ok := true
+		opts.Listeners = append(opts.Listeners, ListenerFunc(func(ev Event) {
+			if !ev.Index.Zero() {
+				name := ev.Thread.Name()
+				if ev.Index.Seq != lastSeq[name]+1 {
+					ok = false
+				}
+				lastSeq[name] = ev.Index.Seq
+			}
+			if ev.Op.Kind == OpLock && ev.Op.Lock.Owner() != ev.Thread {
+				ok = false
+			}
+		}))
+		out := Run(prog, NewRandomStrategy(schedSeed), opts)
+		switch out.Kind {
+		case Terminated:
+			for _, l := range out.World.Locks() {
+				if l.Owner() != nil {
+					return false
+				}
+			}
+		case Deadlocked:
+			if len(out.Blocked) < 2 {
+				return false
+			}
+			for _, b := range out.Blocked {
+				if b.Op.Kind != OpLock {
+					continue
+				}
+				if b.Op.Lock.Owner() == nil {
+					return false
+				}
+			}
+		default:
+			return false
+		}
+		return ok
+	}
+	f := func(progSeed, schedSeed int64) bool {
+		return check(progSeed%1000, schedSeed%1000)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEventStreamTotalOrder: step numbers are strictly increasing and
+// dense across the whole run.
+func TestEventStreamTotalOrder(t *testing.T) {
+	prog, opts := randomOpsProgram(7)
+	next := 0
+	opts.Listeners = append(opts.Listeners, ListenerFunc(func(ev Event) {
+		if ev.Step != next {
+			t.Errorf("step %d out of order (want %d)", ev.Step, next)
+		}
+		next++
+	}))
+	out := Run(prog, NewRandomStrategy(3), opts)
+	if out.Steps != next {
+		t.Fatalf("outcome steps %d != events %d", out.Steps, next)
+	}
+}
+
+// TestHeldSetMatchesLockOwnership: at every event, the thread's Held()
+// slice and each lock's Owner() agree.
+func TestHeldSetMatchesLockOwnership(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		prog, opts := randomOpsProgram(seed)
+		bad := false
+		opts.Listeners = append(opts.Listeners, ListenerFunc(func(ev Event) {
+			for _, l := range ev.Thread.Held() {
+				if l.Owner() != ev.Thread {
+					bad = true
+				}
+			}
+		}))
+		Run(prog, NewRandomStrategy(seed*31+1), opts)
+		if bad {
+			t.Fatalf("seed %d: held set inconsistent with ownership", seed)
+		}
+	}
+}

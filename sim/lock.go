@@ -1,0 +1,77 @@
+package sim
+
+import "fmt"
+
+// LockID is the dense per-run identifier of a lock, assigned in creation
+// order. It is valid only within a single run; cross-run identity is the
+// lock's name.
+type LockID int
+
+// Lock is a reentrant mutex with Java monitor semantics: the owning thread
+// may re-acquire it, it is released when the matching number of unlocks
+// have executed, and it carries a wait set for Wait/Notify condition
+// synchronization.
+type Lock struct {
+	w       *World
+	id      LockID
+	name    string
+	owner   *Thread
+	depth   int
+	waitSet []*Thread
+}
+
+// Waiters returns the number of threads in the monitor's wait set.
+func (l *Lock) Waiters() int { return len(l.waitSet) }
+
+// ID returns the per-run dense identifier.
+func (l *Lock) ID() LockID { return l.id }
+
+// Name returns the stable cross-run identity of the lock.
+func (l *Lock) Name() string { return l.name }
+
+// Owner returns the thread currently holding the lock, or nil.
+func (l *Lock) Owner() *Thread { return l.owner }
+
+// Depth returns the current reentrancy depth (0 when free).
+func (l *Lock) Depth() int { return l.depth }
+
+// HeldBy reports whether t currently holds the lock.
+func (l *Lock) HeldBy(t *Thread) bool { return l.owner == t && t != nil }
+
+// String formats the lock for diagnostics.
+func (l *Lock) String() string { return fmt.Sprintf("lock(%s)", l.name) }
+
+// acquire makes t the owner, incrementing the reentrancy depth.
+// The caller must have checked availability.
+func (l *Lock) acquire(t *Thread) (reentrant bool) {
+	if l.owner == t {
+		l.depth++
+		return true
+	}
+	if l.owner != nil {
+		panic("sim: internal error: acquiring a lock owned by another thread")
+	}
+	l.owner = t
+	l.depth = 1
+	t.held = append(t.held, l)
+	return false
+}
+
+// release decrements the depth, freeing the lock at zero.
+func (l *Lock) release(t *Thread) (reentrant bool, err error) {
+	if l.owner != t {
+		return false, fmt.Errorf("thread %s unlocks %s held by %v", t.Name(), l.Name(), l.owner)
+	}
+	l.depth--
+	if l.depth > 0 {
+		return true, nil
+	}
+	l.owner = nil
+	for i := len(t.held) - 1; i >= 0; i-- {
+		if t.held[i] == l {
+			t.held = append(t.held[:i], t.held[i+1:]...)
+			break
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OutcomeKind classifies how a run ended.
+type OutcomeKind int
+
+const (
+	// Terminated: every thread finished.
+	Terminated OutcomeKind = iota
+	// Deadlocked: no thread is enabled but some are blocked on locks or
+	// joins.
+	Deadlocked
+	// StepLimit: the run exceeded Options.MaxSteps.
+	StepLimit
+	// ProgramError: a thread panicked, unlocked a lock it did not hold,
+	// exited holding locks, or the strategy misbehaved.
+	ProgramError
+	// Halted: the strategy returned nil to stop the run mid-schedule
+	// (used by schedule explorers to cut off at branch points).
+	Halted
+)
+
+// String returns the outcome kind name.
+func (k OutcomeKind) String() string {
+	switch k {
+	case Terminated:
+		return "terminated"
+	case Deadlocked:
+		return "deadlocked"
+	case StepLimit:
+		return "step-limit"
+	case ProgramError:
+		return "program-error"
+	case Halted:
+		return "halted"
+	default:
+		return fmt.Sprintf("OutcomeKind(%d)", int(k))
+	}
+}
+
+// BlockedThread describes one thread stuck at the end of a deadlocked run.
+type BlockedThread struct {
+	// Thread is the stable name of the blocked thread.
+	Thread string
+	// Op is the operation the thread is blocked on (OpLock or OpJoin).
+	Op Op
+	// NextIndex is the execution index the blocked operation would have
+	// received.
+	NextIndex Index
+	// Holding lists the names of locks held by the thread.
+	Holding []string
+}
+
+// String formats the blocked thread for diagnostics.
+func (b BlockedThread) String() string {
+	return fmt.Sprintf("%s blocked on %v holding [%s]", b.Thread, b.Op, strings.Join(b.Holding, " "))
+}
+
+// Outcome reports how a run ended.
+type Outcome struct {
+	// Kind classifies the ending.
+	Kind OutcomeKind
+	// Steps is the number of operations executed.
+	Steps int
+	// Blocked describes stuck threads for Deadlocked and StepLimit runs.
+	Blocked []BlockedThread
+	// Err is set for ProgramError outcomes.
+	Err error
+	// EnabledAtHalt lists the threads that were schedulable when the
+	// strategy halted the run (Halted outcomes only), in creation order.
+	EnabledAtHalt []string
+	// World is the finished world, inspectable after the run.
+	World *World
+}
+
+// Deadlocked reports whether the run ended in a deadlock.
+func (o *Outcome) Deadlocked() bool { return o.Kind == Deadlocked }
+
+// BlockedLockSites returns the set of sites at which threads are blocked
+// on lock acquisitions, used to match a reproduced deadlock against the
+// defect the replayer set out to reproduce (the paper's "hit" criterion:
+// the execution deadlocks at the same source locations).
+func (o *Outcome) BlockedLockSites() map[string]bool {
+	sites := make(map[string]bool)
+	for _, b := range o.Blocked {
+		if b.Op.Kind == OpLock {
+			sites[b.Op.Site] = true
+		}
+	}
+	return sites
+}
+
+// String formats the outcome for diagnostics.
+func (o *Outcome) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%v after %d steps", o.Kind, o.Steps)
+	if o.Err != nil {
+		fmt.Fprintf(&sb, ": %v", o.Err)
+	}
+	for _, b := range o.Blocked {
+		fmt.Fprintf(&sb, "\n  %v", b)
+	}
+	return sb.String()
+}

@@ -1,0 +1,86 @@
+package sim
+
+import "testing"
+
+// inversionProg builds the two-thread inverted acquisition program whose
+// deadlock has depth 2.
+func inversionProg() (Program, Options) {
+	var a, b *Lock
+	opts := Options{Setup: func(w *World) {
+		a, b = w.NewLock("A"), w.NewLock("B")
+	}}
+	prog := func(th *Thread) {
+		h := th.Go("w", func(u *Thread) {
+			u.Lock(b, "w1")
+			u.Yield("w2")
+			u.Lock(a, "w3")
+			u.Unlock(a, "w4")
+			u.Unlock(b, "w5")
+		}, "m1")
+		th.Lock(a, "m2")
+		th.Yield("m3")
+		th.Lock(b, "m4")
+		th.Unlock(b, "m5")
+		th.Unlock(a, "m6")
+		th.Join(h, "m7")
+	}
+	return prog, opts
+}
+
+// TestPCTFindsDepth2Deadlock: across a batch of seeds, PCT with depth 2
+// triggers the inversion deadlock at a healthy rate.
+func TestPCTFindsDepth2Deadlock(t *testing.T) {
+	deadlocks := 0
+	const runs = 100
+	for seed := int64(0); seed < runs; seed++ {
+		prog, opts := inversionProg()
+		out := Run(prog, NewPCTStrategy(seed, 2, 16), opts)
+		switch out.Kind {
+		case Deadlocked:
+			deadlocks++
+		case Terminated:
+		default:
+			t.Fatalf("seed %d: outcome = %v", seed, out)
+		}
+	}
+	// PCT's guarantee for n=2 threads, k≈14 steps, d=2 is ≥ 1/(n·k) ≈ 4%
+	// per run; observed rates sit near 10%.
+	if deadlocks < runs/20 {
+		t.Fatalf("PCT deadlocked %d/%d, want >= %d", deadlocks, runs, runs/20)
+	}
+}
+
+// TestPCTDeterministic: a seed fully determines the schedule.
+func TestPCTDeterministic(t *testing.T) {
+	run := func(seed int64) OutcomeKind {
+		prog, opts := inversionProg()
+		return Run(prog, NewPCTStrategy(seed, 3, 32), opts).Kind
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		if run(seed) != run(seed) {
+			t.Fatalf("seed %d: nondeterministic", seed)
+		}
+	}
+}
+
+// TestPCTDepth1IsStrictPriority: with no change points the same thread
+// runs to completion whenever enabled (no preemption), so the inversion
+// program never deadlocks.
+func TestPCTDepth1IsStrictPriority(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		prog, opts := inversionProg()
+		out := Run(prog, NewPCTStrategy(seed, 1, 16), opts)
+		if out.Kind != Terminated {
+			t.Fatalf("seed %d: depth-1 PCT produced %v", seed, out)
+		}
+	}
+}
+
+// TestPCTParamClamping: degenerate parameters are clamped, not fatal.
+func TestPCTParamClamping(t *testing.T) {
+	prog, opts := inversionProg()
+	out := Run(prog, NewPCTStrategy(1, 0, 0), opts)
+	if out.Kind != Terminated && out.Kind != Deadlocked {
+		t.Fatalf("outcome = %v", out)
+	}
+}

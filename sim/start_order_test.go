@@ -1,0 +1,41 @@
+package sim
+
+import "testing"
+
+// TestChildNeverRunsBeforeStartExecutes is a regression test: a child
+// thread must not be schedulable between its creation inside Go and the
+// execution of the parent's OpStart. (An early version of the scheduler
+// parked new children on OpBegin immediately, letting them run before the
+// start operation executed, which corrupted happens-before timestamps.)
+func TestChildNeverRunsBeforeStartExecutes(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		startExecuted := make(map[string]bool)
+		violation := ""
+		ln := ListenerFunc(func(ev Event) {
+			switch ev.Op.Kind {
+			case OpStart:
+				startExecuted[ev.Op.Child.Name()] = true
+			default:
+				if ev.Thread.Parent() != nil && !startExecuted[ev.Thread.Name()] {
+					violation = ev.Thread.Name() + " ran " + ev.Op.String() + " before its start executed"
+				}
+			}
+		})
+		prog := func(th *Thread) {
+			h1 := th.Go("a", func(u *Thread) {
+				u.Yield("a1")
+				h := u.Go("b", func(v *Thread) { v.Yield("b1") }, "a2")
+				u.Join(h, "a3")
+			}, "m1")
+			th.Yield("m2")
+			th.Join(h1, "m3")
+		}
+		out := Run(prog, NewRandomStrategy(seed), Options{Listeners: []Listener{ln}})
+		if out.Kind != Terminated {
+			t.Fatalf("seed %d: outcome = %v", seed, out)
+		}
+		if violation != "" {
+			t.Fatalf("seed %d: %s", seed, violation)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package sim
+
+import "fmt"
+
+// Var is a shared program variable whose reads and writes are visible
+// operations. Ordinary Go variables in program closures are invisible to
+// the analyses; routing schedule-relevant state (flags, published
+// pointers, counters that guard branches) through a Var lets trace-aware
+// tools reason about data dependencies — the extension the WOLF paper
+// leaves as future work in Section 4.4.
+type Var struct {
+	w    *World
+	name string
+	val  any
+}
+
+// Name returns the stable cross-run identity of the variable.
+func (v *Var) Name() string { return v.name }
+
+// Value returns the current value without a scheduling point; use only
+// from listeners and strategies (programs must use Thread.Load).
+func (v *Var) Value() any { return v.val }
+
+// String formats the variable for diagnostics.
+func (v *Var) String() string { return fmt.Sprintf("var(%s)", v.name) }
+
+// NewVar registers a shared variable with the given stable name and
+// initial value. Names must be unique within a run.
+func (w *World) NewVar(name string, initial any) *Var {
+	if _, dup := w.byVar[name]; dup {
+		panic(fmt.Sprintf("sim: duplicate var name %q", name))
+	}
+	v := &Var{w: w, name: name, val: initial}
+	w.vars = append(w.vars, v)
+	w.byVar[name] = v
+	return v
+}
+
+// VarByName returns the variable with the given name, or nil.
+func (w *World) VarByName(name string) *Var { return w.byVar[name] }
+
+// Load reads v at a scheduling point and returns the observed value.
+func (t *Thread) Load(v *Var, site string) any {
+	t.checkRunning("Load")
+	if v == nil {
+		panic("sim: Load(nil)")
+	}
+	t.announce(Op{Kind: OpLoad, Var: v, Site: site})
+	return v.val
+}
+
+// LoadBool is Load for boolean flags.
+func (t *Thread) LoadBool(v *Var, site string) bool {
+	val, _ := t.Load(v, site).(bool)
+	return val
+}
+
+// LoadInt is Load for integer variables.
+func (t *Thread) LoadInt(v *Var, site string) int {
+	val, _ := t.Load(v, site).(int)
+	return val
+}
+
+// Store writes val to v at a scheduling point.
+func (t *Thread) Store(v *Var, val any, site string) {
+	t.checkRunning("Store")
+	if v == nil {
+		panic("sim: Store(nil)")
+	}
+	t.announce(Op{Kind: OpStore, Var: v, Val: val, Site: site})
+}

@@ -1,0 +1,71 @@
+package sim
+
+import "testing"
+
+// TestVarLoadStore: stores become visible to subsequent loads, with
+// indexed events.
+func TestVarLoadStore(t *testing.T) {
+	var flag *Var
+	var observed []any
+	ln := ListenerFunc(func(ev Event) {
+		if ev.Op.Kind == OpLoad || ev.Op.Kind == OpStore {
+			if ev.Index.Zero() {
+				t.Errorf("%v missing index", ev.Op)
+			}
+			observed = append(observed, ev.Op.Kind)
+		}
+	})
+	prog := func(th *Thread) {
+		h := th.Go("w", func(u *Thread) {
+			for !u.LoadBool(flag, "w:poll") {
+				u.Yield("w:spin")
+			}
+		}, "m1")
+		th.Store(flag, true, "m2")
+		th.Join(h, "m3")
+	}
+	out := Run(prog, &RoundRobin{}, Options{
+		Setup:     func(w *World) { flag = w.NewVar("flag", false) },
+		Listeners: []Listener{ln},
+	})
+	if out.Kind != Terminated {
+		t.Fatalf("outcome = %v", out)
+	}
+	if len(observed) < 2 {
+		t.Fatalf("observed = %v", observed)
+	}
+}
+
+// TestVarTypesAndLookup: typed helpers and registry.
+func TestVarTypesAndLookup(t *testing.T) {
+	var n *Var
+	prog := func(th *Thread) {
+		if got := th.LoadInt(n, "r1"); got != 7 {
+			t.Errorf("initial = %d, want 7", got)
+		}
+		th.Store(n, 12, "w1")
+		if got := th.LoadInt(n, "r2"); got != 12 {
+			t.Errorf("after store = %d, want 12", got)
+		}
+		if th.World().VarByName("n") != n {
+			t.Error("VarByName failed")
+		}
+	}
+	out := Run(prog, FirstEnabled{}, Options{Setup: func(w *World) { n = w.NewVar("n", 7) }})
+	if out.Kind != Terminated {
+		t.Fatalf("outcome = %v", out)
+	}
+}
+
+// TestDuplicateVarPanics: names are unique.
+func TestDuplicateVarPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Run(func(*Thread) {}, FirstEnabled{}, Options{Setup: func(w *World) {
+		w.NewVar("x", 0)
+		w.NewVar("x", 1)
+	}})
+}

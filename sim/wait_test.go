@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestWaitNotifyHandshake: a waiter parks until the notifier fires, and
+// Wait returns with the monitor re-held at the saved depth.
+func TestWaitNotifyHandshake(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		var mon *Lock
+		ready := false
+		sawReady := false
+		prog := func(th *Thread) {
+			waiter := th.Go("waiter", func(u *Thread) {
+				u.Lock(mon, "w1")
+				u.Lock(mon, "w1b") // reentrant: depth 2 across the wait
+				for !ready {
+					u.Wait(mon, "w2")
+					if !u.Holds(mon) || mon.Depth() != 2 {
+						t.Error("monitor not re-held at saved depth after Wait")
+					}
+				}
+				sawReady = true
+				u.Unlock(mon, "w3")
+				u.Unlock(mon, "w3b")
+			}, "m1")
+			th.Lock(mon, "m2")
+			ready = true
+			th.Notify(mon, "m3")
+			th.Unlock(mon, "m4")
+			th.Join(waiter, "m5")
+		}
+		out := Run(prog, NewRandomStrategy(seed), Options{
+			Setup: func(w *World) { mon = w.NewLock("mon") },
+		})
+		if out.Kind != Terminated {
+			t.Fatalf("seed %d: outcome = %v", seed, out)
+		}
+		if !sawReady {
+			t.Fatalf("seed %d: waiter returned without seeing ready", seed)
+		}
+	}
+}
+
+// TestLostNotifyDeadlocks: notify before wait is lost; the waiter blocks
+// forever and the run reports a deadlock with the wait visible.
+func TestLostNotifyDeadlocks(t *testing.T) {
+	var mon *Lock
+	prog := func(th *Thread) {
+		// Notify fires first (forced by running main before starting
+		// the waiter's wait).
+		th.Lock(mon, "m1")
+		th.Notify(mon, "m2") // wait set empty: lost
+		th.Unlock(mon, "m3")
+		waiter := th.Go("waiter", func(u *Thread) {
+			u.Lock(mon, "w1")
+			u.Wait(mon, "w2") // never notified again
+			u.Unlock(mon, "w3")
+		}, "m4")
+		th.Join(waiter, "m5")
+	}
+	out := Run(prog, FirstEnabled{}, Options{
+		Setup: func(w *World) { mon = w.NewLock("mon") },
+	})
+	if out.Kind != Deadlocked {
+		t.Fatalf("outcome = %v, want deadlocked (lost notification)", out)
+	}
+	foundWait := false
+	for _, b := range out.Blocked {
+		if b.Op.Kind == OpWaitResume {
+			foundWait = true
+			if b.Op.Site != "w2" {
+				t.Errorf("blocked wait site = %s, want w2", b.Op.Site)
+			}
+		}
+	}
+	if !foundWait {
+		t.Fatalf("blocked report missing the waiter: %v", out)
+	}
+}
+
+// TestNotifyAllWakesEveryone: three waiters all resume.
+func TestNotifyAllWakesEveryone(t *testing.T) {
+	var mon *Lock
+	woke := 0
+	prog := func(th *Thread) {
+		var hs []*Thread
+		for i := 0; i < 3; i++ {
+			hs = append(hs, th.Go("waiter", func(u *Thread) {
+				u.Lock(mon, "w1")
+				u.Wait(mon, "w2")
+				woke++
+				u.Unlock(mon, "w3")
+			}, "spawn"))
+		}
+		// Let all three reach their waits first.
+		for mon.Waiters() < 3 {
+			th.Yield("m-poll")
+		}
+		th.Lock(mon, "m1")
+		th.NotifyAll(mon, "m2")
+		th.Unlock(mon, "m3")
+		for _, h := range hs {
+			th.Join(h, "m4")
+		}
+	}
+	out := Run(prog, NewRandomStrategy(7), Options{
+		Setup: func(w *World) { mon = w.NewLock("mon") },
+	})
+	if out.Kind != Terminated {
+		t.Fatalf("outcome = %v", out)
+	}
+	if woke != 3 {
+		t.Fatalf("woke = %d, want 3", woke)
+	}
+}
+
+// TestNotifyWakesExactlyOne: with a single Notify and two waiters, one
+// stays parked and the run deadlocks at the join.
+func TestNotifyWakesExactlyOne(t *testing.T) {
+	var mon *Lock
+	prog := func(th *Thread) {
+		h1 := th.Go("waiter", func(u *Thread) {
+			u.Lock(mon, "w1")
+			u.Wait(mon, "w2")
+			u.Unlock(mon, "w3")
+		}, "spawn")
+		h2 := th.Go("waiter", func(u *Thread) {
+			u.Lock(mon, "x1")
+			u.Wait(mon, "x2")
+			u.Unlock(mon, "x3")
+		}, "spawn")
+		for mon.Waiters() < 2 {
+			th.Yield("m-poll")
+		}
+		th.Lock(mon, "m1")
+		th.Notify(mon, "m2")
+		th.Unlock(mon, "m3")
+		th.Join(h1, "m4")
+		th.Join(h2, "m5")
+	}
+	out := Run(prog, &RoundRobin{}, Options{
+		Setup: func(w *World) { mon = w.NewLock("mon") },
+	})
+	if out.Kind != Deadlocked {
+		t.Fatalf("outcome = %v, want deadlocked (one waiter never woken)", out)
+	}
+}
+
+// TestWaitWithoutMonitorIsProgramError mirrors IllegalMonitorState.
+func TestWaitWithoutMonitorIsProgramError(t *testing.T) {
+	var mon *Lock
+	prog := func(th *Thread) { th.Wait(mon, "w") }
+	out := Run(prog, FirstEnabled{}, Options{Setup: func(w *World) { mon = w.NewLock("mon") }})
+	if out.Kind != ProgramError {
+		t.Fatalf("outcome = %v, want program-error", out)
+	}
+}
+
+// TestNotifyWithoutMonitorIsProgramError mirrors IllegalMonitorState.
+func TestNotifyWithoutMonitorIsProgramError(t *testing.T) {
+	var mon *Lock
+	prog := func(th *Thread) { th.Notify(mon, "n") }
+	out := Run(prog, FirstEnabled{}, Options{Setup: func(w *World) { mon = w.NewLock("mon") }})
+	if out.Kind != ProgramError {
+		t.Fatalf("outcome = %v, want program-error", out)
+	}
+}
+
+// TestWaitReleasesMonitorForOthers: while one thread waits, another can
+// take the monitor (the whole point of Wait vs holding the lock).
+func TestWaitReleasesMonitorForOthers(t *testing.T) {
+	var mon *Lock
+	turns := []string{}
+	prog := func(th *Thread) {
+		waiter := th.Go("waiter", func(u *Thread) {
+			u.Lock(mon, "w1")
+			turns = append(turns, "waiter-holds")
+			u.Wait(mon, "w2")
+			turns = append(turns, "waiter-back")
+			u.Unlock(mon, "w3")
+		}, "m1")
+		for mon.Waiters() == 0 {
+			th.Yield("m-poll")
+		}
+		th.Lock(mon, "m2") // acquirable because the waiter released it
+		turns = append(turns, "main-holds")
+		th.Notify(mon, "m3")
+		th.Unlock(mon, "m4")
+		th.Join(waiter, "m5")
+	}
+	out := Run(prog, NewRandomStrategy(11), Options{
+		Setup: func(w *World) { mon = w.NewLock("mon") },
+	})
+	if out.Kind != Terminated {
+		t.Fatalf("outcome = %v", out)
+	}
+	want := []string{"waiter-holds", "main-holds", "waiter-back"}
+	if len(turns) != 3 || turns[0] != want[0] || turns[1] != want[1] || turns[2] != want[2] {
+		t.Fatalf("turns = %v, want %v", turns, want)
+	}
+}
+
+// TestWaitEventIndices: OpWait and OpWaitResume both receive execution
+// indices and the resume is observable by listeners.
+func TestWaitEventIndices(t *testing.T) {
+	var mon *Lock
+	var kinds []OpKind
+	ln := ListenerFunc(func(ev Event) {
+		if ev.Op.Kind == OpWait || ev.Op.Kind == OpWaitResume || ev.Op.Kind == OpNotify {
+			kinds = append(kinds, ev.Op.Kind)
+			if ev.Index.Zero() {
+				t.Errorf("%v has no index", ev.Op)
+			}
+		}
+	})
+	prog := func(th *Thread) {
+		waiter := th.Go("waiter", func(u *Thread) {
+			u.Lock(mon, "w1")
+			u.Wait(mon, "w2")
+			u.Unlock(mon, "w3")
+		}, "m1")
+		for mon.Waiters() == 0 {
+			th.Yield("m-poll")
+		}
+		th.Lock(mon, "m2")
+		th.Notify(mon, "m3")
+		th.Unlock(mon, "m4")
+		th.Join(waiter, "m5")
+	}
+	out := Run(prog, &RoundRobin{}, Options{
+		Setup:     func(w *World) { mon = w.NewLock("mon") },
+		Listeners: []Listener{ln},
+	})
+	if out.Kind != Terminated {
+		t.Fatalf("outcome = %v", out)
+	}
+	if len(kinds) != 3 || kinds[0] != OpWait || kinds[1] != OpNotify || kinds[2] != OpWaitResume {
+		t.Fatalf("event kinds = %v, want [wait notify wait-resume]", kinds)
+	}
+}

@@ -1,0 +1,374 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// collectEvents runs prog and returns the outcome plus the executed events.
+func collectEvents(t *testing.T, prog Program, s Strategy, opts Options) (*Outcome, []Event) {
+	t.Helper()
+	var evs []Event
+	opts.Listeners = append(opts.Listeners, ListenerFunc(func(ev Event) { evs = append(evs, ev) }))
+	out := Run(prog, s, opts)
+	return out, evs
+}
+
+func TestEmptyProgramTerminates(t *testing.T) {
+	out := Run(func(*Thread) {}, FirstEnabled{}, Options{})
+	if out.Kind != Terminated {
+		t.Fatalf("outcome = %v, want terminated", out)
+	}
+	// Only OpBegin and OpExit execute, both without indices.
+	if out.Steps != 2 {
+		t.Fatalf("steps = %d, want 2", out.Steps)
+	}
+}
+
+func TestSingleThreadLockUnlock(t *testing.T) {
+	var l *Lock
+	prog := func(th *Thread) {
+		th.Lock(l, "s1")
+		if !th.Holds(l) {
+			t.Error("thread does not hold l after Lock")
+		}
+		th.Unlock(l, "s2")
+		if th.Holds(l) {
+			t.Error("thread still holds l after Unlock")
+		}
+	}
+	out, evs := collectEvents(t, prog, FirstEnabled{}, Options{
+		Setup: func(w *World) { l = w.NewLock("L") },
+	})
+	if out.Kind != Terminated {
+		t.Fatalf("outcome = %v", out)
+	}
+	var kinds []string
+	for _, ev := range evs {
+		kinds = append(kinds, ev.Op.Kind.String())
+	}
+	want := "begin lock unlock exit"
+	if got := strings.Join(kinds, " "); got != want {
+		t.Fatalf("event kinds = %q, want %q", got, want)
+	}
+	if evs[1].Index != (Index{Thread: "main", Seq: 1}) {
+		t.Errorf("lock index = %v, want main:1", evs[1].Index)
+	}
+	if evs[2].Index != (Index{Thread: "main", Seq: 2}) {
+		t.Errorf("unlock index = %v, want main:2", evs[2].Index)
+	}
+}
+
+func TestReentrantLock(t *testing.T) {
+	var l *Lock
+	prog := func(th *Thread) {
+		th.Lock(l, "a")
+		th.Lock(l, "b") // reentrant
+		if l.Depth() != 2 {
+			t.Errorf("depth = %d, want 2", l.Depth())
+		}
+		th.Unlock(l, "c")
+		if !th.Holds(l) {
+			t.Error("lock released too early")
+		}
+		th.Unlock(l, "d")
+		if th.Holds(l) {
+			t.Error("lock still held")
+		}
+	}
+	out, evs := collectEvents(t, prog, FirstEnabled{}, Options{
+		Setup: func(w *World) { l = w.NewLock("L") },
+	})
+	if out.Kind != Terminated {
+		t.Fatalf("outcome = %v", out)
+	}
+	if !evs[2].Reentrant {
+		t.Error("second lock event not marked reentrant")
+	}
+	if !evs[3].Reentrant {
+		t.Error("first unlock event not marked reentrant")
+	}
+	if evs[4].Reentrant {
+		t.Error("final unlock event marked reentrant")
+	}
+}
+
+func TestUnlockNotHeldIsProgramError(t *testing.T) {
+	var l *Lock
+	prog := func(th *Thread) { th.Unlock(l, "s") }
+	out := Run(prog, FirstEnabled{}, Options{Setup: func(w *World) { l = w.NewLock("L") }})
+	if out.Kind != ProgramError {
+		t.Fatalf("outcome = %v, want program-error", out)
+	}
+}
+
+func TestExitHoldingLockIsProgramError(t *testing.T) {
+	var l *Lock
+	prog := func(th *Thread) { th.Lock(l, "s") }
+	out := Run(prog, FirstEnabled{}, Options{Setup: func(w *World) { l = w.NewLock("L") }})
+	if out.Kind != ProgramError {
+		t.Fatalf("outcome = %v, want program-error", out)
+	}
+}
+
+func TestPanicIsProgramError(t *testing.T) {
+	out := Run(func(*Thread) { panic("boom") }, FirstEnabled{}, Options{})
+	if out.Kind != ProgramError {
+		t.Fatalf("outcome = %v, want program-error", out)
+	}
+	if out.Err == nil || !strings.Contains(out.Err.Error(), "boom") {
+		t.Fatalf("err = %v, want to mention boom", out.Err)
+	}
+}
+
+func TestStartAndJoin(t *testing.T) {
+	var order []string
+	prog := func(th *Thread) {
+		h := th.Go("child", func(c *Thread) {
+			order = append(order, "child")
+			c.Yield("c1")
+		}, "m1")
+		th.Join(h, "m2")
+		order = append(order, "after-join")
+	}
+	out := Run(prog, NewRandomStrategy(7), Options{})
+	if out.Kind != Terminated {
+		t.Fatalf("outcome = %v", out)
+	}
+	if len(order) != 2 || order[0] != "child" || order[1] != "after-join" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestChildNamesAreStable(t *testing.T) {
+	var names []string
+	prog := func(th *Thread) {
+		a := th.Go("w", func(c *Thread) {}, "m1")
+		b := th.Go("w", func(c *Thread) {}, "m2")
+		g := th.Go("other", func(c *Thread) {
+			d := c.Go("w", func(*Thread) {}, "o1")
+			names = append(names, d.Name())
+		}, "m3")
+		names = append(names, a.Name(), b.Name())
+		th.Join(a, "m4")
+		th.Join(b, "m5")
+		th.Join(g, "m6")
+	}
+	out := Run(prog, NewRandomStrategy(3), Options{})
+	if out.Kind != Terminated {
+		t.Fatalf("outcome = %v", out)
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"main/w.0", "main/w.1", "main/other.0/w.0"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("names %v missing %q", names, want)
+		}
+	}
+}
+
+func TestJoinBlocksUntilChildExits(t *testing.T) {
+	childDone := false
+	prog := func(th *Thread) {
+		h := th.Go("c", func(c *Thread) {
+			c.Yield("c1")
+			c.Yield("c2")
+			childDone = true
+		}, "m1")
+		th.Join(h, "m2")
+		if !childDone {
+			t.Error("join returned before child finished")
+		}
+	}
+	// FirstEnabled would run main first; main blocks at join, then the
+	// child becomes the only enabled thread.
+	out := Run(prog, FirstEnabled{}, Options{})
+	if out.Kind != Terminated {
+		t.Fatalf("outcome = %v", out)
+	}
+}
+
+func TestClassicDeadlock(t *testing.T) {
+	var la, lb *Lock
+	prog := func(th *Thread) {
+		h := th.Go("w", func(u *Thread) {
+			u.Lock(lb, "w1")
+			u.Yield("w2")
+			u.Lock(la, "w3")
+			u.Unlock(la, "w4")
+			u.Unlock(lb, "w5")
+		}, "m1")
+		th.Lock(la, "m2")
+		th.Yield("m3")
+		th.Lock(lb, "m4")
+		th.Unlock(lb, "m5")
+		th.Unlock(la, "m6")
+		th.Join(h, "m7")
+	}
+	opts := Options{Setup: func(w *World) { la, lb = w.NewLock("A"), w.NewLock("B") }}
+	// Round-robin interleaves the two threads step by step, which drives
+	// both into the nested acquisition and must deadlock.
+	out := Run(prog, &RoundRobin{}, opts)
+	if out.Kind != Deadlocked {
+		t.Fatalf("outcome = %v, want deadlocked", out)
+	}
+	if len(out.Blocked) != 2 {
+		t.Fatalf("blocked = %v, want 2 threads", out.Blocked)
+	}
+	sites := out.BlockedLockSites()
+	if !sites["m4"] || !sites["w3"] {
+		t.Fatalf("blocked sites = %v, want m4 and w3", sites)
+	}
+}
+
+func TestDeadlockAvoidedBySequentialSchedule(t *testing.T) {
+	var la, lb *Lock
+	prog := func(th *Thread) {
+		h := th.Go("w", func(u *Thread) {
+			u.Lock(lb, "w1")
+			u.Lock(la, "w3")
+			u.Unlock(la, "w4")
+			u.Unlock(lb, "w5")
+		}, "m1")
+		th.Lock(la, "m2")
+		th.Lock(lb, "m4")
+		th.Unlock(lb, "m5")
+		th.Unlock(la, "m6")
+		th.Join(h, "m7")
+	}
+	opts := Options{Setup: func(w *World) { la, lb = w.NewLock("A"), w.NewLock("B") }}
+	out := Run(prog, FirstEnabled{}, opts)
+	if out.Kind != Terminated {
+		t.Fatalf("outcome = %v, want terminated", out)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	prog := func(th *Thread) {
+		for {
+			th.Yield("spin")
+		}
+	}
+	out := Run(prog, FirstEnabled{}, Options{MaxSteps: 100})
+	if out.Kind != StepLimit {
+		t.Fatalf("outcome = %v, want step-limit", out)
+	}
+	if out.Steps < 100 {
+		t.Fatalf("steps = %d, want >= 100", out.Steps)
+	}
+}
+
+func TestBlockedOnHeldLockNotEnabled(t *testing.T) {
+	var l *Lock
+	sawBlocked := false
+	prog := func(th *Thread) {
+		h := th.Go("w", func(u *Thread) {
+			u.Lock(l, "w1")
+			u.Unlock(l, "w2")
+		}, "m1")
+		th.Lock(l, "m2")
+		th.Yield("m3")
+		th.Yield("m4")
+		th.Unlock(l, "m5")
+		th.Join(h, "m6")
+	}
+	// A strategy that checks the child is never offered while main holds l.
+	strat := StrategyFunc(func(w *World, enabled []*Thread) *Thread {
+		for _, th := range enabled {
+			if th.Name() == "main/w.0" && th.Pending().Kind == OpLock && l.Owner() != nil && l.Owner() != th {
+				t.Error("blocked thread offered as enabled")
+			}
+		}
+		// Prefer main to create the blocking window.
+		for _, th := range enabled {
+			if th.Name() == "main" {
+				return th
+			}
+		}
+		sawBlocked = true
+		return enabled[0]
+	})
+	opts := Options{Setup: func(w *World) { l = w.NewLock("L") }}
+	out := Run(prog, strat, opts)
+	if out.Kind != Terminated {
+		t.Fatalf("outcome = %v", out)
+	}
+	if !sawBlocked {
+		t.Log("child never had to wait; schedule did not exercise blocking window")
+	}
+}
+
+func TestLockNamesUniqueAndStable(t *testing.T) {
+	var names []string
+	prog := func(th *Thread) {
+		l1 := th.NewLock("mu")
+		l2 := th.NewLock("mu")
+		names = append(names, l1.Name(), l2.Name())
+		th.Lock(l1, "s1")
+		th.Unlock(l1, "s2")
+		_ = l2
+	}
+	out := Run(prog, FirstEnabled{}, Options{})
+	if out.Kind != Terminated {
+		t.Fatalf("outcome = %v", out)
+	}
+	if names[0] != "mu@main.0" || names[1] != "mu@main.1" {
+		t.Fatalf("lock names = %v", names)
+	}
+}
+
+func TestDuplicateWorldLockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate lock name")
+		}
+	}()
+	Run(func(*Thread) {}, FirstEnabled{}, Options{Setup: func(w *World) {
+		w.NewLock("L")
+		w.NewLock("L")
+	}})
+}
+
+func TestThreadByNameAndLockByName(t *testing.T) {
+	var l *Lock
+	prog := func(th *Thread) {
+		h := th.Go("kid", func(*Thread) {}, "m1")
+		w := th.World()
+		if w.ThreadByName("main/kid.0") != h {
+			t.Error("ThreadByName did not find child")
+		}
+		if w.LockByName("L") != l {
+			t.Error("LockByName did not find L")
+		}
+		th.Join(h, "m2")
+	}
+	out := Run(prog, NewRandomStrategy(1), Options{Setup: func(w *World) { l = w.NewLock("L") }})
+	if out.Kind != Terminated {
+		t.Fatalf("outcome = %v", out)
+	}
+}
+
+func TestManyThreadsTerminate(t *testing.T) {
+	const n = 50
+	var l *Lock
+	count := 0
+	prog := func(th *Thread) {
+		var hs []*Thread
+		for i := 0; i < n; i++ {
+			hs = append(hs, th.Go("w", func(u *Thread) {
+				u.Lock(l, "w1")
+				count++
+				u.Unlock(l, "w2")
+			}, "m1"))
+		}
+		for _, h := range hs {
+			th.Join(h, "m2")
+		}
+	}
+	out := Run(prog, NewRandomStrategy(42), Options{Setup: func(w *World) { l = w.NewLock("L") }})
+	if out.Kind != Terminated {
+		t.Fatalf("outcome = %v", out)
+	}
+	if count != n {
+		t.Fatalf("count = %d, want %d", count, n)
+	}
+}

@@ -1,0 +1,107 @@
+package wolf_test
+
+import (
+	"strings"
+	"testing"
+
+	"wolf"
+	"wolf/sim"
+)
+
+// inversionFactory is the quickstart program from the package docs.
+func inversionFactory() (sim.Program, sim.Options) {
+	var a, b *sim.Lock
+	opts := sim.Options{Setup: func(w *sim.World) {
+		a, b = w.NewLock("A"), w.NewLock("B")
+	}}
+	prog := func(t *sim.Thread) {
+		h := t.Go("worker", func(u *sim.Thread) {
+			u.Lock(b, "worker.go:7")
+			u.Lock(a, "worker.go:8")
+			u.Unlock(a, "worker.go:9")
+			u.Unlock(b, "worker.go:10")
+		}, "main.go:3")
+		t.Lock(a, "main.go:4")
+		t.Lock(b, "main.go:5")
+		t.Unlock(b, "main.go:6")
+		t.Unlock(a, "main.go:7")
+		t.Join(h, "main.go:8")
+	}
+	return prog, opts
+}
+
+// TestPublicAPIAnalyze: the quickstart confirms its deadlock through the
+// public surface alone.
+func TestPublicAPIAnalyze(t *testing.T) {
+	rep := wolf.Analyze(inversionFactory, wolf.Config{DetectSeeds: []int64{3}})
+	if len(rep.Defects) != 1 {
+		t.Fatalf("defects = %d, want 1\n%v", len(rep.Defects), rep)
+	}
+	if rep.Defects[0].Class != wolf.Confirmed {
+		t.Fatalf("class = %v, want confirmed", rep.Defects[0].Class)
+	}
+	if !strings.Contains(rep.String(), "confirmed") {
+		t.Fatalf("report rendering missing verdict:\n%v", rep)
+	}
+}
+
+// TestPublicAPIBaseline: the baseline confirms the easy case too.
+func TestPublicAPIBaseline(t *testing.T) {
+	rep := wolf.AnalyzeDeadlockFuzzer(inversionFactory, wolf.Config{
+		DetectSeeds:    []int64{3},
+		ReplayAttempts: 10,
+	})
+	if len(rep.Defects) != 1 {
+		t.Fatalf("defects = %d, want 1", len(rep.Defects))
+	}
+	if rep.Defects[0].Class != wolf.Confirmed {
+		t.Fatalf("baseline class = %v, want confirmed", rep.Defects[0].Class)
+	}
+}
+
+// TestPublicAPIHitRates: WOLF's hit rate dominates the baseline's on the
+// quickstart.
+func TestPublicAPIHitRates(t *testing.T) {
+	rep := wolf.Analyze(inversionFactory, wolf.Config{DetectSeeds: []int64{3}})
+	cr := rep.Defects[0].Cycles[0]
+	hw := wolf.HitRate(inversionFactory, cr, 20)
+	hd := wolf.BaselineHitRate(inversionFactory, cr, 20)
+	if hw < hd {
+		t.Fatalf("WOLF hit rate %.2f below baseline %.2f", hw, hd)
+	}
+	if hw < 0.9 {
+		t.Fatalf("WOLF hit rate %.2f, want >= 0.9 on the quickstart", hw)
+	}
+}
+
+// TestHitRateOnPrunedCycle returns zero rather than misbehaving.
+func TestHitRateOnPrunedCycle(t *testing.T) {
+	// Figure-1-style program whose only cycle is pruned.
+	factory := func() (sim.Program, sim.Options) {
+		var tc, ct *sim.Lock
+		opts := sim.Options{Setup: func(w *sim.World) {
+			tc, ct = w.NewLock("TC"), w.NewLock("CT")
+		}}
+		prog := func(t *sim.Thread) {
+			t.Lock(tc, "init:1")
+			t.Lock(ct, "init:2")
+			h := t.Go("cached", func(u *sim.Thread) {
+				u.Lock(ct, "run:1")
+				u.Lock(tc, "run:2")
+				u.Unlock(tc, "run:3")
+				u.Unlock(ct, "run:4")
+			}, "init:3")
+			t.Unlock(ct, "init:4")
+			t.Unlock(tc, "init:5")
+			t.Join(h, "init:6")
+		}
+		return prog, opts
+	}
+	rep := wolf.Analyze(factory, wolf.Config{DetectSeeds: []int64{2}})
+	if len(rep.Cycles) != 1 || rep.Cycles[0].Class != wolf.FalseByPruner {
+		t.Fatalf("unexpected pipeline result:\n%v", rep)
+	}
+	if hr := wolf.HitRate(factory, rep.Cycles[0], 5); hr != 0 {
+		t.Fatalf("hit rate on pruned cycle = %v, want 0", hr)
+	}
+}
