@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"wolf/internal/core"
 	"wolf/internal/immunize"
@@ -42,10 +43,9 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, w := range workloads.All() {
+		for _, w := range workloads.Registry() {
 			fmt.Println(w.Name)
 		}
-		fmt.Println("Figure4\nFigure2\nFigure9\nPhilosophers\nBank")
 		return
 	}
 
@@ -56,7 +56,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		tr, err := trace.Read(f)
+		tr, err := trace.Decode(f)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
@@ -89,7 +89,13 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		if err := tr.Write(f); err != nil {
+		// The binary format is the wolfd ingest hot path; JSON stays the
+		// default for greppability. -trace sniffs the format either way.
+		write := tr.Write
+		if strings.HasSuffix(*record, ".bin") || strings.HasSuffix(*record, ".wtrc") {
+			write = tr.WriteBinary
+		}
+		if err := write(f); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}

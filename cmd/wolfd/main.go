@@ -1,0 +1,79 @@
+// Command wolfd runs the WOLF analysis service: an HTTP API accepting
+// trace uploads (JSON or binary, gzip-aware) and serving structured
+// deadlock reports from a bounded queue and worker pool.
+//
+// Usage:
+//
+//	wolfd [-addr :8077] [-workers 4] [-queue 64] [-timeout 30s] [-data]
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: new uploads are refused
+// while queued and in-flight analyses complete (bounded by -drain).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wolf/internal/core"
+	"wolf/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8077", "listen address")
+		workers = flag.Int("workers", 4, "analysis worker pool size")
+		queue   = flag.Int("queue", 64, "bounded job queue size (full queue returns 429)")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-job analysis timeout")
+		drain   = flag.Duration("drain", 60*time.Second, "graceful shutdown drain budget")
+		maxMB   = flag.Int64("max-upload-mb", 64, "maximum decompressed upload size in MiB")
+		data    = flag.Bool("data", false, "enable the value-flow (data dependency) extension")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueSize:      *queue,
+		JobTimeout:     *timeout,
+		MaxUploadBytes: *maxMB << 20,
+		Analysis:       core.Config{DataDependency: *data},
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("wolfd listening on %s (%d workers, queue %d, timeout %v)",
+			*addr, *workers, *queue, *timeout)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case s := <-sig:
+		log.Printf("received %v, draining (budget %v)", s, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+		}
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+		m := srv.Metrics()
+		fmt.Printf("wolfd: %d accepted, %d completed, %d failed (%d timeout, %d panic), %d rejected\n",
+			m.JobsAccepted.Load(), m.JobsCompleted.Load(), m.JobsFailed.Load(),
+			m.JobsTimedOut.Load(), m.JobsPanicked.Load(), m.JobsRejected.Load())
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"wolf/internal/detect"
@@ -15,16 +16,34 @@ import (
 // package's Write/Read). Replay needs the program, so surviving
 // potential deadlocks stay Unknown; use Analyze for the full pipeline.
 func AnalyzeTrace(tr *trace.Trace, cfg Config) *Report {
+	rep, _ := AnalyzeTraceCtx(context.Background(), tr, cfg)
+	return rep
+}
+
+// AnalyzeTraceCtx is AnalyzeTrace with cooperative cancellation for
+// long-running callers such as the wolfd service: the context is checked
+// between phases and between cycles within a phase, so a per-job timeout
+// or a client disconnect abandons the analysis promptly instead of
+// pinning a worker. On cancellation the partial report built so far is
+// returned alongside the context's error.
+func AnalyzeTraceCtx(ctx context.Context, tr *trace.Trace, cfg Config) (*Report, error) {
 	rep := &Report{Tool: "wolf(offline)"}
 	start := time.Now()
 	for _, c := range detect.Cycles(tr, detect.Config{MaxLength: cfg.MaxCycleLen, NoReduce: cfg.NoReduce}) {
 		rep.Cycles = append(rep.Cycles, &CycleReport{Cycle: c, Trace: tr})
 	}
 	rep.Timings.CycleDetect = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		rep.group()
+		return rep, err
+	}
 
 	start = time.Now()
 	if !cfg.DisablePruner && tr.Clocks != nil {
 		for _, cr := range rep.Cycles {
+			if ctx.Err() != nil {
+				break
+			}
 			res := pruner.Prune([]*detect.Cycle{cr.Cycle}, tr.Clocks)
 			if res.Verdicts[0] == pruner.False {
 				cr.Class = FalseByPruner
@@ -33,9 +52,16 @@ func AnalyzeTrace(tr *trace.Trace, cfg Config) *Report {
 		}
 	}
 	rep.Timings.Prune = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		rep.group()
+		return rep, err
+	}
 
 	start = time.Now()
 	for _, cr := range rep.Cycles {
+		if ctx.Err() != nil {
+			break
+		}
 		if cr.Class == FalseByPruner {
 			continue
 		}
@@ -54,7 +80,7 @@ func AnalyzeTrace(tr *trace.Trace, cfg Config) *Report {
 	rep.Timings.Generate = time.Since(start)
 
 	rep.group()
-	return rep
+	return rep, ctx.Err()
 }
 
 // Record performs one instrumented run with the given seed and returns

@@ -1,0 +1,120 @@
+package report
+
+import (
+	"time"
+
+	"wolf/internal/core"
+)
+
+// JSONReport is the wire representation of a core.Report, served by the
+// wolfd service and stable enough for external tooling: everything is
+// plain strings and numbers, classifications use their String() names,
+// and durations are nanoseconds.
+type JSONReport struct {
+	// Tool is the pipeline that produced the report.
+	Tool string `json:"tool"`
+	// Defects are the signature-grouped verdicts, in triage order.
+	Defects []JSONDefect `json:"defects"`
+	// Cycles are the per-cycle reports in discovery order.
+	Cycles []JSONCycle `json:"cycles"`
+	// Timings are the phase durations in nanoseconds.
+	Timings JSONTimings `json:"timings"`
+}
+
+// JSONDefect is one defect (unique source-location signature).
+type JSONDefect struct {
+	// Signature is the canonical sorted site list.
+	Signature string `json:"signature"`
+	// Class is the defect verdict ("confirmed", "false(pruner)", ...).
+	Class string `json:"class"`
+	// Cycles counts the lock-graph cycles sharing the signature.
+	Cycles int `json:"cycles"`
+}
+
+// JSONCycle is one detected potential deadlock.
+type JSONCycle struct {
+	// Threads are the participating threads, in cycle order.
+	Threads []string `json:"threads"`
+	// Locks are the locks being acquired, in cycle order.
+	Locks []string `json:"locks"`
+	// Sites are the deadlocking acquisition sites, in cycle order.
+	Sites []string `json:"sites"`
+	// Signature is the defect signature the cycle belongs to.
+	Signature string `json:"signature"`
+	// Class is the cycle verdict.
+	Class string `json:"class"`
+	// PruneRule explains a false(pruner) verdict, empty otherwise.
+	PruneRule string `json:"prune_rule,omitempty"`
+	// GsSize is the synchronization dependency graph size (0 if pruned).
+	GsSize int `json:"gs_size,omitempty"`
+	// HasGraph reports whether a dot rendering is available.
+	HasGraph bool `json:"has_graph"`
+	// ReplayAttempts counts reproduction runs performed.
+	ReplayAttempts int `json:"replay_attempts,omitempty"`
+}
+
+// JSONTimings mirrors core.Timings in nanoseconds.
+type JSONTimings struct {
+	UninstrumentedNs int64 `json:"uninstrumented_ns,omitempty"`
+	InstrumentedNs   int64 `json:"instrumented_ns,omitempty"`
+	CycleDetectNs    int64 `json:"cycle_detect_ns"`
+	PruneNs          int64 `json:"prune_ns"`
+	GenerateNs       int64 `json:"generate_ns"`
+	ReplayNs         int64 `json:"replay_ns,omitempty"`
+}
+
+// FromCore converts a pipeline report into its wire representation.
+func FromCore(rep *core.Report) *JSONReport {
+	out := &JSONReport{
+		Tool:    rep.Tool,
+		Defects: []JSONDefect{},
+		Cycles:  []JSONCycle{},
+		Timings: JSONTimings{
+			UninstrumentedNs: int64(rep.Timings.Uninstrumented),
+			InstrumentedNs:   int64(rep.Timings.Instrumented),
+			CycleDetectNs:    int64(rep.Timings.CycleDetect),
+			PruneNs:          int64(rep.Timings.Prune),
+			GenerateNs:       int64(rep.Timings.Generate),
+			ReplayNs:         int64(rep.Timings.Replay),
+		},
+	}
+	for _, d := range rep.Rank() {
+		out.Defects = append(out.Defects, JSONDefect{
+			Signature: d.Signature,
+			Class:     d.Class.String(),
+			Cycles:    len(d.Cycles),
+		})
+	}
+	for _, cr := range rep.Cycles {
+		jc := JSONCycle{
+			Threads:        cr.Cycle.Threads(),
+			Locks:          cycleLocks(cr),
+			Sites:          cr.Cycle.Sites(),
+			Signature:      cr.Cycle.Signature(),
+			Class:          cr.Class.String(),
+			GsSize:         cr.GsSize,
+			HasGraph:       cr.Gs != nil,
+			ReplayAttempts: cr.ReplayAttempts,
+		}
+		if cr.PruneReason != nil {
+			jc.PruneRule = cr.PruneReason.Rule
+		}
+		out.Cycles = append(out.Cycles, jc)
+	}
+	return out
+}
+
+// cycleLocks lists the locks being acquired, in cycle order.
+func cycleLocks(cr *core.CycleReport) []string {
+	out := make([]string, len(cr.Cycle.Tuples))
+	for i, tp := range cr.Cycle.Tuples {
+		out[i] = tp.Lock
+	}
+	return out
+}
+
+// Analysis is the total offline analysis time (detect + prune +
+// generate) as a duration, for clients and tests.
+func (t JSONTimings) Analysis() time.Duration {
+	return time.Duration(t.CycleDetectNs + t.PruneNs + t.GenerateNs)
+}

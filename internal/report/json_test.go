@@ -1,0 +1,69 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"wolf/internal/core"
+	"wolf/internal/workloads"
+)
+
+// TestFromCoreFigure4: the wire view of an offline Figure 4 analysis
+// carries both defects with their verdicts and round-trips through
+// encoding/json.
+func TestFromCoreFigure4(t *testing.T) {
+	w, ok := workloads.ByName("Figure4")
+	if !ok {
+		t.Fatal("Figure4 not registered")
+	}
+	seed, ok := workloads.FindTerminatingSeed(w.New, 300)
+	if !ok {
+		t.Fatal("no terminating seed")
+	}
+	tr := core.Record(w.New, seed, 0)
+	rep := core.AnalyzeTrace(tr, core.Config{})
+
+	jr := FromCore(rep)
+	if jr.Tool != "wolf(offline)" {
+		t.Fatalf("tool = %q", jr.Tool)
+	}
+	if len(jr.Defects) != 2 {
+		t.Fatalf("defects = %d, want 2:\n%v", len(jr.Defects), rep)
+	}
+	classes := map[string]int{}
+	for _, d := range jr.Defects {
+		classes[d.Class]++
+	}
+	// θ1 is refuted by the Pruner; θ2 survives (offline analysis cannot
+	// replay, so it stays unknown).
+	if classes["false(pruner)"] != 1 || classes["unknown"] != 1 {
+		t.Fatalf("defect classes = %v", classes)
+	}
+	if len(jr.Cycles) != 2 {
+		t.Fatalf("cycles = %d, want 2", len(jr.Cycles))
+	}
+	for _, c := range jr.Cycles {
+		if len(c.Threads) == 0 || len(c.Locks) == 0 || c.Signature == "" {
+			t.Fatalf("incomplete cycle view: %+v", c)
+		}
+		if c.Class == "unknown" && !c.HasGraph {
+			t.Fatalf("surviving cycle lost its graph: %+v", c)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(jr); err != nil {
+		t.Fatal(err)
+	}
+	var back JSONReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Tool != jr.Tool || len(back.Defects) != len(jr.Defects) || len(back.Cycles) != len(jr.Cycles) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Timings.Analysis() <= 0 {
+		t.Fatal("timings lost")
+	}
+}

@@ -1,0 +1,189 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"wolf/internal/core"
+	"wolf/internal/trace"
+)
+
+// JobState is the lifecycle of one analysis job.
+type JobState string
+
+const (
+	// StateQueued: accepted, waiting for a worker.
+	StateQueued JobState = "queued"
+	// StateRunning: a worker is analyzing the trace.
+	StateRunning JobState = "running"
+	// StateDone: analysis finished; the report is available.
+	StateDone JobState = "done"
+	// StateFailed: analysis errored, timed out or panicked; Error says
+	// why.
+	StateFailed JobState = "failed"
+)
+
+// Job is one unit of analysis work: a trace (uploaded, or recorded from
+// a named workload by the worker) plus its outcome.
+type Job struct {
+	// ID is the server-assigned job identifier.
+	ID string
+
+	mu       sync.Mutex
+	state    JobState
+	err      string
+	source   string
+	tuples   int
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	tr       *trace.Trace
+	// prepare produces the trace on the worker for jobs that record a
+	// workload server-side; nil for uploads.
+	prepare func() (*trace.Trace, error)
+	report  *core.Report
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Report returns the analysis report, nil until the job is done.
+func (j *Job) Report() *core.Report {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil
+	}
+	return j.report
+}
+
+// begin transitions the job to running.
+func (j *Job) begin() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateRunning
+	j.started = time.Now()
+}
+
+// finish records a successful analysis.
+func (j *Job) finish(rep *core.Report) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateDone
+	j.report = rep
+	j.finished = time.Now()
+}
+
+// fail records a failed analysis.
+func (j *Job) fail(msg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateFailed
+	j.err = msg
+	j.finished = time.Now()
+}
+
+// setTrace attaches the prepared trace (worker side, workload jobs).
+func (j *Job) setTrace(tr *trace.Trace) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.tr = tr
+	j.tuples = len(tr.Tuples)
+}
+
+// JobView is the wire representation of a job's status.
+type JobView struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Source   string `json:"source"`
+	Tuples   int    `json:"tuples,omitempty"`
+	Error    string `json:"error,omitempty"`
+	Created  string `json:"created"`
+	Started  string `json:"started,omitempty"`
+	Finished string `json:"finished,omitempty"`
+	// ReportURL is set once the report can be fetched.
+	ReportURL string `json:"report_url,omitempty"`
+}
+
+// view snapshots the job for JSON rendering.
+func (j *Job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:      j.ID,
+		State:   string(j.state),
+		Source:  j.source,
+		Tuples:  j.tuples,
+		Error:   j.err,
+		Created: j.created.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.started.IsZero() {
+		v.Started = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		v.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	if j.state == StateDone {
+		v.ReportURL = "/v1/jobs/" + j.ID + "/report"
+	}
+	return v
+}
+
+// store is the in-memory job registry.
+type store struct {
+	mu   sync.Mutex
+	seq  int
+	jobs map[string]*Job
+	// order preserves creation order for listings.
+	order []*Job
+}
+
+func newStore() *store {
+	return &store{jobs: make(map[string]*Job)}
+}
+
+// add registers a new job and assigns its ID.
+func (s *store) add(source string, tr *trace.Trace, prepare func() (*trace.Trace, error)) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	j := &Job{
+		ID:      fmt.Sprintf("j-%06d", s.seq),
+		state:   StateQueued,
+		source:  source,
+		created: time.Now(),
+		tr:      tr,
+		prepare: prepare,
+	}
+	if tr != nil {
+		j.tuples = len(tr.Tuples)
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j)
+	return j
+}
+
+// get looks a job up by ID.
+func (s *store) get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// list snapshots every job's view in creation order.
+func (s *store) list() []JobView {
+	s.mu.Lock()
+	jobs := append([]*Job(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.view()
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"wolf/internal/core"
+)
+
+// Metrics is the wolfd in-process metrics registry. Counters are plain
+// atomics — no external metrics dependency — rendered in Prometheus text
+// exposition format at GET /metrics so standard scrapers work unchanged.
+type Metrics struct {
+	// JobsAccepted counts jobs admitted to the queue.
+	JobsAccepted atomic.Int64
+	// JobsRejected counts uploads refused because the queue was full.
+	JobsRejected atomic.Int64
+	// JobsCompleted counts jobs whose analysis finished.
+	JobsCompleted atomic.Int64
+	// JobsFailed counts jobs that errored (including panics).
+	JobsFailed atomic.Int64
+	// JobsTimedOut counts jobs cancelled by the per-job timeout (also
+	// counted in JobsFailed).
+	JobsTimedOut atomic.Int64
+	// JobsPanicked counts recovered analysis panics (also counted in
+	// JobsFailed).
+	JobsPanicked atomic.Int64
+	// QueueDepth is the number of queued-but-not-started jobs.
+	QueueDepth atomic.Int64
+
+	// Per-phase analysis latency sums in nanoseconds, mirroring
+	// core.Timings; with the completed-jobs counter these give average
+	// phase latency.
+	DetectNs   atomic.Int64
+	PruneNs    atomic.Int64
+	GenerateNs atomic.Int64
+	// AnalysisNs is total wall-clock analysis time (including queue-side
+	// recording for workload jobs).
+	AnalysisNs atomic.Int64
+}
+
+// observe folds one completed analysis into the registry.
+func (m *Metrics) observe(rep *core.Report, total time.Duration) {
+	m.JobsCompleted.Add(1)
+	m.DetectNs.Add(int64(rep.Timings.CycleDetect))
+	m.PruneNs.Add(int64(rep.Timings.Prune))
+	m.GenerateNs.Add(int64(rep.Timings.Generate))
+	m.AnalysisNs.Add(int64(total))
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("wolfd_jobs_accepted_total", "Jobs admitted to the queue.", m.JobsAccepted.Load())
+	counter("wolfd_jobs_rejected_total", "Uploads refused because the queue was full.", m.JobsRejected.Load())
+	counter("wolfd_jobs_completed_total", "Jobs whose analysis finished.", m.JobsCompleted.Load())
+	counter("wolfd_jobs_failed_total", "Jobs that errored.", m.JobsFailed.Load())
+	counter("wolfd_jobs_timeout_total", "Jobs cancelled by the per-job timeout.", m.JobsTimedOut.Load())
+	counter("wolfd_jobs_panic_total", "Recovered analysis panics.", m.JobsPanicked.Load())
+	gauge("wolfd_queue_depth", "Queued-but-not-started jobs.", m.QueueDepth.Load())
+	counter("wolfd_phase_detect_ns_total", "Cumulative cycle-detection time.", m.DetectNs.Load())
+	counter("wolfd_phase_prune_ns_total", "Cumulative pruner time.", m.PruneNs.Load())
+	counter("wolfd_phase_generate_ns_total", "Cumulative generator time.", m.GenerateNs.Load())
+	counter("wolfd_analysis_ns_total", "Cumulative end-to-end analysis time.", m.AnalysisNs.Load())
+}

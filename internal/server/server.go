@@ -1,0 +1,460 @@
+// Package server implements wolfd, the long-running WOLF analysis
+// service: clients upload recorded traces (JSON or the binary "WTRC"
+// format, optionally gzipped) over HTTP, a bounded queue feeds a worker
+// pool running the offline pipeline (cycle detection → Pruner →
+// Generator), and structured reports come back as JSON or Graphviz dot.
+//
+// API:
+//
+//	POST /v1/traces              upload a trace, enqueue analysis → 202 + job
+//	POST /v1/analyze             upload a trace, analyze synchronously → report
+//	POST /v1/workloads/{name}    record a named workload server-side, enqueue
+//	GET  /v1/workloads           list the workload registry
+//	GET  /v1/jobs                list jobs
+//	GET  /v1/jobs/{id}           job status
+//	GET  /v1/jobs/{id}/report    analysis report (JSON)
+//	GET  /v1/jobs/{id}/dot       a defect's synchronization dependency graph
+//	GET  /metrics                Prometheus text metrics
+//	GET  /healthz                liveness + queue depth
+package server
+
+import (
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"time"
+
+	"wolf/internal/core"
+	"wolf/internal/report"
+	"wolf/internal/trace"
+	"wolf/internal/workloads"
+)
+
+// Config controls a wolfd server.
+type Config struct {
+	// Workers is the analysis pool size (default 4).
+	Workers int
+	// QueueSize bounds the job queue; a full queue rejects uploads with
+	// 429 (default 64).
+	QueueSize int
+	// JobTimeout cancels an analysis that runs longer (default 30s).
+	JobTimeout time.Duration
+	// MaxUploadBytes bounds a decompressed upload (default 64 MiB).
+	MaxUploadBytes int64
+	// Analysis configures the offline pipeline for every job.
+	Analysis core.Config
+	// Analyze overrides the analysis function (tests); default
+	// core.AnalyzeTraceCtx.
+	Analyze func(ctx context.Context, tr *trace.Trace, cfg core.Config) (*core.Report, error)
+	// SeedTries bounds the terminating-seed search for workload jobs
+	// (default 300).
+	SeedTries int
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 30 * time.Second
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 64 << 20
+	}
+	if c.Analyze == nil {
+		c.Analyze = core.AnalyzeTraceCtx
+	}
+	if c.SeedTries <= 0 {
+		c.SeedTries = 300
+	}
+}
+
+// Server is a wolfd instance: job store, bounded queue, worker pool and
+// HTTP handler. Create with New, serve Handler(), stop with Shutdown.
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+	jobs    *store
+	mux     *http.ServeMux
+
+	mu     sync.Mutex
+	queue  chan *Job
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		cfg:     cfg,
+		metrics: &Metrics{},
+		jobs:    newStore(),
+		queue:   make(chan *Job, cfg.QueueSize),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/traces", s.handleUpload)
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyzeSync)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("POST /v1/workloads/{name}", s.handleWorkloadJob)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/dot", s.handleDot)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP handler for the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains gracefully: new uploads are refused, queued and
+// in-flight jobs complete, then the worker pool exits. The context
+// bounds the wait.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// enqueue admits a job to the bounded queue. It reports false when the
+// queue is full or the server is shutting down.
+func (s *Server) enqueue(j *Job) (ok, closed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, true
+	}
+	select {
+	case s.queue <- j:
+		s.metrics.JobsAccepted.Add(1)
+		s.metrics.QueueDepth.Add(1)
+		return true, false
+	default:
+		s.metrics.JobsRejected.Add(1)
+		return false, false
+	}
+}
+
+// worker drains the queue until Shutdown closes it. A panicking or
+// timed-out analysis fails its job only — the worker survives.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.metrics.QueueDepth.Add(-1)
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job with timeout and panic isolation.
+func (s *Server) runJob(j *Job) {
+	j.begin()
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.JobsPanicked.Add(1)
+			s.metrics.JobsFailed.Add(1)
+			j.fail(fmt.Sprintf("analysis panicked: %v", r))
+			// The stack is server-side diagnostics, not client payload.
+			debug.PrintStack()
+		}
+	}()
+	tr := j.tr
+	if j.prepare != nil {
+		prepared, err := j.prepare()
+		if err != nil {
+			s.metrics.JobsFailed.Add(1)
+			j.fail(err.Error())
+			return
+		}
+		j.setTrace(prepared)
+		tr = prepared
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.JobTimeout)
+	defer cancel()
+	rep, err := s.cfg.Analyze(ctx, tr, s.cfg.Analysis)
+	if err != nil {
+		s.metrics.JobsFailed.Add(1)
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.metrics.JobsTimedOut.Add(1)
+			j.fail(fmt.Sprintf("analysis timed out after %v", s.cfg.JobTimeout))
+		} else {
+			j.fail(err.Error())
+		}
+		return
+	}
+	s.metrics.observe(rep, time.Since(start))
+	j.finish(rep)
+}
+
+// readTrace decodes an uploaded trace body: either format, gzip-aware
+// (Content-Encoding header or magic sniff), size-capped.
+func (s *Server) readTrace(w http.ResponseWriter, r *http.Request) (*trace.Trace, bool) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	var in = body
+	if r.Header.Get("Content-Encoding") == "gzip" {
+		zr, err := gzip.NewReader(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad gzip stream: "+err.Error())
+			return nil, false
+		}
+		defer zr.Close()
+		in = http.MaxBytesReader(w, readCloser{zr}, s.cfg.MaxUploadBytes)
+	}
+	tr, err := trace.Decode(in)
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, status, "bad trace: "+err.Error())
+		return nil, false
+	}
+	if len(tr.Tuples) == 0 {
+		httpError(w, http.StatusBadRequest, "bad trace: no lock acquisitions recorded")
+		return nil, false
+	}
+	return tr, true
+}
+
+// readCloser adapts a gzip reader for MaxBytesReader (which wants a
+// ReadCloser).
+type readCloser struct{ *gzip.Reader }
+
+func (rc readCloser) Close() error { return rc.Reader.Close() }
+
+// handleUpload is POST /v1/traces: decode, enqueue, 202.
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	tr, ok := s.readTrace(w, r)
+	if !ok {
+		return
+	}
+	j := s.jobs.add("upload", tr, nil)
+	s.admit(w, j)
+}
+
+// handleWorkloadJob is POST /v1/workloads/{name}: record the named
+// workload server-side (on the worker, not the request path) and analyze
+// the trace. Optional ?seed=N pins the detection schedule; 0 searches
+// for a terminating seed.
+func (s *Server) handleWorkloadJob(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	wl, ok := workloads.ByName(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown workload %q", name))
+		return
+	}
+	seed := int64(0)
+	if v := r.URL.Query().Get("seed"); v != "" {
+		parsed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad seed: "+err.Error())
+			return
+		}
+		seed = parsed
+	}
+	tries := s.cfg.SeedTries
+	prepare := func() (*trace.Trace, error) {
+		sd := seed
+		if sd == 0 {
+			found, ok := workloads.FindTerminatingSeed(wl.New, tries)
+			if !ok {
+				return nil, fmt.Errorf("no terminating detection seed found in %d tries", tries)
+			}
+			sd = found
+		}
+		return core.Record(wl.New, sd, 0), nil
+	}
+	j := s.jobs.add("workload:"+name, nil, prepare)
+	s.admit(w, j)
+}
+
+// admit enqueues a freshly created job and writes the accept response.
+func (s *Server) admit(w http.ResponseWriter, j *Job) {
+	ok, closed := s.enqueue(j)
+	switch {
+	case closed:
+		j.fail("server shutting down")
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+	case !ok:
+		j.fail("queue full")
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "analysis queue full")
+	default:
+		w.Header().Set("Location", "/v1/jobs/"+j.ID)
+		writeJSON(w, http.StatusAccepted, j.view())
+	}
+}
+
+// handleAnalyzeSync is POST /v1/analyze: run the pipeline inline on the
+// request and return the report directly. The analysis runs under the
+// request context, so a client disconnect cancels it; the per-job
+// timeout still applies.
+func (s *Server) handleAnalyzeSync(w http.ResponseWriter, r *http.Request) {
+	tr, ok := s.readTrace(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.JobTimeout)
+	defer cancel()
+	start := time.Now()
+	rep, err := s.cfg.Analyze(ctx, tr, s.cfg.Analysis)
+	if err != nil {
+		s.metrics.JobsFailed.Add(1)
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.metrics.JobsTimedOut.Add(1)
+			httpError(w, http.StatusGatewayTimeout, fmt.Sprintf("analysis timed out after %v", s.cfg.JobTimeout))
+		} else {
+			httpError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	s.metrics.observe(rep, time.Since(start))
+	writeJSON(w, http.StatusOK, report.FromCore(rep))
+}
+
+// handleWorkloads is GET /v1/workloads: the shared registry.
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	names := []string{}
+	for _, wl := range workloads.Registry() {
+		names = append(names, wl.Name)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"workloads": names})
+}
+
+// handleJobs is GET /v1/jobs.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.list()})
+}
+
+// handleJob is GET /v1/jobs/{id}.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+// handleReport is GET /v1/jobs/{id}/report: the analysis report once the
+// job is done; 409 while it is still queued or running.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	switch j.State() {
+	case StateDone:
+		writeJSON(w, http.StatusOK, report.FromCore(j.Report()))
+	case StateFailed:
+		httpError(w, http.StatusUnprocessableEntity, "job failed: "+j.view().Error)
+	default:
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusConflict, "job not finished")
+	}
+}
+
+// handleDot is GET /v1/jobs/{id}/dot?signature=SIG: the synchronization
+// dependency graph of one defect as Graphviz dot. Without a signature
+// the first defect that has a graph is rendered.
+func (s *Server) handleDot(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	rep := j.Report()
+	if rep == nil {
+		httpError(w, http.StatusConflict, "job not finished")
+		return
+	}
+	want := r.URL.Query().Get("signature")
+	for _, d := range rep.Defects {
+		if want != "" && d.Signature != want {
+			continue
+		}
+		for _, cr := range d.Cycles {
+			if cr.Gs != nil {
+				w.Header().Set("Content-Type", "text/vnd.graphviz")
+				fmt.Fprint(w, cr.Gs.DOT(d.Signature))
+				return
+			}
+		}
+		if want != "" {
+			break
+		}
+	}
+	httpError(w, http.StatusNotFound, "no graph for that defect (pruned, or unknown signature)")
+}
+
+// handleMetrics is GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WritePrometheus(w)
+}
+
+// handleHealthz is GET /healthz: 200 while accepting work, 503 during
+// shutdown.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	status := http.StatusOK
+	state := "ok"
+	if closed {
+		status = http.StatusServiceUnavailable
+		state = "shutting down"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":      state,
+		"queue_depth": s.metrics.QueueDepth.Load(),
+	})
+}
+
+// Metrics exposes the registry (for the binary's logs and tests).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// writeJSON renders v with the right headers.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// httpError renders a JSON error body.
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

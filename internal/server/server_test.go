@@ -1,0 +1,561 @@
+package server
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"wolf/internal/core"
+	"wolf/internal/report"
+	"wolf/internal/trace"
+	"wolf/internal/workloads"
+)
+
+// fig4Trace records a Figure 4 detection trace on a terminating seed.
+func fig4Trace(t *testing.T) *trace.Trace {
+	t.Helper()
+	w, ok := workloads.ByName("Figure4")
+	if !ok {
+		t.Fatal("Figure4 not registered")
+	}
+	seed, ok := workloads.FindTerminatingSeed(w.New, 300)
+	if !ok {
+		t.Fatal("no terminating seed")
+	}
+	return core.Record(w.New, seed, 0)
+}
+
+// startServer runs a wolfd instance behind a real loopback HTTP server.
+func startServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+// postTrace uploads a trace body and decodes the response JSON.
+func postTrace(t *testing.T, url string, body []byte, hdr map[string]string) (int, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil && err != io.EOF {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+// getJSON fetches url into out, returning the status code.
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil && err != io.EOF {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// pollJob waits for the job to leave the queued/running states.
+func pollJob(t *testing.T, base, id string) JobView {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		var v JobView
+		if code := getJSON(t, base+"/v1/jobs/"+id, &v); code != http.StatusOK {
+			t.Fatalf("job status = %d", code)
+		}
+		if v.State == string(StateDone) || v.State == string(StateFailed) {
+			return v
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("job did not finish in time")
+	return JobView{}
+}
+
+// TestEndToEndFigure4 is the service's core contract: record a workload
+// trace, upload it over real HTTP in both encodings (binary gzipped),
+// poll the job, and check the report classifies the known cycles — θ1
+// refuted by the Pruner, θ2 (the real Figure 4 deadlock) surviving
+// pruning and generation.
+func TestEndToEndFigure4(t *testing.T) {
+	tr := fig4Trace(t)
+	_, ts := startServer(t, Config{Workers: 2, QueueSize: 8})
+
+	var js bytes.Buffer
+	if err := tr.Write(&js); err != nil {
+		t.Fatal(err)
+	}
+	var binGz bytes.Buffer
+	zw := gzip.NewWriter(&binGz)
+	if err := tr.WriteBinary(zw); err != nil {
+		t.Fatal(err)
+	}
+	zw.Close()
+
+	uploads := []struct {
+		name string
+		body []byte
+		hdr  map[string]string
+	}{
+		{"json", js.Bytes(), nil},
+		{"binary+gzip", binGz.Bytes(), map[string]string{"Content-Encoding": "gzip"}},
+	}
+	for _, up := range uploads {
+		t.Run(up.name, func(t *testing.T) {
+			code, accepted := postTrace(t, ts.URL+"/v1/traces", up.body, up.hdr)
+			if code != http.StatusAccepted {
+				t.Fatalf("upload = %d (%v)", code, accepted)
+			}
+			id, _ := accepted["id"].(string)
+			if id == "" {
+				t.Fatalf("no job id in %v", accepted)
+			}
+			v := pollJob(t, ts.URL, id)
+			if v.State != string(StateDone) {
+				t.Fatalf("job = %+v", v)
+			}
+			if v.Tuples != len(tr.Tuples) {
+				t.Fatalf("tuples = %d, want %d", v.Tuples, len(tr.Tuples))
+			}
+
+			var rep report.JSONReport
+			if code := getJSON(t, ts.URL+v.ReportURL, &rep); code != http.StatusOK {
+				t.Fatalf("report = %d", code)
+			}
+			if len(rep.Defects) != 2 {
+				t.Fatalf("defects = %+v, want 2", rep.Defects)
+			}
+			classes := map[string]string{}
+			for _, d := range rep.Defects {
+				classes[d.Class] = d.Signature
+			}
+			if _, ok := classes["false(pruner)"]; !ok {
+				t.Fatalf("θ1 not pruned: %+v", rep.Defects)
+			}
+			sig, ok := classes["unknown"]
+			if !ok {
+				t.Fatalf("θ2 did not survive pruning/generation: %+v", rep.Defects)
+			}
+
+			// The surviving defect's dependency graph is retrievable as dot.
+			resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/dot?" +
+				url.Values{"signature": {sig}}.Encode())
+			if err != nil {
+				t.Fatal(err)
+			}
+			dot, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || !strings.Contains(string(dot), "digraph Gs") {
+				t.Fatalf("dot = %d: %.80s", resp.StatusCode, dot)
+			}
+		})
+	}
+
+	// The synchronous endpoint returns the same verdicts inline.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/analyze", bytes.NewReader(js.Bytes()))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sync report.JSONReport
+	if err := json.NewDecoder(resp.Body).Decode(&sync); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || len(sync.Defects) != 2 {
+		t.Fatalf("sync analyze = %d, %+v", resp.StatusCode, sync.Defects)
+	}
+}
+
+// TestWorkloadJob: the server records and analyzes a registered workload
+// on its own, sharing cmd/wolf's registry.
+func TestWorkloadJob(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1, QueueSize: 4})
+
+	var names struct {
+		Workloads []string `json:"workloads"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/workloads", &names); code != http.StatusOK {
+		t.Fatalf("workloads = %d", code)
+	}
+	found := false
+	for _, n := range names.Workloads {
+		if n == "Figure4" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Figure4 missing from %v", names.Workloads)
+	}
+
+	code, accepted := postTrace(t, ts.URL+"/v1/workloads/Figure4", nil, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("workload job = %d (%v)", code, accepted)
+	}
+	v := pollJob(t, ts.URL, accepted["id"].(string))
+	if v.State != string(StateDone) || v.Tuples == 0 {
+		t.Fatalf("workload job = %+v", v)
+	}
+
+	if code, _ := postTrace(t, ts.URL+"/v1/workloads/NoSuchThing", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown workload = %d", code)
+	}
+}
+
+// TestUploadRejectsGarbage: malformed bodies are a client error, and the
+// queue never sees them.
+func TestUploadRejectsGarbage(t *testing.T) {
+	s, ts := startServer(t, Config{Workers: 1, QueueSize: 4})
+	for name, body := range map[string][]byte{
+		"empty":     nil,
+		"garbage":   []byte("not a trace"),
+		"truncated": []byte("WTRC\x01"),
+		"no-tuples": []byte(`{"version":1,"tuples":[]}`),
+	} {
+		if code, _ := postTrace(t, ts.URL+"/v1/traces", body, nil); code != http.StatusBadRequest {
+			t.Fatalf("%s upload = %d, want 400", name, code)
+		}
+	}
+	if got := s.Metrics().JobsAccepted.Load(); got != 0 {
+		t.Fatalf("accepted = %d, want 0", got)
+	}
+}
+
+// blockingAnalyze returns an analyze hook that parks until released,
+// then runs the real pipeline.
+func blockingAnalyze(release <-chan struct{}) func(context.Context, *trace.Trace, core.Config) (*core.Report, error) {
+	return func(ctx context.Context, tr *trace.Trace, cfg core.Config) (*core.Report, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return core.AnalyzeTraceCtx(ctx, tr, cfg)
+	}
+}
+
+// TestQueueFull: with workers parked and the queue at capacity, further
+// uploads get 429 and the rejection is counted; draining the queue makes
+// the server accept again.
+func TestQueueFull(t *testing.T) {
+	release := make(chan struct{})
+	s, ts := startServer(t, Config{
+		Workers:   1,
+		QueueSize: 2,
+		Analyze:   blockingAnalyze(release),
+	})
+	tr := fig4Trace(t)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.Bytes()
+
+	// 1 job parks on the worker; 2 fill the queue. Subsequent uploads
+	// must bounce. (The parked job may or may not have been picked up
+	// yet, so fill to capacity + 1 first.)
+	ids := []string{}
+	for i := 0; i < 3; i++ {
+		code, out := postTrace(t, ts.URL+"/v1/traces", body, nil)
+		if code != http.StatusAccepted {
+			t.Fatalf("upload %d = %d", i, code)
+		}
+		ids = append(ids, out["id"].(string))
+	}
+	// Wait until the worker has dequeued the first job so exactly
+	// QueueSize slots are occupied.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Metrics().QueueDepth.Load() != 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	code, _ := postTrace(t, ts.URL+"/v1/traces", body, nil)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity upload = %d, want 429", code)
+	}
+	if got := s.Metrics().JobsRejected.Load(); got == 0 {
+		t.Fatal("rejection not counted")
+	}
+
+	close(release)
+	for _, id := range ids {
+		if v := pollJob(t, ts.URL, id); v.State != string(StateDone) {
+			t.Fatalf("job %s = %+v", id, v)
+		}
+	}
+	// Queue drained: uploads flow again.
+	if code, _ := postTrace(t, ts.URL+"/v1/traces", body, nil); code != http.StatusAccepted {
+		t.Fatalf("post-drain upload = %d", code)
+	}
+}
+
+// TestJobTimeout: an analysis exceeding the per-job timeout is reported
+// failed, counted, and the worker survives to serve the next job.
+func TestJobTimeout(t *testing.T) {
+	const slowSeed = 999
+	slow := func(ctx context.Context, tr *trace.Trace, cfg core.Config) (*core.Report, error) {
+		if tr.Seed == slowSeed {
+			<-ctx.Done() // simulate an analysis that outlives its budget
+			return nil, ctx.Err()
+		}
+		return core.AnalyzeTraceCtx(ctx, tr, cfg)
+	}
+	s, ts := startServer(t, Config{
+		Workers:    1,
+		QueueSize:  4,
+		JobTimeout: 50 * time.Millisecond,
+		Analyze:    slow,
+	})
+	tr := fig4Trace(t)
+	tr.Seed = slowSeed
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out := postTrace(t, ts.URL+"/v1/traces", buf.Bytes(), nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("upload = %d", code)
+	}
+	v := pollJob(t, ts.URL, out["id"].(string))
+	if v.State != string(StateFailed) || !strings.Contains(v.Error, "timed out") {
+		t.Fatalf("job = %+v, want timeout failure", v)
+	}
+	if s.Metrics().JobsTimedOut.Load() != 1 {
+		t.Fatal("timeout not counted")
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+v.ID+"/report", nil); code != http.StatusUnprocessableEntity {
+		t.Fatalf("report of failed job = %d, want 422", code)
+	}
+
+	// The worker must still be alive: the same trace under a normal seed
+	// (fast path) succeeds on the same single worker.
+	tr.Seed = 1
+	buf.Reset()
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	code, out = postTrace(t, ts.URL+"/v1/traces", buf.Bytes(), nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("second upload = %d", code)
+	}
+	if v := pollJob(t, ts.URL, out["id"].(string)); v.State != string(StateDone) {
+		t.Fatalf("worker did not survive timeout: %+v", v)
+	}
+}
+
+// TestPanicRecovery: a panicking analysis fails its job with the panic
+// surfaced in the status, the worker pool survives, and the panic is
+// counted.
+func TestPanicRecovery(t *testing.T) {
+	count := 0
+	boom := func(ctx context.Context, tr *trace.Trace, cfg core.Config) (*core.Report, error) {
+		count++
+		if count == 1 {
+			panic("synthetic analyzer bug")
+		}
+		return core.AnalyzeTraceCtx(ctx, tr, cfg)
+	}
+	s, ts := startServer(t, Config{Workers: 1, QueueSize: 4, Analyze: boom})
+	tr := fig4Trace(t)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out := postTrace(t, ts.URL+"/v1/traces", buf.Bytes(), nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("upload = %d", code)
+	}
+	v := pollJob(t, ts.URL, out["id"].(string))
+	if v.State != string(StateFailed) || !strings.Contains(v.Error, "synthetic analyzer bug") {
+		t.Fatalf("job = %+v, want surfaced panic", v)
+	}
+	if s.Metrics().JobsPanicked.Load() != 1 {
+		t.Fatal("panic not counted")
+	}
+
+	// Same worker, next job: must succeed.
+	code, out = postTrace(t, ts.URL+"/v1/traces", buf.Bytes(), nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("second upload = %d", code)
+	}
+	if v := pollJob(t, ts.URL, out["id"].(string)); v.State != string(StateDone) {
+		t.Fatalf("worker did not survive panic: %+v", v)
+	}
+}
+
+// TestGracefulShutdown: Shutdown completes queued and in-flight jobs,
+// then refuses new uploads with 503.
+func TestGracefulShutdown(t *testing.T) {
+	release := make(chan struct{})
+	s := New(Config{Workers: 1, QueueSize: 8, Analyze: blockingAnalyze(release)})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	tr := fig4Trace(t)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{}
+	for i := 0; i < 3; i++ {
+		code, out := postTrace(t, ts.URL+"/v1/traces", buf.Bytes(), nil)
+		if code != http.StatusAccepted {
+			t.Fatalf("upload = %d", code)
+		}
+		ids = append(ids, out["id"].(string))
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+	time.Sleep(20 * time.Millisecond) // let Shutdown close the queue
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// Every accepted job completed despite the shutdown racing them.
+	for _, id := range ids {
+		j, ok := s.jobs.get(id)
+		if !ok || j.State() != StateDone {
+			t.Fatalf("job %s not completed during drain: %v", id, j.State())
+		}
+	}
+
+	// New work is refused and health reports draining state.
+	if code, _ := postTrace(t, ts.URL+"/v1/traces", buf.Bytes(), nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown upload = %d, want 503", code)
+	}
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after shutdown = %d, want 503", code)
+	}
+}
+
+// TestMetricsEndpoint: the Prometheus rendering carries the counters.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1, QueueSize: 4})
+	tr := fig4Trace(t)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	code, out := postTrace(t, ts.URL+"/v1/traces", buf.Bytes(), nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("upload = %d", code)
+	}
+	pollJob(t, ts.URL, out["id"].(string))
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"wolfd_jobs_accepted_total 1",
+		"wolfd_jobs_completed_total 1",
+		"wolfd_queue_depth 0",
+		"wolfd_phase_detect_ns_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+}
+
+// TestUploadTooLarge: the size cap returns 413, not an open-ended read.
+func TestUploadTooLarge(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1, QueueSize: 4, MaxUploadBytes: 128})
+	tr := fig4Trace(t)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() <= 128 {
+		t.Fatalf("fixture too small: %d bytes", buf.Len())
+	}
+	code, _ := postTrace(t, ts.URL+"/v1/traces", buf.Bytes(), nil)
+	if code != http.StatusRequestEntityTooLarge && code != http.StatusBadRequest {
+		t.Fatalf("oversized upload = %d, want 413/400", code)
+	}
+}
+
+// TestSyncAnalyzeClientCancel: POST /v1/analyze runs under the request
+// context, so a client disconnect cancels the in-flight analysis.
+func TestSyncAnalyzeClientCancel(t *testing.T) {
+	started := make(chan struct{}, 1)
+	cancelled := make(chan struct{}, 1)
+	hook := func(ctx context.Context, tr *trace.Trace, cfg core.Config) (*core.Report, error) {
+		started <- struct{}{}
+		select {
+		case <-ctx.Done():
+			cancelled <- struct{}{}
+			return nil, ctx.Err()
+		case <-time.After(10 * time.Second):
+			return nil, fmt.Errorf("client disconnect never propagated")
+		}
+	}
+	_, ts := startServer(t, Config{Workers: 1, QueueSize: 4, Analyze: hook})
+	tr := fig4Trace(t)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/analyze", bytes.NewReader(buf.Bytes()))
+	go http.DefaultClient.Do(req)
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("analysis never started")
+	}
+	cancel() // client walks away
+	select {
+	case <-cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("analysis kept running after client disconnect")
+	}
+}

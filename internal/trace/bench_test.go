@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bytes"
 	"testing"
 
 	"wolf/internal/vclock"
@@ -93,4 +94,83 @@ type discard struct{ n int }
 func (d *discard) Write(p []byte) (int, error) {
 	d.n += len(p)
 	return len(p), nil
+}
+
+// largeTrace records a large trace (hundreds of tuples) for the
+// JSON-vs-binary codec comparison: the wolfd ingest hot path.
+func largeTrace(b *testing.B) *Trace {
+	b.Helper()
+	prog, opts := benchProgram(200)
+	vt := vclock.NewTracker()
+	rec := NewRecorder(vt)
+	opts.Listeners = append(opts.Listeners, vt, rec)
+	opts.MaxSteps = 1 << 20
+	sim.Run(prog, sim.NewRandomStrategy(1), opts)
+	tr := rec.Finish(1)
+	if len(tr.Tuples) < 100 {
+		b.Fatalf("trace too small: %d tuples", len(tr.Tuples))
+	}
+	return tr
+}
+
+// BenchmarkEncodeJSON / BenchmarkEncodeBinary compare the two codecs on
+// the same large trace; bytes/op makes the size difference visible.
+func BenchmarkEncodeJSON(b *testing.B) {
+	tr := largeTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf discard
+		if err := tr.Write(&buf); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.n))
+	}
+}
+
+func BenchmarkEncodeBinary(b *testing.B) {
+	tr := largeTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf discard
+		if err := tr.WriteBinary(&buf); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.n))
+	}
+}
+
+func BenchmarkDecodeJSON(b *testing.B) {
+	tr := largeTrace(b)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeBinary(b *testing.B) {
+	tr := largeTrace(b)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadBinary(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

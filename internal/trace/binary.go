@@ -1,0 +1,340 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"wolf/internal/vclock"
+	"wolf/sim"
+)
+
+// Binary trace format ("WTRC"): the ingest hot path of the wolfd
+// service. The layout is length-prefixed and versioned so readers can
+// reject foreign or future data without scanning it:
+//
+//	magic   4 bytes "WTRC"
+//	version uvarint (binaryVersion)
+//	seed    varint
+//	steps   uvarint
+//	taus    uvarint count, then varint each
+//	clocks  uvarint count, then per vector: uvarint len + (varint S, varint J) pairs
+//	strings uvarint count, then per string: uvarint len + raw bytes
+//	tuples  uvarint count, then per tuple (all strings as table indices):
+//	        thread, lock, site, threadID(varint), idx(thread,seq),
+//	        key(thread,site,occ), tau(varint), pos,
+//	        held count + per held: lock, site, idx(thread,seq), key(thread,site,occ)
+//
+// Every string is interned once in the table; tuples reference it by
+// index, which is what makes the format both smaller and faster to
+// decode than JSON (no field names, no quoting, no reflection).
+
+// binaryMagic marks a binary trace stream.
+var binaryMagic = [4]byte{'W', 'T', 'R', 'C'}
+
+// binaryVersion is the current binary schema version.
+const binaryVersion = 1
+
+// maxStringLen bounds a single interned string so corrupt length
+// prefixes cannot drive huge allocations.
+const maxStringLen = 1 << 20
+
+// WriteBinary serializes the trace in the binary format.
+func (tr *Trace) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	e := &binWriter{w: bw, index: make(map[string]uint64)}
+
+	// First pass: intern every string in deterministic encounter order.
+	for _, tp := range tr.Tuples {
+		if tp == nil {
+			return fmt.Errorf("trace: null tuple")
+		}
+		e.intern(tp.Thread)
+		e.intern(tp.Lock)
+		e.intern(tp.Site)
+		e.intern(tp.Idx.Thread)
+		e.intern(tp.Key.Thread)
+		e.intern(tp.Key.Site)
+		for _, h := range tp.Held {
+			e.intern(h.Lock)
+			e.intern(h.Site)
+			e.intern(h.Idx.Thread)
+			e.intern(h.Key.Thread)
+			e.intern(h.Key.Site)
+		}
+	}
+
+	e.uvarint(binaryVersion)
+	e.varint(tr.Seed)
+	e.uvarint(uint64(tr.Steps))
+	e.uvarint(uint64(len(tr.Taus)))
+	for _, tau := range tr.Taus {
+		e.varint(int64(tau))
+	}
+	e.uvarint(uint64(len(tr.Clocks)))
+	for _, v := range tr.Clocks {
+		e.uvarint(uint64(len(v)))
+		for _, p := range v {
+			e.varint(int64(p.S))
+			e.varint(int64(p.J))
+		}
+	}
+	e.uvarint(uint64(len(e.table)))
+	for _, s := range e.table {
+		e.uvarint(uint64(len(s)))
+		e.bytes([]byte(s))
+	}
+	e.uvarint(uint64(len(tr.Tuples)))
+	for _, tp := range tr.Tuples {
+		e.str(tp.Thread)
+		e.str(tp.Lock)
+		e.str(tp.Site)
+		e.varint(int64(tp.ThreadID))
+		e.str(tp.Idx.Thread)
+		e.uvarint(uint64(tp.Idx.Seq))
+		e.str(tp.Key.Thread)
+		e.str(tp.Key.Site)
+		e.uvarint(uint64(tp.Key.Occ))
+		e.varint(int64(tp.Tau))
+		e.uvarint(uint64(tp.Pos))
+		e.uvarint(uint64(len(tp.Held)))
+		for _, h := range tp.Held {
+			e.str(h.Lock)
+			e.str(h.Site)
+			e.str(h.Idx.Thread)
+			e.uvarint(uint64(h.Idx.Seq))
+			e.str(h.Key.Thread)
+			e.str(h.Key.Site)
+			e.uvarint(uint64(h.Key.Occ))
+		}
+	}
+	if e.err != nil {
+		return e.err
+	}
+	return bw.Flush()
+}
+
+// binWriter accumulates varint-encoded fields, interning strings.
+type binWriter struct {
+	w     *bufio.Writer
+	buf   [binary.MaxVarintLen64]byte
+	table []string
+	index map[string]uint64
+	err   error
+}
+
+func (e *binWriter) intern(s string) {
+	if _, ok := e.index[s]; !ok {
+		e.index[s] = uint64(len(e.table))
+		e.table = append(e.table, s)
+	}
+}
+
+func (e *binWriter) str(s string) { e.uvarint(e.index[s]) }
+
+func (e *binWriter) uvarint(v uint64) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutUvarint(e.buf[:], v)
+	_, e.err = e.w.Write(e.buf[:n])
+}
+
+func (e *binWriter) varint(v int64) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutVarint(e.buf[:], v)
+	_, e.err = e.w.Write(e.buf[:n])
+}
+
+func (e *binWriter) bytes(b []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(b)
+}
+
+// ReadBinary deserializes a trace written by WriteBinary, rebuilding the
+// per-thread indexes. Malformed input yields an error, never a panic,
+// and allocations are bounded by the input length.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: binary magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic[:])
+	}
+	return readBinaryBody(br)
+}
+
+// readBinaryBody decodes everything after the magic.
+func readBinaryBody(br *bufio.Reader) (*Trace, error) {
+	d := &binReader{r: br}
+	if v := d.uvarint(); d.err == nil && v != binaryVersion {
+		return nil, fmt.Errorf("trace: unsupported binary version %d (want %d)", v, binaryVersion)
+	}
+	tr := &Trace{byThread: make(map[string][]*Tuple)}
+	tr.Seed = d.varint()
+	tr.Steps = d.int()
+
+	nTaus := d.count()
+	for i := 0; i < nTaus && d.err == nil; i++ {
+		tr.Taus = append(tr.Taus, int(d.varint()))
+	}
+	nClocks := d.count()
+	for i := 0; i < nClocks && d.err == nil; i++ {
+		n := d.count()
+		v := make(vclock.Vector, 0, min(n, 1024))
+		for j := 0; j < n && d.err == nil; j++ {
+			v = append(v, vclock.SJ{S: int(d.varint()), J: int(d.varint())})
+		}
+		tr.Clocks = append(tr.Clocks, v)
+	}
+
+	nStrings := d.count()
+	table := make([]string, 0, min(nStrings, 1024))
+	for i := 0; i < nStrings && d.err == nil; i++ {
+		table = append(table, d.string())
+	}
+	d.table = table
+
+	nTuples := d.count()
+	for i := 0; i < nTuples && d.err == nil; i++ {
+		tp := &Tuple{
+			Thread:   d.str(),
+			Lock:     d.str(),
+			Site:     d.str(),
+			ThreadID: sim.ThreadID(d.varint()),
+		}
+		tp.Idx = sim.Index{Thread: d.str(), Seq: d.int()}
+		tp.Key = Key{Thread: d.str(), Site: d.str(), Occ: d.int()}
+		tp.Tau = int(d.varint())
+		tp.Pos = d.int()
+		nHeld := d.count()
+		if nHeld > 0 && d.err == nil {
+			tp.Held = make([]HeldLock, 0, min(nHeld, 1024))
+		}
+		for j := 0; j < nHeld && d.err == nil; j++ {
+			h := HeldLock{Lock: d.str(), Site: d.str()}
+			h.Idx = sim.Index{Thread: d.str(), Seq: d.int()}
+			h.Key = Key{Thread: d.str(), Site: d.str(), Occ: d.int()}
+			tp.Held = append(tp.Held, h)
+		}
+		if d.err != nil {
+			break
+		}
+		seq := tr.byThread[tp.Thread]
+		if tp.Pos != len(seq) {
+			return nil, fmt.Errorf("trace: tuple %v has position %d, want %d", tp, tp.Pos, len(seq))
+		}
+		tr.byThread[tp.Thread] = append(seq, tp)
+		tr.Tuples = append(tr.Tuples, tp)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("trace: binary decode: %w", d.err)
+	}
+	return tr, nil
+}
+
+// binReader decodes varint-encoded fields, resolving string indices. The
+// first error sticks; subsequent reads return zero values.
+type binReader struct {
+	r     *bufio.Reader
+	table []string
+	err   error
+}
+
+func (d *binReader) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *binReader) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		d.fail(err)
+		return 0
+	}
+	return v
+}
+
+func (d *binReader) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(d.r)
+	if err != nil {
+		d.fail(err)
+		return 0
+	}
+	return v
+}
+
+// int reads a uvarint that must fit a non-negative int.
+func (d *binReader) int() int {
+	v := d.uvarint()
+	if v > math.MaxInt32 {
+		d.fail(fmt.Errorf("value %d out of range", v))
+		return 0
+	}
+	return int(v)
+}
+
+// count reads a collection length.
+func (d *binReader) count() int { return d.int() }
+
+// string reads one length-prefixed string for the table.
+func (d *binReader) string() string {
+	n := d.int()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxStringLen {
+		d.fail(fmt.Errorf("string length %d exceeds limit", n))
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		d.fail(err)
+		return ""
+	}
+	return string(b)
+}
+
+// str resolves a string-table index.
+func (d *binReader) str() string {
+	i := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if i >= uint64(len(d.table)) {
+		d.fail(fmt.Errorf("string index %d out of range (table size %d)", i, len(d.table)))
+		return ""
+	}
+	return d.table[i]
+}
+
+// Decode reads a trace in either supported format, sniffing the binary
+// magic: uploads to wolfd and the wolf -trace flag accept both without
+// the caller declaring which one it is.
+func Decode(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(binaryMagic))
+	if err == nil && [4]byte(head) == binaryMagic {
+		br.Discard(len(binaryMagic))
+		return readBinaryBody(br)
+	}
+	return Read(br)
+}

@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"strings"
+	"testing"
+
+	"wolf/internal/vclock"
+	"wolf/sim"
+)
+
+// recordFig4 produces a timestamped Figure 4 trace for codec tests.
+func recordFig4(t *testing.T) *Trace {
+	t.Helper()
+	prog, opts, _ := fig4()
+	vt := vclock.NewTracker()
+	rec := NewRecorder(vt)
+	opts.Listeners = append(opts.Listeners, vt, rec)
+	out := sim.Run(prog, sim.FirstEnabled{}, opts)
+	if out.Kind != sim.Terminated {
+		t.Fatalf("outcome = %v", out)
+	}
+	return rec.Finish(42)
+}
+
+// TestBinaryRoundTrip: every field survives a binary write/read cycle.
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := recordFig4(t)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTracesEqual(t, got, tr)
+}
+
+// TestDecodeSniffsFormat: Decode reads both encodings of the same trace.
+func TestDecodeSniffsFormat(t *testing.T) {
+	tr := recordFig4(t)
+	var js, bin bytes.Buffer
+	if err := tr.Write(&js); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{"json": js.Bytes(), "binary": bin.Bytes()} {
+		got, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		assertTracesEqual(t, got, tr)
+	}
+}
+
+// assertTracesEqual compares every serialized field of two traces.
+func assertTracesEqual(t *testing.T, got, want *Trace) {
+	t.Helper()
+	if got.Seed != want.Seed || got.Steps != want.Steps {
+		t.Fatalf("metadata: seed=%d steps=%d, want %d/%d", got.Seed, got.Steps, want.Seed, want.Steps)
+	}
+	if !reflect.DeepEqual(got.Taus, want.Taus) {
+		t.Fatalf("taus = %v, want %v", got.Taus, want.Taus)
+	}
+	if !reflect.DeepEqual(got.Clocks, want.Clocks) {
+		t.Fatalf("clocks = %v, want %v", got.Clocks, want.Clocks)
+	}
+	if len(got.Tuples) != len(want.Tuples) {
+		t.Fatalf("tuples = %d, want %d", len(got.Tuples), len(want.Tuples))
+	}
+	for i, w := range want.Tuples {
+		g := got.Tuples[i]
+		if g.Thread != w.Thread || g.ThreadID != w.ThreadID || g.Lock != w.Lock ||
+			g.Site != w.Site || g.Idx != w.Idx || g.Key != w.Key || g.Tau != w.Tau ||
+			g.Pos != w.Pos || !reflect.DeepEqual(g.Held, w.Held) {
+			t.Fatalf("tuple %d = %+v, want %+v", i, g, w)
+		}
+	}
+	for _, th := range want.Threads() {
+		if len(got.ByThread(th)) != len(want.ByThread(th)) {
+			t.Fatalf("byThread[%s] not rebuilt", th)
+		}
+	}
+}
+
+// corruptBinary returns a valid binary encoding mutated by f.
+func corruptBinary(t *testing.T, f func([]byte) []byte) []byte {
+	t.Helper()
+	tr := recordFig4(t)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return f(buf.Bytes())
+}
+
+// TestReadErrorPaths: malformed input in either codec fails cleanly with
+// an error, never a panic.
+func TestReadErrorPaths(t *testing.T) {
+	badVersion := func(b []byte) []byte {
+		out := append([]byte(nil), b[:4]...)
+		var tmp [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(tmp[:], 99)
+		out = append(out, tmp[:n]...)
+		// Skip the original version uvarint.
+		_, used := binary.Uvarint(b[4:])
+		return append(out, b[4+used:]...)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		read func(b []byte) error
+	}{
+		{"json/empty", []byte(""), readJSON},
+		{"json/garbage", []byte("not json"), readJSON},
+		{"json/truncated", []byte(`{"version":1,"tuples":[{"Thread":"m"`), readJSON},
+		{"json/bad-version", []byte(`{"version":99,"tuples":[]}`), readJSON},
+		{"json/null-tuple", []byte(`{"version":1,"tuples":[null]}`), readJSON},
+		{"json/out-of-order-pos", []byte(`{"version":1,"tuples":[{"Thread":"main","Lock":"L","Pos":5}]}`), readJSON},
+		{"binary/empty", []byte(""), readBin},
+		{"binary/bad-magic", []byte("XXXXrest"), readBin},
+		{"binary/magic-only", []byte("WTRC"), readBin},
+		{"binary/bad-version", corruptBinary(t, badVersion), readBin},
+		{"binary/truncated-half", corruptBinary(t, func(b []byte) []byte { return b[:len(b)/2] }), readBin},
+		{"binary/truncated-tail", corruptBinary(t, func(b []byte) []byte { return b[:len(b)-3] }), readBin},
+		{"binary/huge-string-len", append([]byte("WTRC\x01\x00\x00\x00\x00\x01"), 0xff, 0xff, 0xff, 0xff, 0x7f), readBin},
+		{"decode/empty", []byte(""), readDecode},
+		{"decode/truncated-binary", corruptBinary(t, func(b []byte) []byte { return b[:6] }), readDecode},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.read(tc.data); err == nil {
+				t.Fatalf("expected error for %s", tc.name)
+			}
+		})
+	}
+}
+
+func readJSON(b []byte) error   { _, err := Read(bytes.NewReader(b)); return err }
+func readBin(b []byte) error    { _, err := ReadBinary(bytes.NewReader(b)); return err }
+func readDecode(b []byte) error { _, err := Decode(bytes.NewReader(b)); return err }
+
+// TestBinaryOutOfOrderPos: positions are validated on decode like the
+// JSON reader does.
+func TestBinaryOutOfOrderPos(t *testing.T) {
+	tr := recordFig4(t)
+	tr.Tuples[0].Pos = 5
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBinary(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("expected position error")
+	} else if !strings.Contains(err.Error(), "position") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// FuzzTraceRead: arbitrary bytes through every reader must return an
+// error or a consistent trace — never panic. Valid encodings are seeded
+// so the fuzzer starts from structurally interesting inputs.
+func FuzzTraceRead(f *testing.F) {
+	prog, opts, _ := fig4()
+	vt := vclock.NewTracker()
+	rec := NewRecorder(vt)
+	opts.Listeners = append(opts.Listeners, vt, rec)
+	sim.Run(prog, sim.FirstEnabled{}, opts)
+	tr := rec.Finish(7)
+	var js, bin bytes.Buffer
+	if err := tr.Write(&js); err != nil {
+		f.Fatal(err)
+	}
+	if err := tr.WriteBinary(&bin); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(js.Bytes())
+	f.Add(bin.Bytes())
+	f.Add([]byte(`{"version":1,"tuples":[]}`))
+	f.Add([]byte("WTRC\x01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, read := range []func([]byte) error{readJSON, readBin, readDecode} {
+			if err := read(data); err != nil {
+				continue
+			}
+		}
+	})
+}

@@ -11,13 +11,12 @@ import (
 // fileFormat is the on-disk representation of a Trace. The schema is
 // versioned so recorded traces stay readable across tool versions.
 type fileFormat struct {
-	Version int             `json:"version"`
-	Seed    int64           `json:"seed"`
-	Steps   int             `json:"steps"`
-	Taus    []int           `json:"taus,omitempty"`
-	Clocks  [][]clockPair   `json:"clocks,omitempty"`
-	Tuples  []*Tuple        `json:"tuples"`
-	Threads map[string]bool `json:"-"`
+	Version int           `json:"version"`
+	Seed    int64         `json:"seed"`
+	Steps   int           `json:"steps"`
+	Taus    []int         `json:"taus,omitempty"`
+	Clocks  [][]clockPair `json:"clocks,omitempty"`
+	Tuples  []*Tuple      `json:"tuples"`
 }
 
 // clockPair mirrors vclock.SJ for encoding.

@@ -63,28 +63,34 @@ func All() []Workload {
 	}
 }
 
-// ByName returns the workload with the given table name.
+// Named returns the non-Table-1 workloads — the paper's illustrative
+// figures plus the classics used by examples — as a registry, so
+// `wolf -list`, `wolf -workload` and the wolfd service all share one
+// source of truth.
+func Named() []Workload {
+	return []Workload{
+		Figure4(),
+		Figure2(),
+		Figure9(),
+		Philosophers(5),
+		Bank(),
+		TaskQueue(),
+		AppServer(),
+	}
+}
+
+// Registry returns every available workload: the Table 1 benchmarks
+// followed by the named extras.
+func Registry() []Workload {
+	return append(All(), Named()...)
+}
+
+// ByName returns the workload with the given name.
 func ByName(name string) (Workload, bool) {
-	for _, w := range All() {
+	for _, w := range Registry() {
 		if w.Name == name {
 			return w, true
 		}
-	}
-	switch name {
-	case "Figure4":
-		return Figure4(), true
-	case "Figure2":
-		return Figure2(), true
-	case "Figure9":
-		return Figure9(), true
-	case "Philosophers":
-		return Philosophers(5), true
-	case "Bank":
-		return Bank(), true
-	case "TaskQueue":
-		return TaskQueue(), true
-	case "AppServer":
-		return AppServer(), true
 	}
 	return Workload{}, false
 }

@@ -262,3 +262,34 @@ func TestAppServerIntegration(t *testing.T) {
 		t.Fatalf("missing expected defects (queue=%v logging=%v):\n%v", sawQueue, sawLogging, rep)
 	}
 }
+
+// TestRegistry: every workload — Table 1 rows and named extras — is
+// reachable through ByName under a unique name, so -list, -workload and
+// the wolfd service share one source of truth.
+func TestRegistry(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, w := range Registry() {
+		if w.Name == "" {
+			t.Fatal("workload with empty name")
+		}
+		if seen[w.Name] {
+			t.Fatalf("duplicate workload name %q", w.Name)
+		}
+		seen[w.Name] = true
+		got, ok := ByName(w.Name)
+		if !ok || got.Name != w.Name {
+			t.Fatalf("ByName(%q) = %v, %v", w.Name, got.Name, ok)
+		}
+		if got.New == nil {
+			t.Fatalf("workload %q has no factory", w.Name)
+		}
+	}
+	for _, name := range []string{"Figure4", "Figure9", "TaskQueue", "AppServer"} {
+		if !seen[name] {
+			t.Fatalf("registry is missing %q", name)
+		}
+	}
+	if _, ok := ByName("NoSuchWorkload"); ok {
+		t.Fatal("ByName invented a workload")
+	}
+}
