@@ -1,0 +1,108 @@
+// Command benchjson converts `go test -bench` text output on stdin into
+// machine-readable JSON on stdout, for CI benchmark artifacts:
+//
+//	go test -bench=. -benchtime=1x -run='^$' ./... | benchjson > BENCH.json
+//
+// Each benchmark line becomes one result object with the trailing
+// -procs suffix split off the name and every value/unit pair collected
+// into a metrics map, so downstream tooling can diff runs without
+// parsing the bench text format itself.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name without the -procs suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (0 when absent).
+	Procs int `json:"procs,omitempty"`
+	// Iterations is b.N for the run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every pair on the line
+	// ("ns/op", "B/op", "allocs/op", custom units).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the document benchjson emits.
+type Report struct {
+	// Goos/Goarch/Pkg echo the bench header lines when present.
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkgs    []string `json:"pkgs,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// parseLine parses one "BenchmarkX-8  10  123 ns/op  ..." line.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters, Metrics: make(map[string]float64)}
+	if i := strings.LastIndex(r.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Procs = p
+			r.Name = r.Name[:i]
+		}
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	if len(r.Metrics) == 0 {
+		return Result{}, false
+	}
+	return r, true
+}
+
+// parse consumes bench output line by line.
+func parse(lines *bufio.Scanner) (Report, error) {
+	var rep Report
+	for lines.Scan() {
+		line := lines.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkgs = append(rep.Pkgs, strings.TrimPrefix(line, "pkg: "))
+		default:
+			if r, ok := parseLine(line); ok {
+				rep.Results = append(rep.Results, r)
+			}
+		}
+	}
+	return rep, lines.Err()
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	rep, err := parse(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

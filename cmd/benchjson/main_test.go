@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: wolf/internal/obs
+cpu: AMD EPYC 7B13
+BenchmarkSpanDisabled-8          	1000000	        12.3 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHistogramObserve-8      	5000000	         4.56 ns/op
+BenchmarkDetection/Figure4-8     	     10	    123456 ns/op	   98765 B/op	     321 allocs/op
+PASS
+ok  	wolf/internal/obs	1.234s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" {
+		t.Errorf("env = %q/%q", rep.Goos, rep.Goarch)
+	}
+	if len(rep.Pkgs) != 1 || rep.Pkgs[0] != "wolf/internal/obs" {
+		t.Errorf("pkgs = %v", rep.Pkgs)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if r.Name != "BenchmarkSpanDisabled" || r.Procs != 8 || r.Iterations != 1000000 {
+		t.Errorf("first result = %+v", r)
+	}
+	if r.Metrics["ns/op"] != 12.3 || r.Metrics["allocs/op"] != 0 {
+		t.Errorf("metrics = %v", r.Metrics)
+	}
+	if sub := rep.Results[2]; sub.Name != "BenchmarkDetection/Figure4" || sub.Metrics["B/op"] != 98765 {
+		t.Errorf("subbench = %+v", sub)
+	}
+}
+
+func TestParseLineRejects(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	wolf/internal/obs	1.234s",
+		"BenchmarkBroken notanumber 12 ns/op",
+		"BenchmarkNoMetrics-8 100",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) accepted", line)
+		}
+	}
+}

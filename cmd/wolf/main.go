@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 
 	"wolf/internal/core"
 	"wolf/internal/immunize"
+	"wolf/internal/obs"
 	"wolf/internal/race"
 	"wolf/internal/trace"
 	"wolf/internal/workloads"
@@ -39,8 +41,15 @@ func main() {
 		races    = flag.Bool("races", false, "also run the FastTrack-style race detector on the detection run")
 		dot      = flag.String("dot", "", "print the synchronization dependency graph of the defect with this signature as Graphviz dot")
 		protect  = flag.Int("immunize", 0, "after analysis, run N random executions with and without Dimmunix-style avoidance of the confirmed deadlocks")
+		timeline = flag.String("timeline", "", "write a Chrome trace-event timeline of the analysis to this file (load in Perfetto)")
+		debug    = flag.String("debug-addr", "", "serve net/http/pprof on this address (for example localhost:6060)")
 	)
 	flag.Parse()
+
+	if *debug != "" {
+		obs.ServeDebug(*debug)
+		fmt.Fprintf(os.Stderr, "pprof on http://%s/debug/pprof/\n", *debug)
+	}
 
 	if *list {
 		for _, w := range workloads.Registry() {
@@ -105,14 +114,40 @@ func main() {
 	}
 
 	cfg := core.Config{DetectSeeds: []int64{s}, ReplayAttempts: *attempts, DataDependency: *data}
+	ctx := context.Background()
+	var rec *obs.Recorder
+	if *timeline != "" {
+		rec = obs.NewRecorder()
+		ctx = obs.WithRecorder(ctx, rec)
+	}
 	var rep *core.Report
 	if *df {
-		rep = core.AnalyzeDF(w.New, cfg)
+		rep = core.AnalyzeDFCtx(ctx, w.New, cfg)
 	} else {
-		rep = core.Analyze(w.New, cfg)
+		rep = core.AnalyzeCtx(ctx, w.New, cfg)
 	}
 	fmt.Printf("workload %s, detection seed %d\n", w.Name, s)
 	fmt.Print(rep)
+	if *timeline != "" {
+		tl := core.BuildTimeline(w.New, cfg, rep)
+		// Process 3 is the pipeline itself: one track per phase span.
+		tl.Process(3, "pipeline")
+		rec.WriteTimeline(tl, 3)
+		out, err := os.Create(*timeline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if err := tl.WriteJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if err := out.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("timeline: %d events written to %s\n", tl.Len(), *timeline)
+	}
 	if *dot != "" {
 		for _, d := range rep.Defects {
 			if d.Signature != *dot {

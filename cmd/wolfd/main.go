@@ -5,9 +5,13 @@
 // Usage:
 //
 //	wolfd [-addr :8077] [-workers 4] [-queue 64] [-timeout 30s] [-data]
+//	      [-log-format text|json] [-log-level info] [-debug-addr localhost:6060]
 //
-// SIGINT/SIGTERM triggers a graceful shutdown: new uploads are refused
-// while queued and in-flight analyses complete (bounded by -drain).
+// Logs are structured (log/slog) and tagged with job IDs; -log-format
+// json emits one JSON object per line for log shippers. -debug-addr
+// serves net/http/pprof on a separate listener. SIGINT/SIGTERM triggers
+// a graceful shutdown: new uploads are refused while queued and
+// in-flight analyses complete (bounded by -drain).
 package main
 
 import (
@@ -15,7 +19,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -23,20 +27,47 @@ import (
 	"time"
 
 	"wolf/internal/core"
+	"wolf/internal/obs"
 	"wolf/internal/server"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8077", "listen address")
-		workers = flag.Int("workers", 4, "analysis worker pool size")
-		queue   = flag.Int("queue", 64, "bounded job queue size (full queue returns 429)")
-		timeout = flag.Duration("timeout", 30*time.Second, "per-job analysis timeout")
-		drain   = flag.Duration("drain", 60*time.Second, "graceful shutdown drain budget")
-		maxMB   = flag.Int64("max-upload-mb", 64, "maximum decompressed upload size in MiB")
-		data    = flag.Bool("data", false, "enable the value-flow (data dependency) extension")
+		addr      = flag.String("addr", ":8077", "listen address")
+		workers   = flag.Int("workers", 4, "analysis worker pool size")
+		queue     = flag.Int("queue", 64, "bounded job queue size (full queue returns 429)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-job analysis timeout")
+		drain     = flag.Duration("drain", 60*time.Second, "graceful shutdown drain budget")
+		maxMB     = flag.Int64("max-upload-mb", 64, "maximum decompressed upload size in MiB")
+		data      = flag.Bool("data", false, "enable the value-flow (data dependency) extension")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (for example localhost:6060)")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		fmt.Fprintf(os.Stderr, "bad -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	log := slog.New(handler)
+
+	if *debugAddr != "" {
+		obs.ServeDebug(*debugAddr)
+		log.Info("pprof enabled", "addr", *debugAddr)
+	}
 
 	srv := server.New(server.Config{
 		Workers:        *workers,
@@ -44,13 +75,16 @@ func main() {
 		JobTimeout:     *timeout,
 		MaxUploadBytes: *maxMB << 20,
 		Analysis:       core.Config{DataDependency: *data},
+		Logger:         log,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("wolfd listening on %s (%d workers, queue %d, timeout %v)",
-			*addr, *workers, *queue, *timeout)
+		bi := obs.ReadBuildInfo()
+		log.Info("wolfd listening", "addr", *addr, "workers", *workers,
+			"queue", *queue, "timeout", *timeout,
+			"version", bi.Version, "go", bi.GoVersion)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -59,21 +93,23 @@ func main() {
 	select {
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal(err)
+			log.Error("serve failed", "err", err)
+			os.Exit(1)
 		}
 	case s := <-sig:
-		log.Printf("received %v, draining (budget %v)", s, *drain)
+		log.Info("draining", "signal", s.String(), "budget", *drain)
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("drain incomplete: %v", err)
+			log.Warn("drain incomplete", "err", err)
 		}
 		if err := httpSrv.Shutdown(ctx); err != nil {
-			log.Printf("http shutdown: %v", err)
+			log.Warn("http shutdown", "err", err)
 		}
 		m := srv.Metrics()
-		fmt.Printf("wolfd: %d accepted, %d completed, %d failed (%d timeout, %d panic), %d rejected\n",
-			m.JobsAccepted.Load(), m.JobsCompleted.Load(), m.JobsFailed.Load(),
-			m.JobsTimedOut.Load(), m.JobsPanicked.Load(), m.JobsRejected.Load())
+		log.Info("wolfd stopped",
+			"accepted", m.JobsAccepted.Load(), "completed", m.JobsCompleted.Load(),
+			"failed", m.JobsFailed(), "timeout", m.JobsTimedOut.Load(),
+			"panic", m.JobsPanicked.Load(), "rejected", m.JobsRejected.Load())
 	}
 }

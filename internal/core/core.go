@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -12,6 +13,7 @@ import (
 
 	"wolf/internal/detect"
 	"wolf/internal/fuzzer"
+	"wolf/internal/obs"
 	"wolf/internal/pruner"
 	"wolf/internal/replay"
 	"wolf/internal/sdg"
@@ -173,7 +175,12 @@ func (d *DefectReport) classify() {
 	}
 }
 
-// Timings records wall-clock durations of the pipeline phases.
+// Timings records wall-clock durations of the pipeline phases. It is a
+// derived view: Analyze aggregates the obs phase spans ("record",
+// "cycle-detect", "prune", "generate", "replay") recorded during the
+// run, so the same measurements feed the report, the wolfd histograms,
+// and timeline exports. Only Uninstrumented is measured separately (it
+// is a baseline, not a pipeline phase).
 type Timings struct {
 	// Uninstrumented is the bare program run time (same seeds, no
 	// listeners; best of several repetitions), the baseline for the
@@ -204,6 +211,19 @@ func (t Timings) DetectionSlowdown() float64 {
 		return 0
 	}
 	return float64(t.Instrumented) / float64(t.Uninstrumented)
+}
+
+// TimingsFromRecorder derives phase timings from the spans recorded
+// after mark (a position obtained from rec.Mark before the run).
+// Uninstrumented is left zero: the baseline is not a pipeline phase.
+func TimingsFromRecorder(rec *obs.Recorder, mark int) Timings {
+	return Timings{
+		Instrumented: rec.SumFrom(mark, "record"),
+		CycleDetect:  rec.SumFrom(mark, "cycle-detect"),
+		Prune:        rec.SumFrom(mark, "prune"),
+		Generate:     rec.SumFrom(mark, "generate"),
+		Replay:       rec.SumFrom(mark, "replay"),
+	}
 }
 
 // Report is the result of analyzing one workload.
@@ -333,17 +353,28 @@ func record(f sim.Factory, seed int64, maxSteps int, timestamps bool) (*trace.Tr
 	return rec.Finish(seed), dur
 }
 
-// detectAll runs detection over every seed, deduplicates cycles, and
-// accumulates the instrumented-execution and cycle-search timings.
-func detectAll(f sim.Factory, cfg *Config, timestamps bool, tm *Timings) []*CycleReport {
+// detectAll runs detection over every seed and deduplicates cycles.
+// Each seed emits a "record" span (pre-measured, so the instrumented
+// time excludes trace finalization, matching the paper's slowdown
+// statistic) and a "cycle-detect" span around the lock-graph search.
+func detectAll(ctx context.Context, f sim.Factory, cfg *Config, timestamps bool) []*CycleReport {
+	rec := obs.FromContext(ctx)
 	seen := make(map[string]bool)
 	var out []*CycleReport
 	for _, seed := range cfg.detectSeeds() {
 		tr, runDur := record(f, seed, cfg.MaxSteps, timestamps)
-		tm.Instrumented += runDur
-		start := time.Now()
-		cycles := detect.Cycles(tr, detect.Config{MaxLength: cfg.MaxCycleLen, NoReduce: cfg.NoReduce})
-		tm.CycleDetect += time.Since(start)
+		if rec != nil {
+			rec.Observe("record", runDur,
+				obs.Attr{Key: "seed", Value: seed},
+				obs.Attr{Key: "steps", Value: int64(tr.Steps)},
+				obs.Attr{Key: "tuples", Value: int64(len(tr.Tuples))})
+		}
+		_, sp := obs.Start(ctx, "cycle-detect")
+		cycles := detect.CyclesCtx(ctx, tr, detect.Config{MaxLength: cfg.MaxCycleLen, NoReduce: cfg.NoReduce})
+		if sp != nil {
+			sp.Add("cycles", int64(len(cycles)))
+			sp.End()
+		}
 		for _, c := range cycles {
 			key := cycleKey(c)
 			if seen[key] {
@@ -358,8 +389,11 @@ func detectAll(f sim.Factory, cfg *Config, timestamps bool, tm *Timings) []*Cycl
 
 // baseline measures the best-of-3 uninstrumented run time over the
 // detection seeds; the minimum filters scheduler and allocator noise on
-// these microsecond-scale runs.
-func baseline(f sim.Factory, cfg *Config) time.Duration {
+// these microsecond-scale runs. One "baseline" span covers the whole
+// measurement (all repetitions), while the returned duration is the
+// minimum of a single pass.
+func baseline(ctx context.Context, f sim.Factory, cfg *Config) time.Duration {
+	_, sp := obs.Start(ctx, "baseline")
 	best := time.Duration(0)
 	for rep := 0; rep < 3; rep++ {
 		start := time.Now()
@@ -375,39 +409,56 @@ func baseline(f sim.Factory, cfg *Config) time.Duration {
 			best = d
 		}
 	}
+	sp.End()
 	return best
 }
 
 // Analyze runs the full WOLF pipeline on the workload built by f.
 func Analyze(f sim.Factory, cfg Config) *Report {
+	return AnalyzeCtx(context.Background(), f, cfg)
+}
+
+// AnalyzeCtx is Analyze with observability: pipeline phases emit spans
+// on the context's obs.Recorder (one is created and attached when the
+// context carries none), and the report's Timings are derived from
+// those spans. Callers that pass their own recorder — the wolfd worker
+// pool feeding histograms, the CLI exporting a timeline — see exactly
+// the measurements the report is built from.
+func AnalyzeCtx(ctx context.Context, f sim.Factory, cfg Config) *Report {
+	rec := obs.FromContext(ctx)
+	if rec == nil {
+		rec = obs.NewRecorder()
+		ctx = obs.WithRecorder(ctx, rec)
+	}
+	mark := rec.Mark()
 	rep := &Report{Tool: "wolf"}
 
 	// Baseline run time for the slowdown statistic.
-	rep.Timings.Uninstrumented = baseline(f, &cfg)
+	uninstrumented := baseline(ctx, f, &cfg)
 
 	// Extended dynamic cycle detection (Algorithm 1 + cycle detection).
-	rep.Cycles = detectAll(f, &cfg, true, &rep.Timings)
+	rep.Cycles = detectAll(ctx, f, &cfg, true)
 
 	// Pruner (Algorithm 2).
-	start := time.Now()
+	_, sp := obs.Start(ctx, "prune")
 	if !cfg.DisablePruner {
 		for _, cr := range rep.Cycles {
-			res := pruner.Prune([]*detect.Cycle{cr.Cycle}, cr.Trace.Clocks)
+			res := pruner.PruneCtx(ctx, []*detect.Cycle{cr.Cycle}, cr.Trace.Clocks)
 			if res.Verdicts[0] == pruner.False {
 				cr.Class = FalseByPruner
 				cr.PruneReason = res.Reasons[0]
 			}
 		}
 	}
-	rep.Timings.Prune = time.Since(start)
+	sp.End()
 
 	// Generator (Algorithm 3, optionally with the value-flow extension).
-	start = time.Now()
+	_, sp = obs.Start(ctx, "generate")
 	for _, cr := range rep.Cycles {
 		if cr.Class == FalseByPruner {
 			continue
 		}
-		cr.Gs = sdg.BuildKinds(cr.Cycle, cr.Trace, cfg.edgeKinds())
+		cr.Gs = sdg.BuildKindsCtx(ctx, cr.Cycle, cr.Trace, cfg.edgeKinds())
 		cr.GsSize = cr.Gs.Size()
 		if !cfg.DisableGenerator && cr.Gs.Cyclic() {
 			cr.Class = FalseByGenerator
@@ -415,22 +466,22 @@ func Analyze(f sim.Factory, cfg Config) *Report {
 				// Attribute the refutation: if the graph is acyclic
 				// without the V edges, only the data dependency proves
 				// infeasibility.
-				base := sdg.BuildKinds(cr.Cycle, cr.Trace, cfg.edgeKinds()&^sdg.V)
+				base := sdg.BuildKindsCtx(ctx, cr.Cycle, cr.Trace, cfg.edgeKinds()&^sdg.V)
 				if !base.Cyclic() {
 					cr.Class = FalseByData
 				}
 			}
 		}
 	}
-	rep.Timings.Generate = time.Since(start)
+	sp.End()
 
 	// Replayer (Algorithm 4).
-	start = time.Now()
+	_, sp = obs.Start(ctx, "replay")
 	for _, cr := range rep.Cycles {
 		if cr.Class != Unknown {
 			continue
 		}
-		res := replay.Reproduce(f, cr.Gs, cr.Cycle, replay.Config{
+		res := replay.ReproduceCtx(ctx, f, cr.Gs, cr.Cycle, replay.Config{
 			Attempts: cfg.ReplayAttempts,
 			BaseSeed: cfg.ReplaySeed,
 			MaxSteps: cfg.MaxSteps,
@@ -440,8 +491,10 @@ func Analyze(f sim.Factory, cfg Config) *Report {
 			cr.Class = Confirmed
 		}
 	}
-	rep.Timings.Replay = time.Since(start)
+	sp.End()
 
+	rep.Timings = TimingsFromRecorder(rec, mark)
+	rep.Timings.Uninstrumented = uninstrumented
 	rep.group()
 	return rep
 }
@@ -450,12 +503,23 @@ func Analyze(f sim.Factory, cfg Config) *Report {
 // detection (no timestamps), no pruning, abstraction-based randomized
 // reproduction.
 func AnalyzeDF(f sim.Factory, cfg Config) *Report {
+	return AnalyzeDFCtx(context.Background(), f, cfg)
+}
+
+// AnalyzeDFCtx is AnalyzeDF with observability; see AnalyzeCtx.
+func AnalyzeDFCtx(ctx context.Context, f sim.Factory, cfg Config) *Report {
+	rec := obs.FromContext(ctx)
+	if rec == nil {
+		rec = obs.NewRecorder()
+		ctx = obs.WithRecorder(ctx, rec)
+	}
+	mark := rec.Mark()
 	rep := &Report{Tool: "deadlockfuzzer"}
 
-	rep.Timings.Uninstrumented = baseline(f, &cfg)
-	rep.Cycles = detectAll(f, &cfg, false, &rep.Timings)
+	uninstrumented := baseline(ctx, f, &cfg)
+	rep.Cycles = detectAll(ctx, f, &cfg, false)
 
-	start := time.Now()
+	_, sp := obs.Start(ctx, "replay")
 	for _, cr := range rep.Cycles {
 		res := fuzzer.Reproduce(f, cr.Cycle, fuzzer.Config{
 			Attempts: cfg.ReplayAttempts,
@@ -467,8 +531,10 @@ func AnalyzeDF(f sim.Factory, cfg Config) *Report {
 			cr.Class = Confirmed
 		}
 	}
-	rep.Timings.Replay = time.Since(start)
+	sp.End()
 
+	rep.Timings = TimingsFromRecorder(rec, mark)
+	rep.Timings.Uninstrumented = uninstrumented
 	rep.group()
 	return rep
 }

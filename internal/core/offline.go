@@ -2,9 +2,9 @@ package core
 
 import (
 	"context"
-	"time"
 
 	"wolf/internal/detect"
+	"wolf/internal/obs"
 	"wolf/internal/pruner"
 	"wolf/internal/sdg"
 	"wolf/internal/trace"
@@ -26,38 +26,54 @@ func AnalyzeTrace(tr *trace.Trace, cfg Config) *Report {
 // or a client disconnect abandons the analysis promptly instead of
 // pinning a worker. On cancellation the partial report built so far is
 // returned alongside the context's error.
+//
+// Phase timings are derived from obs spans ("cycle-detect", "prune",
+// "generate"); when the caller's context carries a recorder — wolfd
+// attaches one per job — the same spans feed its latency histograms.
 func AnalyzeTraceCtx(ctx context.Context, tr *trace.Trace, cfg Config) (*Report, error) {
-	rep := &Report{Tool: "wolf(offline)"}
-	start := time.Now()
-	for _, c := range detect.Cycles(tr, detect.Config{MaxLength: cfg.MaxCycleLen, NoReduce: cfg.NoReduce}) {
-		rep.Cycles = append(rep.Cycles, &CycleReport{Cycle: c, Trace: tr})
+	rec := obs.FromContext(ctx)
+	if rec == nil {
+		rec = obs.NewRecorder()
+		ctx = obs.WithRecorder(ctx, rec)
 	}
-	rep.Timings.CycleDetect = time.Since(start)
-	if err := ctx.Err(); err != nil {
+	mark := rec.Mark()
+	rep := &Report{Tool: "wolf(offline)"}
+	finish := func() (*Report, error) {
+		rep.Timings = TimingsFromRecorder(rec, mark)
 		rep.group()
-		return rep, err
+		return rep, ctx.Err()
 	}
 
-	start = time.Now()
+	_, sp := obs.Start(ctx, "cycle-detect")
+	cycles := detect.CyclesCtx(ctx, tr, detect.Config{MaxLength: cfg.MaxCycleLen, NoReduce: cfg.NoReduce})
+	for _, c := range cycles {
+		rep.Cycles = append(rep.Cycles, &CycleReport{Cycle: c, Trace: tr})
+	}
+	sp.Add("cycles", int64(len(cycles)))
+	sp.End()
+	if ctx.Err() != nil {
+		return finish()
+	}
+
+	_, sp = obs.Start(ctx, "prune")
 	if !cfg.DisablePruner && tr.Clocks != nil {
 		for _, cr := range rep.Cycles {
 			if ctx.Err() != nil {
 				break
 			}
-			res := pruner.Prune([]*detect.Cycle{cr.Cycle}, tr.Clocks)
+			res := pruner.PruneCtx(ctx, []*detect.Cycle{cr.Cycle}, tr.Clocks)
 			if res.Verdicts[0] == pruner.False {
 				cr.Class = FalseByPruner
 				cr.PruneReason = res.Reasons[0]
 			}
 		}
 	}
-	rep.Timings.Prune = time.Since(start)
-	if err := ctx.Err(); err != nil {
-		rep.group()
-		return rep, err
+	sp.End()
+	if ctx.Err() != nil {
+		return finish()
 	}
 
-	start = time.Now()
+	_, sp = obs.Start(ctx, "generate")
 	for _, cr := range rep.Cycles {
 		if ctx.Err() != nil {
 			break
@@ -65,22 +81,21 @@ func AnalyzeTraceCtx(ctx context.Context, tr *trace.Trace, cfg Config) (*Report,
 		if cr.Class == FalseByPruner {
 			continue
 		}
-		cr.Gs = sdg.BuildKinds(cr.Cycle, tr, cfg.edgeKinds())
+		cr.Gs = sdg.BuildKindsCtx(ctx, cr.Cycle, tr, cfg.edgeKinds())
 		cr.GsSize = cr.Gs.Size()
 		if !cfg.DisableGenerator && cr.Gs.Cyclic() {
 			cr.Class = FalseByGenerator
 			if cfg.DataDependency {
-				base := sdg.BuildKinds(cr.Cycle, tr, cfg.edgeKinds()&^sdg.V)
+				base := sdg.BuildKindsCtx(ctx, cr.Cycle, tr, cfg.edgeKinds()&^sdg.V)
 				if !base.Cyclic() {
 					cr.Class = FalseByData
 				}
 			}
 		}
 	}
-	rep.Timings.Generate = time.Since(start)
+	sp.End()
 
-	rep.group()
-	return rep, ctx.Err()
+	return finish()
 }
 
 // Record performs one instrumented run with the given seed and returns

@@ -16,10 +16,12 @@
 package detect
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"wolf/internal/obs"
 	"wolf/internal/trace"
 )
 
@@ -100,14 +102,29 @@ type Config struct {
 
 // Cycles finds every potential deadlock in tr.
 func Cycles(tr *trace.Trace, cfg Config) []*Cycle {
+	return CyclesCtx(context.Background(), tr, cfg)
+}
+
+// CyclesCtx is Cycles with observability: when ctx carries an
+// obs.Recorder, the reduction and the chain search each emit a span
+// ("detect.reduce", "detect.search") with tuple and cycle counts, so
+// the detection cost split is visible per run.
+func CyclesCtx(ctx context.Context, tr *trace.Trace, cfg Config) []*Cycle {
 	maxLen := cfg.MaxLength
 	if maxLen <= 0 {
 		maxLen = DefaultMaxLength
 	}
 	tuples := tr.Tuples
 	if !cfg.NoReduce {
+		_, sp := obs.Start(ctx, "detect.reduce")
+		sp.Add("tuples_in", int64(len(tuples)))
 		tuples = Reduce(tuples)
+		sp.Add("tuples_out", int64(len(tuples)))
+		sp.End()
 	}
+	_, sp := obs.Start(ctx, "detect.search")
+	defer sp.End()
+	sp.Add("tuples", int64(len(tuples)))
 	d := &detector{maxLen: maxLen}
 	// Index tuples by held lock so "who holds ℓ" lookups are O(1).
 	d.byHeld = make(map[string][]*trace.Tuple)
@@ -123,6 +140,7 @@ func Cycles(tr *trace.Trace, cfg Config) []*Cycle {
 		d.chain = d.chain[:0]
 		d.extend(tp)
 	}
+	sp.Add("cycles", int64(len(d.found)))
 	return d.found
 }
 

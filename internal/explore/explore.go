@@ -14,11 +14,13 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"wolf/internal/detect"
+	"wolf/internal/obs"
 	"wolf/sim"
 )
 
@@ -162,6 +164,27 @@ func (s *prefixStrategy) Pick(_ *sim.World, enabled []*sim.Thread) *sim.Thread {
 
 // Explore exhaustively enumerates schedules of the program built by f.
 func Explore(f sim.Factory, lim Limits) (*Result, error) {
+	return ExploreCtx(context.Background(), f, lim)
+}
+
+// ExploreCtx is Explore with observability: when ctx carries an
+// obs.Recorder, one "explore" span records the schedules executed and
+// distinct deadlock states found, so oracle cost shows up in the same
+// place as pipeline cost.
+func ExploreCtx(ctx context.Context, f sim.Factory, lim Limits) (*Result, error) {
+	_, sp := obs.Start(ctx, "explore")
+	res, err := explore(f, lim)
+	if sp != nil {
+		if res != nil {
+			sp.Add("runs", int64(res.Runs))
+			sp.Add("deadlocks", int64(len(res.Deadlocks)))
+		}
+		sp.End()
+	}
+	return res, err
+}
+
+func explore(f sim.Factory, lim Limits) (*Result, error) {
 	maxRuns := lim.MaxRuns
 	if maxRuns <= 0 {
 		maxRuns = DefaultMaxRuns

@@ -1,0 +1,57 @@
+// Observability-substrate micro-benchmarks: the span and histogram hot
+// paths must stay cheap enough that phase-level instrumentation is
+// invisible next to the work it measures (the acceptance bar is ≤ 5%
+// on the detection pipeline benchmarks in the repo root).
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkSpanDisabled measures the instrumented-but-off path: a
+// context without a recorder. This is the cost every caller pays when
+// observability is not requested.
+func BenchmarkSpanDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := Start(ctx, "bench")
+		sp.Add("k", 1)
+		sp.End()
+	}
+}
+
+// BenchmarkSpanEnabled measures a full start/attr/end cycle against a
+// live recorder.
+func BenchmarkSpanEnabled(b *testing.B) {
+	rec := NewRecorder()
+	ctx := WithRecorder(context.Background(), rec)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := Start(ctx, "bench")
+		sp.Add("k", 1)
+		sp.End()
+	}
+}
+
+// BenchmarkHistogramObserve measures the lock-free observe path.
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+}
+
+// BenchmarkHistogramObserveParallel measures contended observes, the
+// wolfd worker-pool pattern.
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	var h Histogram
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(time.Millisecond)
+		}
+	})
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo describes the running binary for wolfd_build_info and the
+// /version endpoint.
+type BuildInfo struct {
+	// Version is the main module version ("(devel)" for plain go build).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit when stamped, "" otherwise.
+	Revision string `json:"revision,omitempty"`
+	// Modified reports a dirty working tree at build time.
+	Modified bool `json:"modified,omitempty"`
+}
+
+// ReadBuildInfo extracts build metadata from the running binary. It
+// degrades gracefully when debug info is unavailable (tests, stripped
+// builds): GoVersion falls back to runtime.Version and Version to
+// "unknown".
+func ReadBuildInfo() BuildInfo {
+	out := BuildInfo{Version: "unknown", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	if bi.Main.Version != "" {
+		out.Version = bi.Main.Version
+	}
+	if bi.GoVersion != "" {
+		out.GoVersion = bi.GoVersion
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out.Revision = s.Value
+		case "vcs.modified":
+			out.Modified = s.Value == "true"
+		}
+	}
+	return out
+}

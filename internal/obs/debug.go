@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux returns the handler served on a binary's -debug-addr: the
+// full net/http/pprof suite under /debug/pprof/. It is a dedicated mux
+// (not http.DefaultServeMux) so profiling never leaks onto the service
+// listener — profiles can stall for seconds and must not share a port
+// with production traffic.
+func DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts DebugMux on addr in a background goroutine and
+// returns the server for shutdown. An empty addr is a no-op returning
+// nil, so callers can pass the flag value straight through.
+func ServeDebug(addr string) *http.Server {
+	if addr == "" {
+		return nil
+	}
+	srv := &http.Server{Addr: addr, Handler: DebugMux()}
+	go srv.ListenAndServe()
+	return srv
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the number of finite histogram buckets. Bucket i covers
+// latencies up to BucketBound(i); one extra overflow bucket catches
+// everything larger (the Prometheus "+Inf" bucket).
+//
+// With 28 power-of-two buckets starting at 1µs the histogram spans 1µs
+// … ~134s, which covers everything from a single pruner call to a
+// worst-case replay campaign with at most 2x relative error per
+// observation.
+const NumBuckets = 28
+
+// bucketBoundNs returns bucket i's inclusive upper bound in nanoseconds:
+// 1µs·2^i.
+func bucketBoundNs(i int) int64 { return int64(1000) << uint(i) }
+
+// BucketBound returns bucket i's inclusive upper bound as a duration.
+func BucketBound(i int) time.Duration { return time.Duration(bucketBoundNs(i)) }
+
+// bucketIndex maps a duration to its bucket: the smallest i with
+// d ≤ 1µs·2^i, or NumBuckets for the overflow bucket.
+func bucketIndex(d time.Duration) int {
+	ns := int64(d)
+	if ns <= 1000 {
+		return 0
+	}
+	// d ≤ 1000·2^i  ⇔  ⌈d/1000⌉ ≤ 2^i, and the smallest such i is the
+	// bit length of ⌈d/1000⌉-1.
+	q := uint64((ns + 999) / 1000)
+	i := bits.Len64(q - 1)
+	if i >= NumBuckets {
+		return NumBuckets
+	}
+	return i
+}
+
+// Histogram is a log-bucketed (power-of-two) latency histogram. All
+// operations are lock-free atomic updates, so hot paths (the wolfd
+// worker pool, per-request handlers) can observe without contention;
+// histograms merge losslessly because every instance shares the same
+// fixed bucket layout.
+//
+// The zero value is ready to use.
+type Histogram struct {
+	counts [NumBuckets + 1]atomic.Uint64
+	sumNs  atomic.Int64
+	count  atomic.Uint64
+}
+
+// Observe records one latency.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketIndex(d)].Add(1)
+	h.sumNs.Add(int64(d))
+	h.count.Add(1)
+}
+
+// ObserveSince records the latency elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total of all observed latencies.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNs.Load()) }
+
+// Bucket returns the observation count of bucket i (NumBuckets for the
+// overflow bucket).
+func (h *Histogram) Bucket(i int) uint64 { return h.counts[i].Load() }
+
+// Merge folds o's observations into h. Safe to call concurrently with
+// observations on either side; the merge itself is per-bucket atomic,
+// not a snapshot.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range o.counts {
+		if n := o.counts[i].Load(); n > 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.sumNs.Add(o.sumNs.Load())
+	h.count.Add(o.count.Load())
+}
+
+// Quantile returns an upper bound on the q-quantile (0 ≤ q ≤ 1) of the
+// observed latencies: the bound of the first bucket whose cumulative
+// count reaches q·total. It returns 0 with no observations and the
+// maximum finite bound for observations in the overflow bucket.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	need := uint64(math.Ceil(q * float64(total)))
+	if need == 0 {
+		need = 1
+	}
+	var cum uint64
+	for i := 0; i <= NumBuckets; i++ {
+		cum += h.counts[i].Load()
+		if cum >= need {
+			if i == NumBuckets {
+				return BucketBound(NumBuckets - 1)
+			}
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(NumBuckets - 1)
+}
+
+// formatSeconds renders a float for exposition output (shortest
+// round-trip form, as Prometheus clients emit).
+func formatSeconds(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus renders the histogram as a Prometheus histogram
+// family: cumulative name_bucket{le="..."} series, name_sum and
+// name_count, with latencies converted to seconds. extraLabels, if
+// non-empty, is spliced verbatim before the le label of every bucket
+// and onto sum/count (callers build it with Label).
+func (h *Histogram) WritePrometheus(w io.Writer, name, help, extraLabels string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	sep := ""
+	if extraLabels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i := 0; i <= NumBuckets; i++ {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < NumBuckets {
+			le = formatSeconds(BucketBound(i).Seconds())
+		}
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, extraLabels, sep, le, cum)
+	}
+	suffix := ""
+	if extraLabels != "" {
+		suffix = "{" + extraLabels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, suffix, formatSeconds(h.Sum().Seconds()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, h.Count())
+}
+
+// Label renders one key="value" label pair with Prometheus escaping,
+// for composing label strings passed to WritePrometheus and friends.
+func Label(key, value string) string {
+	var b []byte
+	b = append(b, key...)
+	b = append(b, '=', '"')
+	for _, r := range value {
+		switch r {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '"':
+			b = append(b, '\\', '"')
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, string(r)...)
+		}
+	}
+	b = append(b, '"')
+	return string(b)
+}

@@ -1,0 +1,260 @@
+// Package obs is the observability substrate shared by every WOLF
+// layer: lightweight pipeline spans with attribute counters, log-bucketed
+// latency histograms rendered in Prometheus exposition format, Chrome
+// trace-event timelines loadable in Perfetto, build-info reporting, and
+// an opt-in pprof debug mux.
+//
+// The package depends only on the standard library so any layer — the
+// sim scheduler, the analysis pipeline, the wolfd service, the CLIs —
+// can import it without cycles or third-party baggage.
+//
+// Spans. A span measures one phase of work:
+//
+//	ctx, sp := obs.Start(ctx, "detect")
+//	... work ...
+//	sp.Add("cycles", int64(len(cycles)))
+//	sp.End()
+//
+// Spans are collected by the *Recorder carried in the context; when no
+// recorder is attached Start returns a nil span whose methods are no-ops,
+// so instrumented code pays one context lookup and nothing else. The
+// recorder aggregates by name (Sum, Count, Total), which is how
+// core.Timings is derived as a view over spans.
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Attr is one named span attribute counter.
+type Attr struct {
+	// Key names the counter (for example "cycles", "steps").
+	Key string
+	// Value is the accumulated count.
+	Value int64
+}
+
+// Span is one in-flight measurement. A nil *Span is valid and inert, so
+// callers never need to branch on whether recording is enabled.
+type Span struct {
+	rec   *Recorder
+	name  string
+	start time.Time
+	attrs []Attr
+}
+
+// Name returns the span's name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Add accumulates delta into the named attribute counter.
+func (s *Span) Add(key string, delta int64) {
+	if s == nil {
+		return
+	}
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value += delta
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: delta})
+}
+
+// End finishes the span, hands it to the recorder, and returns its
+// duration (zero for a nil span).
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.rec.record(SpanRecord{Name: s.name, Start: s.start, Dur: d, Attrs: s.attrs})
+	return d
+}
+
+// SpanRecord is one finished span.
+type SpanRecord struct {
+	// Name is the span name.
+	Name string
+	// Start is the wall-clock start time.
+	Start time.Time
+	// Dur is the measured duration.
+	Dur time.Duration
+	// Attrs are the attribute counters accumulated before End.
+	Attrs []Attr
+}
+
+// Attr returns the value of the named attribute counter (zero when
+// absent).
+func (r SpanRecord) Attr(key string) int64 {
+	for _, a := range r.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return 0
+}
+
+// Recorder collects finished spans. It is safe for concurrent use.
+type Recorder struct {
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// NewRecorder returns an empty span recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+func (r *Recorder) record(sr SpanRecord) {
+	r.mu.Lock()
+	r.spans = append(r.spans, sr)
+	r.mu.Unlock()
+}
+
+// Observe records a pre-measured span: work that was timed externally
+// (or reconstructed) rather than bracketed by Start/End. Start is
+// back-dated so timeline exports order it correctly.
+func (r *Recorder) Observe(name string, dur time.Duration, attrs ...Attr) {
+	r.record(SpanRecord{Name: name, Start: time.Now().Add(-dur), Dur: dur, Attrs: attrs})
+}
+
+// Mark returns a position in the span stream; SumFrom and CountFrom
+// aggregate only spans recorded after it. Callers sharing one recorder
+// across several pipeline runs use marks to scope per-run views (this
+// is how core.Timings stays correct when a CLI analyzes twice under a
+// single recorder).
+func (r *Recorder) Mark() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// SumFrom is Sum restricted to spans recorded after mark.
+func (r *Recorder) SumFrom(mark int, name string) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var d time.Duration
+	for _, sr := range r.spans[min(mark, len(r.spans)):] {
+		if sr.Name == name {
+			d += sr.Dur
+		}
+	}
+	return d
+}
+
+// Spans snapshots every finished span in completion order.
+func (r *Recorder) Spans() []SpanRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]SpanRecord(nil), r.spans...)
+}
+
+// Sum returns the total duration of all finished spans with the given
+// name.
+func (r *Recorder) Sum(name string) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var d time.Duration
+	for _, sr := range r.spans {
+		if sr.Name == name {
+			d += sr.Dur
+		}
+	}
+	return d
+}
+
+// Count returns the number of finished spans with the given name.
+func (r *Recorder) Count(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, sr := range r.spans {
+		if sr.Name == name {
+			n++
+		}
+	}
+	return n
+}
+
+// Total sums the named attribute counter across all finished spans with
+// the given span name.
+func (r *Recorder) Total(name, key string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for _, sr := range r.spans {
+		if sr.Name == name {
+			total += sr.Attr(key)
+		}
+	}
+	return total
+}
+
+// start opens a span on this recorder directly (no context needed).
+func (r *Recorder) start(name string) *Span {
+	return &Span{rec: r, name: name, start: time.Now()}
+}
+
+// ctxKey is the context key carrying the recorder.
+type ctxKey struct{}
+
+// WithRecorder returns a context carrying rec; spans started under it
+// are collected there.
+func WithRecorder(ctx context.Context, rec *Recorder) context.Context {
+	return context.WithValue(ctx, ctxKey{}, rec)
+}
+
+// FromContext returns the recorder carried by ctx, or nil.
+func FromContext(ctx context.Context) *Recorder {
+	rec, _ := ctx.Value(ctxKey{}).(*Recorder)
+	return rec
+}
+
+// Start opens a span named name on the context's recorder. When the
+// context carries no recorder the returned span is nil (inert). The
+// returned context is the input context: spans are aggregated by name,
+// not parented, which keeps Start allocation-free on the disabled path.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	rec := FromContext(ctx)
+	if rec == nil {
+		return ctx, nil
+	}
+	return ctx, rec.start(name)
+}
+
+// WriteTimeline appends every finished span as a complete ("X") Chrome
+// trace event on the given timeline, one track per distinct span name
+// under the process pid. Timestamps are real microseconds relative to
+// the earliest span start, so the pipeline phases line up visually in
+// Perfetto.
+func (r *Recorder) WriteTimeline(tl *Timeline, pid int64) {
+	spans := r.Spans()
+	if len(spans) == 0 {
+		return
+	}
+	epoch := spans[0].Start
+	for _, sr := range spans {
+		if sr.Start.Before(epoch) {
+			epoch = sr.Start
+		}
+	}
+	tids := make(map[string]int64)
+	for _, sr := range spans {
+		tid, ok := tids[sr.Name]
+		if !ok {
+			tid = int64(len(tids)) + 1
+			tids[sr.Name] = tid
+			tl.Thread(pid, tid, sr.Name)
+		}
+		args := make(map[string]any, len(sr.Attrs))
+		for _, a := range sr.Attrs {
+			args[a.Key] = a.Value
+		}
+		tl.Complete(pid, tid, sr.Name, "span", sr.Start.Sub(epoch).Microseconds(), sr.Dur.Microseconds(), args)
+	}
+}

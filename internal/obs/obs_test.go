@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNilSafe(t *testing.T) {
+	ctx, sp := Start(context.Background(), "noop")
+	if sp != nil {
+		t.Fatalf("Start without recorder: got non-nil span")
+	}
+	if ctx == nil {
+		t.Fatalf("Start returned nil context")
+	}
+	// All methods must be inert on nil spans.
+	sp.Add("k", 1)
+	if d := sp.End(); d != 0 {
+		t.Fatalf("nil span End: got %v, want 0", d)
+	}
+	if sp.Name() != "" {
+		t.Fatalf("nil span Name: got %q", sp.Name())
+	}
+}
+
+func TestSpanRecording(t *testing.T) {
+	rec := NewRecorder()
+	ctx := WithRecorder(context.Background(), rec)
+	if FromContext(ctx) != rec {
+		t.Fatalf("FromContext did not return the attached recorder")
+	}
+	_, sp := Start(ctx, "phase")
+	sp.Add("cycles", 3)
+	sp.Add("cycles", 2)
+	sp.Add("steps", 10)
+	sp.End()
+	_, sp2 := Start(ctx, "phase")
+	sp2.Add("cycles", 1)
+	sp2.End()
+
+	if n := rec.Count("phase"); n != 2 {
+		t.Fatalf("Count: got %d, want 2", n)
+	}
+	if got := rec.Total("phase", "cycles"); got != 6 {
+		t.Fatalf("Total(cycles): got %d, want 6", got)
+	}
+	if got := rec.Total("phase", "steps"); got != 10 {
+		t.Fatalf("Total(steps): got %d, want 10", got)
+	}
+	if rec.Sum("phase") <= 0 {
+		t.Fatalf("Sum: got %v, want > 0", rec.Sum("phase"))
+	}
+	if rec.Sum("other") != 0 || rec.Count("other") != 0 {
+		t.Fatalf("unknown name should be zero")
+	}
+	spans := rec.Spans()
+	if len(spans) != 2 || spans[0].Attr("cycles") != 5 || spans[0].Attr("missing") != 0 {
+		t.Fatalf("Spans snapshot wrong: %+v", spans)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	rec := NewRecorder()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				sp := rec.start("w")
+				sp.Add("n", 1)
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if n := rec.Count("w"); n != 800 {
+		t.Fatalf("Count: got %d, want 800", n)
+	}
+	if tot := rec.Total("w", "n"); tot != 800 {
+		t.Fatalf("Total: got %d, want 800", tot)
+	}
+}
+
+func TestRecorderWriteTimeline(t *testing.T) {
+	rec := NewRecorder()
+	sp := rec.start("detect")
+	sp.Add("cycles", 2)
+	sp.End()
+	rec.start("prune").End()
+
+	tl := NewTimeline()
+	tl.Process(1, "pipeline")
+	rec.WriteTimeline(tl, 1)
+	var sb strings.Builder
+	if err := tl.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTimeline([]byte(sb.String())); err != nil {
+		t.Fatalf("span timeline invalid: %v", err)
+	}
+	// Two thread_name metadata + two X events + process_name.
+	if tl.Len() != 5 {
+		t.Fatalf("event count: got %d, want 5", tl.Len())
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	bi := ReadBuildInfo()
+	if bi.GoVersion == "" {
+		t.Fatalf("BuildInfo missing GoVersion: %+v", bi)
+	}
+	if bi.Version == "" {
+		t.Fatalf("BuildInfo missing Version: %+v", bi)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{time.Millisecond, 10},        // bound(10) = 1.024ms ≥ 1ms > bound(9)
+		{time.Second, 20},             // bound(20) ≈ 1.049s ≥ 1s > bound(19)
+		{5 * time.Minute, NumBuckets}, // overflow
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v): got %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Every bucket bound must land in its own bucket (inclusive upper).
+	for i := 0; i < NumBuckets; i++ {
+		if got := bucketIndex(BucketBound(i)); got != i {
+			t.Errorf("bound %v: got bucket %d, want %d", BucketBound(i), got, i)
+		}
+	}
+}
+
+func TestHistogramObserveAndMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(time.Microsecond)
+	a.Observe(3 * time.Millisecond)
+	b.Observe(time.Hour) // overflow bucket
+	b.Observe(-time.Second)
+
+	a.Merge(&b)
+	if a.Count() != 4 {
+		t.Fatalf("Count after merge: got %d, want 4", a.Count())
+	}
+	wantSum := time.Microsecond + 3*time.Millisecond + time.Hour
+	if a.Sum() != wantSum {
+		t.Fatalf("Sum after merge: got %v, want %v", a.Sum(), wantSum)
+	}
+	if a.Bucket(NumBuckets) != 1 {
+		t.Fatalf("overflow bucket: got %d, want 1", a.Bucket(NumBuckets))
+	}
+	if a.Bucket(0) != 2 { // 1µs and the clamped negative
+		t.Fatalf("bucket 0: got %d, want 2", a.Bucket(0))
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile: got %v, want 0", q)
+	}
+	for i := 0; i < 99; i++ {
+		h.Observe(time.Microsecond)
+	}
+	h.Observe(10 * time.Second)
+	if q := h.Quantile(0.5); q != BucketBound(0) {
+		t.Fatalf("p50: got %v, want %v", q, BucketBound(0))
+	}
+	if q := h.Quantile(1); q < 10*time.Second {
+		t.Fatalf("p100: got %v, want ≥ 10s", q)
+	}
+}
+
+func TestHistogramPrometheusOutput(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Microsecond)
+	h.Observe(time.Second)
+	var sb strings.Builder
+	h.WritePrometheus(&sb, "test_seconds", "A test histogram.", "")
+	out := sb.String()
+	if errs := PromLint(strings.NewReader(out)); errs != nil {
+		t.Fatalf("own histogram output fails lint: %v\n%s", errs, out)
+	}
+	if !strings.Contains(out, `test_seconds_bucket{le="1e-06"} 1`) {
+		t.Errorf("missing 1µs bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `test_seconds_bucket{le="+Inf"} 2`) {
+		t.Errorf("missing +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, "test_seconds_count 2") {
+		t.Errorf("missing count:\n%s", out)
+	}
+
+	// Labeled form.
+	sb.Reset()
+	h.WritePrometheus(&sb, "test_seconds", "A test histogram.", Label("phase", "detect"))
+	if errs := PromLint(strings.NewReader(sb.String())); errs != nil {
+		t.Fatalf("labeled histogram fails lint: %v\n%s", errs, sb.String())
+	}
+	if !strings.Contains(sb.String(), `test_seconds_bucket{phase="detect",le="+Inf"} 2`) {
+		t.Errorf("labeled bucket wrong:\n%s", sb.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	got := Label("path", `a"b\c`+"\n")
+	want := `path="a\"b\\c\n"`
+	if got != want {
+		t.Fatalf("Label: got %s, want %s", got, want)
+	}
+}

@@ -1,0 +1,361 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// PromLint is a strict validator for the Prometheus text exposition
+// format (version 0.0.4), used by tests to check every line /metrics
+// emits. It enforces more than scrape-ability:
+//
+//   - every sample belongs to a family introduced by a # HELP and a
+//     # TYPE line, in that order, exactly once;
+//   - metric and label names match the Prometheus grammar; label values
+//     are correctly quoted and escaped;
+//   - histogram families carry _bucket/_sum/_count series, bucket counts
+//     are monotonically non-decreasing in le order, the last bucket is
+//     le="+Inf", and its count equals _count;
+//   - counter and histogram values are non-negative and finite;
+//   - no duplicate series (same name and label set).
+//
+// It returns every violation found, or nil for a clean exposition.
+func PromLint(r io.Reader) []error {
+	var errs []error
+	fail := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	type family struct {
+		help, typ string
+		helpLine  int
+		samples   int
+	}
+	families := make(map[string]*family)
+	order := []string{}
+	type histSeries struct {
+		buckets []bucketSample // in emission order
+		sum     *float64
+		count   *float64
+		line    int
+	}
+	hists := make(map[string]*histSeries) // histogram family+labels → series
+	seen := make(map[string]int)          // full series key → line
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !validMetricName(name) {
+				fail(n, "malformed HELP line %q", line)
+				continue
+			}
+			if f, dup := families[name]; dup && f.help != "" {
+				fail(n, "duplicate HELP for %s (first at line %d)", name, f.helpLine)
+				continue
+			}
+			families[name] = &family{help: rest[len(name)+1:], helpLine: n}
+			order = append(order, name)
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 || !validMetricName(fields[0]) {
+				fail(n, "malformed TYPE line %q", line)
+				continue
+			}
+			name, typ := fields[0], fields[1]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				fail(n, "unknown metric type %q for %s", typ, name)
+			}
+			f := families[name]
+			if f == nil || f.help == "" {
+				fail(n, "TYPE for %s without preceding HELP", name)
+				f = &family{helpLine: n}
+				families[name] = f
+			}
+			if f.typ != "" {
+				fail(n, "duplicate TYPE for %s", name)
+			}
+			if f.samples > 0 {
+				fail(n, "TYPE for %s after its samples", name)
+			}
+			f.typ = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			fail(n, "%v", err)
+			continue
+		}
+		famName := name
+		f := families[name]
+		if f == nil {
+			// Histogram/summary child series attach to the base family.
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				base := strings.TrimSuffix(name, suffix)
+				if base != name && families[base] != nil {
+					famName, f = base, families[base]
+					break
+				}
+			}
+		}
+		if f == nil {
+			fail(n, "sample %s without HELP/TYPE", name)
+			continue
+		}
+		if f.typ == "" {
+			fail(n, "sample %s without TYPE", name)
+			continue
+		}
+		f.samples++
+
+		key := name + "{" + canonicalLabels(labels) + "}"
+		if prev, dup := seen[key]; dup {
+			fail(n, "duplicate series %s (first at line %d)", key, prev)
+		}
+		seen[key] = n
+
+		switch f.typ {
+		case "counter", "histogram":
+			if value < 0 {
+				fail(n, "%s type %s has negative value %g", name, f.typ, value)
+			}
+		}
+		if f.typ == "histogram" {
+			hk := famName + "{" + canonicalLabels(withoutLabel(labels, "le")) + "}"
+			hs := hists[hk]
+			if hs == nil {
+				hs = &histSeries{line: n}
+				hists[hk] = hs
+			}
+			switch {
+			case name == famName+"_bucket":
+				le, ok := labelValue(labels, "le")
+				if !ok {
+					fail(n, "histogram bucket %s without le label", name)
+					break
+				}
+				bound, err := parseLe(le)
+				if err != nil {
+					fail(n, "bad le value %q: %v", le, err)
+					break
+				}
+				hs.buckets = append(hs.buckets, bucketSample{bound: bound, inf: le == "+Inf", count: value, line: n})
+			case name == famName+"_sum":
+				hs.sum = &value
+			case name == famName+"_count":
+				hs.count = &value
+			case name == famName:
+				fail(n, "histogram family %s has a bare sample (want _bucket/_sum/_count)", name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("read: %w", err))
+	}
+
+	for name, f := range families {
+		if f.typ != "" && f.samples == 0 {
+			errs = append(errs, fmt.Errorf("family %s declared (line %d) but has no samples", name, f.helpLine))
+		}
+	}
+	for hk, hs := range hists {
+		if len(hs.buckets) == 0 {
+			errs = append(errs, fmt.Errorf("histogram %s has no buckets", hk))
+			continue
+		}
+		prev := bucketSample{bound: -1, count: -1}
+		for i, b := range hs.buckets {
+			if i > 0 {
+				if !prev.inf && !b.inf && b.bound <= prev.bound {
+					errs = append(errs, fmt.Errorf("line %d: histogram %s buckets out of le order", b.line, hk))
+				}
+				if b.count < prev.count {
+					errs = append(errs, fmt.Errorf("line %d: histogram %s bucket counts not monotonic (%g after %g)", b.line, hk, b.count, prev.count))
+				}
+			}
+			prev = b
+		}
+		last := hs.buckets[len(hs.buckets)-1]
+		if !last.inf {
+			errs = append(errs, fmt.Errorf("histogram %s: last bucket is not le=\"+Inf\"", hk))
+		}
+		if hs.count == nil {
+			errs = append(errs, fmt.Errorf("histogram %s: missing _count", hk))
+		} else if last.inf && *hs.count != last.count {
+			errs = append(errs, fmt.Errorf("histogram %s: _count %g != +Inf bucket %g", hk, *hs.count, last.count))
+		}
+		if hs.sum == nil {
+			errs = append(errs, fmt.Errorf("histogram %s: missing _sum", hk))
+		}
+	}
+	return errs
+}
+
+type bucketSample struct {
+	bound float64
+	inf   bool
+	count float64
+	line  int
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+func validMetricName(s string) bool { return metricNameRe.MatchString(s) }
+
+// labelPair is one parsed label.
+type labelPair struct{ name, value string }
+
+// parseSample parses `name{label="v",...} value` (timestamp not used by
+// this repo and rejected to keep the exposition minimal).
+func parseSample(line string) (name string, labels []labelPair, value float64, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = rest[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			rest = strings.TrimLeft(rest, " ")
+			if rest == "" {
+				return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.Index(rest, "=")
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("malformed label in %q", line)
+			}
+			lname := rest[:eq]
+			if !labelNameRe.MatchString(lname) {
+				return "", nil, 0, fmt.Errorf("invalid label name %q", lname)
+			}
+			rest = rest[eq+1:]
+			if rest == "" || rest[0] != '"' {
+				return "", nil, 0, fmt.Errorf("unquoted label value in %q", line)
+			}
+			lval, remain, verr := parseQuoted(rest)
+			if verr != nil {
+				return "", nil, 0, verr
+			}
+			labels = append(labels, labelPair{lname, lval})
+			rest = remain
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+			}
+		}
+	}
+	rest = strings.TrimLeft(rest, " ")
+	fields := strings.Fields(rest)
+	if len(fields) != 1 {
+		return "", nil, 0, fmt.Errorf("want exactly one value in %q", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	return name, labels, value, nil
+}
+
+// parseQuoted consumes a leading double-quoted, backslash-escaped string
+// and returns it unescaped with the remainder of the input.
+func parseQuoted(s string) (string, string, error) {
+	if s == "" || s[0] != '"' {
+		return "", "", fmt.Errorf("expected quoted string in %q", s)
+	}
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("dangling escape in %q", s)
+			}
+			switch s[i] {
+			case '\\', '"':
+				b.WriteByte(s[i])
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("invalid escape \\%c in %q", s[i], s)
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string in %q", s)
+}
+
+func labelValue(labels []labelPair, name string) (string, bool) {
+	for _, l := range labels {
+		if l.name == name {
+			return l.value, true
+		}
+	}
+	return "", false
+}
+
+func withoutLabel(labels []labelPair, name string) []labelPair {
+	out := make([]labelPair, 0, len(labels))
+	for _, l := range labels {
+		if l.name != name {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// canonicalLabels renders labels sorted by name for series identity.
+func canonicalLabels(labels []labelPair) string {
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.name + "=" + strconv.Quote(l.value)
+	}
+	// insertion sort: label sets are tiny
+	for i := 1; i < len(parts); i++ {
+		for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
+			parts[j], parts[j-1] = parts[j-1], parts[j]
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// parseLe parses a bucket upper bound ("+Inf" or a float).
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

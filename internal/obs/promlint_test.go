@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// lint runs PromLint over a literal exposition.
+func lint(s string) []error { return PromLint(strings.NewReader(s)) }
+
+func TestPromLintClean(t *testing.T) {
+	clean := `# HELP jobs_total Jobs processed.
+# TYPE jobs_total counter
+jobs_total{reason="error"} 3
+jobs_total{reason="timeout"} 1
+# HELP queue_depth Current queue depth.
+# TYPE queue_depth gauge
+queue_depth 0
+# HELP lat_seconds Latency.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.001"} 1
+lat_seconds_bucket{le="1"} 2
+lat_seconds_bucket{le="+Inf"} 2
+lat_seconds_sum 0.5
+lat_seconds_count 2
+`
+	if errs := lint(clean); errs != nil {
+		t.Fatalf("clean exposition flagged: %v", errs)
+	}
+}
+
+func TestPromLintViolations(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"sample without help", "foo 1\n", "without HELP"},
+		{"type without help", "# TYPE foo counter\nfoo 1\n", "without preceding HELP"},
+		{"help without type", "# HELP foo x\nfoo 1\n", "without TYPE"},
+		{"bad type", "# HELP foo x\n# TYPE foo banana\nfoo 1\n", "unknown metric type"},
+		{"duplicate series", "# HELP foo x\n# TYPE foo counter\nfoo 1\nfoo 2\n", "duplicate series"},
+		{"negative counter", "# HELP foo x\n# TYPE foo counter\nfoo -1\n", "negative value"},
+		{"bad metric name", "# HELP foo x\n# TYPE foo counter\n2foo 1\n", "invalid metric name"},
+		{"bad label syntax", "# HELP foo x\n# TYPE foo counter\nfoo{bar=baz} 1\n", "unquoted label value"},
+		{"bad label name", "# HELP foo x\n# TYPE foo counter\nfoo{2bar=\"b\"} 1\n", "invalid label name"},
+		{"unterminated labels", "# HELP foo x\n# TYPE foo counter\nfoo{bar=\"b\" 1\n", "malformed label"},
+		{"declared but empty", "# HELP foo x\n# TYPE foo counter\n", "no samples"},
+		{
+			"non-monotonic buckets",
+			"# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"not monotonic",
+		},
+		{
+			"buckets out of order",
+			"# HELP h x\n# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+			"out of le order",
+		},
+		{
+			"missing inf bucket",
+			"# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			"not le=\"+Inf\"",
+		},
+		{
+			"count mismatch",
+			"# HELP h x\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+			"_count 3 != +Inf bucket 2",
+		},
+		{
+			"missing sum",
+			"# HELP h x\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+			"missing _sum",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			errs := lint(c.in)
+			if len(errs) == 0 {
+				t.Fatalf("no violation found, want %q", c.wantSub)
+			}
+			for _, e := range errs {
+				if strings.Contains(e.Error(), c.wantSub) {
+					return
+				}
+			}
+			t.Fatalf("violations %v do not mention %q", errs, c.wantSub)
+		})
+	}
+}
+
+func TestPromLintEscapedLabels(t *testing.T) {
+	in := "# HELP foo x\n# TYPE foo counter\nfoo{path=\"a\\\"b\\\\c\\n\"} 1\n"
+	if errs := lint(in); errs != nil {
+		t.Fatalf("escaped label flagged: %v", errs)
+	}
+}

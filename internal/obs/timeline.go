@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceEvent is one event in the Chrome trace-event format (the JSON
+// consumed by Perfetto and chrome://tracing). Field order matches the
+// format documentation; zero-valued optional fields are omitted.
+//
+// Phases used by this repo:
+//
+//	"M"  metadata (process_name / thread_name)
+//	"B"  duration begin   "E" duration end
+//	"X"  complete (begin with inline dur)
+//	"i"  instant (S: "t" thread, "p" process, "g" global)
+//	"C"  counter
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Timeline accumulates Chrome trace events. Timestamps are written by
+// the caller; the scheduler timeline uses the sim step counter as a
+// logical microsecond clock so exports are deterministic and
+// golden-testable, while span timelines use real microseconds.
+//
+// Timeline is not safe for concurrent use; the sim scheduler and the
+// analysis pipeline are both single-threaded at the points that emit.
+type Timeline struct {
+	events []TraceEvent
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+// Add appends a raw event.
+func (t *Timeline) Add(ev TraceEvent) { t.events = append(t.events, ev) }
+
+// Events returns the accumulated events in emission order. The slice is
+// owned by the timeline; do not modify it.
+func (t *Timeline) Events() []TraceEvent { return t.events }
+
+// Len returns the number of accumulated events.
+func (t *Timeline) Len() int { return len(t.events) }
+
+// Process emits a process_name metadata event naming pid's track group.
+func (t *Timeline) Process(pid int64, name string) {
+	t.Add(TraceEvent{Name: "process_name", Ph: "M", Pid: pid, Args: map[string]any{"name": name}})
+}
+
+// Thread emits a thread_name metadata event naming the (pid, tid) track.
+func (t *Timeline) Thread(pid, tid int64, name string) {
+	t.Add(TraceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": name}})
+}
+
+// Begin opens a duration slice on the (pid, tid) track.
+func (t *Timeline) Begin(pid, tid int64, name, cat string, ts int64, args map[string]any) {
+	t.Add(TraceEvent{Name: name, Cat: cat, Ph: "B", Ts: ts, Pid: pid, Tid: tid, Args: args})
+}
+
+// End closes the most recent open slice on the (pid, tid) track.
+func (t *Timeline) End(pid, tid int64, ts int64) {
+	t.Add(TraceEvent{Ph: "E", Ts: ts, Pid: pid, Tid: tid})
+}
+
+// Complete emits a complete slice with an inline duration.
+func (t *Timeline) Complete(pid, tid int64, name, cat string, ts, dur int64, args map[string]any) {
+	if dur <= 0 {
+		dur = 1 // zero-width slices are invisible in Perfetto
+	}
+	t.Add(TraceEvent{Name: name, Cat: cat, Ph: "X", Ts: ts, Dur: dur, Pid: pid, Tid: tid, Args: args})
+}
+
+// Instant emits an instant marker. scope is "t" (thread), "p" (process)
+// or "g" (global, drawn across every track).
+func (t *Timeline) Instant(pid, tid int64, name, cat string, ts int64, scope string, args map[string]any) {
+	t.Add(TraceEvent{Name: name, Cat: cat, Ph: "i", Ts: ts, Pid: pid, Tid: tid, S: scope, Args: args})
+}
+
+// Counter emits a counter sample; each key of values becomes one series
+// of the counter track.
+func (t *Timeline) Counter(pid, tid int64, name string, ts int64, values map[string]any) {
+	t.Add(TraceEvent{Name: name, Ph: "C", Ts: ts, Pid: pid, Tid: tid, Args: values})
+}
+
+// WriteJSON serializes the timeline in the JSON object form of the
+// trace-event format ({"traceEvents": [...]}), one event per line for
+// greppability. Map-valued args marshal with sorted keys, so output is
+// deterministic for deterministic event sequences.
+func (t *Timeline) WriteJSON(w io.Writer) error {
+	if _, err := io.WriteString(w, "{\"traceEvents\": [\n"); err != nil {
+		return err
+	}
+	for i, ev := range t.events {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(t.events)-1 {
+			sep = "\n"
+		}
+		if _, err := w.Write(append(b, sep...)); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "], \"displayTimeUnit\": \"ms\"}\n")
+	return err
+}
+
+// ValidateTimeline parses data as trace-event JSON and checks the
+// structural rules Perfetto relies on: a traceEvents array; every event
+// carries a known phase, pid and non-negative ts; B/E pairs balance per
+// (pid, tid) track; instants use a valid scope. It returns nil when the
+// document validates.
+func ValidateTimeline(data []byte) error {
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("timeline: not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return fmt.Errorf("timeline: missing traceEvents array")
+	}
+	type track struct{ pid, tid int64 }
+	depth := make(map[track]int)
+	for i, raw := range doc.TraceEvents {
+		var ev TraceEvent
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return fmt.Errorf("timeline: event %d: %w", i, err)
+		}
+		tr := track{ev.Pid, ev.Tid}
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "process_name" && ev.Name != "thread_name" && ev.Name != "thread_sort_index" && ev.Name != "process_sort_index" {
+				return fmt.Errorf("timeline: event %d: unknown metadata %q", i, ev.Name)
+			}
+		case "B":
+			if ev.Name == "" {
+				return fmt.Errorf("timeline: event %d: B event without name", i)
+			}
+			depth[tr]++
+		case "E":
+			depth[tr]--
+			if depth[tr] < 0 {
+				return fmt.Errorf("timeline: event %d: E without matching B on pid=%d tid=%d", i, ev.Pid, ev.Tid)
+			}
+		case "X":
+			if ev.Dur < 0 {
+				return fmt.Errorf("timeline: event %d: negative dur", i)
+			}
+		case "i":
+			switch ev.S {
+			case "", "t", "p", "g":
+			default:
+				return fmt.Errorf("timeline: event %d: bad instant scope %q", i, ev.S)
+			}
+		case "C":
+			if len(ev.Args) == 0 {
+				return fmt.Errorf("timeline: event %d: counter without values", i)
+			}
+		default:
+			return fmt.Errorf("timeline: event %d: unknown phase %q", i, ev.Ph)
+		}
+		if ev.Ph != "M" && ev.Ts < 0 {
+			return fmt.Errorf("timeline: event %d: negative ts", i)
+		}
+	}
+	for tr, d := range depth {
+		if d != 0 {
+			return fmt.Errorf("timeline: %d unclosed B event(s) on pid=%d tid=%d", d, tr.pid, tr.tid)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func buildSample() *Timeline {
+	tl := NewTimeline()
+	tl.Process(1, "wolf")
+	tl.Thread(1, 1, "main")
+	tl.Thread(1, 2, "worker")
+	tl.Begin(1, 1, "hold A", "lock", 0, map[string]any{"site": "m:1"})
+	tl.Instant(1, 2, "acquire B", "lock", 1, "t", nil)
+	tl.Counter(1, 2, "locks", 1, map[string]any{"held": 1})
+	tl.End(1, 1, 3)
+	tl.Complete(1, 2, "paused", "replay", 2, 2, nil)
+	tl.Instant(1, 1, "DEADLOCK", "deadlock", 4, "g", nil)
+	return tl
+}
+
+func TestTimelineRoundTrip(t *testing.T) {
+	tl := buildSample()
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := ValidateTimeline(buf.Bytes()); err != nil {
+		t.Fatalf("sample timeline invalid: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		`"traceEvents"`,
+		`"name":"process_name"`,
+		`"name":"thread_name"`,
+		`"ph":"B"`,
+		`"ph":"E"`,
+		`"ph":"X"`,
+		`"s":"g"`,
+		`"displayTimeUnit": "ms"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimelineDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := buildSample().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildSample().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("same events, different JSON:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestValidateTimelineRejects(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"not json", "nope", "not valid JSON"},
+		{"missing array", `{}`, "missing traceEvents"},
+		{"unknown phase", `{"traceEvents":[{"name":"x","ph":"Z","ts":0,"pid":1,"tid":1}]}`, "unknown phase"},
+		{"unbalanced E", `{"traceEvents":[{"ph":"E","ts":0,"pid":1,"tid":1}]}`, "E without matching B"},
+		{"unclosed B", `{"traceEvents":[{"name":"x","ph":"B","ts":0,"pid":1,"tid":1}]}`, "unclosed B"},
+		{"negative ts", `{"traceEvents":[{"name":"x","ph":"i","ts":-1,"pid":1,"tid":1}]}`, "negative ts"},
+		{"bad scope", `{"traceEvents":[{"name":"x","ph":"i","ts":0,"pid":1,"tid":1,"s":"z"}]}`, "bad instant scope"},
+		{"nameless B", `{"traceEvents":[{"ph":"B","ts":0,"pid":1,"tid":1},{"ph":"E","ts":1,"pid":1,"tid":1}]}`, "B event without name"},
+		{"empty counter", `{"traceEvents":[{"name":"c","ph":"C","ts":0,"pid":1,"tid":1}]}`, "counter without values"},
+		{"bad metadata", `{"traceEvents":[{"name":"bogus","ph":"M","pid":1,"tid":1}]}`, "unknown metadata"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := ValidateTimeline([]byte(c.in))
+			if err == nil {
+				t.Fatalf("validated, want error containing %q", c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error %v does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}

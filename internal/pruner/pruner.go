@@ -16,7 +16,10 @@
 package pruner
 
 import (
+	"context"
+
 	"wolf/internal/detect"
+	"wolf/internal/obs"
 	"wolf/internal/vclock"
 )
 
@@ -63,6 +66,16 @@ type Result struct {
 // Prune applies Algorithm 2 to every cycle, with clocks indexed by
 // sim.ThreadID as produced by trace.Trace.Clocks.
 func Prune(cycles []*detect.Cycle, clocks []vclock.Vector) *Result {
+	return PruneCtx(context.Background(), cycles, clocks)
+}
+
+// PruneCtx is Prune with observability: when ctx carries an
+// obs.Recorder, one "pruner.prune" span records the number of cycles
+// checked and refuted.
+func PruneCtx(ctx context.Context, cycles []*detect.Cycle, clocks []vclock.Vector) *Result {
+	_, sp := obs.Start(ctx, "pruner.prune")
+	defer sp.End()
+	sp.Add("cycles", int64(len(cycles)))
 	res := &Result{
 		Verdicts: make([]Verdict, len(cycles)),
 		Reasons:  make([]*Explain, len(cycles)),
@@ -75,6 +88,7 @@ func Prune(cycles []*detect.Cycle, clocks []vclock.Vector) *Result {
 			res.Kept = append(res.Kept, c)
 		}
 	}
+	sp.Add("pruned", int64(len(res.Pruned)))
 	return res
 }
 

@@ -15,9 +15,12 @@
 package replay
 
 import (
+	"context"
 	"math/rand"
+	"sort"
 
 	"wolf/internal/detect"
+	"wolf/internal/obs"
 	"wolf/internal/sdg"
 	"wolf/internal/trace"
 	"wolf/sim"
@@ -70,29 +73,64 @@ type strategy struct {
 	// forced counts force-releases (diagnostics: nonzero means Gs could
 	// not be followed exactly).
 	forced int
+	// tl, when non-nil, receives the steering decisions the replayer
+	// enforces — "paused" slices while a cycle thread is held back on an
+	// unsatisfied Gs dependency, and force-release markers — on the
+	// thread tracks of TimelinePid. This is the schedule the replayer
+	// actually imposed, viewable in Perfetto next to the executed ops.
+	tl     *obs.Timeline
+	tlPid  int64
+	paused map[string]bool
+	tids   map[string]int64
+}
+
+// pauseMark opens or closes a "paused" slice for thread t as its
+// steering state flips. ts is the sim step counter (the logical clock
+// every timeline track shares).
+func (s *strategy) pauseMark(t *sim.Thread, site string, ts int64, nowPaused bool) {
+	if s.tl == nil || s.paused[t.Name()] == nowPaused {
+		return
+	}
+	s.paused[t.Name()] = nowPaused
+	tid := int64(t.ID()) + 1
+	s.tids[t.Name()] = tid
+	if nowPaused {
+		s.tl.Begin(s.tlPid, tid, "paused", "replay",
+			ts, map[string]any{"site": site})
+	} else {
+		s.tl.End(s.tlPid, tid, ts)
+	}
 }
 
 // Pick implements Algorithm 4's scheduling: cycle threads whose next
 // acquisition has an unsatisfied cross-thread dependency are paused;
 // everything else is fair game. If only paused threads remain, one is
 // released at random.
-func (s *strategy) Pick(_ *sim.World, enabled []*sim.Thread) *sim.Thread {
+func (s *strategy) Pick(w *sim.World, enabled []*sim.Thread) *sim.Thread {
+	ts := int64(w.Step())
 	var allowed, paused []*sim.Thread
 	for _, t := range enabled {
 		if op := t.Pending(); s.inCycle[t.Name()] && isSteerable(op) && !(isAcquire(op) && t.Holds(op.Lock)) {
 			key := trace.NextKey(s.occ, t.Name(), op.Site)
 			if s.g.Blocked(key) {
+				s.pauseMark(t, op.Site, ts, true)
 				paused = append(paused, t)
 				continue
 			}
 		}
+		s.pauseMark(t, "", ts, false)
 		allowed = append(allowed, t)
 	}
 	if len(allowed) == 0 {
 		// Algorithm 4 lines 5-7: release a random paused thread so the
 		// run cannot get stuck on unsatisfiable dependencies.
 		s.forced++
-		return paused[s.rng.Intn(len(paused))]
+		pick := paused[s.rng.Intn(len(paused))]
+		s.pauseMark(pick, "", ts, false)
+		if s.tl != nil {
+			s.tl.Instant(s.tlPid, int64(pick.ID())+1, "force-release", "replay", ts, "t", nil)
+		}
+		return pick
 	}
 	return allowed[s.rng.Intn(len(allowed))]
 }
@@ -137,21 +175,64 @@ func isSteerable(op sim.Op) bool {
 // Attempt performs one steered re-execution and returns its outcome.
 // g is cloned; the caller's graph is not mutated.
 func Attempt(f Factory, g *sdg.Graph, cycle *detect.Cycle, seed int64, maxSteps int) *sim.Outcome {
+	return AttemptObserved(f, g, cycle, seed, maxSteps, Observer{})
+}
+
+// Observer wires observability into one replay attempt.
+type Observer struct {
+	// Timeline, when non-nil, receives the replayer's steering decisions
+	// (pause slices and force-release markers) on the thread tracks of
+	// Pid, timestamped with the sim step counter.
+	Timeline *obs.Timeline
+	// Pid is the trace-event process the markers belong to (the caller
+	// puts the executed-operation tracks of the same run under the same
+	// pid).
+	Pid int64
+	// Listeners are appended to the run's listener list, after the
+	// steering strategy — a timeline listener here sees events with the
+	// same step clock the markers use.
+	Listeners []sim.Listener
+}
+
+// AttemptObserved is Attempt with steering markers and extra listeners;
+// see Observer. Any pause slice still open when the run stops (a thread
+// held back right into the deadlock) is closed at the final step so the
+// exported timeline stays balanced.
+func AttemptObserved(f Factory, g *sdg.Graph, cycle *detect.Cycle, seed int64, maxSteps int, o Observer) *sim.Outcome {
 	prog, opts := f()
 	st := &strategy{
 		g:       g.Clone(),
 		inCycle: make(map[string]bool, len(cycle.Tuples)),
 		rng:     rand.New(rand.NewSource(seed)),
 		occ:     make(map[string]map[string]int),
+		tl:      o.Timeline,
+		tlPid:   o.Pid,
+		paused:  make(map[string]bool),
+		tids:    make(map[string]int64),
 	}
 	for _, tp := range cycle.Tuples {
 		st.inCycle[tp.Thread] = true
 	}
 	opts.Listeners = append(opts.Listeners, st)
+	opts.Listeners = append(opts.Listeners, o.Listeners...)
 	if maxSteps > 0 {
 		opts.MaxSteps = maxSteps
 	}
-	return sim.Run(prog, st, opts)
+	out := sim.Run(prog, st, opts)
+	if st.tl != nil {
+		// Deterministic close order so exports are golden-testable.
+		var open []string
+		for name, isPaused := range st.paused {
+			if isPaused {
+				open = append(open, name)
+			}
+		}
+		sort.Strings(open)
+		for _, name := range open {
+			st.tl.End(st.tlPid, st.tids[name], int64(out.Steps))
+		}
+	}
+	return out
 }
 
 // Hit reports whether out reproduced the cycle: the run deadlocked and
@@ -183,16 +264,33 @@ func Hit(out *sim.Outcome, cycle *detect.Cycle) bool {
 // Reproduce runs up to cfg.Attempts steered executions, stopping at the
 // first hit.
 func Reproduce(f Factory, g *sdg.Graph, cycle *detect.Cycle, cfg Config) Result {
+	return ReproduceCtx(context.Background(), f, g, cycle, cfg)
+}
+
+// ReproduceCtx is Reproduce with observability: when ctx carries an
+// obs.Recorder, every steered re-execution emits a "replay.attempt"
+// span recording its step count and whether it hit — the data behind
+// replay-convergence statistics.
+func ReproduceCtx(ctx context.Context, f Factory, g *sdg.Graph, cycle *detect.Cycle, cfg Config) Result {
 	attempts := cfg.Attempts
 	if attempts <= 0 {
 		attempts = DefaultAttempts
 	}
 	var res Result
 	for i := 0; i < attempts; i++ {
+		_, sp := obs.Start(ctx, "replay.attempt")
 		out := Attempt(f, g, cycle, cfg.BaseSeed+int64(i), cfg.MaxSteps)
 		res.Attempts++
 		res.LastOutcome = out
-		if Hit(out, cycle) {
+		hit := Hit(out, cycle)
+		if sp != nil {
+			sp.Add("steps", int64(out.Steps))
+			if hit {
+				sp.Add("hit", 1)
+			}
+			sp.End()
+		}
+		if hit {
 			res.Reproduced = true
 			res.Hits++
 			return res

@@ -23,10 +23,12 @@
 package sdg
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"wolf/internal/detect"
+	"wolf/internal/obs"
 	"wolf/internal/trace"
 )
 
@@ -96,6 +98,24 @@ func Build(c *detect.Cycle, tr *trace.Trace) *Graph {
 // BuildKinds constructs Gs restricted to the given edge kinds; used by
 // ablation experiments (for example, replaying without type-C edges).
 func BuildKinds(c *detect.Cycle, tr *trace.Trace, kinds Kind) *Graph {
+	return BuildKindsCtx(context.Background(), c, tr, kinds)
+}
+
+// BuildKindsCtx is BuildKinds with observability: when ctx carries an
+// obs.Recorder, one "sdg.build" span records the size of the graph
+// produced (the paper's Vs statistic) and its edge count.
+func BuildKindsCtx(ctx context.Context, c *detect.Cycle, tr *trace.Trace, kinds Kind) *Graph {
+	_, sp := obs.Start(ctx, "sdg.build")
+	g := buildKinds(c, tr, kinds)
+	if sp != nil {
+		sp.Add("vertices", int64(g.Size()))
+		sp.Add("edges", int64(g.Edges()))
+		sp.End()
+	}
+	return g
+}
+
+func buildKinds(c *detect.Cycle, tr *trace.Trace, kinds Kind) *Graph {
 	// D'σ: for every cycle thread, the tuples strictly before its
 	// deadlocking acquisition.
 	prefix := make(map[string][]*trace.Tuple, len(c.Tuples))

@@ -62,6 +62,14 @@ func (j *Job) Report() *core.Report {
 	return j.report
 }
 
+// Trace returns the job's trace: set at creation for uploads, after
+// worker-side recording for workload jobs, nil before that.
+func (j *Job) Trace() *trace.Trace {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.tr
+}
+
 // begin transitions the job to running.
 func (j *Job) begin() {
 	j.mu.Lock()

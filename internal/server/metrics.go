@@ -7,11 +7,32 @@ import (
 	"time"
 
 	"wolf/internal/core"
+	"wolf/internal/obs"
+)
+
+// FailReason labels the reason dimension of wolfd_jobs_failed_total.
+type FailReason string
+
+const (
+	// FailError: the analysis returned an error (bad trace, preparation
+	// failure).
+	FailError FailReason = "error"
+	// FailTimeout: the per-job timeout cancelled the analysis.
+	FailTimeout FailReason = "timeout"
+	// FailPanic: the analysis panicked and was recovered.
+	FailPanic FailReason = "panic"
 )
 
 // Metrics is the wolfd in-process metrics registry. Counters are plain
-// atomics — no external metrics dependency — rendered in Prometheus text
-// exposition format at GET /metrics so standard scrapers work unchanged.
+// atomics and latency distributions are obs.Histogram (lock-free,
+// power-of-two buckets) — no external metrics dependency — rendered in
+// Prometheus text exposition format at GET /metrics so standard
+// scrapers work unchanged.
+//
+// Failures are counted once, under exactly one reason (error, timeout
+// or panic); wolfd_jobs_failed_total{reason=...} is the source of truth
+// and the unlabeled timeout/panic counters are kept as deprecated
+// aliases for existing dashboards.
 type Metrics struct {
 	// JobsAccepted counts jobs admitted to the queue.
 	JobsAccepted atomic.Int64
@@ -19,35 +40,64 @@ type Metrics struct {
 	JobsRejected atomic.Int64
 	// JobsCompleted counts jobs whose analysis finished.
 	JobsCompleted atomic.Int64
-	// JobsFailed counts jobs that errored (including panics).
-	JobsFailed atomic.Int64
-	// JobsTimedOut counts jobs cancelled by the per-job timeout (also
-	// counted in JobsFailed).
+	// JobsErrored counts jobs failed by an analysis error.
+	JobsErrored atomic.Int64
+	// JobsTimedOut counts jobs cancelled by the per-job timeout.
 	JobsTimedOut atomic.Int64
-	// JobsPanicked counts recovered analysis panics (also counted in
-	// JobsFailed).
+	// JobsPanicked counts recovered analysis panics.
 	JobsPanicked atomic.Int64
 	// QueueDepth is the number of queued-but-not-started jobs.
 	QueueDepth atomic.Int64
 
-	// Per-phase analysis latency sums in nanoseconds, mirroring
-	// core.Timings; with the completed-jobs counter these give average
-	// phase latency.
-	DetectNs   atomic.Int64
-	PruneNs    atomic.Int64
-	GenerateNs atomic.Int64
-	// AnalysisNs is total wall-clock analysis time (including queue-side
-	// recording for workload jobs).
-	AnalysisNs atomic.Int64
+	// CyclesTotal counts potential deadlock cycles across all reports.
+	CyclesTotal atomic.Int64
+	// Defect verdict counts across all reports, by class.
+	DefectsPruned     atomic.Int64
+	DefectsInfeasible atomic.Int64
+	DefectsConfirmed  atomic.Int64
+	DefectsUnknown    atomic.Int64
+
+	// Latency distributions. The phase histograms observe the per-job
+	// core.Timings (themselves derived from obs spans); QueueWait covers
+	// admission to worker pickup; Analysis is end-to-end wall clock on
+	// the worker, including server-side workload recording.
+	QueueWait     obs.Histogram
+	PhaseDetect   obs.Histogram
+	PhasePrune    obs.Histogram
+	PhaseGenerate obs.Histogram
+	Analysis      obs.Histogram
+}
+
+// Fail counts one failed job under exactly one reason.
+func (m *Metrics) Fail(reason FailReason) {
+	switch reason {
+	case FailTimeout:
+		m.JobsTimedOut.Add(1)
+	case FailPanic:
+		m.JobsPanicked.Add(1)
+	default:
+		m.JobsErrored.Add(1)
+	}
+}
+
+// JobsFailed is the total across failure reasons.
+func (m *Metrics) JobsFailed() int64 {
+	return m.JobsErrored.Load() + m.JobsTimedOut.Load() + m.JobsPanicked.Load()
 }
 
 // observe folds one completed analysis into the registry.
 func (m *Metrics) observe(rep *core.Report, total time.Duration) {
 	m.JobsCompleted.Add(1)
-	m.DetectNs.Add(int64(rep.Timings.CycleDetect))
-	m.PruneNs.Add(int64(rep.Timings.Prune))
-	m.GenerateNs.Add(int64(rep.Timings.Generate))
-	m.AnalysisNs.Add(int64(total))
+	m.PhaseDetect.Observe(rep.Timings.CycleDetect)
+	m.PhasePrune.Observe(rep.Timings.Prune)
+	m.PhaseGenerate.Observe(rep.Timings.Generate)
+	m.Analysis.Observe(total)
+	m.CyclesTotal.Add(int64(len(rep.Cycles)))
+	pruned, infeasible, confirmed, unknown := rep.CountDefects()
+	m.DefectsPruned.Add(int64(pruned))
+	m.DefectsInfeasible.Add(int64(infeasible))
+	m.DefectsConfirmed.Add(int64(confirmed))
+	m.DefectsUnknown.Add(int64(unknown))
 }
 
 // WritePrometheus renders the registry in Prometheus text exposition
@@ -62,12 +112,34 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("wolfd_jobs_accepted_total", "Jobs admitted to the queue.", m.JobsAccepted.Load())
 	counter("wolfd_jobs_rejected_total", "Uploads refused because the queue was full.", m.JobsRejected.Load())
 	counter("wolfd_jobs_completed_total", "Jobs whose analysis finished.", m.JobsCompleted.Load())
-	counter("wolfd_jobs_failed_total", "Jobs that errored.", m.JobsFailed.Load())
-	counter("wolfd_jobs_timeout_total", "Jobs cancelled by the per-job timeout.", m.JobsTimedOut.Load())
-	counter("wolfd_jobs_panic_total", "Recovered analysis panics.", m.JobsPanicked.Load())
+
+	name := "wolfd_jobs_failed_total"
+	fmt.Fprintf(w, "# HELP %s Jobs that failed, by reason.\n# TYPE %s counter\n", name, name)
+	fmt.Fprintf(w, "%s{reason=\"error\"} %d\n", name, m.JobsErrored.Load())
+	fmt.Fprintf(w, "%s{reason=\"timeout\"} %d\n", name, m.JobsTimedOut.Load())
+	fmt.Fprintf(w, "%s{reason=\"panic\"} %d\n", name, m.JobsPanicked.Load())
+	counter("wolfd_jobs_timeout_total", "Deprecated alias of wolfd_jobs_failed_total{reason=\"timeout\"}.", m.JobsTimedOut.Load())
+	counter("wolfd_jobs_panic_total", "Deprecated alias of wolfd_jobs_failed_total{reason=\"panic\"}.", m.JobsPanicked.Load())
+
 	gauge("wolfd_queue_depth", "Queued-but-not-started jobs.", m.QueueDepth.Load())
-	counter("wolfd_phase_detect_ns_total", "Cumulative cycle-detection time.", m.DetectNs.Load())
-	counter("wolfd_phase_prune_ns_total", "Cumulative pruner time.", m.PruneNs.Load())
-	counter("wolfd_phase_generate_ns_total", "Cumulative generator time.", m.GenerateNs.Load())
-	counter("wolfd_analysis_ns_total", "Cumulative end-to-end analysis time.", m.AnalysisNs.Load())
+	counter("wolfd_cycles_total", "Potential deadlock cycles detected across all reports.", m.CyclesTotal.Load())
+
+	name = "wolfd_defects_total"
+	fmt.Fprintf(w, "# HELP %s Defects reported, by pipeline verdict.\n# TYPE %s counter\n", name, name)
+	fmt.Fprintf(w, "%s{class=\"pruned\"} %d\n", name, m.DefectsPruned.Load())
+	fmt.Fprintf(w, "%s{class=\"infeasible\"} %d\n", name, m.DefectsInfeasible.Load())
+	fmt.Fprintf(w, "%s{class=\"confirmed\"} %d\n", name, m.DefectsConfirmed.Load())
+	fmt.Fprintf(w, "%s{class=\"unknown\"} %d\n", name, m.DefectsUnknown.Load())
+
+	m.QueueWait.WritePrometheus(w, "wolfd_queue_wait_seconds", "Time from job admission to worker pickup.", "")
+	m.PhaseDetect.WritePrometheus(w, "wolfd_phase_detect_seconds", "Per-job cycle-detection latency.", "")
+	m.PhasePrune.WritePrometheus(w, "wolfd_phase_prune_seconds", "Per-job pruner latency.", "")
+	m.PhaseGenerate.WritePrometheus(w, "wolfd_phase_generate_seconds", "Per-job generator latency.", "")
+	m.Analysis.WritePrometheus(w, "wolfd_analysis_seconds", "Per-job end-to-end analysis latency.", "")
+
+	bi := obs.ReadBuildInfo()
+	name = "wolfd_build_info"
+	fmt.Fprintf(w, "# HELP %s Build information; value is always 1.\n# TYPE %s gauge\n", name, name)
+	fmt.Fprintf(w, "%s{%s,%s,%s} 1\n", name,
+		obs.Label("version", bi.Version), obs.Label("goversion", bi.GoVersion), obs.Label("revision", bi.Revision))
 }

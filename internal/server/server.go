@@ -14,7 +14,9 @@
 //	GET  /v1/jobs/{id}           job status
 //	GET  /v1/jobs/{id}/report    analysis report (JSON)
 //	GET  /v1/jobs/{id}/dot       a defect's synchronization dependency graph
+//	GET  /v1/jobs/{id}/timeline  the job's trace as Chrome trace-event JSON (Perfetto)
 //	GET  /metrics                Prometheus text metrics
+//	GET  /version                build information (JSON)
 //	GET  /healthz                liveness + queue depth
 package server
 
@@ -24,6 +26,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"strconv"
@@ -31,6 +35,7 @@ import (
 	"time"
 
 	"wolf/internal/core"
+	"wolf/internal/obs"
 	"wolf/internal/report"
 	"wolf/internal/trace"
 	"wolf/internal/workloads"
@@ -55,6 +60,10 @@ type Config struct {
 	// SeedTries bounds the terminating-seed search for workload jobs
 	// (default 300).
 	SeedTries int
+	// Logger receives structured job lifecycle logs (start, done, failed)
+	// tagged with job IDs. Silent when nil; the wolfd binary wires it to
+	// stderr via -log-format/-log-level.
+	Logger *slog.Logger
 }
 
 func (c *Config) fill() {
@@ -75,6 +84,9 @@ func (c *Config) fill() {
 	}
 	if c.SeedTries <= 0 {
 		c.SeedTries = 300
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 }
 
@@ -110,7 +122,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/dot", s.handleDot)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/timeline", s.handleTimeline)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /version", s.handleVersion)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -176,13 +190,16 @@ func (s *Server) worker() {
 
 // runJob executes one job with timeout and panic isolation.
 func (s *Server) runJob(j *Job) {
+	log := s.cfg.Logger.With("job", j.ID, "source", j.source)
+	s.metrics.QueueWait.Observe(time.Since(j.created))
 	j.begin()
+	log.Info("job started", "queue_wait", time.Since(j.created))
 	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
-			s.metrics.JobsPanicked.Add(1)
-			s.metrics.JobsFailed.Add(1)
+			s.metrics.Fail(FailPanic)
 			j.fail(fmt.Sprintf("analysis panicked: %v", r))
+			log.Error("analysis panicked", "panic", fmt.Sprint(r))
 			// The stack is server-side diagnostics, not client payload.
 			debug.PrintStack()
 		}
@@ -191,8 +208,9 @@ func (s *Server) runJob(j *Job) {
 	if j.prepare != nil {
 		prepared, err := j.prepare()
 		if err != nil {
-			s.metrics.JobsFailed.Add(1)
+			s.metrics.Fail(FailError)
 			j.fail(err.Error())
+			log.Warn("trace preparation failed", "err", err)
 			return
 		}
 		j.setTrace(prepared)
@@ -202,17 +220,20 @@ func (s *Server) runJob(j *Job) {
 	defer cancel()
 	rep, err := s.cfg.Analyze(ctx, tr, s.cfg.Analysis)
 	if err != nil {
-		s.metrics.JobsFailed.Add(1)
 		if errors.Is(err, context.DeadlineExceeded) {
-			s.metrics.JobsTimedOut.Add(1)
+			s.metrics.Fail(FailTimeout)
 			j.fail(fmt.Sprintf("analysis timed out after %v", s.cfg.JobTimeout))
+			log.Warn("analysis timed out", "timeout", s.cfg.JobTimeout)
 		} else {
+			s.metrics.Fail(FailError)
 			j.fail(err.Error())
+			log.Warn("analysis failed", "err", err)
 		}
 		return
 	}
 	s.metrics.observe(rep, time.Since(start))
 	j.finish(rep)
+	log.Info("job done", "cycles", len(rep.Cycles), "defects", len(rep.Defects), "elapsed", time.Since(start))
 }
 
 // readTrace decodes an uploaded trace body: either format, gzip-aware
@@ -329,11 +350,11 @@ func (s *Server) handleAnalyzeSync(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	rep, err := s.cfg.Analyze(ctx, tr, s.cfg.Analysis)
 	if err != nil {
-		s.metrics.JobsFailed.Add(1)
 		if errors.Is(err, context.DeadlineExceeded) {
-			s.metrics.JobsTimedOut.Add(1)
+			s.metrics.Fail(FailTimeout)
 			httpError(w, http.StatusGatewayTimeout, fmt.Sprintf("analysis timed out after %v", s.cfg.JobTimeout))
 		} else {
+			s.metrics.Fail(FailError)
 			httpError(w, http.StatusBadRequest, err.Error())
 		}
 		return
@@ -416,6 +437,33 @@ func (s *Server) handleDot(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	httpError(w, http.StatusNotFound, "no graph for that defect (pruned, or unknown signature)")
+}
+
+// handleTimeline is GET /v1/jobs/{id}/timeline: the job's recorded
+// trace rendered as Chrome trace-event JSON, loadable in Perfetto or
+// chrome://tracing. Available as soon as the trace exists (uploads:
+// immediately; workload jobs: once the worker has recorded it).
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	tr := j.Trace()
+	if tr == nil {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusConflict, "trace not recorded yet")
+		return
+	}
+	tl := obs.NewTimeline()
+	core.TimelineFromTrace(tr, tl, 1)
+	w.Header().Set("Content-Type", "application/json")
+	tl.WriteJSON(w)
+}
+
+// handleVersion is GET /version: build information.
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, obs.ReadBuildInfo())
 }
 
 // handleMetrics is GET /metrics.

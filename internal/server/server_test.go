@@ -10,11 +10,13 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"regexp"
 	"strings"
 	"testing"
 	"time"
 
 	"wolf/internal/core"
+	"wolf/internal/obs"
 	"wolf/internal/report"
 	"wolf/internal/trace"
 	"wolf/internal/workloads"
@@ -493,15 +495,87 @@ func TestMetricsEndpoint(t *testing.T) {
 		"wolfd_jobs_accepted_total 1",
 		"wolfd_jobs_completed_total 1",
 		"wolfd_queue_depth 0",
-		"wolfd_phase_detect_ns_total",
+		`wolfd_jobs_failed_total{reason="error"} 0`,
+		`wolfd_jobs_failed_total{reason="timeout"} 0`,
+		`wolfd_jobs_failed_total{reason="panic"} 0`,
+		"wolfd_phase_detect_seconds_count 1",
+		"wolfd_phase_prune_seconds_count 1",
+		"wolfd_phase_generate_seconds_count 1",
+		"wolfd_analysis_seconds_count 1",
+		"wolfd_queue_wait_seconds_count 1",
+		"wolfd_cycles_total",
+		`wolfd_defects_total{class="confirmed"}`,
+		"wolfd_build_info{",
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, text)
 		}
 	}
+	// The analysis completed, so the phase histograms must have counts
+	// in real buckets, not just +Inf (the acceptance check for the
+	// histogram rendering).
+	if !regexp.MustCompile(`wolfd_analysis_seconds_bucket\{le="[0-9][^"]*"\} [1-9]`).MatchString(text) {
+		t.Fatalf("no non-empty finite analysis histogram bucket:\n%s", text)
+	}
+	// Every line must satisfy the strict exposition-format linter.
+	if errs := obs.PromLint(strings.NewReader(text)); len(errs) != 0 {
+		t.Fatalf("metrics output fails lint: %v\n%s", errs, text)
+	}
 
 	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
 		t.Fatalf("healthz = %d", code)
+	}
+}
+
+// TestVersionEndpoint: GET /version reports build information.
+func TestVersionEndpoint(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1, QueueSize: 4})
+	var bi map[string]any
+	if code := getJSON(t, ts.URL+"/version", &bi); code != http.StatusOK {
+		t.Fatalf("version = %d", code)
+	}
+	if bi["go_version"] == "" || bi["version"] == "" {
+		t.Fatalf("version body incomplete: %v", bi)
+	}
+}
+
+// TestTimelineEndpoint: GET /v1/jobs/{id}/timeline serves the job's
+// trace as valid Chrome trace-event JSON.
+func TestTimelineEndpoint(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1, QueueSize: 4})
+	tr := fig4Trace(t)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	code, out := postTrace(t, ts.URL+"/v1/traces", buf.Bytes(), nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("upload = %d", code)
+	}
+	id := out["id"].(string)
+	pollJob(t, ts.URL, id)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("timeline = %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("content-type = %q", ct)
+	}
+	if err := obs.ValidateTimeline(body); err != nil {
+		t.Fatalf("served timeline invalid: %v\n%s", err, body)
+	}
+	if !bytes.Contains(body, []byte(`"ph":"i"`)) {
+		t.Error("timeline has no acquisition instants")
+	}
+
+	if code := getJSON(t, ts.URL+"/v1/jobs/nope/timeline", nil); code != http.StatusNotFound {
+		t.Fatalf("missing job timeline = %d, want 404", code)
 	}
 }
 
