@@ -4,10 +4,15 @@
 // Usage:
 //
 //	wolf -workload Jigsaw [-df] [-attempts N] [-seed N] [-v]
+//	wolf -workload Figure4 -faults rate=0.1,seed=7
 //	wolf -list
 //
 // -df runs the DeadlockFuzzer baseline instead; -v additionally prints
 // each cycle's threads, locks and synchronization dependency graph size.
+// -faults injects deterministic scheduling perturbations (preemptions,
+// stalls, spurious wakeups, delayed grants) into every replay run to
+// exercise reproduction robustness; see sim.ParseFaultSpec for the
+// spec syntax.
 package main
 
 import (
@@ -43,8 +48,15 @@ func main() {
 		protect  = flag.Int("immunize", 0, "after analysis, run N random executions with and without Dimmunix-style avoidance of the confirmed deadlocks")
 		timeline = flag.String("timeline", "", "write a Chrome trace-event timeline of the analysis to this file (load in Perfetto)")
 		debug    = flag.String("debug-addr", "", "serve net/http/pprof on this address (for example localhost:6060)")
+		faults   = flag.String("faults", "", "inject scheduling faults during replay, e.g. rate=0.1,seed=7,kinds=preempt+stall")
 	)
 	flag.Parse()
+
+	faultCfg, err := sim.ParseFaultSpec(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -faults %q: %v\n", *faults, err)
+		os.Exit(2)
+	}
 
 	if *debug != "" {
 		obs.ServeDebug(*debug)
@@ -113,7 +125,7 @@ func main() {
 		return
 	}
 
-	cfg := core.Config{DetectSeeds: []int64{s}, ReplayAttempts: *attempts, DataDependency: *data}
+	cfg := core.Config{DetectSeeds: []int64{s}, ReplayAttempts: *attempts, DataDependency: *data, Faults: faultCfg}
 	ctx := context.Background()
 	var rec *obs.Recorder
 	if *timeline != "" {
@@ -127,6 +139,13 @@ func main() {
 		rep = core.AnalyzeCtx(ctx, w.New, cfg)
 	}
 	fmt.Printf("workload %s, detection seed %d\n", w.Name, s)
+	if faultCfg.Enabled() {
+		var injected int
+		for _, cr := range rep.Cycles {
+			injected += cr.Faults.Total()
+		}
+		fmt.Printf("fault injection %s: %d faults injected across replays\n", faultCfg, injected)
+	}
 	fmt.Print(rep)
 	if *timeline != "" {
 		tl := core.BuildTimeline(w.New, cfg, rep)

@@ -5,13 +5,15 @@
 // Usage:
 //
 //	wolfd [-addr :8077] [-workers 4] [-queue 64] [-timeout 30s] [-data]
+//	      [-max-body 32] [-watchdog-grace 2s]
 //	      [-log-format text|json] [-log-level info] [-debug-addr localhost:6060]
 //
 // Logs are structured (log/slog) and tagged with job IDs; -log-format
 // json emits one JSON object per line for log shippers. -debug-addr
 // serves net/http/pprof on a separate listener. SIGINT/SIGTERM triggers
-// a graceful shutdown: new uploads are refused while queued and
-// in-flight analyses complete (bounded by -drain).
+// a graceful shutdown: new uploads are refused, the in-flight analysis
+// finishes (or is watchdog-failed), and still-queued jobs are failed
+// fast (bounded by -drain).
 package main
 
 import (
@@ -38,7 +40,8 @@ func main() {
 		queue     = flag.Int("queue", 64, "bounded job queue size (full queue returns 429)")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-job analysis timeout")
 		drain     = flag.Duration("drain", 60*time.Second, "graceful shutdown drain budget")
-		maxMB     = flag.Int64("max-upload-mb", 64, "maximum decompressed upload size in MiB")
+		grace     = flag.Duration("watchdog-grace", 2*time.Second, "extra wait past -timeout before a worker abandons a stuck analysis")
+		maxBody   = flag.Int64("max-body", 32, "maximum decompressed upload size in MiB")
 		data      = flag.Bool("data", false, "enable the value-flow (data dependency) extension")
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
@@ -73,7 +76,8 @@ func main() {
 		Workers:        *workers,
 		QueueSize:      *queue,
 		JobTimeout:     *timeout,
-		MaxUploadBytes: *maxMB << 20,
+		WatchdogGrace:  *grace,
+		MaxUploadBytes: *maxBody << 20,
 		Analysis:       core.Config{DataDependency: *data},
 		Logger:         log,
 	})

@@ -96,6 +96,14 @@ type Config struct {
 	// the Generator refute deadlocks that the recorded control flow
 	// makes impossible (the paper's Section 4.4 future work).
 	DataDependency bool
+	// Faults injects deterministic scheduling perturbations into every
+	// replay attempt (the robustness harness; the zero value injects
+	// nothing).
+	Faults sim.FaultConfig
+	// FallbackAttempts is the PCT-randomized confirmation budget used
+	// when every steered replay diverges (replay.DefaultFallbackAttempts
+	// when zero; negative disables the fallback pass).
+	FallbackAttempts int
 }
 
 func (cfg *Config) detectSeeds() []int64 {
@@ -130,8 +138,21 @@ type CycleReport struct {
 	Gs *sdg.Graph
 	// GsSize is the paper's Vs statistic for this cycle.
 	GsSize int
-	// ReplayAttempts counts reproduction runs performed.
+	// ReplayAttempts counts steered reproduction runs performed.
 	ReplayAttempts int
+	// ReplayMethod says which pass confirmed the cycle: "steering"
+	// (precise Gs-driven replay), "fallback" (the PCT-randomized
+	// confirmation pass), or empty when not confirmed.
+	ReplayMethod replay.Method
+	// FallbackAttempts counts PCT-randomized confirmation runs performed.
+	FallbackAttempts int
+	// Divergence histograms the failed steered attempts by reason;
+	// non-empty for every cycle that reached the Replayer without being
+	// reproduced.
+	Divergence replay.Divergence
+	// Faults aggregates the scheduling perturbations injected across this
+	// cycle's replay attempts (zero when injection is disabled).
+	Faults sim.FaultStats
 }
 
 // DefectReport aggregates the cycles sharing one source-location
@@ -144,6 +165,12 @@ type DefectReport struct {
 	// Class is the defect verdict: Confirmed if any cycle reproduced,
 	// false if every cycle was refuted, Unknown otherwise.
 	Class Classification
+	// Method says which replay pass confirmed the defect: steering,
+	// fallback, or empty when not Confirmed.
+	Method replay.Method
+	// Divergence aggregates the divergence histograms of the defect's
+	// unreproduced cycles — the explanation an Unknown verdict carries.
+	Divergence replay.Divergence
 }
 
 // classify derives the defect verdict from its cycles.
@@ -153,8 +180,19 @@ func (d *DefectReport) classify() {
 		switch cr.Class {
 		case Confirmed:
 			anyConfirmed = true
+			// Steering beats fallback when different cycles of the defect
+			// confirmed through different passes.
+			if d.Method == replay.MethodNone || cr.ReplayMethod == replay.MethodSteering {
+				d.Method = cr.ReplayMethod
+			}
 		case Unknown:
 			anyUnknown = true
+			if len(cr.Divergence) > 0 {
+				if d.Divergence == nil {
+					d.Divergence = make(replay.Divergence)
+				}
+				d.Divergence.Merge(cr.Divergence)
+			}
 		case FalseByGenerator:
 			anyGen = true
 		case FalseByData:
@@ -312,7 +350,14 @@ func (r *Report) String() string {
 		r.Tool, len(r.Defects), byClass[FalseByPruner], byClass[FalseByGenerator],
 		byClass[FalseByData], byClass[Confirmed], byClass[Unknown])
 	for _, d := range r.Defects {
-		fmt.Fprintf(&sb, "  %-14s %s (%d cycles)\n", d.Class, d.Signature, len(d.Cycles))
+		fmt.Fprintf(&sb, "  %-14s %s (%d cycles)", d.Class, d.Signature, len(d.Cycles))
+		switch {
+		case d.Class == Confirmed && d.Method != replay.MethodNone:
+			fmt.Fprintf(&sb, " via %s", d.Method)
+		case d.Class == Unknown && len(d.Divergence) > 0:
+			fmt.Fprintf(&sb, " divergence[%s]", d.Divergence)
+		}
+		sb.WriteByte('\n')
 	}
 	return sb.String()
 }
@@ -482,11 +527,17 @@ func AnalyzeCtx(ctx context.Context, f sim.Factory, cfg Config) *Report {
 			continue
 		}
 		res := replay.ReproduceCtx(ctx, f, cr.Gs, cr.Cycle, replay.Config{
-			Attempts: cfg.ReplayAttempts,
-			BaseSeed: cfg.ReplaySeed,
-			MaxSteps: cfg.MaxSteps,
+			Attempts:         cfg.ReplayAttempts,
+			BaseSeed:         cfg.ReplaySeed,
+			MaxSteps:         cfg.MaxSteps,
+			Faults:           cfg.Faults,
+			FallbackAttempts: cfg.FallbackAttempts,
 		})
 		cr.ReplayAttempts = res.Attempts
+		cr.ReplayMethod = res.Method
+		cr.FallbackAttempts = res.FallbackAttempts
+		cr.Divergence = res.Divergence
+		cr.Faults = res.Faults
 		if res.Reproduced {
 			cr.Class = Confirmed
 		}

@@ -1,0 +1,69 @@
+package obs
+
+// CounterSet is a concurrency-safe set of named monotonic counters for
+// low-cardinality labels discovered at runtime — replay divergence
+// reasons, fallback confirmations, fault kinds. Spans aggregate
+// durations by name; CounterSet fills the gap for pure event counts
+// that several goroutines (the wolfd worker pool) bump concurrently and
+// a metrics endpoint renders.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// CounterSet holds named monotonic counters. The zero value is not
+// usable; call NewCounterSet.
+type CounterSet struct {
+	mu sync.Mutex
+	v  map[string]int64
+}
+
+// NewCounterSet returns an empty counter set.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{v: make(map[string]int64)}
+}
+
+// Add bumps the named counter by delta.
+func (c *CounterSet) Add(name string, delta int64) {
+	c.mu.Lock()
+	c.v[name] += delta
+	c.mu.Unlock()
+}
+
+// Get returns the named counter's value (zero when absent).
+func (c *CounterSet) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v[name]
+}
+
+// Snapshot copies the current counters.
+func (c *CounterSet) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.v))
+	for k, v := range c.v {
+		out[k] = v
+	}
+	return out
+}
+
+// WritePrometheus renders every counter in exposition format as
+// `metric{label="<name>"} value`, sorted by name for stable scrapes.
+// metric is the family name and label the label key, e.g.
+// wolfd_replay_divergence_total{reason="max-steps"} 3.
+func (c *CounterSet) WritePrometheus(w io.Writer, metric, label string) {
+	snap := c.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "# TYPE %s counter\n", metric)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", metric, label, name, snap[name])
+	}
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterSetBasics covers Add/Get/Snapshot.
+func TestCounterSetBasics(t *testing.T) {
+	c := NewCounterSet()
+	c.Add("starved", 2)
+	c.Add("max-steps", 1)
+	c.Add("starved", 1)
+	if c.Get("starved") != 3 || c.Get("max-steps") != 1 || c.Get("absent") != 0 {
+		t.Fatalf("counters = %v", c.Snapshot())
+	}
+	snap := c.Snapshot()
+	snap["starved"] = 99
+	if c.Get("starved") != 3 {
+		t.Fatal("Snapshot aliases internal state")
+	}
+}
+
+// TestCounterSetConcurrent: concurrent Adds are not lost.
+func TestCounterSetConcurrent(t *testing.T) {
+	c := NewCounterSet()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Get("n") != 8000 {
+		t.Fatalf("n = %d, want 8000", c.Get("n"))
+	}
+}
+
+// TestCounterSetPrometheus pins the exposition rendering and its stable
+// order.
+func TestCounterSetPrometheus(t *testing.T) {
+	c := NewCounterSet()
+	c.Add("wrong-deadlock", 1)
+	c.Add("max-steps", 2)
+	var sb strings.Builder
+	c.WritePrometheus(&sb, "wolfd_replay_divergence_total", "reason")
+	want := "# TYPE wolfd_replay_divergence_total counter\n" +
+		"wolfd_replay_divergence_total{reason=\"max-steps\"} 2\n" +
+		"wolfd_replay_divergence_total{reason=\"wrong-deadlock\"} 1\n"
+	if sb.String() != want {
+		t.Fatalf("rendered:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}

@@ -1,0 +1,176 @@
+package replay
+
+// This file implements divergence-aware retry: every failed replay
+// attempt is classified with a typed DivergenceReason explaining *why*
+// the steered re-execution missed the recorded deadlock, so the retry
+// loop can escalate step budgets when the budget was the problem and
+// rotate seeds otherwise, and the Report can carry a reason histogram
+// for every unreproduced cycle instead of a bare miss.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wolf/sim"
+)
+
+// DivergenceReason classifies one failed replay attempt.
+type DivergenceReason int
+
+const (
+	// DivergenceNone: the attempt hit (no divergence).
+	DivergenceNone DivergenceReason = iota
+	// DivergenceStarved: the steered schedule starved — cycle threads
+	// were still paused on unsatisfied Gs dependencies when the run
+	// ended, or paused threads had to be force-released to keep the run
+	// alive (Algorithm 4 lines 5-7 fired).
+	DivergenceStarved
+	// DivergenceMaxSteps: the step budget was exhausted with no thread
+	// held back by steering — the run was simply too long for the budget.
+	DivergenceMaxSteps
+	// DivergenceWrongDeadlock: the run deadlocked, but not at the
+	// recorded sites — a different (possibly also real) deadlock.
+	DivergenceWrongDeadlock
+	// DivergenceMismatch: the run terminated while Gs still held
+	// unexecuted vertices — control flow diverged from the recorded
+	// trace, so the recorded acquisitions never happened.
+	DivergenceMismatch
+	// DivergenceNoDeadlock: the run terminated cleanly with the recorded
+	// schedule fully satisfied; the deadlock window closed anyway.
+	DivergenceNoDeadlock
+	// DivergenceCancelled: the attempt was abandoned mid-run because the
+	// caller's context was cancelled.
+	DivergenceCancelled
+	// DivergenceError: the re-execution aborted with a program error.
+	DivergenceError
+
+	numDivergenceReasons
+)
+
+// divergenceNames renders reasons; order matches the constants.
+var divergenceNames = [...]string{
+	DivergenceNone:          "none",
+	DivergenceStarved:       "starved",
+	DivergenceMaxSteps:      "max-steps",
+	DivergenceWrongDeadlock: "wrong-deadlock",
+	DivergenceMismatch:      "schedule-mismatch",
+	DivergenceNoDeadlock:    "no-deadlock",
+	DivergenceCancelled:     "cancelled",
+	DivergenceError:         "program-error",
+}
+
+// String names the reason.
+func (r DivergenceReason) String() string {
+	if r < 0 || int(r) >= len(divergenceNames) {
+		return fmt.Sprintf("DivergenceReason(%d)", int(r))
+	}
+	return divergenceNames[r]
+}
+
+// Divergence is a histogram of failed attempts by reason — the
+// explanation a Report carries for every unreproduced cycle instead of a
+// bare miss.
+type Divergence map[DivergenceReason]int
+
+// Add counts one failed attempt. DivergenceNone is ignored.
+func (d Divergence) Add(r DivergenceReason) {
+	if r != DivergenceNone {
+		d[r]++
+	}
+}
+
+// Total is the number of classified failures.
+func (d Divergence) Total() int {
+	n := 0
+	for _, c := range d {
+		n += c
+	}
+	return n
+}
+
+// Merge folds other into d.
+func (d Divergence) Merge(other Divergence) {
+	for r, c := range other {
+		d[r] += c
+	}
+}
+
+// String renders the histogram deterministically, e.g.
+// "max-steps:2 wrong-deadlock:1".
+func (d Divergence) String() string {
+	if len(d) == 0 {
+		return ""
+	}
+	type entry struct {
+		r DivergenceReason
+		c int
+	}
+	var es []entry
+	for r, c := range d {
+		es = append(es, entry{r, c})
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].r < es[j].r })
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = fmt.Sprintf("%v:%d", e.r, e.c)
+	}
+	return strings.Join(parts, " ")
+}
+
+// ByName returns the histogram keyed by reason name, for wire formats.
+func (d Divergence) ByName() map[string]int {
+	if len(d) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(d))
+	for r, c := range d {
+		out[r.String()] = c
+	}
+	return out
+}
+
+// classify derives the divergence reason of one finished attempt from
+// its outcome and the steering strategy's bookkeeping: forced counts
+// force-releases, remaining is the number of Gs vertices never executed,
+// and pausedAtEnd counts cycle threads still held back when the run
+// stopped.
+func classify(out *sim.Outcome, hit bool, forced, remaining, pausedAtEnd int) DivergenceReason {
+	if hit {
+		return DivergenceNone
+	}
+	switch out.Kind {
+	case sim.Halted:
+		return DivergenceCancelled
+	case sim.ProgramError:
+		return DivergenceError
+	case sim.Deadlocked:
+		return DivergenceWrongDeadlock
+	case sim.StepLimit:
+		if pausedAtEnd > 0 {
+			return DivergenceStarved
+		}
+		return DivergenceMaxSteps
+	default: // Terminated
+		if remaining > 0 {
+			return DivergenceMismatch
+		}
+		if forced > 0 {
+			return DivergenceStarved
+		}
+		return DivergenceNoDeadlock
+	}
+}
+
+// Method says which pass of the hardened Replayer confirmed a cycle.
+type Method string
+
+const (
+	// MethodSteering: precise Gs-steered replay (Algorithm 4) hit.
+	MethodSteering Method = "steering"
+	// MethodFallback: the PCT-randomized confirmation pass hit after
+	// every steered attempt diverged (the DeadlockFuzzer-like fallback).
+	MethodFallback Method = "fallback"
+	// MethodNone: the cycle was not reproduced.
+	MethodNone Method = ""
+)

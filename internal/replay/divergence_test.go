@@ -1,0 +1,269 @@
+package replay
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"wolf/internal/sdg"
+	"wolf/sim"
+)
+
+// TestDivergenceClassify pins the reason taxonomy on synthetic inputs.
+func TestDivergenceClassify(t *testing.T) {
+	cases := []struct {
+		kind                           sim.OutcomeKind
+		hit                            bool
+		forced, remaining, pausedAtEnd int
+		want                           DivergenceReason
+	}{
+		{sim.Deadlocked, true, 0, 0, 0, DivergenceNone},
+		{sim.Halted, false, 0, 0, 0, DivergenceCancelled},
+		{sim.ProgramError, false, 0, 3, 0, DivergenceError},
+		{sim.Deadlocked, false, 0, 0, 0, DivergenceWrongDeadlock},
+		{sim.StepLimit, false, 0, 2, 1, DivergenceStarved},
+		{sim.StepLimit, false, 0, 0, 0, DivergenceMaxSteps},
+		{sim.Terminated, false, 0, 2, 0, DivergenceMismatch},
+		{sim.Terminated, false, 1, 0, 0, DivergenceStarved},
+		{sim.Terminated, false, 0, 0, 0, DivergenceNoDeadlock},
+	}
+	for i, c := range cases {
+		got := classify(&sim.Outcome{Kind: c.kind}, c.hit, c.forced, c.remaining, c.pausedAtEnd)
+		if got != c.want {
+			t.Errorf("case %d: classify = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+// TestDivergenceHistogramString pins the deterministic rendering.
+func TestDivergenceHistogramString(t *testing.T) {
+	d := make(Divergence)
+	d.Add(DivergenceWrongDeadlock)
+	d.Add(DivergenceMaxSteps)
+	d.Add(DivergenceMaxSteps)
+	d.Add(DivergenceNone) // ignored
+	if got := d.String(); got != "max-steps:2 wrong-deadlock:1" {
+		t.Fatalf("String = %q", got)
+	}
+	if d.Total() != 3 {
+		t.Fatalf("Total = %d", d.Total())
+	}
+	byName := d.ByName()
+	if byName["max-steps"] != 2 || byName["wrong-deadlock"] != 1 {
+		t.Fatalf("ByName = %v", byName)
+	}
+	var empty Divergence
+	if empty.String() != "" || empty.ByName() != nil {
+		t.Fatal("empty histogram should render empty")
+	}
+}
+
+// TestUnreproducedCarriesHistogram: a cycle that cannot be reproduced
+// (its threads never appear in the replayed binary) yields an
+// unreproduced Result with MethodNone, a non-empty divergence histogram
+// classifying every steered miss, and a spent fallback budget.
+func TestUnreproducedCarriesHistogram(t *testing.T) {
+	tr, cycles := analyze(t, fig4Factory)
+	c := cycleBySig(t, cycles, "19+33")
+	g := sdg.Build(c, tr)
+	_ = tr
+
+	renamed := func() (sim.Program, sim.Options) {
+		var l1 *sim.Lock
+		opts := sim.Options{Setup: func(w *sim.World) {
+			l1 = w.NewLock("l1")
+			w.NewLock("l2")
+			w.NewLock("l3")
+		}}
+		prog := func(th *sim.Thread) {
+			h := th.Go("other", func(u *sim.Thread) {
+				u.Lock(l1, "x1")
+				u.Unlock(l1, "x2")
+			}, "s")
+			th.Join(h, "j")
+		}
+		return prog, opts
+	}
+	res := Reproduce(renamed, g, c, Config{Attempts: 3})
+	if res.Reproduced || res.Method != MethodNone {
+		t.Fatalf("res = %+v, want unreproduced", res)
+	}
+	if res.Divergence.Total() != 3 {
+		t.Fatalf("divergence = %v, want 3 classified misses", res.Divergence)
+	}
+	if res.Divergence[DivergenceMismatch] == 0 {
+		t.Fatalf("divergence = %v, want schedule-mismatch entries", res.Divergence)
+	}
+	if res.FallbackAttempts != DefaultFallbackAttempts {
+		t.Fatalf("fallback attempts = %d, want %d", res.FallbackAttempts, DefaultFallbackAttempts)
+	}
+}
+
+// TestProgramErrorDivergence: a crashing workload classifies as
+// program-error, not as any scheduling divergence.
+func TestProgramErrorDivergence(t *testing.T) {
+	tr, cycles := analyze(t, fig4Factory)
+	c := cycleBySig(t, cycles, "19+33")
+	g := sdg.Build(c, tr)
+	_ = tr
+
+	crashing := func() (sim.Program, sim.Options) {
+		_, opts := fig4Factory()
+		return func(th *sim.Thread) {
+			th.Yield("pre")
+			panic("injected workload bug")
+		}, opts
+	}
+	res := Reproduce(crashing, g, c, Config{Attempts: 2, FallbackAttempts: -1})
+	if res.Reproduced {
+		t.Fatal("crash reported as reproduced")
+	}
+	if res.Divergence[DivergenceError] != 2 {
+		t.Fatalf("divergence = %v, want program-error:2", res.Divergence)
+	}
+	if res.FallbackAttempts != 0 {
+		t.Fatalf("fallback ran despite FallbackAttempts=-1: %d", res.FallbackAttempts)
+	}
+}
+
+// TestStepBudgetEscalation: a step budget far too small for the steered
+// schedule is escalated across retries until the deadlock is confirmed —
+// a fixed budget would miss on every attempt.
+func TestStepBudgetEscalation(t *testing.T) {
+	tr, cycles := analyze(t, fig4Factory)
+	c := cycleBySig(t, cycles, "19+33")
+	g := sdg.Build(c, tr)
+	res := Reproduce(fig4Factory, g, c, Config{Attempts: 5, MaxSteps: 4})
+	if !res.Reproduced || res.Method != MethodSteering {
+		t.Fatalf("res = %+v, want confirmed-by-steering after escalation", res)
+	}
+	if res.Attempts < 2 {
+		t.Fatalf("attempts = %d, want > 1 (first budget must be too small)", res.Attempts)
+	}
+	if res.Divergence[DivergenceMaxSteps]+res.Divergence[DivergenceStarved] == 0 {
+		t.Fatalf("divergence = %v, want budget-type misses recorded", res.Divergence)
+	}
+}
+
+// TestFallbackConfirms: when the steering graph drives the run into a
+// different deadlock than the one under confirmation, the steered pass
+// diverges (wrong-deadlock) and the PCT fallback — the DeadlockFuzzer
+// baseline — still confirms the cycle.
+func TestFallbackConfirms(t *testing.T) {
+	tr, cycles := analyze(t, figure2Factory)
+	theta1 := cycleBySig(t, cycles, "509+509")
+	theta2 := cycleBySig(t, cycles, "509+522")
+	// Steer toward θ2 while confirming θ1: every steered attempt lands in
+	// the wrong deadlock, then randomized PCT (which is biased toward θ1,
+	// the paper's Section 2 observation) confirms it.
+	g2 := sdg.Build(theta2, tr)
+	res := Reproduce(figure2Factory, g2, theta1, Config{Attempts: 3, FallbackAttempts: 30})
+	if !res.Reproduced || res.Method != MethodFallback {
+		t.Fatalf("res = %+v (divergence %v), want confirmed-by-fallback", res, res.Divergence)
+	}
+	if res.Divergence[DivergenceWrongDeadlock] == 0 {
+		t.Fatalf("divergence = %v, want wrong-deadlock entries", res.Divergence)
+	}
+	if res.Attempts != 3 {
+		t.Fatalf("steered attempts = %d, want 3 (all diverged)", res.Attempts)
+	}
+}
+
+// TestAttemptCtxCancellation: cancelling the context mid-run halts a
+// single attempt promptly and classifies it as cancelled — the wolfd
+// per-job timeout path.
+func TestAttemptCtxCancellation(t *testing.T) {
+	tr, cycles := analyze(t, fig4Factory)
+	c := cycleBySig(t, cycles, "19+33")
+	g := sdg.Build(c, tr)
+	_ = tr
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ar := AttemptCtx(ctx, fig4Factory, g, c, 1, 0, sim.FaultConfig{})
+	if ar.Outcome.Kind != sim.Halted || ar.Reason != DivergenceCancelled {
+		t.Fatalf("cancelled attempt = %v / %v, want halted/cancelled", ar.Outcome.Kind, ar.Reason)
+	}
+
+	res := ReproduceCtx(ctx, fig4Factory, g, c, Config{Attempts: 10})
+	if res.Reproduced || res.Attempts != 1 {
+		t.Fatalf("res = %+v, want a single cancelled attempt and no retries", res)
+	}
+	if res.Divergence[DivergenceCancelled] != 1 {
+		t.Fatalf("divergence = %v, want cancelled:1", res.Divergence)
+	}
+	if res.FallbackAttempts != 0 {
+		t.Fatal("fallback ran under a cancelled context")
+	}
+}
+
+// TestAttemptCtxCancelMidRun: cancellation raised while the run is in
+// flight (from a listener, mimicking an external deadline) halts it at
+// the next scheduling point rather than at the attempt boundary.
+func TestAttemptCtxCancelMidRun(t *testing.T) {
+	tr, cycles := analyze(t, fig4Factory)
+	c := cycleBySig(t, cycles, "19+33")
+	g := sdg.Build(c, tr)
+	_ = tr
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	n := 0
+	cancelling := func() (sim.Program, sim.Options) {
+		prog, opts := fig4Factory()
+		opts.Listeners = append(opts.Listeners, sim.ListenerFunc(func(sim.Event) {
+			n++
+			if n == 5 {
+				cancel()
+			}
+		}))
+		return prog, opts
+	}
+	ar := AttemptCtx(ctx, cancelling, g, c, 1, 0, sim.FaultConfig{})
+	if ar.Outcome.Kind != sim.Halted || ar.Reason != DivergenceCancelled {
+		t.Fatalf("mid-run cancel = %v / %v, want halted/cancelled", ar.Outcome.Kind, ar.Reason)
+	}
+	if ar.Outcome.Steps > 20 {
+		t.Fatalf("run continued %d steps past cancellation", ar.Outcome.Steps)
+	}
+}
+
+// TestReproduceUnderFaultInjection: the Fig. 4 deadlock is still
+// confirmed end-to-end with scheduling perturbations injected at
+// multiple rates and seeds, and the Result reports the injected faults.
+func TestReproduceUnderFaultInjection(t *testing.T) {
+	tr, cycles := analyze(t, fig4Factory)
+	c := cycleBySig(t, cycles, "19+33")
+	g := sdg.Build(c, tr)
+	_ = tr
+
+	sawFault := false
+	for _, rate := range []float64{0.05, 0.25} {
+		for seed := int64(1); seed <= 3; seed++ {
+			res := Reproduce(fig4Factory, g, c, Config{
+				Attempts: 10,
+				Faults:   sim.FaultConfig{Seed: seed, Rate: rate},
+			})
+			if !res.Reproduced {
+				t.Fatalf("rate=%g seed=%d: not reproduced (divergence %v)", rate, seed, res.Divergence)
+			}
+			if res.Faults.Total() > 0 {
+				sawFault = true
+			}
+		}
+	}
+	if !sawFault {
+		t.Fatal("no run reported any injected fault; injection is inert")
+	}
+}
+
+// TestResultStringParts sanity-checks the Method constants used in
+// reports.
+func TestResultStringParts(t *testing.T) {
+	if MethodSteering == MethodFallback || string(MethodSteering) != "steering" {
+		t.Fatalf("method constants wrong: %q %q", MethodSteering, MethodFallback)
+	}
+	if !strings.Contains((Divergence{DivergenceStarved: 1}).String(), "starved") {
+		t.Fatal("histogram rendering lost the reason name")
+	}
+}

@@ -29,6 +29,12 @@ type JSONDefect struct {
 	Class string `json:"class"`
 	// Cycles counts the lock-graph cycles sharing the signature.
 	Cycles int `json:"cycles"`
+	// ReplayMethod says which pass confirmed the defect ("steering" or
+	// "fallback"; empty unless confirmed).
+	ReplayMethod string `json:"replay_method,omitempty"`
+	// Divergence histograms failed steered attempts by reason for
+	// unreproduced defects, e.g. {"max-steps": 2}.
+	Divergence map[string]int `json:"divergence,omitempty"`
 }
 
 // JSONCycle is one detected potential deadlock.
@@ -49,8 +55,18 @@ type JSONCycle struct {
 	GsSize int `json:"gs_size,omitempty"`
 	// HasGraph reports whether a dot rendering is available.
 	HasGraph bool `json:"has_graph"`
-	// ReplayAttempts counts reproduction runs performed.
+	// ReplayAttempts counts steered reproduction runs performed.
 	ReplayAttempts int `json:"replay_attempts,omitempty"`
+	// ReplayMethod says which pass confirmed the cycle, if any.
+	ReplayMethod string `json:"replay_method,omitempty"`
+	// FallbackAttempts counts PCT-randomized confirmation runs.
+	FallbackAttempts int `json:"fallback_attempts,omitempty"`
+	// Divergence histograms this cycle's failed steered attempts by
+	// reason; non-empty for every unreproduced cycle that was replayed.
+	Divergence map[string]int `json:"divergence,omitempty"`
+	// Faults counts injected scheduling perturbations, when the analysis
+	// ran under fault injection.
+	Faults int `json:"faults,omitempty"`
 }
 
 // JSONTimings mirrors core.Timings in nanoseconds.
@@ -80,21 +96,27 @@ func FromCore(rep *core.Report) *JSONReport {
 	}
 	for _, d := range rep.Rank() {
 		out.Defects = append(out.Defects, JSONDefect{
-			Signature: d.Signature,
-			Class:     d.Class.String(),
-			Cycles:    len(d.Cycles),
+			Signature:    d.Signature,
+			Class:        d.Class.String(),
+			Cycles:       len(d.Cycles),
+			ReplayMethod: string(d.Method),
+			Divergence:   d.Divergence.ByName(),
 		})
 	}
 	for _, cr := range rep.Cycles {
 		jc := JSONCycle{
-			Threads:        cr.Cycle.Threads(),
-			Locks:          cycleLocks(cr),
-			Sites:          cr.Cycle.Sites(),
-			Signature:      cr.Cycle.Signature(),
-			Class:          cr.Class.String(),
-			GsSize:         cr.GsSize,
-			HasGraph:       cr.Gs != nil,
-			ReplayAttempts: cr.ReplayAttempts,
+			Threads:          cr.Cycle.Threads(),
+			Locks:            cycleLocks(cr),
+			Sites:            cr.Cycle.Sites(),
+			Signature:        cr.Cycle.Signature(),
+			Class:            cr.Class.String(),
+			GsSize:           cr.GsSize,
+			HasGraph:         cr.Gs != nil,
+			ReplayAttempts:   cr.ReplayAttempts,
+			ReplayMethod:     string(cr.ReplayMethod),
+			FallbackAttempts: cr.FallbackAttempts,
+			Divergence:       cr.Divergence.ByName(),
+			Faults:           cr.Faults.Total(),
 		}
 		if cr.PruneReason != nil {
 			jc.PruneRule = cr.PruneReason.Rule

@@ -8,6 +8,7 @@ import (
 
 	"wolf/internal/core"
 	"wolf/internal/obs"
+	"wolf/internal/replay"
 )
 
 // FailReason labels the reason dimension of wolfd_jobs_failed_total.
@@ -21,6 +22,12 @@ const (
 	FailTimeout FailReason = "timeout"
 	// FailPanic: the analysis panicked and was recovered.
 	FailPanic FailReason = "panic"
+	// FailWatchdog: the analysis ignored its cancelled context past the
+	// grace period and the worker abandoned it.
+	FailWatchdog FailReason = "watchdog"
+	// FailDrained: the job was still queued when Shutdown began and was
+	// failed fast instead of analyzed.
+	FailDrained FailReason = "drained"
 )
 
 // Metrics is the wolfd in-process metrics registry. Counters are plain
@@ -46,8 +53,28 @@ type Metrics struct {
 	JobsTimedOut atomic.Int64
 	// JobsPanicked counts recovered analysis panics.
 	JobsPanicked atomic.Int64
+	// JobsWatchdogged counts analyses abandoned by the worker watchdog.
+	JobsWatchdogged atomic.Int64
+	// JobsDrained counts queued jobs failed fast during shutdown.
+	JobsDrained atomic.Int64
+	// SyncRejected counts synchronous analyses shed because every worker
+	// slot was busy.
+	SyncRejected atomic.Int64
 	// QueueDepth is the number of queued-but-not-started jobs.
 	QueueDepth atomic.Int64
+
+	// InvalidTraces counts uploads rejected by trace.Validate, by
+	// corruption class (422 responses).
+	InvalidTraces *obs.CounterSet
+	// ReplayDivergence histograms failed replay attempts by divergence
+	// reason, aggregated over every analyzed cycle.
+	ReplayDivergence *obs.CounterSet
+	// ReplayConfirmed counts confirmed cycles by replay method (steered
+	// Algorithm 4 vs. the PCT-randomized fallback).
+	ReplayConfirmed *obs.CounterSet
+	// FaultsInjected counts scheduling perturbations injected across all
+	// replays.
+	FaultsInjected atomic.Int64
 
 	// CyclesTotal counts potential deadlock cycles across all reports.
 	CyclesTotal atomic.Int64
@@ -68,6 +95,15 @@ type Metrics struct {
 	Analysis      obs.Histogram
 }
 
+// newMetrics returns a registry with its counter sets initialized.
+func newMetrics() *Metrics {
+	return &Metrics{
+		InvalidTraces:    obs.NewCounterSet(),
+		ReplayDivergence: obs.NewCounterSet(),
+		ReplayConfirmed:  obs.NewCounterSet(),
+	}
+}
+
 // Fail counts one failed job under exactly one reason.
 func (m *Metrics) Fail(reason FailReason) {
 	switch reason {
@@ -75,6 +111,10 @@ func (m *Metrics) Fail(reason FailReason) {
 		m.JobsTimedOut.Add(1)
 	case FailPanic:
 		m.JobsPanicked.Add(1)
+	case FailWatchdog:
+		m.JobsWatchdogged.Add(1)
+	case FailDrained:
+		m.JobsDrained.Add(1)
 	default:
 		m.JobsErrored.Add(1)
 	}
@@ -82,7 +122,8 @@ func (m *Metrics) Fail(reason FailReason) {
 
 // JobsFailed is the total across failure reasons.
 func (m *Metrics) JobsFailed() int64 {
-	return m.JobsErrored.Load() + m.JobsTimedOut.Load() + m.JobsPanicked.Load()
+	return m.JobsErrored.Load() + m.JobsTimedOut.Load() + m.JobsPanicked.Load() +
+		m.JobsWatchdogged.Load() + m.JobsDrained.Load()
 }
 
 // observe folds one completed analysis into the registry.
@@ -98,6 +139,15 @@ func (m *Metrics) observe(rep *core.Report, total time.Duration) {
 	m.DefectsInfeasible.Add(int64(infeasible))
 	m.DefectsConfirmed.Add(int64(confirmed))
 	m.DefectsUnknown.Add(int64(unknown))
+	for _, cr := range rep.Cycles {
+		for reason, n := range cr.Divergence.ByName() {
+			m.ReplayDivergence.Add(reason, int64(n))
+		}
+		if cr.ReplayMethod != replay.MethodNone {
+			m.ReplayConfirmed.Add(string(cr.ReplayMethod), 1)
+		}
+		m.FaultsInjected.Add(int64(cr.Faults.Total()))
+	}
 }
 
 // WritePrometheus renders the registry in Prometheus text exposition
@@ -118,11 +168,28 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "%s{reason=\"error\"} %d\n", name, m.JobsErrored.Load())
 	fmt.Fprintf(w, "%s{reason=\"timeout\"} %d\n", name, m.JobsTimedOut.Load())
 	fmt.Fprintf(w, "%s{reason=\"panic\"} %d\n", name, m.JobsPanicked.Load())
+	fmt.Fprintf(w, "%s{reason=\"watchdog\"} %d\n", name, m.JobsWatchdogged.Load())
+	fmt.Fprintf(w, "%s{reason=\"drained\"} %d\n", name, m.JobsDrained.Load())
 	counter("wolfd_jobs_timeout_total", "Deprecated alias of wolfd_jobs_failed_total{reason=\"timeout\"}.", m.JobsTimedOut.Load())
 	counter("wolfd_jobs_panic_total", "Deprecated alias of wolfd_jobs_failed_total{reason=\"panic\"}.", m.JobsPanicked.Load())
+	counter("wolfd_sync_rejected_total", "Synchronous analyses shed because every worker slot was busy.", m.SyncRejected.Load())
 
 	gauge("wolfd_queue_depth", "Queued-but-not-started jobs.", m.QueueDepth.Load())
 	counter("wolfd_cycles_total", "Potential deadlock cycles detected across all reports.", m.CyclesTotal.Load())
+	counter("wolfd_replay_faults_injected_total", "Scheduling perturbations injected across all replays.", m.FaultsInjected.Load())
+
+	// Dynamic-label counters render only once they have samples; an empty
+	// family would fail the exposition linter (TYPE with no series).
+	counterSet := func(set *obs.CounterSet, name, help, label string) {
+		if set == nil || len(set.Snapshot()) == 0 {
+			return
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+		set.WritePrometheus(w, name, label)
+	}
+	counterSet(m.InvalidTraces, "wolfd_traces_invalid_total", "Uploads rejected by trace validation, by corruption class.", "class")
+	counterSet(m.ReplayDivergence, "wolfd_replay_divergence_total", "Failed replay attempts, by divergence reason.", "reason")
+	counterSet(m.ReplayConfirmed, "wolfd_replay_confirmed_total", "Cycles confirmed by replay, by method.", "method")
 
 	name = "wolfd_defects_total"
 	fmt.Fprintf(w, "# HELP %s Defects reported, by pipeline verdict.\n# TYPE %s counter\n", name, name)

@@ -29,6 +29,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"os"
 	"runtime/debug"
 	"strconv"
 	"sync"
@@ -50,7 +51,12 @@ type Config struct {
 	QueueSize int
 	// JobTimeout cancels an analysis that runs longer (default 30s).
 	JobTimeout time.Duration
-	// MaxUploadBytes bounds a decompressed upload (default 64 MiB).
+	// WatchdogGrace is how long past JobTimeout a worker waits for a
+	// cancelled analysis to return before abandoning it and failing the
+	// job (default 2s). The watchdog is what keeps one analysis that
+	// ignores its context from pinning a worker slot forever.
+	WatchdogGrace time.Duration
+	// MaxUploadBytes bounds a decompressed upload (default 32 MiB).
 	MaxUploadBytes int64
 	// Analysis configures the offline pipeline for every job.
 	Analysis core.Config
@@ -76,8 +82,11 @@ func (c *Config) fill() {
 	if c.JobTimeout <= 0 {
 		c.JobTimeout = 30 * time.Second
 	}
+	if c.WatchdogGrace <= 0 {
+		c.WatchdogGrace = 2 * time.Second
+	}
 	if c.MaxUploadBytes <= 0 {
-		c.MaxUploadBytes = 64 << 20
+		c.MaxUploadBytes = 32 << 20
 	}
 	if c.Analyze == nil {
 		c.Analyze = core.AnalyzeTraceCtx
@@ -97,6 +106,10 @@ type Server struct {
 	metrics *Metrics
 	jobs    *store
 	mux     *http.ServeMux
+	// syncSem bounds concurrent synchronous analyses (POST /v1/analyze)
+	// to the worker pool size; acquiring is non-blocking, so saturation
+	// sheds load with 429 instead of stacking goroutines.
+	syncSem chan struct{}
 
 	mu     sync.Mutex
 	queue  chan *Job
@@ -109,9 +122,10 @@ func New(cfg Config) *Server {
 	cfg.fill()
 	s := &Server{
 		cfg:     cfg,
-		metrics: &Metrics{},
+		metrics: newMetrics(),
 		jobs:    newStore(),
 		queue:   make(chan *Job, cfg.QueueSize),
+		syncSem: make(chan struct{}, cfg.Workers),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/traces", s.handleUpload)
@@ -136,9 +150,12 @@ func New(cfg Config) *Server {
 // Handler returns the HTTP handler for the API.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Shutdown drains gracefully: new uploads are refused, queued and
-// in-flight jobs complete, then the worker pool exits. The context
-// bounds the wait.
+// Shutdown drains with a bias toward exiting fast: new uploads are
+// refused, in-flight analyses complete (or are watchdog-failed), and
+// jobs still sitting in the queue are failed immediately with a
+// distinct "drained" reason rather than analyzed — a restarting client
+// re-submits cheaply, whereas finishing a deep queue can outlive any
+// reasonable drain budget. The context bounds the wait.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.closed {
@@ -178,66 +195,124 @@ func (s *Server) enqueue(j *Job) (ok, closed bool) {
 	}
 }
 
-// worker drains the queue until Shutdown closes it. A panicking or
-// timed-out analysis fails its job only — the worker survives.
+// worker drains the queue until Shutdown closes it. A panicking,
+// timed-out or watchdog-abandoned analysis fails its job only — the
+// worker survives. Once draining starts, jobs still in the queue are
+// failed fast instead of analyzed.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
 		s.metrics.QueueDepth.Add(-1)
+		if s.draining() {
+			s.metrics.Fail(FailDrained)
+			j.fail("server draining: job was queued but never started")
+			s.cfg.Logger.Info("job drained", "job", j.ID, "source", j.source)
+			continue
+		}
 		s.runJob(j)
 	}
 }
 
-// runJob executes one job with timeout and panic isolation.
+// draining reports whether Shutdown has begun.
+func (s *Server) draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// analysisPanic carries a recovered panic out of the analysis goroutine
+// so the worker can count and report it like any other failure.
+type analysisPanic struct {
+	val   any
+	stack []byte
+}
+
+func (p *analysisPanic) Error() string { return fmt.Sprintf("analysis panicked: %v", p.val) }
+
+// runJob executes one job with timeout, panic isolation and a watchdog:
+// the analysis runs in its own goroutine, and if it ignores its
+// cancelled context past WatchdogGrace the worker abandons it and fails
+// the job rather than blocking the pool. The abandoned goroutine keeps
+// its result channel (buffered) so it exits cleanly whenever it does
+// return.
 func (s *Server) runJob(j *Job) {
 	log := s.cfg.Logger.With("job", j.ID, "source", j.source)
 	s.metrics.QueueWait.Observe(time.Since(j.created))
 	j.begin()
 	log.Info("job started", "queue_wait", time.Since(j.created))
 	start := time.Now()
-	defer func() {
-		if r := recover(); r != nil {
-			s.metrics.Fail(FailPanic)
-			j.fail(fmt.Sprintf("analysis panicked: %v", r))
-			log.Error("analysis panicked", "panic", fmt.Sprint(r))
-			// The stack is server-side diagnostics, not client payload.
-			debug.PrintStack()
-		}
-	}()
-	tr := j.tr
-	if j.prepare != nil {
-		prepared, err := j.prepare()
-		if err != nil {
-			s.metrics.Fail(FailError)
-			j.fail(err.Error())
-			log.Warn("trace preparation failed", "err", err)
-			return
-		}
-		j.setTrace(prepared)
-		tr = prepared
-	}
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.JobTimeout)
 	defer cancel()
-	rep, err := s.cfg.Analyze(ctx, tr, s.cfg.Analysis)
-	if err != nil {
-		if errors.Is(err, context.DeadlineExceeded) {
+
+	type result struct {
+		rep *core.Report
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- result{err: &analysisPanic{val: r, stack: debug.Stack()}}
+			}
+		}()
+		tr := j.tr
+		if j.prepare != nil {
+			prepared, err := j.prepare()
+			if err != nil {
+				done <- result{err: fmt.Errorf("trace preparation failed: %w", err)}
+				return
+			}
+			j.setTrace(prepared)
+			tr = prepared
+		}
+		rep, err := s.cfg.Analyze(ctx, tr, s.cfg.Analysis)
+		done <- result{rep: rep, err: err}
+	}()
+
+	watchdog := time.NewTimer(s.cfg.JobTimeout + s.cfg.WatchdogGrace)
+	defer watchdog.Stop()
+	var res result
+	select {
+	case res = <-done:
+	case <-watchdog.C:
+		s.metrics.Fail(FailWatchdog)
+		j.fail(fmt.Sprintf("analysis ignored cancellation; abandoned by watchdog after %v",
+			s.cfg.JobTimeout+s.cfg.WatchdogGrace))
+		log.Error("analysis abandoned by watchdog",
+			"timeout", s.cfg.JobTimeout, "grace", s.cfg.WatchdogGrace)
+		return
+	}
+	if res.err != nil {
+		var ap *analysisPanic
+		switch {
+		case errors.As(res.err, &ap):
+			s.metrics.Fail(FailPanic)
+			j.fail(ap.Error())
+			log.Error("analysis panicked", "panic", fmt.Sprint(ap.val))
+			// The stack is server-side diagnostics, not client payload.
+			os.Stderr.Write(ap.stack)
+		case errors.Is(res.err, context.DeadlineExceeded):
 			s.metrics.Fail(FailTimeout)
 			j.fail(fmt.Sprintf("analysis timed out after %v", s.cfg.JobTimeout))
 			log.Warn("analysis timed out", "timeout", s.cfg.JobTimeout)
-		} else {
+		default:
 			s.metrics.Fail(FailError)
-			j.fail(err.Error())
-			log.Warn("analysis failed", "err", err)
+			j.fail(res.err.Error())
+			log.Warn("analysis failed", "err", res.err)
 		}
 		return
 	}
-	s.metrics.observe(rep, time.Since(start))
-	j.finish(rep)
-	log.Info("job done", "cycles", len(rep.Cycles), "defects", len(rep.Defects), "elapsed", time.Since(start))
+	s.metrics.observe(res.rep, time.Since(start))
+	j.finish(res.rep)
+	log.Info("job done", "cycles", len(res.rep.Cycles), "defects", len(res.rep.Defects), "elapsed", time.Since(start))
 }
 
-// readTrace decodes an uploaded trace body: either format, gzip-aware
-// (Content-Encoding header or magic sniff), size-capped.
+// readTrace decodes an uploaded trace body — either format, gzip-aware
+// (Content-Encoding header or magic sniff), size-capped — and validates
+// its structural integrity before any analysis work is queued. Bytes
+// that do not parse are a 400; bytes that parse into a trace no
+// execution could have recorded are a 422, labeled with the corruption
+// class trace.Validate found.
 func (s *Server) readTrace(w http.ResponseWriter, r *http.Request) (*trace.Trace, bool) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
 	var in = body
@@ -262,6 +337,16 @@ func (s *Server) readTrace(w http.ResponseWriter, r *http.Request) (*trace.Trace
 	}
 	if len(tr.Tuples) == 0 {
 		httpError(w, http.StatusBadRequest, "bad trace: no lock acquisitions recorded")
+		return nil, false
+	}
+	if err := trace.Validate(tr); err != nil {
+		class := "invalid"
+		var ve *trace.ValidationError
+		if errors.As(err, &ve) {
+			class = ve.Class
+		}
+		s.metrics.InvalidTraces.Add(class, 1)
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
 		return nil, false
 	}
 	return tr, true
@@ -339,8 +424,20 @@ func (s *Server) admit(w http.ResponseWriter, j *Job) {
 // handleAnalyzeSync is POST /v1/analyze: run the pipeline inline on the
 // request and return the report directly. The analysis runs under the
 // request context, so a client disconnect cancels it; the per-job
-// timeout still applies.
+// timeout still applies. Concurrency is bounded by the worker pool
+// size — when every slot is busy the request is shed with 429 rather
+// than queued on the request path, where stacked analyses would starve
+// the async workers of CPU.
 func (s *Server) handleAnalyzeSync(w http.ResponseWriter, r *http.Request) {
+	select {
+	case s.syncSem <- struct{}{}:
+		defer func() { <-s.syncSem }()
+	default:
+		s.metrics.SyncRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "all analysis slots busy")
+		return
+	}
 	tr, ok := s.readTrace(w, r)
 	if !ok {
 		return
@@ -482,7 +579,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	state := "ok"
 	if closed {
 		status = http.StatusServiceUnavailable
-		state = "shutting down"
+		state = "draining"
 	}
 	writeJSON(w, status, map[string]any{
 		"status":      state,

@@ -17,9 +17,11 @@ import (
 
 	"wolf/internal/core"
 	"wolf/internal/obs"
+	"wolf/internal/replay"
 	"wolf/internal/report"
 	"wolf/internal/trace"
 	"wolf/internal/workloads"
+	"wolf/sim"
 )
 
 // fig4Trace records a Figure 4 detection trace on a terminating seed.
@@ -70,6 +72,17 @@ func postTrace(t *testing.T, url string, body []byte, hdr map[string]string) (in
 		t.Fatalf("decode response: %v", err)
 	}
 	return resp.StatusCode, out
+}
+
+// postTraceResp uploads a trace body and returns the raw response for
+// header assertions; the caller closes the body.
+func postTraceResp(t *testing.T, url string, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
 }
 
 // getJSON fetches url into out, returning the status code.
@@ -303,9 +316,14 @@ func TestQueueFull(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 
-	code, _ := postTrace(t, ts.URL+"/v1/traces", body, nil)
-	if code != http.StatusTooManyRequests {
-		t.Fatalf("over-capacity upload = %d, want 429", code)
+	resp := postTraceResp(t, ts.URL+"/v1/traces", body)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity upload = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After header")
 	}
 	if got := s.Metrics().JobsRejected.Load(); got == 0 {
 		t.Fatal("rejection not counted")
@@ -419,8 +437,9 @@ func TestPanicRecovery(t *testing.T) {
 	}
 }
 
-// TestGracefulShutdown: Shutdown completes queued and in-flight jobs,
-// then refuses new uploads with 503.
+// TestGracefulShutdown: Shutdown completes the in-flight job, fails
+// still-queued jobs fast with a distinct "drained" reason, flips
+// healthz to draining, and refuses new uploads with 503.
 func TestGracefulShutdown(t *testing.T) {
 	release := make(chan struct{})
 	s := New(Config{Workers: 1, QueueSize: 8, Analyze: blockingAnalyze(release)})
@@ -440,6 +459,12 @@ func TestGracefulShutdown(t *testing.T) {
 		}
 		ids = append(ids, out["id"].(string))
 	}
+	// Wait for the single worker to park on the first job so exactly one
+	// job is in flight and two are queued when the drain starts.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Metrics().QueueDepth.Load() != 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
 
 	done := make(chan error, 1)
 	go func() {
@@ -447,18 +472,36 @@ func TestGracefulShutdown(t *testing.T) {
 		defer cancel()
 		done <- s.Shutdown(ctx)
 	}()
+	// While draining: health is 503 with the draining state visible.
 	time.Sleep(20 * time.Millisecond) // let Shutdown close the queue
+	var health struct {
+		Status string `json:"status"`
+	}
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusServiceUnavailable || health.Status != "draining" {
+		t.Fatalf("healthz during drain = %d %q, want 503 \"draining\"", code, health.Status)
+	}
 	close(release)
 	if err := <-done; err != nil {
 		t.Fatalf("shutdown: %v", err)
 	}
 
-	// Every accepted job completed despite the shutdown racing them.
-	for _, id := range ids {
+	// The in-flight job completed; the queued-but-unstarted ones were
+	// failed fast with the drain reason, not silently analyzed.
+	j, _ := s.jobs.get(ids[0])
+	if j.State() != StateDone {
+		t.Fatalf("in-flight job = %v, want done", j.State())
+	}
+	for _, id := range ids[1:] {
 		j, ok := s.jobs.get(id)
-		if !ok || j.State() != StateDone {
-			t.Fatalf("job %s not completed during drain: %v", id, j.State())
+		if !ok || j.State() != StateFailed {
+			t.Fatalf("queued job %s = %v, want failed", id, j.State())
 		}
+		if msg := j.view().Error; !strings.Contains(msg, "draining") {
+			t.Fatalf("queued job %s error = %q, want drain reason", id, msg)
+		}
+	}
+	if got := s.Metrics().JobsDrained.Load(); got != 2 {
+		t.Fatalf("drained count = %d, want 2", got)
 	}
 
 	// New work is refused and health reports draining state.
@@ -498,6 +541,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		`wolfd_jobs_failed_total{reason="error"} 0`,
 		`wolfd_jobs_failed_total{reason="timeout"} 0`,
 		`wolfd_jobs_failed_total{reason="panic"} 0`,
+		`wolfd_jobs_failed_total{reason="watchdog"} 0`,
+		`wolfd_jobs_failed_total{reason="drained"} 0`,
+		"wolfd_sync_rejected_total 0",
 		"wolfd_phase_detect_seconds_count 1",
 		"wolfd_phase_prune_seconds_count 1",
 		"wolfd_phase_generate_seconds_count 1",
@@ -631,5 +677,292 @@ func TestSyncAnalyzeClientCancel(t *testing.T) {
 	case <-cancelled:
 	case <-time.After(5 * time.Second):
 		t.Fatal("analysis kept running after client disconnect")
+	}
+}
+
+// TestWorkerWatchdog: an analysis that ignores its cancelled context is
+// abandoned after JobTimeout+WatchdogGrace — the job fails with a
+// watchdog reason, the failure is counted separately from timeouts, and
+// the worker slot is freed for the next job.
+func TestWorkerWatchdog(t *testing.T) {
+	const stuckSeed = 999
+	hung := make(chan struct{})
+	t.Cleanup(func() { close(hung) }) // let the abandoned goroutine exit
+	stuck := func(ctx context.Context, tr *trace.Trace, cfg core.Config) (*core.Report, error) {
+		if tr.Seed == stuckSeed {
+			<-hung // ignores ctx entirely: the watchdog's target
+			return nil, fmt.Errorf("released")
+		}
+		return core.AnalyzeTraceCtx(ctx, tr, cfg)
+	}
+	s, ts := startServer(t, Config{
+		Workers:       1,
+		QueueSize:     4,
+		JobTimeout:    50 * time.Millisecond,
+		WatchdogGrace: 50 * time.Millisecond,
+		Analyze:       stuck,
+	})
+	tr := fig4Trace(t)
+	tr.Seed = stuckSeed
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out := postTrace(t, ts.URL+"/v1/traces", buf.Bytes(), nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("upload = %d", code)
+	}
+	v := pollJob(t, ts.URL, out["id"].(string))
+	if v.State != string(StateFailed) || !strings.Contains(v.Error, "watchdog") {
+		t.Fatalf("job = %+v, want watchdog failure", v)
+	}
+	if s.Metrics().JobsWatchdogged.Load() != 1 {
+		t.Fatal("watchdog abandonment not counted")
+	}
+	if s.Metrics().JobsTimedOut.Load() != 0 {
+		t.Fatal("watchdog abandonment miscounted as timeout")
+	}
+
+	// The worker survived the abandonment: a well-behaved job on the same
+	// single worker succeeds.
+	tr.Seed = 1
+	buf.Reset()
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	code, out = postTrace(t, ts.URL+"/v1/traces", buf.Bytes(), nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("second upload = %d", code)
+	}
+	if v := pollJob(t, ts.URL, out["id"].(string)); v.State != string(StateDone) {
+		t.Fatalf("worker did not survive watchdog: %+v", v)
+	}
+}
+
+// corruptUpload decodes a fresh copy of base, applies the corruption and
+// re-encodes it as JSON for upload.
+func corruptUpload(t *testing.T, base []byte, corrupt func(tr *trace.Trace)) []byte {
+	t.Helper()
+	tr, err := trace.Decode(bytes.NewReader(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt(tr)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestUploadRejectsInvalidTrace: traces that parse but violate
+// structural invariants are rejected with 422 before any analysis is
+// queued, one counted corruption class each, and the classes surface on
+// /metrics.
+func TestUploadRejectsInvalidTrace(t *testing.T) {
+	s, ts := startServer(t, Config{Workers: 1, QueueSize: 4})
+	tr := fig4Trace(t)
+	var base bytes.Buffer
+	if err := tr.WriteBinary(&base); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		class   string
+		corrupt func(tr *trace.Trace)
+	}{
+		{"empty-lock", trace.InvalidMissingField, func(tr *trace.Trace) {
+			tr.Tuples[0].Lock = ""
+		}},
+		{"key-zero-occ", trace.InvalidBadKey, func(tr *trace.Trace) {
+			tr.Tuples[0].Key.Occ = 0
+		}},
+		{"held-duplicate", trace.InvalidHeldSet, func(tr *trace.Trace) {
+			for i := len(tr.Tuples) - 1; i >= 0; i-- {
+				if len(tr.Tuples[i].Held) > 0 {
+					tr.Tuples[i].Held = append(tr.Tuples[i].Held, tr.Tuples[i].Held[0])
+					return
+				}
+			}
+			t.Fatal("no tuple with held locks in fixture")
+		}},
+		{"thread-id-range", trace.InvalidThreadID, func(tr *trace.Trace) {
+			tr.Tuples[0].ThreadID = 99
+		}},
+		{"clock-shape", trace.InvalidClockShape, func(tr *trace.Trace) {
+			tr.Taus = tr.Taus[:len(tr.Taus)-1]
+		}},
+		{"tau-backwards", trace.InvalidNonMonotonicTau, func(tr *trace.Trace) {
+			for _, name := range tr.Threads() {
+				if ts := tr.ByThread(name); len(ts) >= 2 {
+					ts[0].Tau = 1 << 20
+					return
+				}
+			}
+			t.Fatal("no thread with two acquisitions in fixture")
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			body := corruptUpload(t, base.Bytes(), tc.corrupt)
+			code, out := postTrace(t, ts.URL+"/v1/traces", body, nil)
+			if code != http.StatusUnprocessableEntity {
+				t.Fatalf("upload = %d (%v), want 422", code, out)
+			}
+			if msg, _ := out["error"].(string); !strings.Contains(msg, tc.class) {
+				t.Fatalf("error %q does not name class %s", msg, tc.class)
+			}
+			if got := s.Metrics().InvalidTraces.Get(tc.class); got == 0 {
+				t.Fatalf("class %s not counted", tc.class)
+			}
+		})
+	}
+	if got := s.Metrics().JobsAccepted.Load(); got != 0 {
+		t.Fatalf("accepted = %d, want 0", got)
+	}
+
+	// The classes render as a labeled counter family and the exposition
+	// output still lints.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	if !strings.Contains(text, `wolfd_traces_invalid_total{class="bad-key"} 1`) {
+		t.Fatalf("invalid-trace counter missing:\n%s", text)
+	}
+	if errs := obs.PromLint(strings.NewReader(text)); len(errs) != 0 {
+		t.Fatalf("metrics output fails lint: %v\n%s", errs, text)
+	}
+
+	// A well-formed upload still flows after the rejections.
+	if code, _ := postTrace(t, ts.URL+"/v1/traces", base.Bytes(), nil); code != http.StatusAccepted {
+		t.Fatalf("valid upload after rejections = %d", code)
+	}
+}
+
+// TestSyncAnalyzeShedding: POST /v1/analyze sheds load with 429 +
+// Retry-After when every worker slot is busy, and accepts again once a
+// slot frees up.
+func TestSyncAnalyzeShedding(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	hook := func(ctx context.Context, tr *trace.Trace, cfg core.Config) (*core.Report, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+			return core.AnalyzeTraceCtx(ctx, tr, cfg)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	s, ts := startServer(t, Config{Workers: 1, QueueSize: 4, Analyze: hook})
+	tr := fig4Trace(t)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.Bytes()
+
+	first := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/analyze", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			first <- 0
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		first <- resp.StatusCode
+	}()
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first analysis never started")
+	}
+
+	// The single slot is held: the next sync request bounces immediately.
+	resp := postTraceResp(t, ts.URL+"/v1/analyze", body)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated sync analyze = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	if s.Metrics().SyncRejected.Load() != 1 {
+		t.Fatal("shed request not counted")
+	}
+
+	close(release)
+	if code := <-first; code != http.StatusOK {
+		t.Fatalf("first sync analyze = %d, want 200", code)
+	}
+	// Slot free again: the next request is admitted.
+	resp = postTraceResp(t, ts.URL+"/v1/analyze", body)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-release sync analyze = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestReplayMetricsRendered: divergence histograms, replay methods and
+// fault counts from analysis reports surface as labeled counters on
+// /metrics and the output still lints.
+func TestReplayMetricsRendered(t *testing.T) {
+	fake := func(ctx context.Context, tr *trace.Trace, cfg core.Config) (*core.Report, error) {
+		return &core.Report{
+			Tool: "fake",
+			Cycles: []*core.CycleReport{
+				{ReplayMethod: replay.MethodSteering},
+				{
+					ReplayMethod: replay.MethodFallback,
+					Divergence: replay.Divergence{
+						replay.DivergenceStarved:  2,
+						replay.DivergenceMaxSteps: 1,
+					},
+					Faults: sim.FaultStats{Preemptions: 3, Wakeups: 1},
+				},
+			},
+		}, nil
+	}
+	_, ts := startServer(t, Config{Workers: 1, QueueSize: 4, Analyze: fake})
+	tr := fig4Trace(t)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	code, out := postTrace(t, ts.URL+"/v1/traces", buf.Bytes(), nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("upload = %d", code)
+	}
+	pollJob(t, ts.URL, out["id"].(string))
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		`wolfd_replay_confirmed_total{method="fallback"} 1`,
+		`wolfd_replay_confirmed_total{method="steering"} 1`,
+		`wolfd_replay_divergence_total{reason="max-steps"} 1`,
+		`wolfd_replay_divergence_total{reason="starved"} 2`,
+		"wolfd_replay_faults_injected_total 4",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	if errs := obs.PromLint(strings.NewReader(text)); len(errs) != 0 {
+		t.Fatalf("metrics output fails lint: %v\n%s", errs, text)
 	}
 }

@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -10,6 +11,18 @@ import (
 	"wolf/internal/vclock"
 	"wolf/sim"
 )
+
+// ErrCorrupt is the sentinel wrapped by every binary-decode failure —
+// truncated streams, oversized length prefixes, out-of-range indices,
+// bad magic — so callers can distinguish adversarial or damaged input
+// (errors.Is(err, ErrCorrupt)) from I/O problems and reject it at the
+// door.
+var ErrCorrupt = errors.New("corrupt binary trace")
+
+// corruptf builds an ErrCorrupt-wrapping decode error.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("trace: "+format+": %w", append(args, ErrCorrupt)...)
+}
 
 // Binary trace format ("WTRC"): the ingest hot path of the wolfd
 // service. The layout is length-prefixed and versioned so readers can
@@ -167,10 +180,10 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("trace: binary magic: %w", err)
+		return nil, corruptf("binary magic: %v", err)
 	}
 	if magic != binaryMagic {
-		return nil, fmt.Errorf("trace: bad magic %q", magic[:])
+		return nil, corruptf("bad magic %q", magic[:])
 	}
 	return readBinaryBody(br)
 }
@@ -179,13 +192,19 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 func readBinaryBody(br *bufio.Reader) (*Trace, error) {
 	d := &binReader{r: br}
 	if v := d.uvarint(); d.err == nil && v != binaryVersion {
-		return nil, fmt.Errorf("trace: unsupported binary version %d (want %d)", v, binaryVersion)
+		return nil, corruptf("unsupported binary version %d (want %d)", v, binaryVersion)
 	}
 	tr := &Trace{byThread: make(map[string][]*Tuple)}
 	tr.Seed = d.varint()
 	tr.Steps = d.int()
 
+	// Collection counts come from the wire, so pre-allocation is capped
+	// and slices grow incrementally past the bound — an adversarial
+	// length prefix costs the attacker bytes, not us memory.
 	nTaus := d.count()
+	if nTaus > 0 {
+		tr.Taus = make([]int, 0, min(nTaus, 1024))
+	}
 	for i := 0; i < nTaus && d.err == nil; i++ {
 		tr.Taus = append(tr.Taus, int(d.varint()))
 	}
@@ -233,13 +252,13 @@ func readBinaryBody(br *bufio.Reader) (*Trace, error) {
 		}
 		seq := tr.byThread[tp.Thread]
 		if tp.Pos != len(seq) {
-			return nil, fmt.Errorf("trace: tuple %v has position %d, want %d", tp, tp.Pos, len(seq))
+			return nil, corruptf("tuple %v has position %d, want %d", tp, tp.Pos, len(seq))
 		}
 		tr.byThread[tp.Thread] = append(seq, tp)
 		tr.Tuples = append(tr.Tuples, tp)
 	}
 	if d.err != nil {
-		return nil, fmt.Errorf("trace: binary decode: %w", d.err)
+		return nil, corruptf("binary decode: %v", d.err)
 	}
 	return tr, nil
 }

@@ -182,6 +182,17 @@ func FuzzTraceRead(f *testing.F) {
 	f.Add(bin.Bytes())
 	f.Add([]byte(`{"version":1,"tuples":[]}`))
 	f.Add([]byte("WTRC\x01"))
+	// Adversarial seeds: truncated valid stream, oversized collection
+	// counts (tau, clock, string, tuple), oversized string length — the
+	// length-prefix attacks ReadBinary caps allocation against.
+	f.Add(bin.Bytes()[:len(bin.Bytes())/2])
+	f.Add(bin.Bytes()[:len(bin.Bytes())-3])
+	huge := []byte{0xff, 0xff, 0xff, 0xff, 0x0f}
+	f.Add(append([]byte("WTRC\x01\x00\x00"), huge...))
+	f.Add(append([]byte("WTRC\x01\x00\x00\x00"), huge...))
+	f.Add(append([]byte("WTRC\x01\x00\x00\x00\x00"), huge...))
+	f.Add(append([]byte("WTRC\x01\x00\x00\x00\x00\x00"), huge...))
+	f.Add(append([]byte("WTRC\x01\x00\x00\x00\x00\x01"), 0xff, 0xff, 0xff, 0xff, 0x7f))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		for _, read := range []func([]byte) error{readJSON, readBin, readDecode} {
 			if err := read(data); err != nil {

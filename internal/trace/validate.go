@@ -1,0 +1,147 @@
+package trace
+
+// Trace validation: structural integrity checks that gate analysis.
+// Decoding only proves the bytes parse; Validate proves the decoded
+// relation Dσ is a trace some execution could actually have recorded —
+// every tuple names its thread and locks, locksets are consistent,
+// positions are dense, thread IDs resolve into the clock tables, and
+// per-thread timestamps never run backwards. wolfd runs it on every
+// upload and rejects failures with HTTP 422 before any analysis work is
+// queued.
+
+import (
+	"errors"
+	"fmt"
+
+	"wolf/internal/vclock"
+)
+
+// ErrInvalid is the sentinel every validation error wraps
+// (errors.Is(err, ErrInvalid)).
+var ErrInvalid = errors.New("invalid trace")
+
+// Validation classes: the distinct corruption categories Validate
+// detects. Each ValidationError carries exactly one.
+const (
+	// InvalidMissingField: a tuple is nil or lacks a thread, lock or
+	// site name.
+	InvalidMissingField = "missing-field"
+	// InvalidBadKey: a tuple's stable key or execution index contradicts
+	// the tuple itself (wrong thread, wrong site, non-positive occurrence).
+	InvalidBadKey = "bad-key"
+	// InvalidBadPosition: per-thread positions are not dense 0..n-1 in
+	// trace order.
+	InvalidBadPosition = "bad-position"
+	// InvalidHeldSet: a lockset entry is empty, duplicated, or contains
+	// the lock being acquired (an acquisition is never in its own L_t).
+	InvalidHeldSet = "held-set"
+	// InvalidThreadID: a tuple's thread ID does not resolve into the
+	// recorded clock/timestamp tables.
+	InvalidThreadID = "thread-id"
+	// InvalidClockShape: the clock and timestamp tables disagree in
+	// length, or a clock vector is wider than the thread table.
+	InvalidClockShape = "clock-shape"
+	// InvalidNonMonotonicTau: a thread's timestamps decrease along its
+	// own tuple sequence (τ is a per-thread logical clock; it only grows).
+	InvalidNonMonotonicTau = "non-monotonic-tau"
+)
+
+// ValidationError describes one structural defect found by Validate.
+type ValidationError struct {
+	// Class is the corruption class (one of the Invalid* constants).
+	Class string
+	// Tuple is the index of the offending tuple in Dσ, -1 for
+	// trace-level defects.
+	Tuple int
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// Error implements error.
+func (e *ValidationError) Error() string {
+	if e.Tuple < 0 {
+		return fmt.Sprintf("trace: invalid (%s): %s", e.Class, e.Detail)
+	}
+	return fmt.Sprintf("trace: invalid (%s) at tuple %d: %s", e.Class, e.Tuple, e.Detail)
+}
+
+// Unwrap ties every validation error to ErrInvalid.
+func (e *ValidationError) Unwrap() error { return ErrInvalid }
+
+// invalidf builds a ValidationError.
+func invalidf(class string, tuple int, format string, args ...any) error {
+	return &ValidationError{Class: class, Tuple: tuple, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Validate checks the structural integrity of a decoded trace and
+// returns the first defect found as a *ValidationError (nil when the
+// trace is well-formed). It never mutates the trace.
+func Validate(tr *Trace) error {
+	if tr == nil {
+		return invalidf(InvalidMissingField, -1, "nil trace")
+	}
+	if len(tr.Taus) > 0 && len(tr.Clocks) > 0 && len(tr.Taus) != len(tr.Clocks) {
+		return invalidf(InvalidClockShape, -1,
+			"%d timestamps but %d clock vectors", len(tr.Taus), len(tr.Clocks))
+	}
+	for i, v := range tr.Clocks {
+		if len(v) > len(tr.Clocks) {
+			return invalidf(InvalidClockShape, -1,
+				"clock vector %d has %d entries for %d threads", i, len(v), len(tr.Clocks))
+		}
+	}
+	nThreads := len(tr.Clocks)
+	if nThreads == 0 {
+		nThreads = len(tr.Taus)
+	}
+	pos := make(map[string]int)
+	lastTau := make(map[string]int)
+	for i, tp := range tr.Tuples {
+		if tp == nil {
+			return invalidf(InvalidMissingField, i, "nil tuple")
+		}
+		if tp.Thread == "" || tp.Lock == "" || tp.Site == "" {
+			return invalidf(InvalidMissingField, i,
+				"thread=%q lock=%q site=%q", tp.Thread, tp.Lock, tp.Site)
+		}
+		if tp.Key.Thread != tp.Thread || tp.Key.Site != tp.Site || tp.Key.Occ < 1 {
+			return invalidf(InvalidBadKey, i, "key %v contradicts tuple %v", tp.Key, tp)
+		}
+		if tp.Idx.Thread != tp.Thread || tp.Idx.Seq < 1 {
+			return invalidf(InvalidBadKey, i, "index %v contradicts tuple %v", tp.Idx, tp)
+		}
+		if tp.Pos != pos[tp.Thread] {
+			return invalidf(InvalidBadPosition, i,
+				"thread %s position %d, want %d", tp.Thread, tp.Pos, pos[tp.Thread])
+		}
+		pos[tp.Thread]++
+		seen := make(map[string]bool, len(tp.Held))
+		for _, h := range tp.Held {
+			switch {
+			case h.Lock == "":
+				return invalidf(InvalidHeldSet, i, "lockset entry without a lock name")
+			case h.Lock == tp.Lock:
+				return invalidf(InvalidHeldSet, i,
+					"acquired lock %s appears in its own lockset", tp.Lock)
+			case seen[h.Lock]:
+				return invalidf(InvalidHeldSet, i, "lock %s held twice", h.Lock)
+			}
+			seen[h.Lock] = true
+		}
+		// Thread IDs index the clock and timestamp tables; when neither
+		// was recorded (the base, timestamp-free detector) any
+		// non-negative dense ID is acceptable.
+		if tp.ThreadID < 0 || (nThreads > 0 && int(tp.ThreadID) >= nThreads) {
+			return invalidf(InvalidThreadID, i,
+				"thread id %d outside recorded table of %d", tp.ThreadID, nThreads)
+		}
+		if tp.Tau != vclock.Bottom {
+			if last, ok := lastTau[tp.Thread]; ok && tp.Tau < last {
+				return invalidf(InvalidNonMonotonicTau, i,
+					"thread %s timestamp %d after %d", tp.Thread, tp.Tau, last)
+			}
+			lastTau[tp.Thread] = tp.Tau
+		}
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"wolf/sim"
+)
+
+// validTrace returns a freshly recorded, well-formed Figure 4 trace.
+func validTrace(t *testing.T) *Trace {
+	t.Helper()
+	return recordFig4(t)
+}
+
+// TestValidateAcceptsRecorded: everything the Recorder produces is valid,
+// with and without timestamps.
+func TestValidateAcceptsRecorded(t *testing.T) {
+	if err := Validate(validTrace(t)); err != nil {
+		t.Fatalf("recorded trace rejected: %v", err)
+	}
+	prog, opts, _ := fig4()
+	rec := NewRecorder(nil)
+	opts.Listeners = append(opts.Listeners, rec)
+	sim.Run(prog, sim.FirstEnabled{}, opts)
+	if err := Validate(rec.Finish(1)); err != nil {
+		t.Fatalf("timestamp-free trace rejected: %v", err)
+	}
+}
+
+// TestValidateSurvivesRoundTrip: validity is preserved by both codecs.
+func TestValidateSurvivesRoundTrip(t *testing.T) {
+	tr := validTrace(t)
+	var js, bin bytes.Buffer
+	if err := tr.Write(&js); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{"json": js.Bytes(), "binary": bin.Bytes()} {
+		got, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := Validate(got); err != nil {
+			t.Fatalf("%s: decoded trace rejected: %v", name, err)
+		}
+	}
+}
+
+// TestValidateCorruptionClasses: every corruption class is detected,
+// typed, and wraps ErrInvalid.
+func TestValidateCorruptionClasses(t *testing.T) {
+	cases := []struct {
+		name    string
+		class   string
+		corrupt func(tr *Trace)
+	}{
+		{"nil-tuple", InvalidMissingField, func(tr *Trace) {
+			tr.Tuples[0] = nil
+		}},
+		{"empty-lock", InvalidMissingField, func(tr *Trace) {
+			tr.Tuples[0].Lock = ""
+		}},
+		{"key-wrong-thread", InvalidBadKey, func(tr *Trace) {
+			tr.Tuples[0].Key.Thread = "ghost"
+		}},
+		{"key-zero-occ", InvalidBadKey, func(tr *Trace) {
+			tr.Tuples[0].Key.Occ = 0
+		}},
+		{"index-wrong-thread", InvalidBadKey, func(tr *Trace) {
+			tr.Tuples[0].Idx.Thread = "ghost"
+		}},
+		{"position-gap", InvalidBadPosition, func(tr *Trace) {
+			tr.Tuples[0].Pos = 7
+		}},
+		{"held-self", InvalidHeldSet, func(tr *Trace) {
+			last := lastHeldTuple(tr)
+			last.Held[0].Lock = last.Lock
+		}},
+		{"held-duplicate", InvalidHeldSet, func(tr *Trace) {
+			last := lastHeldTuple(tr)
+			last.Held = append(last.Held, last.Held[0])
+		}},
+		{"held-empty-name", InvalidHeldSet, func(tr *Trace) {
+			lastHeldTuple(tr).Held[0].Lock = ""
+		}},
+		{"thread-id-range", InvalidThreadID, func(tr *Trace) {
+			tr.Tuples[0].ThreadID = 99
+		}},
+		{"thread-id-negative", InvalidThreadID, func(tr *Trace) {
+			tr.Tuples[0].ThreadID = -1
+		}},
+		{"clock-shape", InvalidClockShape, func(tr *Trace) {
+			tr.Taus = tr.Taus[:len(tr.Taus)-1]
+		}},
+		{"tau-backwards", InvalidNonMonotonicTau, func(tr *Trace) {
+			for _, name := range tr.Threads() {
+				if ts := tr.ByThread(name); len(ts) >= 2 {
+					ts[0].Tau = 1 << 20
+					return
+				}
+			}
+			panic("no thread with two acquisitions in fixture")
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := validTrace(t)
+			tc.corrupt(tr)
+			err := Validate(tr)
+			if err == nil {
+				t.Fatalf("corruption %s accepted", tc.name)
+			}
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("error %v does not wrap ErrInvalid", err)
+			}
+			var ve *ValidationError
+			if !errors.As(err, &ve) {
+				t.Fatalf("error %T is not a *ValidationError", err)
+			}
+			if ve.Class != tc.class {
+				t.Fatalf("class = %s, want %s (%v)", ve.Class, tc.class, err)
+			}
+		})
+	}
+}
+
+// lastHeldTuple returns a tuple with a non-empty lockset.
+func lastHeldTuple(tr *Trace) *Tuple {
+	for i := len(tr.Tuples) - 1; i >= 0; i-- {
+		if len(tr.Tuples[i].Held) > 0 {
+			return tr.Tuples[i]
+		}
+	}
+	panic("no tuple with held locks in fixture")
+}
+
+// TestValidateNil: a nil trace is rejected, not dereferenced.
+func TestValidateNil(t *testing.T) {
+	err := Validate(nil)
+	if err == nil || !errors.Is(err, ErrInvalid) {
+		t.Fatalf("Validate(nil) = %v", err)
+	}
+}
+
+// TestReadBinaryErrCorrupt: every binary decode failure is typed, so
+// callers can classify corrupt input without string matching.
+func TestReadBinaryErrCorrupt(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad-magic":   []byte("XXXXrest"),
+		"magic-only":  []byte("WTRC"),
+		"truncated":   corruptBinary(t, func(b []byte) []byte { return b[:len(b)/2] }),
+		"huge-string": append([]byte("WTRC\x01\x00\x00\x00\x00\x01"), 0xff, 0xff, 0xff, 0xff, 0x7f),
+	}
+	// bad-position: a structurally valid stream whose tuple positions
+	// contradict each other.
+	tr := recordFig4(t)
+	tr.Tuples[0].Pos = 9
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cases["bad-position"] = buf.Bytes()
+
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := ReadBinary(bytes.NewReader(data))
+			if err == nil {
+				t.Fatal("corrupt input accepted")
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("error %v does not wrap ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+// TestReadBinaryOversizedCounts: adversarial count prefixes (claiming
+// billions of elements) fail fast on the truncated stream instead of
+// allocating for the claimed size.
+func TestReadBinaryOversizedCounts(t *testing.T) {
+	huge := []byte{0xff, 0xff, 0xff, 0xff, 0x0f} // uvarint ~4.2e9
+	// Header: magic, version=1, seed=0, steps=0, then a huge tau count
+	// with no tau data behind it.
+	data := append([]byte("WTRC\x01\x00\x00"), huge...)
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Fatal("oversized tau count accepted")
+	} else if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("error %v does not wrap ErrCorrupt", err)
+	}
+	// Same for the tuple count: valid empty collections, then a huge
+	// tuple count.
+	data = append([]byte("WTRC\x01\x00\x00\x00\x00\x00"), huge...)
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Fatal("oversized tuple count accepted")
+	} else if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("error %v does not wrap ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,62 @@
+package workloads
+
+// Registry workloads under fault injection: the pipeline must keep
+// confirming known deadlocks when scheduling perturbations are injected
+// into replay, through the same ByName path that wolf -workload and the
+// wolfd service use.
+
+import (
+	"testing"
+
+	"wolf/internal/core"
+	"wolf/sim"
+)
+
+// TestRegistryFigure4UnderFaultInjection: the registry's Figure 4 is
+// confirmed with faults on, resolved through ByName.
+func TestRegistryFigure4UnderFaultInjection(t *testing.T) {
+	w, ok := ByName("Figure4")
+	if !ok {
+		t.Fatal("Figure4 not registered")
+	}
+	seed, ok := FindTerminatingSeed(w.New, 300)
+	if !ok {
+		t.Fatal("no terminating seed")
+	}
+	rep := core.Analyze(w.New, core.Config{
+		DetectSeeds: []int64{seed},
+		Faults:      sim.FaultConfig{Rate: 0.1, Seed: 7},
+	})
+	_, _, conf, unk := rep.CountDefects()
+	if conf != 1 || unk != 0 {
+		t.Fatalf("Figure4 under faults: confirmed=%d unknown=%d, want 1/0\n%v", conf, unk, rep)
+	}
+}
+
+// TestTaskQueueUnderFaultInjection: a wait/notify-heavy workload — the
+// one most exposed to injected spurious wakeups — still confirms its
+// queue-monitor/stats inversion.
+func TestTaskQueueUnderFaultInjection(t *testing.T) {
+	w, ok := ByName("TaskQueue")
+	if !ok {
+		t.Fatal("TaskQueue not registered")
+	}
+	seed, ok := FindTerminatingSeed(w.New, 500)
+	if !ok {
+		t.Fatal("no terminating seed")
+	}
+	rep := core.Analyze(w.New, core.Config{
+		DetectSeeds:    []int64{seed},
+		ReplayAttempts: 10,
+		Faults:         sim.FaultConfig{Rate: 0.05, Seed: 3},
+	})
+	confirmedWorker := false
+	for _, d := range rep.Defects {
+		if d.Class == core.Confirmed && contains(d.Signature, "Worker.java:73") {
+			confirmedWorker = true
+		}
+	}
+	if !confirmedWorker {
+		t.Fatalf("queue/stats inversion not confirmed under faults:\n%v", rep)
+	}
+}
