@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# corpus_smoke.sh — end-to-end corpus round trip against real binaries:
+# record a trace, start wolfd with a data dir, upload the trace twice
+# (dedup → one blob, two occurrences), SIGTERM-restart wolfd, and check
+# the defect record survived with its occurrence count intact.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+wolfd_pid=""
+cleanup() {
+  [ -n "$wolfd_pid" ] && kill "$wolfd_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+addr="127.0.0.1:8177"
+base="http://$addr"
+datadir="$workdir/corpus"
+
+echo "== build"
+go build -o "$workdir/wolf" ./cmd/wolf
+go build -o "$workdir/wolfd" ./cmd/wolfd
+go build -o "$workdir/wolfctl" ./cmd/wolfctl
+"$workdir/wolfctl" -version
+
+echo "== record a Figure4 detection trace"
+"$workdir/wolf" -workload Figure4 -record "$workdir/fig4.wtrc"
+
+start_wolfd() {
+  "$workdir/wolfd" -addr "$addr" -data-dir "$datadir" -log-level warn &
+  wolfd_pid=$!
+  for _ in $(seq 1 50); do
+    if curl -fsS "$base/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "wolfd did not come up" >&2
+  exit 1
+}
+
+echo "== start wolfd -data-dir"
+start_wolfd
+
+echo "== upload the trace twice"
+"$workdir/wolfctl" -addr "$base" upload "$workdir/fig4.wtrc" -wait
+"$workdir/wolfctl" -addr "$base" upload "$workdir/fig4.wtrc" -wait
+
+echo "== one deduped blob, one defect record with occurrences=2"
+blobs="$("$workdir/wolfctl" -addr "$base" trace | wc -l)"
+[ "$blobs" -eq 1 ] || { echo "expected 1 stored blob, got $blobs" >&2; exit 1; }
+"$workdir/wolfctl" -addr "$base" defects -json | tee "$workdir/defects-before.json"
+grep -q '"occurrences": 2' "$workdir/defects-before.json" \
+  || { echo "expected occurrences=2 before restart" >&2; exit 1; }
+
+echo "== SIGTERM restart"
+kill -TERM "$wolfd_pid"
+wait "$wolfd_pid" || true
+wolfd_pid=""
+start_wolfd
+
+echo "== corpus survived the restart"
+blobs="$("$workdir/wolfctl" -addr "$base" trace | wc -l)"
+[ "$blobs" -eq 1 ] || { echo "expected 1 stored blob after restart, got $blobs" >&2; exit 1; }
+"$workdir/wolfctl" -addr "$base" defects -json | tee "$workdir/defects-after.json"
+grep -q '"occurrences": 2' "$workdir/defects-after.json" \
+  || { echo "defect record lost or occurrence count changed across restart" >&2; exit 1; }
+jobs="$("$workdir/wolfctl" -addr "$base" jobs -state done | wc -l)"
+[ "$jobs" -eq 2 ] || { echo "expected 2 done jobs after restart, got $jobs" >&2; exit 1; }
+
+echo "== corpus smoke OK"

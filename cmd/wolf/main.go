@@ -49,8 +49,19 @@ func main() {
 		timeline = flag.String("timeline", "", "write a Chrome trace-event timeline of the analysis to this file (load in Perfetto)")
 		debug    = flag.String("debug-addr", "", "serve net/http/pprof on this address (for example localhost:6060)")
 		faults   = flag.String("faults", "", "inject scheduling faults during replay, e.g. rate=0.1,seed=7,kinds=preempt+stall")
+		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		bi := obs.ReadBuildInfo()
+		fmt.Printf("wolf %s %s", bi.Version, bi.GoVersion)
+		if bi.Revision != "" {
+			fmt.Printf(" %s", bi.Revision)
+		}
+		fmt.Println()
+		return
+	}
 
 	faultCfg, err := sim.ParseFaultSpec(*faults)
 	if err != nil {

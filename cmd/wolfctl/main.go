@@ -1,0 +1,439 @@
+// Command wolfctl is the CLI client for a wolfd analysis service and
+// its persistent defect corpus.
+//
+// Usage:
+//
+//	wolfctl [-addr http://localhost:8077] <command> [args]
+//
+//	wolfctl upload trace.wtrc [-wait]   upload a recorded trace, print the job
+//	wolfctl jobs [-state done] [-limit N]
+//	wolfctl defects [-json]             aggregated defect records
+//	wolfctl defects <fingerprint>       one record (full or 12-char prefix)
+//	wolfctl trace                       list stored trace blobs
+//	wolfctl trace <hash> [-o out.wtrc]  fetch one blob (binary encoding)
+//	wolfctl rm <hash>                   delete a stored trace blob
+//	wolfctl replay <hash> [-wait]       re-enqueue analysis of a stored trace
+//	wolfctl -version                    print build information
+//
+// The corpus commands need a wolfd started with -data-dir. Uploads may
+// be JSON or binary WTRC, gzipped or not — gzip is detected by magic
+// and forwarded with the right Content-Encoding.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"wolf/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes one wolfctl invocation; split from main so tests can
+// drive the CLI against an httptest server.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wolfctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", envOr("WOLFD_ADDR", "http://localhost:8077"), "wolfd base URL")
+	version := fs.Bool("version", false, "print build information and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: wolfctl [-addr URL] upload|jobs|defects|trace|rm|replay ...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		bi := obs.ReadBuildInfo()
+		fmt.Fprintf(stdout, "wolfctl %s %s", bi.Version, bi.GoVersion)
+		if bi.Revision != "" {
+			fmt.Fprintf(stdout, " %s", bi.Revision)
+		}
+		fmt.Fprintln(stdout)
+		return 0
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+	c := &client{base: strings.TrimRight(*addr, "/"), out: stdout, err: stderr}
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+	var err error
+	switch cmd {
+	case "upload":
+		err = c.upload(rest)
+	case "jobs":
+		err = c.jobs(rest)
+	case "defects":
+		err = c.defects(rest)
+	case "trace":
+		err = c.trace(rest)
+	case "rm":
+		err = c.rm(rest)
+	case "replay":
+		err = c.replay(rest)
+	default:
+		fmt.Fprintf(stderr, "wolfctl: unknown command %q\n", cmd)
+		fs.Usage()
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "wolfctl:", err)
+		return 1
+	}
+	return 0
+}
+
+// parseArgs parses fs accepting flags and positional arguments in any
+// order (stdlib flag stops at the first positional), returning the
+// positionals.
+func parseArgs(fs *flag.FlagSet, args []string) ([]string, error) {
+	var pos []string
+	for len(args) > 0 {
+		if err := fs.Parse(args); err != nil {
+			return nil, err
+		}
+		args = fs.Args()
+		for len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+			pos = append(pos, args[0])
+			args = args[1:]
+		}
+	}
+	return pos, nil
+}
+
+func envOr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+type client struct {
+	base string
+	out  io.Writer
+	err  io.Writer
+}
+
+// apiError decodes wolfd's {"error": ...} body into a readable error.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("%s", resp.Status)
+}
+
+func (c *client) getJSON(path string, out any) error {
+	resp, err := http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// jobView mirrors the fields of wolfd's job status wolfctl renders.
+type jobView struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Source    string `json:"source"`
+	TraceHash string `json:"trace_hash"`
+	Error     string `json:"error"`
+	ReportURL string `json:"report_url"`
+}
+
+// upload posts a recorded trace file and optionally waits for the job.
+func (c *client) upload(args []string) error {
+	fs := flag.NewFlagSet("upload", flag.ContinueOnError)
+	fs.SetOutput(c.err)
+	wait := fs.Bool("wait", false, "poll until the job reaches a terminal state")
+	pos, err := parseArgs(fs, args)
+	if err != nil {
+		return err
+	}
+	if len(pos) != 1 {
+		return fmt.Errorf("usage: wolfctl upload <trace-file> [-wait]")
+	}
+	data, err := os.ReadFile(pos[0])
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.base+"/v1/traces", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		req.Header.Set("Content-Encoding", "gzip")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return apiError(resp)
+	}
+	var j jobView
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		return err
+	}
+	if *wait {
+		if j, err = c.poll(j.ID); err != nil {
+			return err
+		}
+	}
+	c.printJob(j)
+	if j.State == "failed" {
+		return fmt.Errorf("job %s failed: %s", j.ID, j.Error)
+	}
+	return nil
+}
+
+// poll waits for a job to leave the queued/running states.
+func (c *client) poll(id string) (jobView, error) {
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		var j jobView
+		if err := c.getJSON("/v1/jobs/"+id, &j); err != nil {
+			return j, err
+		}
+		if j.State == "done" || j.State == "failed" {
+			return j, nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return jobView{}, fmt.Errorf("job %s did not finish within 2m", id)
+}
+
+func (c *client) printJob(j jobView) {
+	fmt.Fprintf(c.out, "%s\t%s\t%s", j.ID, j.State, j.Source)
+	if j.TraceHash != "" {
+		fmt.Fprintf(c.out, "\t%s", short(j.TraceHash))
+	}
+	if j.Error != "" {
+		fmt.Fprintf(c.out, "\t%s", j.Error)
+	}
+	fmt.Fprintln(c.out)
+}
+
+func short(hash string) string {
+	if len(hash) > 12 {
+		return hash[:12]
+	}
+	return hash
+}
+
+// jobs lists jobs, forwarding the server-side state/limit filters.
+func (c *client) jobs(args []string) error {
+	fs := flag.NewFlagSet("jobs", flag.ContinueOnError)
+	fs.SetOutput(c.err)
+	state := fs.String("state", "", "filter by state: queued, running, done or failed")
+	limit := fs.Int("limit", 0, "keep only the N most recent matches")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path := "/v1/jobs"
+	sep := "?"
+	if *state != "" {
+		path += sep + "state=" + *state
+		sep = "&"
+	}
+	if *limit > 0 {
+		path += sep + fmt.Sprintf("limit=%d", *limit)
+	}
+	var out struct {
+		Jobs []jobView `json:"jobs"`
+	}
+	if err := c.getJSON(path, &out); err != nil {
+		return err
+	}
+	for _, j := range out.Jobs {
+		c.printJob(j)
+	}
+	return nil
+}
+
+// defectRecord mirrors the corpus record fields wolfctl renders.
+type defectRecord struct {
+	Fingerprint string    `json:"fingerprint"`
+	Signature   string    `json:"signature"`
+	Class       string    `json:"class"`
+	Method      string    `json:"method,omitempty"`
+	Occurrences int       `json:"occurrences"`
+	FirstSeen   time.Time `json:"first_seen"`
+	LastSeen    time.Time `json:"last_seen"`
+	Traces      []string  `json:"traces"`
+}
+
+// defects lists the corpus defect records, or one record by
+// fingerprint.
+func (c *client) defects(args []string) error {
+	fs := flag.NewFlagSet("defects", flag.ContinueOnError)
+	fs.SetOutput(c.err)
+	asJSON := fs.Bool("json", false, "print raw JSON instead of the table")
+	pos, err := parseArgs(fs, args)
+	if err != nil {
+		return err
+	}
+	if len(pos) > 1 {
+		return fmt.Errorf("usage: wolfctl defects [-json] [fingerprint]")
+	}
+	if len(pos) == 1 {
+		var d json.RawMessage
+		if err := c.getJSON("/v1/defects/"+pos[0], &d); err != nil {
+			return err
+		}
+		return indentJSON(c.out, d)
+	}
+	var raw struct {
+		Defects json.RawMessage `json:"defects"`
+	}
+	if err := c.getJSON("/v1/defects", &raw); err != nil {
+		return err
+	}
+	if *asJSON {
+		return indentJSON(c.out, raw.Defects)
+	}
+	var defects []defectRecord
+	if err := json.Unmarshal(raw.Defects, &defects); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "FINGERPRINT\tCLASS\tOCCURRENCES\tTRACES\tLAST SEEN\tSIGNATURE\n")
+	for _, d := range defects {
+		fmt.Fprintf(c.out, "%s\t%s\t%d\t%d\t%s\t%s\n",
+			short(d.Fingerprint), d.Class, d.Occurrences, len(d.Traces),
+			d.LastSeen.UTC().Format(time.RFC3339), d.Signature)
+	}
+	return nil
+}
+
+func indentJSON(w io.Writer, raw json.RawMessage) error {
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, raw, "", "  "); err != nil {
+		return err
+	}
+	buf.WriteByte('\n')
+	_, err := buf.WriteTo(w)
+	return err
+}
+
+// trace lists stored blobs, or fetches one by content address.
+func (c *client) trace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	fs.SetOutput(c.err)
+	out := fs.String("o", "", "write the blob to this file instead of stdout")
+	pos, err := parseArgs(fs, args)
+	if err != nil {
+		return err
+	}
+	if len(pos) == 0 {
+		var list struct {
+			Traces []struct {
+				Hash  string `json:"hash"`
+				Bytes int64  `json:"bytes"`
+			} `json:"traces"`
+		}
+		if err := c.getJSON("/v1/traces", &list); err != nil {
+			return err
+		}
+		for _, tr := range list.Traces {
+			fmt.Fprintf(c.out, "%s\t%d\n", tr.Hash, tr.Bytes)
+		}
+		return nil
+	}
+	if len(pos) != 1 {
+		return fmt.Errorf("usage: wolfctl trace [hash] [-o file]")
+	}
+	resp, err := http.Get(c.base + "/v1/traces/" + pos[0])
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	dst := c.out
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	_, err = io.Copy(dst, resp.Body)
+	return err
+}
+
+// rm deletes a stored trace blob.
+func (c *client) rm(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: wolfctl rm <hash>")
+	}
+	req, err := http.NewRequest(http.MethodDelete, c.base+"/v1/traces/"+args[0], nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return apiError(resp)
+	}
+	fmt.Fprintf(c.out, "deleted %s\n", short(args[0]))
+	return nil
+}
+
+// replay re-enqueues analysis of a stored trace.
+func (c *client) replay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	fs.SetOutput(c.err)
+	wait := fs.Bool("wait", false, "poll until the job reaches a terminal state")
+	pos, err := parseArgs(fs, args)
+	if err != nil {
+		return err
+	}
+	if len(pos) != 1 {
+		return fmt.Errorf("usage: wolfctl replay <hash> [-wait]")
+	}
+	resp, err := http.Post(c.base+"/v1/traces/"+pos[0]+"/replay", "", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return apiError(resp)
+	}
+	var j jobView
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		return err
+	}
+	if *wait {
+		if j, err = c.poll(j.ID); err != nil {
+			return err
+		}
+	}
+	c.printJob(j)
+	if j.State == "failed" {
+		return fmt.Errorf("job %s failed: %s", j.ID, j.Error)
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wolf/internal/core"
+	"wolf/internal/server"
+	"wolf/internal/store"
+	"wolf/internal/workloads"
+)
+
+// startWolfd runs a corpus-backed wolfd behind httptest and returns its
+// base URL.
+func startWolfd(t *testing.T) string {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(server.Config{Workers: 2, QueueSize: 8, Store: st})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		st.Close()
+	})
+	return ts.URL
+}
+
+// traceFile records a Figure4 detection trace to a temp .wtrc file.
+func traceFile(t *testing.T) string {
+	t.Helper()
+	w, ok := workloads.ByName("Figure4")
+	if !ok {
+		t.Fatal("Figure4 not registered")
+	}
+	seed, ok := workloads.FindTerminatingSeed(w.New, 300)
+	if !ok {
+		t.Fatal("no terminating seed")
+	}
+	tr := core.Record(w.New, seed, 0)
+	path := filepath.Join(t.TempDir(), "fig4.wtrc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteBinary(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// ctl runs one wolfctl invocation and returns exit code and stdout.
+func ctl(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	if errb.Len() > 0 {
+		t.Logf("stderr: %s", errb.String())
+	}
+	return code, out.String()
+}
+
+func TestUploadDefectsTraceReplayRoundTrip(t *testing.T) {
+	base := startWolfd(t)
+	path := traceFile(t)
+
+	// Upload twice: content addressing dedups the blob, the defect
+	// record counts two occurrences.
+	code, out := ctl(t, "-addr", base, "upload", path, "-wait")
+	if code != 0 || !strings.Contains(out, "done") {
+		t.Fatalf("upload: code=%d out=%q", code, out)
+	}
+	if code, out = ctl(t, "-addr", base, "upload", path, "-wait"); code != 0 {
+		t.Fatalf("second upload: code=%d out=%q", code, out)
+	}
+
+	code, out = ctl(t, "-addr", base, "defects")
+	if code != 0 {
+		t.Fatalf("defects: code=%d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 { // header + one record
+		t.Fatalf("defects table = %q, want one record", out)
+	}
+	if !strings.Contains(lines[1], "\t2\t") {
+		t.Errorf("defect row %q missing occurrence count 2", lines[1])
+	}
+
+	// JSON form carries the full fingerprint; the single-record fetch
+	// accepts its 12-char prefix.
+	code, out = ctl(t, "-addr", base, "defects", "-json")
+	if code != 0 || !strings.Contains(out, `"fingerprint"`) {
+		t.Fatalf("defects -json: code=%d out=%q", code, out)
+	}
+	fp := extract(t, out, `"fingerprint": "`)
+	if code, out = ctl(t, "-addr", base, "defects", fp[:12]); code != 0 || !strings.Contains(out, fp) {
+		t.Fatalf("defects by prefix: code=%d", code)
+	}
+
+	// One stored blob; fetch it back and replay it.
+	code, out = ctl(t, "-addr", base, "trace")
+	if code != 0 {
+		t.Fatalf("trace list: code=%d", code)
+	}
+	if lines := strings.Split(strings.TrimSpace(out), "\n"); len(lines) != 1 {
+		t.Fatalf("trace list = %q, want exactly one blob (dedup)", out)
+	}
+	hash := strings.Fields(out)[0]
+	dst := filepath.Join(t.TempDir(), "out.wtrc")
+	if code, _ = ctl(t, "-addr", base, "trace", hash, "-o", dst); code != 0 {
+		t.Fatalf("trace fetch: code=%d", code)
+	}
+	orig, _ := os.ReadFile(path)
+	got, _ := os.ReadFile(dst)
+	if !bytes.Equal(orig, got) {
+		t.Error("fetched blob differs from the uploaded encoding")
+	}
+	if code, out = ctl(t, "-addr", base, "replay", hash, "-wait"); code != 0 || !strings.Contains(out, "done") {
+		t.Fatalf("replay: code=%d out=%q", code, out)
+	}
+
+	// Jobs listing respects the server-side filters.
+	code, out = ctl(t, "-addr", base, "jobs", "-state", "done", "-limit", "2")
+	if code != 0 {
+		t.Fatalf("jobs: code=%d", code)
+	}
+	if lines := strings.Split(strings.TrimSpace(out), "\n"); len(lines) != 2 {
+		t.Errorf("jobs -limit 2 = %q, want 2 rows", out)
+	}
+
+	// Delete the blob; the defect record survives.
+	if code, _ = ctl(t, "-addr", base, "rm", hash); code != 0 {
+		t.Fatalf("rm: code=%d", code)
+	}
+	if code, _ = ctl(t, "-addr", base, "trace", hash); code == 0 {
+		t.Error("trace fetch after rm should fail")
+	}
+	if code, out = ctl(t, "-addr", base, "defects"); code != 0 || len(strings.Split(strings.TrimSpace(out), "\n")) != 2 {
+		t.Error("defect record must survive trace deletion")
+	}
+}
+
+// extract pulls the value following marker out of JSON-ish text.
+func extract(t *testing.T, text, marker string) string {
+	t.Helper()
+	i := strings.Index(text, marker)
+	if i < 0 {
+		t.Fatalf("marker %q not found", marker)
+	}
+	rest := text[i+len(marker):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		t.Fatalf("unterminated value after %q", marker)
+	}
+	return rest[:j]
+}
+
+func TestVersionFlag(t *testing.T) {
+	code, out := ctl(t, "-version")
+	if code != 0 || !strings.Contains(out, "wolfctl") || !strings.Contains(out, "go1.") {
+		t.Fatalf("-version: code=%d out=%q", code, out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _ := ctl(t); code != 2 {
+		t.Error("no command should exit 2")
+	}
+	if code, _ := ctl(t, "frobnicate"); code != 2 {
+		t.Error("unknown command should exit 2")
+	}
+	if code, _ := ctl(t, "-addr", "http://127.0.0.1:1", "defects"); code != 1 {
+		t.Error("unreachable server should exit 1")
+	}
+}

@@ -5,8 +5,13 @@
 // Usage:
 //
 //	wolfd [-addr :8077] [-workers 4] [-queue 64] [-timeout 30s] [-data]
-//	      [-max-body 32] [-watchdog-grace 2s]
+//	      [-data-dir /var/lib/wolfd] [-max-body 32] [-watchdog-grace 2s]
 //	      [-log-format text|json] [-log-level info] [-debug-addr localhost:6060]
+//
+// -data-dir attaches a persistent corpus: uploaded traces are archived
+// by content address, finished analyses aggregate into fingerprinted
+// defect records, and jobs survive restarts. Without it the server is
+// fully in-memory.
 //
 // Logs are structured (log/slog) and tagged with job IDs; -log-format
 // json emits one JSON object per line for log shippers. -debug-addr
@@ -31,6 +36,7 @@ import (
 	"wolf/internal/core"
 	"wolf/internal/obs"
 	"wolf/internal/server"
+	"wolf/internal/store"
 )
 
 func main() {
@@ -43,11 +49,23 @@ func main() {
 		grace     = flag.Duration("watchdog-grace", 2*time.Second, "extra wait past -timeout before a worker abandons a stuck analysis")
 		maxBody   = flag.Int64("max-body", 32, "maximum decompressed upload size in MiB")
 		data      = flag.Bool("data", false, "enable the value-flow (data dependency) extension")
+		dataDir   = flag.String("data-dir", "", "persist traces, jobs and defect records in this directory")
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (for example localhost:6060)")
+		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		bi := obs.ReadBuildInfo()
+		fmt.Printf("wolfd %s %s", bi.Version, bi.GoVersion)
+		if bi.Revision != "" {
+			fmt.Printf(" %s", bi.Revision)
+		}
+		fmt.Println()
+		return
+	}
 
 	var level slog.Level
 	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
@@ -72,6 +90,20 @@ func main() {
 		log.Info("pprof enabled", "addr", *debugAddr)
 	}
 
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		st, err = store.Open(*dataDir)
+		if err != nil {
+			log.Error("open data dir", "dir", *dataDir, "err", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		stats := st.Stats()
+		log.Info("corpus opened", "dir", *dataDir,
+			"traces", stats.Traces, "defects", stats.Defects, "jobs", stats.Jobs)
+	}
+
 	srv := server.New(server.Config{
 		Workers:        *workers,
 		QueueSize:      *queue,
@@ -80,6 +112,7 @@ func main() {
 		MaxUploadBytes: *maxBody << 20,
 		Analysis:       core.Config{DataDependency: *data},
 		Logger:         log,
+		Store:          st,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -1,0 +1,172 @@
+package fingerprint
+
+import (
+	"fmt"
+	"testing"
+
+	"wolf/internal/detect"
+	"wolf/internal/trace"
+	"wolf/sim"
+)
+
+// tuple builds a Dσ tuple with the per-run fields (ordinals, indices,
+// occurrence counters) derived from run so tests can vary everything a
+// fingerprint must ignore.
+func tuple(run int, thread, lock, site string, held ...[2]string) *trace.Tuple {
+	tp := &trace.Tuple{
+		Thread:   fmt.Sprintf("%s.%d", thread, run),
+		ThreadID: sim.ThreadID(run),
+		Lock:     lock,
+		Site:     site,
+		Idx:      sim.Index{Thread: fmt.Sprintf("%s.%d", thread, run), Seq: run * 7},
+		Key:      trace.Key{Thread: fmt.Sprintf("%s.%d", thread, run), Site: site, Occ: run + 1},
+		Tau:      run * 3,
+		Pos:      run,
+	}
+	for i, h := range held {
+		tp.Held = append(tp.Held, trace.HeldLock{
+			Lock: h[0],
+			Site: h[1],
+			Idx:  sim.Index{Thread: tp.Thread, Seq: run*10 + i},
+			Key:  trace.Key{Thread: tp.Thread, Site: h[1], Occ: run + i},
+		})
+	}
+	return tp
+}
+
+// fig4Cycle is the canonical two-thread cycle shape of the paper's
+// Figure 4, parameterized by run so per-run identities differ.
+func fig4Cycle(run int) *detect.Cycle {
+	return &detect.Cycle{Tuples: []*trace.Tuple{
+		tuple(run, "main/a", "l2", "A.f:10", [2]string{"l1", "A.f:5"}),
+		tuple(run, "main/b", "l1", "B.g:20", [2]string{"l2", "B.g:15"}),
+	}}
+}
+
+func TestOfStableAcrossRuns(t *testing.T) {
+	fp1 := Of(fig4Cycle(1))
+	fp2 := Of(fig4Cycle(2))
+	if fp1 != fp2 {
+		t.Errorf("same defect across runs: fingerprints differ\n%s\n%s", fp1, fp2)
+	}
+	if len(fp1) != 64 {
+		t.Errorf("fingerprint length = %d, want 64 hex chars", len(fp1))
+	}
+}
+
+func TestOfRotationInvariant(t *testing.T) {
+	c := fig4Cycle(1)
+	rot := &detect.Cycle{Tuples: []*trace.Tuple{c.Tuples[1], c.Tuples[0]}}
+	if Of(c) != Of(rot) {
+		t.Error("rotated cycle changed the fingerprint")
+	}
+}
+
+func TestOfDistinguishesDefects(t *testing.T) {
+	base := Of(fig4Cycle(1))
+
+	// Different deadlocking site: different defect.
+	other := fig4Cycle(1)
+	other.Tuples[0].Site = "A.f:99"
+	if Of(other) == base {
+		t.Error("different acquisition site collided")
+	}
+
+	// Different hold-and-wait context (extra stack frame): different
+	// defect even though the deadlocking sites match.
+	deeper := fig4Cycle(1)
+	deeper.Tuples[0].Held = append(deeper.Tuples[0].Held,
+		trace.HeldLock{Lock: "l9", Site: "A.f:7"})
+	if Of(deeper) == base {
+		t.Error("different acquisition stack collided")
+	}
+
+	// Different thread abstraction: different defect.
+	reparent := fig4Cycle(1)
+	reparent.Tuples[0].Thread = "main/other.1"
+	if Of(reparent) == base {
+		t.Error("different thread creation site collided")
+	}
+}
+
+func TestStackOrderMatters(t *testing.T) {
+	a := &detect.Cycle{Tuples: []*trace.Tuple{
+		tuple(1, "main/a", "l3", "s:1", [2]string{"l1", "s:2"}, [2]string{"l2", "s:3"}),
+		tuple(1, "main/b", "l1", "s:4", [2]string{"l3", "s:5"}),
+	}}
+	b := &detect.Cycle{Tuples: []*trace.Tuple{
+		tuple(1, "main/a", "l3", "s:1", [2]string{"l2", "s:3"}, [2]string{"l1", "s:2"}),
+		tuple(1, "main/b", "l1", "s:4", [2]string{"l3", "s:5"}),
+	}}
+	if Of(a) == Of(b) {
+		t.Error("reordered acquisition stack collided")
+	}
+}
+
+func TestEdgesSortedAndAbstracted(t *testing.T) {
+	edges := Edges(fig4Cycle(3))
+	if len(edges) != 2 {
+		t.Fatalf("edges = %d, want 2", len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i-1].canon() > edges[i].canon() {
+			t.Error("edges not in canonical order")
+		}
+	}
+	for _, e := range edges {
+		if e.Thread == "main/a" {
+			if e.Site != "A.f:10" || len(e.Stack) != 1 || e.Stack[0] != "A.f:5" {
+				t.Errorf("bad abstraction: %+v", e)
+			}
+		}
+	}
+}
+
+func TestShort(t *testing.T) {
+	fp := Of(fig4Cycle(1))
+	if got := Short(fp); len(got) != 12 || fp[:12] != got {
+		t.Errorf("Short(%q) = %q", fp, got)
+	}
+	if Short("abc") != "abc" {
+		t.Error("Short should pass short strings through")
+	}
+}
+
+// FuzzCanonical feeds arbitrary ordinal/rotation/identity perturbations
+// and asserts the fingerprint never moves: renaming thread ordinals,
+// rotating the cycle, and rewriting every per-run field (indices,
+// occurrence counters, timestamps, positions, thread IDs) must hash
+// identically, while changing an acquisition site must not.
+func FuzzCanonical(f *testing.F) {
+	f.Add(uint8(1), uint8(3), "A.f:10", "B.g:20")
+	f.Add(uint8(0), uint8(255), "x", "y")
+	f.Add(uint8(7), uint8(7), "site with spaces", "site\x1fwith|seps")
+	f.Fuzz(func(t *testing.T, runA, runB uint8, siteA, siteB string) {
+		mk := func(run int, sA, sB string) *detect.Cycle {
+			return &detect.Cycle{Tuples: []*trace.Tuple{
+				tuple(run, "main/a", "l2", sA, [2]string{"l1", sA + "'"}),
+				tuple(run, "main/b", "l1", sB, [2]string{"l2", sB + "'"}),
+			}}
+		}
+		base := mk(int(runA), siteA, siteB)
+		perm := mk(int(runB), siteA, siteB)
+		// Rotate the permuted cycle as well.
+		perm.Tuples[0], perm.Tuples[1] = perm.Tuples[1], perm.Tuples[0]
+
+		if Of(base) != Of(perm) {
+			t.Fatalf("fingerprint not canonical:\nbase %s\nperm %s", Of(base), Of(perm))
+		}
+		if siteA != siteB {
+			// Swapping which thread abstraction acquires at which site is a
+			// different hold-and-wait shape and must not collide.
+			swapped := mk(int(runA), siteB, siteA)
+			if Of(base) == Of(swapped) {
+				t.Fatalf("site permutation collided for %q/%q", siteA, siteB)
+			}
+		}
+		moved := mk(int(runA), siteA+"!", siteB)
+		if Of(base) == Of(moved) {
+			t.Fatal("changed site collided")
+		}
+	})
+}

@@ -24,9 +24,9 @@ package fuzzer
 
 import (
 	"math/rand"
-	"strings"
 
 	"wolf/internal/detect"
+	"wolf/internal/fingerprint"
 	"wolf/internal/replay"
 	"wolf/sim"
 )
@@ -38,43 +38,17 @@ const DefaultAttempts = 5
 // per-parent ordinals are stripped, so "main/w.0" and "main/w.1" share
 // the abstraction "main/w". This models DeadlockFuzzer's object
 // abstractions, under which threads created at the same program point
-// are indistinguishable.
-func ThreadAbs(name string) string {
-	segs := strings.Split(name, "/")
-	for i, s := range segs {
-		segs[i] = stripOrdinal(s)
-	}
-	return strings.Join(segs, "/")
-}
+// are indistinguishable. The abstraction itself lives in the
+// fingerprint package, where the defect corpus reuses it for cross-run
+// deadlock identity.
+func ThreadAbs(name string) string { return fingerprint.ThreadAbs(name) }
 
 // LockAbs returns the allocation-site abstraction of a lock name.
 // Convention: an explicit "#instance" suffix marks same-site instances
 // ("mutex#SM1" and "mutex#SM2" share abstraction "mutex"), and locks
 // allocated by threads ("base@thread.k") collapse their allocation
 // ordinal and the allocating thread's ordinals.
-func LockAbs(name string) string {
-	if i := strings.IndexByte(name, '#'); i >= 0 {
-		return name[:i]
-	}
-	if i := strings.LastIndexByte(name, '@'); i >= 0 {
-		return name[:i] + "@" + ThreadAbs(stripOrdinal(name[i+1:]))
-	}
-	return name
-}
-
-// stripOrdinal removes a trailing ".<digits>" from s.
-func stripOrdinal(s string) string {
-	i := strings.LastIndexByte(s, '.')
-	if i < 0 || i == len(s)-1 {
-		return s
-	}
-	for _, c := range s[i+1:] {
-		if c < '0' || c > '9' {
-			return s
-		}
-	}
-	return s[:i]
-}
+func LockAbs(name string) string { return fingerprint.LockAbs(name) }
 
 // component is one node of the target cycle, abstracted.
 type component struct {

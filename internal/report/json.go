@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"wolf/internal/core"
+	"wolf/internal/fingerprint"
 )
 
 // JSONReport is the wire representation of a core.Report, served by the
@@ -47,6 +48,10 @@ type JSONCycle struct {
 	Sites []string `json:"sites"`
 	// Signature is the defect signature the cycle belongs to.
 	Signature string `json:"signature"`
+	// Fingerprint is the canonical corpus identity of the cycle (see
+	// internal/fingerprint): stable across thread IDs and interleavings,
+	// so clients can correlate reports with GET /v1/defects/{fp}.
+	Fingerprint string `json:"fingerprint"`
 	// Class is the cycle verdict.
 	Class string `json:"class"`
 	// PruneRule explains a false(pruner) verdict, empty otherwise.
@@ -109,6 +114,7 @@ func FromCore(rep *core.Report) *JSONReport {
 			Locks:            cycleLocks(cr),
 			Sites:            cr.Cycle.Sites(),
 			Signature:        cr.Cycle.Signature(),
+			Fingerprint:      fingerprint.Of(cr.Cycle),
 			Class:            cr.Class.String(),
 			GsSize:           cr.GsSize,
 			HasGraph:         cr.Gs != nil,

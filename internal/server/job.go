@@ -1,11 +1,14 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
 
 	"wolf/internal/core"
+	"wolf/internal/report"
+	"wolf/internal/store"
 	"wolf/internal/trace"
 )
 
@@ -24,25 +27,40 @@ const (
 	StateFailed JobState = "failed"
 )
 
+// validState reports whether s names a job state (for the ?state list
+// filter).
+func validState(s string) bool {
+	switch JobState(s) {
+	case StateQueued, StateRunning, StateDone, StateFailed:
+		return true
+	}
+	return false
+}
+
 // Job is one unit of analysis work: a trace (uploaded, or recorded from
 // a named workload by the worker) plus its outcome.
 type Job struct {
 	// ID is the server-assigned job identifier.
 	ID string
 
-	mu       sync.Mutex
-	state    JobState
-	err      string
-	source   string
-	tuples   int
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	tr       *trace.Trace
+	mu        sync.Mutex
+	state     JobState
+	err       string
+	source    string
+	tuples    int
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	tr        *trace.Trace
+	traceHash string
 	// prepare produces the trace on the worker for jobs that record a
 	// workload server-side; nil for uploads.
 	prepare func() (*trace.Trace, error)
 	report  *core.Report
+	// reportJSON is the persisted wire report of a job rehydrated from
+	// the corpus after a restart; the in-memory core.Report is gone but
+	// the report endpoint can still serve this verbatim.
+	reportJSON json.RawMessage
 }
 
 // State returns the current lifecycle state.
@@ -52,7 +70,8 @@ func (j *Job) State() JobState {
 	return j.state
 }
 
-// Report returns the analysis report, nil until the job is done.
+// Report returns the analysis report, nil until the job is done (and
+// nil for jobs rehydrated from the corpus — see ReportJSON).
 func (j *Job) Report() *core.Report {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -62,12 +81,39 @@ func (j *Job) Report() *core.Report {
 	return j.report
 }
 
+// ReportJSON returns the persisted wire report of a rehydrated job, nil
+// otherwise.
+func (j *Job) ReportJSON() json.RawMessage {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil
+	}
+	return j.reportJSON
+}
+
 // Trace returns the job's trace: set at creation for uploads, after
-// worker-side recording for workload jobs, nil before that.
+// worker-side recording for workload jobs, nil before that (and nil
+// after a restart — the blob lives in the corpus under TraceHash).
 func (j *Job) Trace() *trace.Trace {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.tr
+}
+
+// TraceHash returns the content address of the job's trace in the
+// corpus, empty when the server runs without one.
+func (j *Job) TraceHash() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.traceHash
+}
+
+// setTraceHash records the corpus address of the job's trace.
+func (j *Job) setTraceHash(hash string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.traceHash = hash
 }
 
 // begin transitions the job to running.
@@ -104,16 +150,48 @@ func (j *Job) setTrace(tr *trace.Trace) {
 	j.tuples = len(tr.Tuples)
 }
 
+// record snapshots the job as a corpus JobRecord. The report is
+// marshaled into its wire form for done jobs so a restarted server can
+// serve it verbatim.
+func (j *Job) record() store.JobRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec := store.JobRecord{
+		ID:        j.ID,
+		State:     string(j.state),
+		Source:    j.source,
+		TraceHash: j.traceHash,
+		Error:     j.err,
+		Created:   j.created,
+		Started:   j.started,
+		Finished:  j.finished,
+	}
+	if j.state == StateDone {
+		switch {
+		case j.report != nil:
+			if data, err := json.Marshal(report.FromCore(j.report)); err == nil {
+				rec.Report = data
+			}
+		case j.reportJSON != nil:
+			rec.Report = j.reportJSON
+		}
+	}
+	return rec
+}
+
 // JobView is the wire representation of a job's status.
 type JobView struct {
-	ID       string `json:"id"`
-	State    string `json:"state"`
-	Source   string `json:"source"`
-	Tuples   int    `json:"tuples,omitempty"`
-	Error    string `json:"error,omitempty"`
-	Created  string `json:"created"`
-	Started  string `json:"started,omitempty"`
-	Finished string `json:"finished,omitempty"`
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Source string `json:"source"`
+	Tuples int    `json:"tuples,omitempty"`
+	// TraceHash is the content address of the job's trace in the corpus
+	// (fetch it via GET /v1/traces/{hash}); empty without -data-dir.
+	TraceHash string `json:"trace_hash,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Created   string `json:"created"`
+	Started   string `json:"started,omitempty"`
+	Finished  string `json:"finished,omitempty"`
 	// ReportURL is set once the report can be fetched.
 	ReportURL string `json:"report_url,omitempty"`
 }
@@ -123,12 +201,13 @@ func (j *Job) view() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := JobView{
-		ID:      j.ID,
-		State:   string(j.state),
-		Source:  j.source,
-		Tuples:  j.tuples,
-		Error:   j.err,
-		Created: j.created.UTC().Format(time.RFC3339Nano),
+		ID:        j.ID,
+		State:     string(j.state),
+		Source:    j.source,
+		Tuples:    j.tuples,
+		TraceHash: j.traceHash,
+		Error:     j.err,
+		Created:   j.created.UTC().Format(time.RFC3339Nano),
 	}
 	if !j.started.IsZero() {
 		v.Started = j.started.UTC().Format(time.RFC3339Nano)
@@ -142,8 +221,10 @@ func (j *Job) view() JobView {
 	return v
 }
 
-// store is the in-memory job registry.
-type store struct {
+// jobStore is the in-memory job registry. With a corpus attached it is
+// rehydrated from the persisted job log at startup, so the ID sequence
+// continues across restarts instead of colliding with history.
+type jobStore struct {
 	mu   sync.Mutex
 	seq  int
 	jobs map[string]*Job
@@ -151,12 +232,12 @@ type store struct {
 	order []*Job
 }
 
-func newStore() *store {
-	return &store{jobs: make(map[string]*Job)}
+func newJobStore() *jobStore {
+	return &jobStore{jobs: make(map[string]*Job)}
 }
 
 // add registers a new job and assigns its ID.
-func (s *store) add(source string, tr *trace.Trace, prepare func() (*trace.Trace, error)) *Job {
+func (s *jobStore) add(source string, tr *trace.Trace, prepare func() (*trace.Trace, error)) *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
@@ -176,8 +257,43 @@ func (s *store) add(source string, tr *trace.Trace, prepare func() (*trace.Trace
 	return j
 }
 
+// restore inserts a job rehydrated from a persisted record. Jobs that
+// never reached a terminal state before the previous process died are
+// failed: their queue position is gone. It reports whether the job's
+// state changed (so the caller can persist the correction).
+func (s *jobStore) restore(rec store.JobRecord) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := &Job{
+		ID:         rec.ID,
+		state:      JobState(rec.State),
+		source:     rec.Source,
+		traceHash:  rec.TraceHash,
+		err:        rec.Error,
+		created:    rec.Created,
+		started:    rec.Started,
+		finished:   rec.Finished,
+		reportJSON: rec.Report,
+	}
+	lost := false
+	switch j.state {
+	case StateDone, StateFailed:
+	default:
+		j.state = StateFailed
+		j.err = "job lost in wolfd restart before analysis finished"
+		lost = true
+	}
+	var n int
+	if _, err := fmt.Sscanf(rec.ID, "j-%d", &n); err == nil && n > s.seq {
+		s.seq = n
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j)
+	return j, lost
+}
+
 // get looks a job up by ID.
-func (s *store) get(id string) (*Job, bool) {
+func (s *jobStore) get(id string) (*Job, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
@@ -185,7 +301,7 @@ func (s *store) get(id string) (*Job, bool) {
 }
 
 // list snapshots every job's view in creation order.
-func (s *store) list() []JobView {
+func (s *jobStore) list() []JobView {
 	s.mu.Lock()
 	jobs := append([]*Job(nil), s.order...)
 	s.mu.Unlock()

@@ -10,7 +10,7 @@
 //	POST /v1/analyze             upload a trace, analyze synchronously → report
 //	POST /v1/workloads/{name}    record a named workload server-side, enqueue
 //	GET  /v1/workloads           list the workload registry
-//	GET  /v1/jobs                list jobs
+//	GET  /v1/jobs                list jobs (?state=done&limit=N)
 //	GET  /v1/jobs/{id}           job status
 //	GET  /v1/jobs/{id}/report    analysis report (JSON)
 //	GET  /v1/jobs/{id}/dot       a defect's synchronization dependency graph
@@ -18,6 +18,17 @@
 //	GET  /metrics                Prometheus text metrics
 //	GET  /version                build information (JSON)
 //	GET  /healthz                liveness + queue depth
+//
+// With a corpus attached (wolfd -data-dir), uploaded traces, jobs and
+// aggregated defect records persist across restarts and the corpus API
+// is served too:
+//
+//	GET    /v1/traces               list stored trace blobs
+//	GET    /v1/traces/{hash}        one stored trace, binary encoding
+//	DELETE /v1/traces/{hash}        remove a stored trace blob
+//	POST   /v1/traces/{hash}/replay re-enqueue analysis of a stored trace
+//	GET    /v1/defects              defect records, most occurrences first
+//	GET    /v1/defects/{fp}         one defect record by fingerprint
 package server
 
 import (
@@ -32,12 +43,15 @@ import (
 	"os"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"wolf/internal/core"
+	"wolf/internal/fingerprint"
 	"wolf/internal/obs"
 	"wolf/internal/report"
+	"wolf/internal/store"
 	"wolf/internal/trace"
 	"wolf/internal/workloads"
 )
@@ -70,6 +84,12 @@ type Config struct {
 	// tagged with job IDs. Silent when nil; the wolfd binary wires it to
 	// stderr via -log-format/-log-level.
 	Logger *slog.Logger
+	// Store is the persistent defect corpus (wolfd -data-dir). When set,
+	// uploaded and server-recorded traces are archived by content
+	// address, finished analyses fold their cycles into fingerprinted
+	// defect records, the job log survives restarts, and the corpus
+	// endpoints are live. Nil keeps the server fully in-memory.
+	Store *store.Store
 }
 
 func (c *Config) fill() {
@@ -104,7 +124,7 @@ func (c *Config) fill() {
 type Server struct {
 	cfg     Config
 	metrics *Metrics
-	jobs    *store
+	jobs    *jobStore
 	mux     *http.ServeMux
 	// syncSem bounds concurrent synchronous analyses (POST /v1/analyze)
 	// to the worker pool size; acquiring is non-blocking, so saturation
@@ -117,15 +137,28 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// New builds a server and starts its worker pool.
+// New builds a server and starts its worker pool. With a corpus
+// attached, the job registry is rehydrated from the persisted job log
+// first: finished jobs come back with their reports, and jobs the
+// previous process never finished are failed (their queue position died
+// with it) so clients polling them see a terminal state, not a hang.
 func New(cfg Config) *Server {
 	cfg.fill()
 	s := &Server{
 		cfg:     cfg,
 		metrics: newMetrics(),
-		jobs:    newStore(),
+		jobs:    newJobStore(),
 		queue:   make(chan *Job, cfg.QueueSize),
 		syncSem: make(chan struct{}, cfg.Workers),
+	}
+	if cfg.Store != nil {
+		for _, rec := range cfg.Store.Jobs() {
+			j, lost := s.jobs.restore(rec)
+			if lost {
+				s.persistJob(j)
+				cfg.Logger.Warn("job lost in restart", "job", j.ID)
+			}
+		}
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/traces", s.handleUpload)
@@ -137,6 +170,12 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/dot", s.handleDot)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/timeline", s.handleTimeline)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraceList)
+	s.mux.HandleFunc("GET /v1/traces/{hash}", s.handleTraceGet)
+	s.mux.HandleFunc("DELETE /v1/traces/{hash}", s.handleTraceDelete)
+	s.mux.HandleFunc("POST /v1/traces/{hash}/replay", s.handleTraceReplay)
+	s.mux.HandleFunc("GET /v1/defects", s.handleDefects)
+	s.mux.HandleFunc("GET /v1/defects/{fp}", s.handleDefect)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /version", s.handleVersion)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -145,6 +184,47 @@ func New(cfg Config) *Server {
 		go s.worker()
 	}
 	return s
+}
+
+// persistJob appends the job's current state to the corpus job log. A
+// persistence failure never fails the request — the corpus degrades to
+// best-effort and the error is logged.
+func (s *Server) persistJob(j *Job) {
+	if s.cfg.Store == nil {
+		return
+	}
+	if err := s.cfg.Store.AppendJob(j.record()); err != nil {
+		s.cfg.Logger.Error("persist job", "job", j.ID, "err", err)
+	}
+}
+
+// archiveTrace stores tr in the corpus and stamps its content address
+// on the job. Archival failures are logged, not fatal.
+func (s *Server) archiveTrace(ctx context.Context, j *Job, tr *trace.Trace) {
+	if s.cfg.Store == nil || tr == nil {
+		return
+	}
+	hash, _, err := s.cfg.Store.PutTrace(ctx, tr)
+	if err != nil {
+		s.cfg.Logger.Error("archive trace", "job", j.ID, "err", err)
+		return
+	}
+	j.setTraceHash(hash)
+}
+
+// recordDefects folds a finished analysis into the corpus.
+func (s *Server) recordDefects(ctx context.Context, traceHash string, rep *core.Report) {
+	if s.cfg.Store == nil {
+		return
+	}
+	updated, err := s.cfg.Store.Record(ctx, traceHash, rep, time.Now())
+	if err != nil {
+		s.cfg.Logger.Error("record defects", "err", err)
+		return
+	}
+	for _, fp := range updated {
+		s.cfg.Logger.Info("defect recorded", "fingerprint", fingerprint.Short(fp))
+	}
 }
 
 // Handler returns the HTTP handler for the API.
@@ -239,6 +319,8 @@ func (s *Server) runJob(j *Job) {
 	log := s.cfg.Logger.With("job", j.ID, "source", j.source)
 	s.metrics.QueueWait.Observe(time.Since(j.created))
 	j.begin()
+	// Journal the terminal state whichever exit path the job takes.
+	defer s.persistJob(j)
 	log.Info("job started", "queue_wait", time.Since(j.created))
 	start := time.Now()
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.JobTimeout)
@@ -302,6 +384,12 @@ func (s *Server) runJob(j *Job) {
 		}
 		return
 	}
+	// Workload jobs only have a trace once prepare ran on the worker;
+	// archive it now so the corpus holds what was analyzed.
+	if j.TraceHash() == "" {
+		s.archiveTrace(context.Background(), j, j.Trace())
+	}
+	s.recordDefects(context.Background(), j.TraceHash(), res.rep)
 	s.metrics.observe(res.rep, time.Since(start))
 	j.finish(res.rep)
 	log.Info("job done", "cycles", len(res.rep.Cycles), "defects", len(res.rep.Defects), "elapsed", time.Since(start))
@@ -358,13 +446,15 @@ type readCloser struct{ *gzip.Reader }
 
 func (rc readCloser) Close() error { return rc.Reader.Close() }
 
-// handleUpload is POST /v1/traces: decode, enqueue, 202.
+// handleUpload is POST /v1/traces: decode, archive in the corpus,
+// enqueue, 202.
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	tr, ok := s.readTrace(w, r)
 	if !ok {
 		return
 	}
 	j := s.jobs.add("upload", tr, nil)
+	s.archiveTrace(r.Context(), j, tr)
 	s.admit(w, j)
 }
 
@@ -405,17 +495,23 @@ func (s *Server) handleWorkloadJob(w http.ResponseWriter, r *http.Request) {
 }
 
 // admit enqueues a freshly created job and writes the accept response.
+// Every outcome is journaled: the accepted record marks admission, and
+// a rejected job's terminal failure is persisted too, so the history a
+// restarted server rehydrates matches what clients were told.
 func (s *Server) admit(w http.ResponseWriter, j *Job) {
 	ok, closed := s.enqueue(j)
 	switch {
 	case closed:
 		j.fail("server shutting down")
+		s.persistJob(j)
 		httpError(w, http.StatusServiceUnavailable, "server shutting down")
 	case !ok:
 		j.fail("queue full")
+		s.persistJob(j)
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "analysis queue full")
 	default:
+		s.persistJob(j)
 		w.Header().Set("Location", "/v1/jobs/"+j.ID)
 		writeJSON(w, http.StatusAccepted, j.view())
 	}
@@ -456,6 +552,13 @@ func (s *Server) handleAnalyzeSync(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	if s.cfg.Store != nil {
+		if hash, _, perr := s.cfg.Store.PutTrace(r.Context(), tr); perr == nil {
+			s.recordDefects(r.Context(), hash, rep)
+		} else {
+			s.cfg.Logger.Error("archive trace", "err", perr)
+		}
+	}
 	s.metrics.observe(rep, time.Since(start))
 	writeJSON(w, http.StatusOK, report.FromCore(rep))
 }
@@ -469,9 +572,39 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"workloads": names})
 }
 
-// handleJobs is GET /v1/jobs.
+// handleJobs is GET /v1/jobs. ?state=done filters by lifecycle state,
+// ?limit=N keeps only the N most recent matches (tail of the
+// creation-ordered list).
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.list()})
+	jobs := s.jobs.list()
+	if state := r.URL.Query().Get("state"); state != "" {
+		if !validState(state) {
+			httpError(w, http.StatusBadRequest,
+				fmt.Sprintf("bad state %q: want queued, running, done or failed", state))
+			return
+		}
+		filtered := jobs[:0]
+		for _, v := range jobs {
+			if v.State == state {
+				filtered = append(filtered, v)
+			}
+		}
+		jobs = filtered
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "bad limit: want a non-negative integer")
+			return
+		}
+		if n < len(jobs) {
+			jobs = jobs[len(jobs)-n:]
+		}
+	}
+	if jobs == nil {
+		jobs = []JobView{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs})
 }
 
 // handleJob is GET /v1/jobs/{id}.
@@ -494,7 +627,19 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	switch j.State() {
 	case StateDone:
-		writeJSON(w, http.StatusOK, report.FromCore(j.Report()))
+		if rep := j.Report(); rep != nil {
+			writeJSON(w, http.StatusOK, report.FromCore(rep))
+			return
+		}
+		// Rehydrated after a restart: the in-memory report is gone, but
+		// the persisted wire form is served verbatim.
+		if raw := j.ReportJSON(); raw != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			w.Write(raw)
+			return
+		}
+		httpError(w, http.StatusGone, "report not preserved across wolfd restart")
 	case StateFailed:
 		httpError(w, http.StatusUnprocessableEntity, "job failed: "+j.view().Error)
 	default:
@@ -514,6 +659,13 @@ func (s *Server) handleDot(w http.ResponseWriter, r *http.Request) {
 	}
 	rep := j.Report()
 	if rep == nil {
+		if j.State() == StateDone {
+			// Rehydrated job: the SDG lives only in the in-memory report,
+			// which did not survive the restart. Re-analyze to get it back.
+			httpError(w, http.StatusGone,
+				"graph not preserved across wolfd restart; replay the trace to regenerate it")
+			return
+		}
 		httpError(w, http.StatusConflict, "job not finished")
 		return
 	}
@@ -547,6 +699,13 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tr := j.Trace()
+	if tr == nil && s.cfg.Store != nil && j.TraceHash() != "" {
+		// After a restart the in-memory trace is gone, but the corpus
+		// still has the blob under the job's content address.
+		if stored, err := s.cfg.Store.GetTrace(j.TraceHash()); err == nil {
+			tr = stored
+		}
+	}
 	if tr == nil {
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusConflict, "trace not recorded yet")
@@ -558,6 +717,127 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 	tl.WriteJSON(w)
 }
 
+// corpus guards the corpus endpoints: they only exist with -data-dir.
+func (s *Server) corpus(w http.ResponseWriter) (*store.Store, bool) {
+	if s.cfg.Store == nil {
+		httpError(w, http.StatusServiceUnavailable, "corpus disabled: start wolfd with -data-dir")
+		return nil, false
+	}
+	return s.cfg.Store, true
+}
+
+// handleTraceList is GET /v1/traces: every stored trace blob by content
+// address.
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.corpus(w)
+	if !ok {
+		return
+	}
+	traces := st.Traces()
+	if traces == nil {
+		traces = []store.TraceInfo{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": traces})
+}
+
+// handleTraceGet is GET /v1/traces/{hash}: the stored blob in its
+// canonical binary encoding. The body re-hashes to the URL.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.corpus(w)
+	if !ok {
+		return
+	}
+	rc, size, err := st.OpenTrace(r.PathValue("hash"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "no such trace")
+		return
+	}
+	defer rc.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	io.Copy(w, rc)
+}
+
+// handleTraceDelete is DELETE /v1/traces/{hash}. Defect records that
+// cite the trace keep their (now dangling) reference — the defect was
+// still observed.
+func (s *Server) handleTraceDelete(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.corpus(w)
+	if !ok {
+		return
+	}
+	if err := st.DeleteTrace(r.PathValue("hash")); err != nil {
+		httpError(w, http.StatusNotFound, "no such trace")
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleTraceReplay is POST /v1/traces/{hash}/replay: re-enqueue
+// analysis of a stored trace, e.g. after the analysis pipeline improved
+// or to regenerate a rehydrated job's graphs.
+func (s *Server) handleTraceReplay(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.corpus(w)
+	if !ok {
+		return
+	}
+	hash := r.PathValue("hash")
+	tr, err := st.GetTrace(hash)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "no such trace")
+		return
+	}
+	j := s.jobs.add("replay:"+hash[:12], tr, nil)
+	j.setTraceHash(hash)
+	s.admit(w, j)
+}
+
+// handleDefects is GET /v1/defects: aggregated defect records, most
+// occurrences first.
+func (s *Server) handleDefects(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.corpus(w)
+	if !ok {
+		return
+	}
+	defects := st.Defects()
+	if defects == nil {
+		defects = []*store.DefectRecord{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"defects": defects})
+}
+
+// handleDefect is GET /v1/defects/{fp}: one defect record by full or
+// short (12-hex-char) fingerprint.
+func (s *Server) handleDefect(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.corpus(w)
+	if !ok {
+		return
+	}
+	fp := r.PathValue("fp")
+	if d, found := st.Defect(fp); found {
+		writeJSON(w, http.StatusOK, d)
+		return
+	}
+	// Short-form lookup: unique prefix match.
+	if len(fp) >= 12 {
+		var match *store.DefectRecord
+		for _, d := range st.Defects() {
+			if strings.HasPrefix(d.Fingerprint, fp) {
+				if match != nil {
+					httpError(w, http.StatusConflict, "fingerprint prefix is ambiguous")
+					return
+				}
+				match = d
+			}
+		}
+		if match != nil {
+			writeJSON(w, http.StatusOK, match)
+			return
+		}
+	}
+	httpError(w, http.StatusNotFound, "no such defect")
+}
+
 // handleVersion is GET /version: build information.
 func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, obs.ReadBuildInfo())
@@ -567,6 +847,9 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WritePrometheus(w)
+	if s.cfg.Store != nil {
+		s.cfg.Store.WritePrometheus(w)
+	}
 }
 
 // handleHealthz is GET /healthz: 200 while accepting work, 503 during

@@ -1,0 +1,544 @@
+// Package store is wolfd's on-disk defect corpus: a crash-safe,
+// content-addressed archive of traces plus the defect records aggregated
+// over them by deadlock fingerprint (internal/fingerprint).
+//
+// Layout under the data directory:
+//
+//	traces/<sha256>.wtrc   one binary-encoded trace per file, named by
+//	                       the SHA-256 of its encoding (content
+//	                       addressing: identical traces dedup to one
+//	                       blob, and a JSON upload and its binary
+//	                       re-encoding share a hash)
+//	defects/<fp>.json      one defect record per fingerprint
+//	jobs.jsonl             append-only job log, one JSON record per line
+//
+// Crash-safety invariants:
+//
+//   - Trace blobs and defect records are written to a temp file in the
+//     same directory, fsynced, then renamed into place — a reader never
+//     observes a partial file, and a crash leaves at most an orphaned
+//     ".tmp-*" file that the next Open sweeps.
+//   - The job log is append-only and fsynced per record; a crash can
+//     truncate at most the final line. Open tolerates a torn tail by
+//     dropping the partial line and truncating the file back to the
+//     last intact record before appending again.
+//   - There is no separate manifest to desync: the index is rebuilt by
+//     scanning the directories on Open, so the filesystem state is the
+//     only source of truth.
+package store
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wolf/internal/core"
+	"wolf/internal/fingerprint"
+	"wolf/internal/obs"
+	"wolf/internal/trace"
+)
+
+// ErrNotFound is returned for lookups of traces or defects the corpus
+// does not hold.
+var ErrNotFound = errors.New("store: not found")
+
+// traceExt is the filename extension of stored trace blobs.
+const traceExt = ".wtrc"
+
+// TraceInfo describes one stored trace blob.
+type TraceInfo struct {
+	// Hash is the SHA-256 of the binary encoding, hex encoded — both the
+	// filename and the API identifier.
+	Hash string `json:"hash"`
+	// Bytes is the blob size on disk.
+	Bytes int64 `json:"bytes"`
+}
+
+// DefectRecord is the longitudinal view of one deadlock fingerprint:
+// how often it has been seen, when, in which traces, and whether replay
+// ever confirmed it.
+type DefectRecord struct {
+	// Fingerprint is the canonical cycle identity (fingerprint.Of).
+	Fingerprint string `json:"fingerprint"`
+	// Signature is the paper's source-location defect signature of the
+	// fingerprinted cycles.
+	Signature string `json:"signature"`
+	// Edges is the human-readable abstraction the fingerprint hashes.
+	Edges []fingerprint.Edge `json:"edges"`
+	// Class is the best verdict observed: "confirmed" once any analysis
+	// reproduced the deadlock, "candidate" otherwise.
+	Class string `json:"class"`
+	// Method is the replay pass that confirmed it ("steering" or
+	// "fallback"), empty while unconfirmed.
+	Method string `json:"method,omitempty"`
+	// Occurrences counts the analyses in which the fingerprint appeared.
+	Occurrences int `json:"occurrences"`
+	// FirstSeen and LastSeen bound the observation window.
+	FirstSeen time.Time `json:"first_seen"`
+	LastSeen  time.Time `json:"last_seen"`
+	// Traces lists the hashes of the stored traces the fingerprint was
+	// detected in, in first-seen order, deduplicated.
+	Traces []string `json:"traces"`
+}
+
+// clone deep-copies the record so callers can't mutate the index.
+func (d *DefectRecord) clone() *DefectRecord {
+	c := *d
+	c.Edges = append([]fingerprint.Edge(nil), d.Edges...)
+	c.Traces = append([]string(nil), d.Traces...)
+	return &c
+}
+
+// Stats summarizes the corpus for logs and metrics.
+type Stats struct {
+	Traces     int
+	TraceBytes int64
+	Defects    int
+	Jobs       int
+}
+
+// Store is an open corpus. All methods are safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	traces  map[string]TraceInfo
+	defects map[string]*DefectRecord
+	jobs    *jobLog
+
+	// Counters and latency for the wolfd_store_* metric family.
+	tracePuts     atomic.Int64
+	traceDedups   atomic.Int64
+	traceDeletes  atomic.Int64
+	defectUpdates atomic.Int64
+	putLatency    obs.Histogram
+}
+
+// Open opens (creating if needed) the corpus rooted at dir and rebuilds
+// the in-memory index by scanning it. Leftover temp files from a crash
+// are removed; unreadable defect records are skipped rather than fatal,
+// so one corrupt file cannot take the corpus down.
+func Open(dir string) (*Store, error) {
+	s := &Store{
+		dir:     dir,
+		traces:  make(map[string]TraceInfo),
+		defects: make(map[string]*DefectRecord),
+	}
+	for _, sub := range []string{s.tracesDir(), s.defectsDir()} {
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	if err := s.scanTraces(); err != nil {
+		return nil, err
+	}
+	if err := s.scanDefects(); err != nil {
+		return nil, err
+	}
+	jl, err := openJobLog(filepath.Join(dir, "jobs.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	s.jobs = jl
+	return s, nil
+}
+
+// Close releases the job log. The store must not be used afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs.close()
+}
+
+// Dir returns the corpus root.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) tracesDir() string  { return filepath.Join(s.dir, "traces") }
+func (s *Store) defectsDir() string { return filepath.Join(s.dir, "defects") }
+
+// scanTraces rebuilds the trace index from the filesystem.
+func (s *Store) scanTraces() error {
+	entries, err := os.ReadDir(s.tracesDir())
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, ".tmp-") {
+			os.Remove(filepath.Join(s.tracesDir(), name))
+			continue
+		}
+		hash, ok := strings.CutSuffix(name, traceExt)
+		if !ok || !validHash(hash) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		s.traces[hash] = TraceInfo{Hash: hash, Bytes: info.Size()}
+	}
+	return nil
+}
+
+// scanDefects rebuilds the defect index from the filesystem.
+func (s *Store) scanDefects() error {
+	entries, err := os.ReadDir(s.defectsDir())
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, ".tmp-") {
+			os.Remove(filepath.Join(s.defectsDir(), name))
+			continue
+		}
+		fp, ok := strings.CutSuffix(name, ".json")
+		if !ok || !validHash(fp) {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.defectsDir(), name))
+		if err != nil {
+			continue
+		}
+		var rec DefectRecord
+		if err := json.Unmarshal(data, &rec); err != nil || rec.Fingerprint != fp {
+			continue // corrupt record: skip, never fatal
+		}
+		s.defects[fp] = &rec
+	}
+	return nil
+}
+
+// validHash reports whether name is a plausible lowercase hex digest —
+// the only filenames the scanner trusts.
+func validHash(name string) bool {
+	if len(name) != 64 {
+		return false
+	}
+	for _, c := range name {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// HashTrace returns the content address a trace would be stored under.
+func HashTrace(tr *trace.Trace) (string, []byte, error) {
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		return "", nil, fmt.Errorf("store: encode trace: %w", err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), buf.Bytes(), nil
+}
+
+// PutTrace stores the trace under its content address. It reports the
+// hash and whether a new blob was written; storing a trace the corpus
+// already holds is a cheap no-op (dedup).
+func (s *Store) PutTrace(ctx context.Context, tr *trace.Trace) (hash string, created bool, err error) {
+	start := time.Now()
+	_, sp := obs.Start(ctx, "store.put-trace")
+	defer sp.End()
+	hash, data, err := HashTrace(tr)
+	if err != nil {
+		return "", false, err
+	}
+	sp.Add("bytes", int64(len(data)))
+	defer s.putLatency.ObserveSince(start)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.traces[hash]; ok {
+		s.traceDedups.Add(1)
+		sp.Add("dedup", 1)
+		return hash, false, nil
+	}
+	path := filepath.Join(s.tracesDir(), hash+traceExt)
+	if err := atomicWrite(path, data); err != nil {
+		return "", false, err
+	}
+	s.traces[hash] = TraceInfo{Hash: hash, Bytes: int64(len(data))}
+	s.tracePuts.Add(1)
+	return hash, true, nil
+}
+
+// GetTrace loads and decodes a stored trace.
+func (s *Store) GetTrace(hash string) (*trace.Trace, error) {
+	rc, _, err := s.OpenTrace(hash)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	tr, err := trace.ReadBinary(rc)
+	if err != nil {
+		return nil, fmt.Errorf("store: trace %s: %w", fingerprint.Short(hash), err)
+	}
+	return tr, nil
+}
+
+// OpenTrace opens the raw blob of a stored trace for streaming, with its
+// size.
+func (s *Store) OpenTrace(hash string) (io.ReadCloser, int64, error) {
+	s.mu.Lock()
+	info, ok := s.traces[hash]
+	s.mu.Unlock()
+	if !ok {
+		return nil, 0, ErrNotFound
+	}
+	f, err := os.Open(filepath.Join(s.tracesDir(), hash+traceExt))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, 0, ErrNotFound
+		}
+		return nil, 0, fmt.Errorf("store: %w", err)
+	}
+	return f, info.Bytes, nil
+}
+
+// DeleteTrace removes a stored trace blob. Defect records keep their
+// dangling hash references: the observation history stays intact even
+// when blobs are reclaimed.
+func (s *Store) DeleteTrace(hash string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.traces[hash]; !ok {
+		return ErrNotFound
+	}
+	if err := os.Remove(filepath.Join(s.tracesDir(), hash+traceExt)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: %w", err)
+	}
+	delete(s.traces, hash)
+	s.traceDeletes.Add(1)
+	return nil
+}
+
+// Traces lists the stored blobs, ordered by hash.
+func (s *Store) Traces() []TraceInfo {
+	s.mu.Lock()
+	out := make([]TraceInfo, 0, len(s.traces))
+	for _, info := range s.traces {
+		out = append(out, info)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Hash < out[j].Hash })
+	return out
+}
+
+// HasTrace reports whether the corpus holds the blob.
+func (s *Store) HasTrace(hash string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.traces[hash]
+	return ok
+}
+
+// Record folds one analysis into the defect corpus: every confirmed or
+// still-candidate cycle of rep (false positives are excluded — they are
+// refuted, not defects) is fingerprinted and merged into its defect
+// record. One analysis contributes at most one occurrence per
+// fingerprint no matter how many of its cycles collapse to it. Updated
+// records are persisted atomically before Record returns; it reports
+// the fingerprints it touched.
+func (s *Store) Record(ctx context.Context, traceHash string, rep *core.Report, now time.Time) ([]string, error) {
+	_, sp := obs.Start(ctx, "store.record-defects")
+	defer sp.End()
+
+	seen := make(map[string]bool)
+	var updated []string
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, cr := range rep.Cycles {
+		if cr.Class.IsFalse() {
+			continue
+		}
+		fp := fingerprint.Of(cr.Cycle)
+		if seen[fp] {
+			continue
+		}
+		seen[fp] = true
+		rec, ok := s.defects[fp]
+		if !ok {
+			rec = &DefectRecord{
+				Fingerprint: fp,
+				Signature:   cr.Cycle.Signature(),
+				Edges:       fingerprint.Edges(cr.Cycle),
+				Class:       "candidate",
+				FirstSeen:   now,
+			}
+			s.defects[fp] = rec
+		}
+		rec.Occurrences++
+		rec.LastSeen = now
+		if cr.Class == core.Confirmed {
+			rec.Class = "confirmed"
+			if rec.Method == "" {
+				rec.Method = string(cr.ReplayMethod)
+			}
+		}
+		if traceHash != "" && !containsString(rec.Traces, traceHash) {
+			rec.Traces = append(rec.Traces, traceHash)
+		}
+		if err := s.writeDefect(rec); err != nil {
+			return updated, err
+		}
+		s.defectUpdates.Add(1)
+		updated = append(updated, fp)
+	}
+	sp.Add("updated", int64(len(updated)))
+	return updated, nil
+}
+
+// writeDefect persists one record atomically. Caller holds s.mu.
+func (s *Store) writeDefect(rec *DefectRecord) error {
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encode defect: %w", err)
+	}
+	return atomicWrite(filepath.Join(s.defectsDir(), rec.Fingerprint+".json"), append(data, '\n'))
+}
+
+// Defects lists the defect records, most occurrences first (fingerprint
+// as tiebreak for determinism).
+func (s *Store) Defects() []*DefectRecord {
+	s.mu.Lock()
+	out := make([]*DefectRecord, 0, len(s.defects))
+	for _, rec := range s.defects {
+		out = append(out, rec.clone())
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Occurrences != out[j].Occurrences {
+			return out[i].Occurrences > out[j].Occurrences
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	return out
+}
+
+// Defect looks one record up by full fingerprint.
+func (s *Store) Defect(fp string) (*DefectRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.defects[fp]
+	if !ok {
+		return nil, false
+	}
+	return rec.clone(), true
+}
+
+// AppendJob durably appends one job record to the log.
+func (s *Store) AppendJob(rec JobRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs.append(rec)
+}
+
+// Jobs returns the latest persisted record of every job, in first-seen
+// order.
+func (s *Store) Jobs() []JobRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs.snapshot()
+}
+
+// Stats summarizes the corpus.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Traces: len(s.traces), Defects: len(s.defects), Jobs: s.jobs.len()}
+	for _, info := range s.traces {
+		st.TraceBytes += info.Bytes
+	}
+	return st
+}
+
+// WritePrometheus renders the wolfd_store_* metric family in Prometheus
+// text exposition format: corpus gauges, operation counters and the
+// trace-write latency histogram.
+func (s *Store) WritePrometheus(w io.Writer) {
+	st := s.Stats()
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("wolfd_store_traces", "Trace blobs in the corpus.", int64(st.Traces))
+	gauge("wolfd_store_trace_bytes", "Total bytes of stored trace blobs.", st.TraceBytes)
+	gauge("wolfd_store_defects", "Defect records in the corpus.", int64(st.Defects))
+	gauge("wolfd_store_jobs", "Jobs in the persisted job log.", int64(st.Jobs))
+	counter("wolfd_store_trace_writes_total", "New trace blobs written.", s.tracePuts.Load())
+	counter("wolfd_store_trace_dedup_total", "Trace puts deduplicated by content address.", s.traceDedups.Load())
+	counter("wolfd_store_trace_deletes_total", "Trace blobs deleted.", s.traceDeletes.Load())
+	counter("wolfd_store_defect_updates_total", "Defect record updates persisted.", s.defectUpdates.Load())
+	s.putLatency.WritePrometheus(w, "wolfd_store_put_seconds", "Trace put latency (including dedup hits).", "")
+}
+
+// atomicWrite writes data to path via a same-directory temp file, fsync
+// and rename, so concurrent readers and crashes never observe a partial
+// file.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a rename survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+func containsString(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
