@@ -49,6 +49,7 @@ func main() {
 		grace     = flag.Duration("watchdog-grace", 2*time.Second, "extra wait past -timeout before a worker abandons a stuck analysis")
 		maxBody   = flag.Int64("max-body", 32, "maximum decompressed upload size in MiB")
 		data      = flag.Bool("data", false, "enable the value-flow (data dependency) extension")
+		par       = flag.Int("analysis-parallelism", 0, "per-job Generator worker pool size (0 = GOMAXPROCS, capped; output is identical at any value)")
 		dataDir   = flag.String("data-dir", "", "persist traces, jobs and defect records in this directory")
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
@@ -110,7 +111,7 @@ func main() {
 		JobTimeout:     *timeout,
 		WatchdogGrace:  *grace,
 		MaxUploadBytes: *maxBody << 20,
-		Analysis:       core.Config{DataDependency: *data},
+		Analysis:       core.Config{DataDependency: *data, Parallelism: *par},
 		Logger:         log,
 		Store:          st,
 	})

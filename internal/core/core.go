@@ -7,8 +7,11 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"wolf/internal/detect"
@@ -104,6 +107,32 @@ type Config struct {
 	// when every steered replay diverges (replay.DefaultFallbackAttempts
 	// when zero; negative disables the fallback pass).
 	FallbackAttempts int
+	// Parallelism bounds the worker pool the Generator phase fans
+	// cycles out on (zero means runtime.GOMAXPROCS(0), capped at
+	// MaxParallelism). Every worker writes only its own cycle's report
+	// slot, so the report is byte-identical at any setting; 1 forces the
+	// sequential path.
+	Parallelism int
+}
+
+// MaxParallelism caps Config.Parallelism: beyond this the per-cycle
+// work units are too coarse for extra workers to help, and an
+// accidental huge flag value must not spawn thousands of goroutines.
+const MaxParallelism = 64
+
+// EffectiveParallelism resolves Config.Parallelism: zero or negative
+// defaults to runtime.GOMAXPROCS(0), and the result never exceeds
+// MaxParallelism. wolfd reports this resolved value as the
+// wolfd_analysis_parallelism gauge.
+func (cfg *Config) EffectiveParallelism() int {
+	p := cfg.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > MaxParallelism {
+		p = MaxParallelism
+	}
+	return p
 }
 
 func (cfg *Config) detectSeeds() []int64 {
@@ -458,6 +487,102 @@ func baseline(ctx context.Context, f sim.Factory, cfg *Config) time.Duration {
 	return best
 }
 
+// pruneCycles applies the Pruner (Algorithm 2) to every cycle in one
+// batched PruneCtx call per recorded trace — the clocks a cycle is
+// checked against belong to the trace it was detected on, and online
+// detection records one trace per seed. Batching keeps the span stream
+// at one "pruner.prune" span with aggregate counts per trace instead of
+// one cycles=1 span per cycle, which used to skew span counts and
+// histogram samples. Traces recorded without clocks are skipped.
+func pruneCycles(ctx context.Context, cycles []*CycleReport) {
+	byTrace := make(map[*trace.Trace][]*CycleReport)
+	var order []*trace.Trace // deterministic span emission order
+	for _, cr := range cycles {
+		if _, ok := byTrace[cr.Trace]; !ok {
+			order = append(order, cr.Trace)
+		}
+		byTrace[cr.Trace] = append(byTrace[cr.Trace], cr)
+	}
+	for _, tr := range order {
+		if ctx.Err() != nil || tr.Clocks == nil {
+			continue
+		}
+		group := byTrace[tr]
+		cs := make([]*detect.Cycle, len(group))
+		for i, cr := range group {
+			cs[i] = cr.Cycle
+		}
+		res := pruner.PruneCtx(ctx, cs, tr.Clocks)
+		for i, cr := range group {
+			if res.Verdicts[i] == pruner.False {
+				cr.Class = FalseByPruner
+				cr.PruneReason = res.Reasons[i]
+			}
+		}
+	}
+}
+
+// generateCycles runs the Generator (Algorithm 3) over the cycles that
+// survived pruning, fanning out across a worker pool bounded by
+// cfg.EffectiveParallelism(). Each worker writes only the fields of its
+// own *CycleReport, the recorded traces (and their lazily built shared
+// index) are immutable once recording ends, and obs spans record into
+// the context's mutex-protected recorder — so the fan-out is race-free
+// and the report is independent of worker scheduling: results land in
+// the report in original cycle order and every field is a pure function
+// of (cycle, trace, cfg). Cancellation stops workers between cycles;
+// cycles not reached keep their zero (Unknown) class.
+func generateCycles(ctx context.Context, cycles []*CycleReport, cfg *Config) {
+	gen := func(cr *CycleReport) {
+		if cr.Class == FalseByPruner {
+			return
+		}
+		cr.Gs = sdg.BuildKindsCtx(ctx, cr.Cycle, cr.Trace, cfg.edgeKinds())
+		cr.GsSize = cr.Gs.Size()
+		if !cfg.DisableGenerator && cr.Gs.Cyclic() {
+			cr.Class = FalseByGenerator
+			if cfg.DataDependency {
+				// Attribute the refutation: if the graph is acyclic
+				// without the V edges, only the data dependency proves
+				// infeasibility.
+				base := sdg.BuildKindsCtx(ctx, cr.Cycle, cr.Trace, cfg.edgeKinds()&^sdg.V)
+				if !base.Cyclic() {
+					cr.Class = FalseByData
+				}
+			}
+		}
+	}
+	workers := cfg.EffectiveParallelism()
+	if workers > len(cycles) {
+		workers = len(cycles)
+	}
+	if workers <= 1 {
+		for _, cr := range cycles {
+			if ctx.Err() != nil {
+				return
+			}
+			gen(cr)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cycles) || ctx.Err() != nil {
+					return
+				}
+				gen(cycles[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // Analyze runs the full WOLF pipeline on the workload built by f.
 func Analyze(f sim.Factory, cfg Config) *Report {
 	return AnalyzeCtx(context.Background(), f, cfg)
@@ -484,40 +609,17 @@ func AnalyzeCtx(ctx context.Context, f sim.Factory, cfg Config) *Report {
 	// Extended dynamic cycle detection (Algorithm 1 + cycle detection).
 	rep.Cycles = detectAll(ctx, f, &cfg, true)
 
-	// Pruner (Algorithm 2).
+	// Pruner (Algorithm 2), batched per recorded trace.
 	_, sp := obs.Start(ctx, "prune")
 	if !cfg.DisablePruner {
-		for _, cr := range rep.Cycles {
-			res := pruner.PruneCtx(ctx, []*detect.Cycle{cr.Cycle}, cr.Trace.Clocks)
-			if res.Verdicts[0] == pruner.False {
-				cr.Class = FalseByPruner
-				cr.PruneReason = res.Reasons[0]
-			}
-		}
+		pruneCycles(ctx, rep.Cycles)
 	}
 	sp.End()
 
-	// Generator (Algorithm 3, optionally with the value-flow extension).
+	// Generator (Algorithm 3, optionally with the value-flow extension),
+	// fanned out across the configured worker pool.
 	_, sp = obs.Start(ctx, "generate")
-	for _, cr := range rep.Cycles {
-		if cr.Class == FalseByPruner {
-			continue
-		}
-		cr.Gs = sdg.BuildKindsCtx(ctx, cr.Cycle, cr.Trace, cfg.edgeKinds())
-		cr.GsSize = cr.Gs.Size()
-		if !cfg.DisableGenerator && cr.Gs.Cyclic() {
-			cr.Class = FalseByGenerator
-			if cfg.DataDependency {
-				// Attribute the refutation: if the graph is acyclic
-				// without the V edges, only the data dependency proves
-				// infeasibility.
-				base := sdg.BuildKindsCtx(ctx, cr.Cycle, cr.Trace, cfg.edgeKinds()&^sdg.V)
-				if !base.Cyclic() {
-					cr.Class = FalseByData
-				}
-			}
-		}
-	}
+	generateCycles(ctx, rep.Cycles, &cfg)
 	sp.End()
 
 	// Replayer (Algorithm 4).

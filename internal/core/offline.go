@@ -5,8 +5,6 @@ import (
 
 	"wolf/internal/detect"
 	"wolf/internal/obs"
-	"wolf/internal/pruner"
-	"wolf/internal/sdg"
 	"wolf/internal/trace"
 	"wolf/sim"
 )
@@ -56,43 +54,21 @@ func AnalyzeTraceCtx(ctx context.Context, tr *trace.Trace, cfg Config) (*Report,
 	}
 
 	_, sp = obs.Start(ctx, "prune")
-	if !cfg.DisablePruner && tr.Clocks != nil {
-		for _, cr := range rep.Cycles {
-			if ctx.Err() != nil {
-				break
-			}
-			res := pruner.PruneCtx(ctx, []*detect.Cycle{cr.Cycle}, tr.Clocks)
-			if res.Verdicts[0] == pruner.False {
-				cr.Class = FalseByPruner
-				cr.PruneReason = res.Reasons[0]
-			}
-		}
+	if !cfg.DisablePruner {
+		// One batched PruneCtx call for the whole trace: a single
+		// "pruner.prune" span carries the aggregate cycle counts instead
+		// of one cycles=1 span per cycle.
+		pruneCycles(ctx, rep.Cycles)
 	}
 	sp.End()
 	if ctx.Err() != nil {
 		return finish()
 	}
 
+	// Generator fan-out across the configured worker pool; see
+	// generateCycles for why the result is schedule-independent.
 	_, sp = obs.Start(ctx, "generate")
-	for _, cr := range rep.Cycles {
-		if ctx.Err() != nil {
-			break
-		}
-		if cr.Class == FalseByPruner {
-			continue
-		}
-		cr.Gs = sdg.BuildKindsCtx(ctx, cr.Cycle, tr, cfg.edgeKinds())
-		cr.GsSize = cr.Gs.Size()
-		if !cfg.DisableGenerator && cr.Gs.Cyclic() {
-			cr.Class = FalseByGenerator
-			if cfg.DataDependency {
-				base := sdg.BuildKindsCtx(ctx, cr.Cycle, tr, cfg.edgeKinds()&^sdg.V)
-				if !base.Cyclic() {
-					cr.Class = FalseByData
-				}
-			}
-		}
-	}
+	generateCycles(ctx, rep.Cycles, &cfg)
 	sp.End()
 
 	return finish()

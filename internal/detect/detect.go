@@ -126,12 +126,20 @@ func CyclesCtx(ctx context.Context, tr *trace.Trace, cfg Config) []*Cycle {
 	defer sp.End()
 	sp.Add("tuples", int64(len(tuples)))
 	d := &detector{maxLen: maxLen}
-	// Index tuples by held lock so "who holds ℓ" lookups are O(1).
-	d.byHeld = make(map[string][]*trace.Tuple)
-	for _, tp := range tuples {
-		for _, h := range tp.Held {
-			d.byHeld[h.Lock] = append(d.byHeld[h.Lock], tp)
+	// "Who holds ℓ" postings. When the search runs over the full tuple
+	// list (reduction disabled or nothing removed) the shared trace index
+	// already has them; otherwise build postings over the reduced set so
+	// the chain search never re-explores discarded tuples.
+	if len(tuples) == len(tr.Tuples) {
+		d.heldBy = tr.Index().HeldBy
+	} else {
+		byHeld := make(map[string][]*trace.Tuple)
+		for _, tp := range tuples {
+			for _, h := range tp.Held {
+				byHeld[h.Lock] = append(byHeld[h.Lock], tp)
+			}
 		}
+		d.heldBy = func(lock string) []*trace.Tuple { return byHeld[lock] }
 	}
 	for _, tp := range tuples {
 		if len(tp.Held) == 0 {
@@ -158,77 +166,189 @@ func CyclesCtx(ctx context.Context, tr *trace.Trace, cfg Config) []*Cycle {
 // server's request traffic) this discards nearly everything before the
 // exponential chain search runs.
 func Reduce(tuples []*trace.Tuple) []*trace.Tuple {
-	alive := make(map[*trace.Tuple]bool, len(tuples))
-	n := 0
-	for _, tp := range tuples {
-		if len(tp.Held) > 0 {
-			alive[tp] = true
-			n++
-		}
-	}
-	for changed := true; changed; {
-		changed = false
-		// heldBy[l] and wants[l] count surviving tuples per thread set;
-		// recomputing per round keeps the code simple and each round is
-		// linear.
-		heldBy := make(map[string]map[string]bool, n)
-		wants := make(map[string]map[string]bool, n)
-		for tp := range alive {
-			addLockThread(wants, tp.Lock, tp.Thread)
-			for _, h := range tp.Held {
-				addLockThread(heldBy, h.Lock, tp.Thread)
-			}
-		}
-		for tp := range alive {
-			if !otherThread(heldBy[tp.Lock], tp.Thread) || !anyWanted(wants, tp) {
-				delete(alive, tp)
-				changed = true
-			}
-		}
-	}
-	out := make([]*trace.Tuple, 0, len(alive))
-	for _, tp := range tuples {
-		if alive[tp] {
-			out = append(out, tp)
+	r := newReducer(tuples)
+	r.run()
+	out := make([]*trace.Tuple, 0, len(r.cands))
+	for _, c := range r.cands {
+		if c.alive {
+			out = append(out, c.tp)
 		}
 	}
 	return out
 }
 
-// addLockThread records that thread relates to lock.
-func addLockThread(m map[string]map[string]bool, lock, thread string) {
-	set := m[lock]
-	if set == nil {
-		set = make(map[string]bool, 2)
-		m[lock] = set
-	}
-	set[thread] = true
+// reducer is the worklist state of the reduction fixpoint. Instead of
+// rebuilding the heldBy/wants relations every round (quadratic on
+// removal cascades), it maintains per-(lock, thread) reference counts
+// and re-examines a tuple only when a count it depends on drops to
+// zero — the only transition that can newly falsify a survival
+// condition, since counts never increase.
+type reducer struct {
+	threadIDs map[string]int
+	lockIDs   map[string]int
+	cands     []reduceCand
+	// wantCnt[l][t] counts alive tuples of thread t acquiring lock l;
+	// holdCnt[l][t] counts alive tuples of thread t holding l. Entries
+	// are deleted on zero so len() is the distinct-thread count.
+	wantCnt, holdCnt []map[int]int
+	// wantersOf[l] / holdersOf[l] are candidate indices acquiring /
+	// holding lock l — the tuples to re-examine when the opposite
+	// relation on l shrinks.
+	wantersOf, holdersOf [][]int
+	queue                []int
+	queued               []bool
 }
 
-// otherThread reports whether the set contains a thread other than self.
-func otherThread(set map[string]bool, self string) bool {
-	for th := range set {
-		if th != self {
+// reduceCand is one candidate tuple with interned lock IDs.
+type reduceCand struct {
+	tp     *trace.Tuple
+	thread int
+	lock   int
+	held   []int
+	alive  bool
+}
+
+func newReducer(tuples []*trace.Tuple) *reducer {
+	r := &reducer{
+		threadIDs: make(map[string]int, 8),
+		lockIDs:   make(map[string]int, 16),
+	}
+	for _, tp := range tuples {
+		if len(tp.Held) == 0 {
+			continue // cannot participate: holds nothing for others to wait on
+		}
+		c := reduceCand{
+			tp:     tp,
+			thread: intern(r.threadIDs, tp.Thread),
+			lock:   r.internLock(tp.Lock),
+			held:   make([]int, len(tp.Held)),
+			alive:  true,
+		}
+		for i, h := range tp.Held {
+			c.held[i] = r.internLock(h.Lock)
+		}
+		r.cands = append(r.cands, c)
+	}
+	for i := range r.cands {
+		c := &r.cands[i]
+		bump(r.wantCnt, c.lock, c.thread, 1)
+		r.wantersOf[c.lock] = append(r.wantersOf[c.lock], i)
+		for _, l := range c.held {
+			bump(r.holdCnt, l, c.thread, 1)
+			r.holdersOf[l] = append(r.holdersOf[l], i)
+		}
+	}
+	return r
+}
+
+func (r *reducer) internLock(name string) int {
+	id, ok := r.lockIDs[name]
+	if !ok {
+		id = len(r.lockIDs)
+		r.lockIDs[name] = id
+		r.wantCnt = append(r.wantCnt, nil)
+		r.holdCnt = append(r.holdCnt, nil)
+		r.wantersOf = append(r.wantersOf, nil)
+		r.holdersOf = append(r.holdersOf, nil)
+	}
+	return id
+}
+
+func intern(m map[string]int, name string) int {
+	id, ok := m[name]
+	if !ok {
+		id = len(m)
+		m[name] = id
+	}
+	return id
+}
+
+// bump adjusts counts[l][t] by delta, deleting the entry at zero.
+func bump(counts []map[int]int, l, t, delta int) {
+	m := counts[l]
+	if m == nil {
+		m = make(map[int]int, 2)
+		counts[l] = m
+	}
+	if n := m[t] + delta; n > 0 {
+		m[t] = n
+	} else {
+		delete(m, t)
+	}
+}
+
+// otherIn reports whether counts[l] has an entry for a thread ≠ self.
+func otherIn(counts []map[int]int, l, self int) bool {
+	m := counts[l]
+	if len(m) >= 2 {
+		return true
+	}
+	if len(m) == 1 {
+		_, own := m[self]
+		return !own
+	}
+	return false
+}
+
+// survives checks the two MagicFuzzer conditions for candidate c.
+func (r *reducer) survives(c *reduceCand) bool {
+	if !otherIn(r.holdCnt, c.lock, c.thread) {
+		return false
+	}
+	for _, l := range c.held {
+		if otherIn(r.wantCnt, l, c.thread) {
 			return true
 		}
 	}
 	return false
 }
 
-// anyWanted reports whether some other thread acquires one of tp's held
-// locks.
-func anyWanted(wants map[string]map[string]bool, tp *trace.Tuple) bool {
-	for _, h := range tp.Held {
-		if otherThread(wants[h.Lock], tp.Thread) {
-			return true
+// run drains the worklist to the fixed point. Every candidate is
+// examined once up front; afterwards only zero-transitions of a
+// (lock, thread) count re-enqueue its dependents, so the total work is
+// the initial pass plus bounded propagation per removal.
+func (r *reducer) run() {
+	r.queued = make([]bool, len(r.cands))
+	r.queue = make([]int, 0, len(r.cands))
+	for i := range r.cands {
+		r.push(i)
+	}
+	for len(r.queue) > 0 {
+		i := r.queue[len(r.queue)-1]
+		r.queue = r.queue[:len(r.queue)-1]
+		r.queued[i] = false
+		c := &r.cands[i]
+		if !c.alive || r.survives(c) {
+			continue
+		}
+		c.alive = false
+		// Retract c's contributions; a count hitting zero wakes the
+		// tuples whose condition read that count.
+		if bump(r.wantCnt, c.lock, c.thread, -1); r.wantCnt[c.lock][c.thread] == 0 {
+			for _, j := range r.holdersOf[c.lock] {
+				r.push(j)
+			}
+		}
+		for _, l := range c.held {
+			if bump(r.holdCnt, l, c.thread, -1); r.holdCnt[l][c.thread] == 0 {
+				for _, j := range r.wantersOf[l] {
+					r.push(j)
+				}
+			}
 		}
 	}
-	return false
+}
+
+func (r *reducer) push(i int) {
+	if !r.queued[i] && r.cands[i].alive {
+		r.queued[i] = true
+		r.queue = append(r.queue, i)
+	}
 }
 
 type detector struct {
 	maxLen int
-	byHeld map[string][]*trace.Tuple
+	heldBy func(lock string) []*trace.Tuple
 	chain  []*trace.Tuple
 	found  []*Cycle
 }
@@ -253,7 +373,7 @@ func (d *detector) extend(tp *trace.Tuple) {
 	if len(d.chain) == d.maxLen {
 		return
 	}
-	for _, next := range d.byHeld[tp.Lock] {
+	for _, next := range d.heldBy(tp.Lock) {
 		if next.Thread <= first.Thread {
 			continue // canonical rotation: chain[0] is the min thread
 		}

@@ -252,3 +252,46 @@ func BenchmarkDetectReduction(b *testing.B) {
 		}
 	})
 }
+
+// chainTuples builds a synthetic removal-cascade input: thread ti holds
+// Li and wants Li+1. Nobody wants L0 and nobody holds Ln, so reduction
+// peels one tuple from each end per round — the worst case for a
+// rebuild-per-round fixpoint, which goes quadratic here.
+func chainTuples(n int) []*trace.Tuple {
+	out := make([]*trace.Tuple, n)
+	for i := 0; i < n; i++ {
+		out[i] = &trace.Tuple{
+			Thread: fmt.Sprintf("t%d", i),
+			Lock:   fmt.Sprintf("L%d", i+1),
+			Held:   []trace.HeldLock{{Lock: fmt.Sprintf("L%d", i)}},
+		}
+	}
+	return out
+}
+
+// TestReduceChainCascade: the whole chain is reduced away, regardless of
+// how incremental the fixpoint is.
+func TestReduceChainCascade(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 17, 64} {
+		if got := Reduce(chainTuples(n)); len(got) != 0 {
+			t.Fatalf("n=%d: %d tuples survived a pure chain", n, len(got))
+		}
+	}
+}
+
+// BenchmarkReduce measures the reduction fixpoint on cascade-heavy
+// synthetic inputs where each round only unlocks a little more work.
+func BenchmarkReduce(b *testing.B) {
+	for _, n := range []int{64, 512, 2048} {
+		b.Run(fmt.Sprintf("chain-%d", n), func(b *testing.B) {
+			tuples := chainTuples(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := Reduce(tuples); len(got) != 0 {
+					b.Fatal("chain should reduce to nothing")
+				}
+			}
+		})
+	}
+}

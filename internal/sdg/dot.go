@@ -36,11 +36,12 @@ func (g *Graph) DOT(title string) string {
 		fmt.Fprintf(&sb, "  }\n")
 	}
 
-	for u, es := range g.out {
+	for u := range g.verts {
 		if g.dead[u] {
 			continue
 		}
-		for _, e := range es {
+		for ei := g.outHead[u]; ei >= 0; ei = g.edges[ei].next {
+			e := g.edges[ei]
 			if g.dead[e.to] {
 				continue
 			}

@@ -8,9 +8,13 @@ import (
 	"wolf/internal/trace"
 )
 
-// edge is one adjacency entry.
-type edge struct {
-	to   int
+// edgeRec is one pooled adjacency record: a link in a vertex's out- or
+// in-list. Records live in a single per-graph slice instead of one
+// slice per vertex, which keeps a build to a handful of allocations
+// even for the thousands of program-order edges long prefixes produce.
+type edgeRec struct {
+	to   int32
+	next int32 // index of the next record in the same list, -1 at the end
 	kind Kind
 }
 
@@ -22,7 +26,11 @@ type Graph struct {
 	ids      map[trace.Key]int
 	verts    []Vertex
 	dead     []bool
-	out, in  [][]edge
+	edges    []edgeRec // shared pool for out- and in-lists
+	outHead  []int32
+	outTail  []int32
+	inHead   []int32
+	inTail   []int32
 	byThread map[string][]int
 	live     int
 }
@@ -33,8 +41,11 @@ func newGraph(n int) *Graph {
 		ids:      make(map[trace.Key]int, n),
 		verts:    make([]Vertex, 0, n),
 		dead:     make([]bool, 0, n),
-		out:      make([][]edge, 0, n),
-		in:       make([][]edge, 0, n),
+		edges:    make([]edgeRec, 0, 4*n),
+		outHead:  make([]int32, 0, n),
+		outTail:  make([]int32, 0, n),
+		inHead:   make([]int32, 0, n),
+		inTail:   make([]int32, 0, n),
 		byThread: make(map[string][]int, 4),
 	}
 }
@@ -48,8 +59,10 @@ func (g *Graph) intern(key trace.Key, lock string) int {
 	g.ids[key] = id
 	g.verts = append(g.verts, Vertex{Key: key, Lock: lock})
 	g.dead = append(g.dead, false)
-	g.out = append(g.out, nil)
-	g.in = append(g.in, nil)
+	g.outHead = append(g.outHead, -1)
+	g.outTail = append(g.outTail, -1)
+	g.inHead = append(g.inHead, -1)
+	g.inTail = append(g.inTail, -1)
 	g.byThread[key.Thread] = append(g.byThread[key.Thread], id)
 	g.live++
 	return id
@@ -66,20 +79,34 @@ func (g *Graph) addEdgeIDs(u, v int, k Kind) {
 	if u == v {
 		return
 	}
-	for i := range g.out[u] {
-		if g.out[u][i].to == v {
-			g.out[u][i].kind |= k
-			for j := range g.in[v] {
-				if g.in[v][j].to == u {
-					g.in[v][j].kind |= k
+	for ei := g.outHead[u]; ei >= 0; ei = g.edges[ei].next {
+		if int(g.edges[ei].to) == v {
+			g.edges[ei].kind |= k
+			for ej := g.inHead[v]; ej >= 0; ej = g.edges[ej].next {
+				if int(g.edges[ej].to) == u {
+					g.edges[ej].kind |= k
 					break
 				}
 			}
 			return
 		}
 	}
-	g.out[u] = append(g.out[u], edge{to: v, kind: k})
-	g.in[v] = append(g.in[v], edge{to: u, kind: k})
+	g.appendRec(g.outHead, g.outTail, u, edgeRec{to: int32(v), next: -1, kind: k})
+	g.appendRec(g.inHead, g.inTail, v, edgeRec{to: int32(u), next: -1, kind: k})
+}
+
+// appendRec links a new record at the tail of vertex at's list, keeping
+// iteration in insertion order (replay steering and dot output depend
+// on it).
+func (g *Graph) appendRec(head, tail []int32, at int, rec edgeRec) {
+	ei := int32(len(g.edges))
+	g.edges = append(g.edges, rec)
+	if tail[at] >= 0 {
+		g.edges[tail[at]].next = ei
+	} else {
+		head[at] = ei
+	}
+	tail[at] = ei
 }
 
 // Size returns the number of live vertices (the paper's Vs statistic).
@@ -88,12 +115,12 @@ func (g *Graph) Size() int { return g.live }
 // Edges returns the number of distinct live (u, v) pairs.
 func (g *Graph) Edges() int {
 	n := 0
-	for u, es := range g.out {
+	for u := range g.verts {
 		if g.dead[u] {
 			continue
 		}
-		for _, e := range es {
-			if !g.dead[e.to] {
+		for ei := g.outHead[u]; ei >= 0; ei = g.edges[ei].next {
+			if !g.dead[g.edges[ei].to] {
 				n++
 			}
 		}
@@ -123,9 +150,9 @@ func (g *Graph) HasEdge(u, v trace.Key, mask Kind) bool {
 	if !ok || g.dead[vi] {
 		return false
 	}
-	for _, e := range g.out[ui] {
-		if e.to == vi {
-			return e.kind&mask != 0
+	for ei := g.outHead[ui]; ei >= 0; ei = g.edges[ei].next {
+		if int(g.edges[ei].to) == vi {
+			return g.edges[ei].kind&mask != 0
 		}
 	}
 	return false
@@ -151,8 +178,8 @@ func (g *Graph) FindCycle() []trace.Key {
 	var dfs func(u int) bool
 	dfs = func(u int) bool {
 		color[u] = gray
-		for _, e := range g.out[u] {
-			v := e.to
+		for ei := g.outHead[u]; ei >= 0; ei = g.edges[ei].next {
+			v := int(g.edges[ei].to)
 			if g.dead[v] {
 				continue
 			}
@@ -211,9 +238,10 @@ func (g *Graph) CrossThreadBlockers(v trace.Key) []trace.Key {
 		return nil
 	}
 	var out []trace.Key
-	for _, e := range g.in[vi] {
-		if !g.dead[e.to] && g.verts[e.to].Key.Thread != v.Thread {
-			out = append(out, g.verts[e.to].Key)
+	for ei := g.inHead[vi]; ei >= 0; ei = g.edges[ei].next {
+		u := int(g.edges[ei].to)
+		if !g.dead[u] && g.verts[u].Key.Thread != v.Thread {
+			out = append(out, g.verts[u].Key)
 		}
 	}
 	return out
@@ -226,8 +254,9 @@ func (g *Graph) Blocked(v trace.Key) bool {
 	if !ok || g.dead[vi] {
 		return false
 	}
-	for _, e := range g.in[vi] {
-		if !g.dead[e.to] && g.verts[e.to].Key.Thread != v.Thread {
+	for ei := g.inHead[vi]; ei >= 0; ei = g.edges[ei].next {
+		u := int(g.edges[ei].to)
+		if !g.dead[u] && g.verts[u].Key.Thread != v.Thread {
 			return true
 		}
 	}
@@ -260,10 +289,11 @@ func (g *Graph) Executed(key trace.Key) {
 	for len(stack) > 0 {
 		x := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, e := range g.in[x] {
-			if !seen[e.to] && !g.dead[e.to] {
-				seen[e.to] = true
-				stack = append(stack, e.to)
+		for ei := g.inHead[x]; ei >= 0; ei = g.edges[ei].next {
+			u := int(g.edges[ei].to)
+			if !seen[u] && !g.dead[u] {
+				seen[u] = true
+				stack = append(stack, u)
 			}
 		}
 		g.removeID(x)
@@ -299,8 +329,11 @@ func (g *Graph) Clone() *Graph {
 		ids:      g.ids,
 		verts:    g.verts,
 		dead:     append([]bool(nil), g.dead...),
-		out:      g.out,
-		in:       g.in,
+		edges:    g.edges,
+		outHead:  g.outHead,
+		outTail:  g.outTail,
+		inHead:   g.inHead,
+		inTail:   g.inTail,
 		byThread: g.byThread,
 		live:     g.live,
 	}
@@ -312,7 +345,8 @@ func (g *Graph) String() string {
 	for _, id := range g.sortedIDs() {
 		fmt.Fprintf(&sb, "%v", &g.verts[id])
 		var es []string
-		for _, e := range g.out[id] {
+		for ei := g.outHead[id]; ei >= 0; ei = g.edges[ei].next {
+			e := g.edges[ei]
 			if !g.dead[e.to] {
 				es = append(es, fmt.Sprintf("-%v->%v", e.kind, g.verts[e.to].Key))
 			}

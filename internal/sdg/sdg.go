@@ -123,6 +123,11 @@ func buildKinds(c *detect.Cycle, tr *trace.Trace, kinds Kind) *Graph {
 	for _, tp := range c.Tuples {
 		prefix[tp.Thread] = tr.Prefix(tp.Thread, tp.Pos)
 		capacity += tp.Pos + len(tp.Held)
+		if kinds&V != 0 {
+			// Data edges intern load/store vertices too; size for them
+			// up front so the vertex arrays do not regrow mid-build.
+			capacity += len(tr.DataByThread(tp.Thread))
+		}
 	}
 	g := newGraph(capacity)
 
@@ -156,15 +161,22 @@ func buildKinds(c *detect.Cycle, tr *trace.Trace, kinds Kind) *Graph {
 		// Type-C: every lock in a cycle tuple's context (held locks plus
 		// the pending lock, as in the paper's Figure 7(a)) must be
 		// acquired by the cycle thread after the other cycle threads'
-		// earlier acquisitions of the same lock.
+		// earlier acquisitions of the same lock. The shared index narrows
+		// the candidate scan to exactly the other threads' acquisitions
+		// of that lock (in program order, cut at the deadlocking
+		// position) instead of walking their whole D'σ prefixes.
+		idx := tr.Index()
 		for _, ei := range c.Tuples {
 			locks := append(ei.LockNames(), ei.Lock)
 			for _, lk := range locks {
 				v := vertexFor(ei, lk)
-				for _, ts := range prefix {
-					for _, ex := range ts {
-						if ex.Thread == ei.Thread || ex.Lock != lk {
-							continue
+				for _, ej := range c.Tuples {
+					if ej.Thread == ei.Thread {
+						continue
+					}
+					for _, ex := range idx.AcquiresOf(ej.Thread, lk) {
+						if ex.Pos >= ej.Pos {
+							break // past the D'σ prefix
 						}
 						g.addEdgeIDs(vertexFor(ex, lk), v, C)
 					}
@@ -235,6 +247,7 @@ func addDataEdges(g *Graph, c *detect.Cycle, tr *trace.Trace, vertexFor func(*tr
 		}
 		return id
 	}
+	idx := tr.Index()
 	for _, tp := range c.Tuples {
 		for _, de := range tr.DataByThread(tp.Thread) {
 			if de.Store || de.PosAfter > tp.Pos || de.Observed.Zero() {
@@ -244,21 +257,14 @@ func addDataEdges(g *Graph, c *detect.Cycle, tr *trace.Trace, vertexFor func(*tr
 			if !ok || src.Thread == tp.Thread {
 				continue // producer is not a monitored cycle thread
 			}
-			store := findStore(tr, de.Observed)
+			// The index resolves the producing store in O(1); the
+			// Generator used to linear-scan the producer thread's data
+			// events per load.
+			store := idx.Store(de.Observed)
 			if store == nil {
 				continue
 			}
 			g.addEdgeIDs(anchor(store), anchor(de), V)
 		}
 	}
-}
-
-// findStore resolves a store key to its recorded event.
-func findStore(tr *trace.Trace, key trace.Key) *trace.DataEvent {
-	for _, de := range tr.DataByThread(key.Thread) {
-		if de.Key == key {
-			return de
-		}
-	}
-	return nil
 }

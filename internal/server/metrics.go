@@ -62,6 +62,9 @@ type Metrics struct {
 	SyncRejected atomic.Int64
 	// QueueDepth is the number of queued-but-not-started jobs.
 	QueueDepth atomic.Int64
+	// AnalysisParallelism is the resolved per-job Generator worker pool
+	// size (core.Config.EffectiveParallelism), set once at startup.
+	AnalysisParallelism atomic.Int64
 
 	// InvalidTraces counts uploads rejected by trace.Validate, by
 	// corruption class (422 responses).
@@ -175,6 +178,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("wolfd_sync_rejected_total", "Synchronous analyses shed because every worker slot was busy.", m.SyncRejected.Load())
 
 	gauge("wolfd_queue_depth", "Queued-but-not-started jobs.", m.QueueDepth.Load())
+	gauge("wolfd_analysis_parallelism", "Resolved per-job analysis worker pool size (-analysis-parallelism).", m.AnalysisParallelism.Load())
 	counter("wolfd_cycles_total", "Potential deadlock cycles detected across all reports.", m.CyclesTotal.Load())
 	counter("wolfd_replay_faults_injected_total", "Scheduling perturbations injected across all replays.", m.FaultsInjected.Load())
 

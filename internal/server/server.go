@@ -151,6 +151,7 @@ func New(cfg Config) *Server {
 		queue:   make(chan *Job, cfg.QueueSize),
 		syncSem: make(chan struct{}, cfg.Workers),
 	}
+	s.metrics.AnalysisParallelism.Store(int64(cfg.Analysis.EffectiveParallelism()))
 	if cfg.Store != nil {
 		for _, rec := range cfg.Store.Jobs() {
 			j, lost := s.jobs.restore(rec)

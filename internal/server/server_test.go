@@ -513,6 +513,35 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 }
 
+// TestAnalysisParallelismGauge: the resolved Generator pool size is
+// exported at startup — an explicit setting verbatim, zero resolved via
+// EffectiveParallelism.
+func TestAnalysisParallelismGauge(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1, QueueSize: 4,
+		Analysis: core.Config{Parallelism: 3}})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "wolfd_analysis_parallelism 3") {
+		t.Fatalf("metrics missing explicit wolfd_analysis_parallelism:\n%s", body)
+	}
+
+	_, ts = startServer(t, Config{Workers: 1, QueueSize: 4})
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	def := (&core.Config{}).EffectiveParallelism()
+	if !strings.Contains(string(body), fmt.Sprintf("wolfd_analysis_parallelism %d", def)) {
+		t.Fatalf("metrics missing default wolfd_analysis_parallelism %d:\n%s", def, body)
+	}
+}
+
 // TestMetricsEndpoint: the Prometheus rendering carries the counters.
 func TestMetricsEndpoint(t *testing.T) {
 	_, ts := startServer(t, Config{Workers: 1, QueueSize: 4})

@@ -171,6 +171,9 @@ type Trace struct {
 	// Seed is the schedule seed that produced the trace, so the run can
 	// be regenerated.
 	Seed int64
+
+	// indexOnce lazily caches the derived analysis index (see Index).
+	indexOnce
 }
 
 // ByThread returns thread's tuples in program order.
