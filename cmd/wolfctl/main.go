@@ -6,6 +6,9 @@
 //	wolfctl [-addr http://localhost:8077] <command> [args]
 //
 //	wolfctl upload trace.wtrc [-wait]   upload a recorded trace, print the job
+//	wolfctl stream trace.wtrc [-chunk N] [-interval D] [-wait]
+//	                                    replay a trace into /v1/streams chunk by
+//	                                    chunk, printing candidates as they arrive
 //	wolfctl jobs [-state done] [-limit N]
 //	wolfctl defects [-json]             aggregated defect records
 //	wolfctl defects <fingerprint>       one record (full or 12-char prefix)
@@ -22,6 +25,7 @@ package main
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -46,7 +50,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	addr := fs.String("addr", envOr("WOLFD_ADDR", "http://localhost:8077"), "wolfd base URL")
 	version := fs.Bool("version", false, "print build information and exit")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: wolfctl [-addr URL] upload|jobs|defects|trace|rm|replay ...")
+		fmt.Fprintln(stderr, "usage: wolfctl [-addr URL] upload|stream|jobs|defects|trace|rm|replay ...")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -71,6 +75,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	switch cmd {
 	case "upload":
 		err = c.upload(rest)
+	case "stream":
+		err = c.stream(rest)
 	case "jobs":
 		err = c.jobs(rest)
 	case "defects":
@@ -182,6 +188,138 @@ func (c *client) upload(args []string) error {
 		req.Header.Set("Content-Encoding", "gzip")
 	}
 	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return apiError(resp)
+	}
+	var j jobView
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		return err
+	}
+	if *wait {
+		if j, err = c.poll(j.ID); err != nil {
+			return err
+		}
+	}
+	c.printJob(j)
+	if j.State == "failed" {
+		return fmt.Errorf("job %s failed: %s", j.ID, j.Error)
+	}
+	return nil
+}
+
+// candidate mirrors the cycle candidates wolfd emits in chunk
+// responses.
+type candidate struct {
+	Event       int      `json:"event"`
+	Fingerprint string   `json:"fingerprint"`
+	Signature   string   `json:"signature"`
+	Threads     []string `json:"threads"`
+	Pruned      bool     `json:"pruned"`
+	PruneRule   string   `json:"prune_rule"`
+}
+
+// chunkReply mirrors the running totals of one chunk append.
+type chunkReply struct {
+	ID         string      `json:"id"`
+	Bytes      int64       `json:"bytes"`
+	Events     int         `json:"events"`
+	Candidates int         `json:"candidates"`
+	Done       bool        `json:"done"`
+	New        []candidate `json:"new"`
+}
+
+// stream replays a recorded trace into /v1/streams chunk by chunk —
+// the incremental counterpart of upload, and the e2e driver for the
+// streaming ingestion path. Candidates print as the server emits them,
+// long before the trace finishes uploading.
+func (c *client) stream(args []string) error {
+	fs := flag.NewFlagSet("stream", flag.ContinueOnError)
+	fs.SetOutput(c.err)
+	chunk := fs.Int("chunk", 4096, "chunk size in bytes")
+	interval := fs.Duration("interval", 0, "pause between chunks (simulates a live client)")
+	wait := fs.Bool("wait", false, "poll until the finalized job reaches a terminal state")
+	pos, err := parseArgs(fs, args)
+	if err != nil {
+		return err
+	}
+	if len(pos) != 1 {
+		return fmt.Errorf("usage: wolfctl stream <trace-file> [-chunk N] [-interval D] [-wait]")
+	}
+	if *chunk <= 0 {
+		return fmt.Errorf("-chunk must be positive")
+	}
+	data, err := os.ReadFile(pos[0])
+	if err != nil {
+		return err
+	}
+	// The chunk endpoint takes raw WTRC bytes; decompress a gzipped
+	// recording locally instead of forwarding the encoding header.
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return fmt.Errorf("gunzip %s: %w", pos[0], err)
+		}
+		if data, err = io.ReadAll(zr); err != nil {
+			return fmt.Errorf("gunzip %s: %w", pos[0], err)
+		}
+	}
+
+	var opened struct {
+		ID string `json:"id"`
+	}
+	resp, err := http.Post(c.base+"/v1/streams", "", nil)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		defer resp.Body.Close()
+		return apiError(resp)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&opened)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "stream %s opened (%d bytes in %d-byte chunks)\n", opened.ID, len(data), *chunk)
+
+	var reply chunkReply
+	for off := 0; off < len(data); off += *chunk {
+		end := min(off+*chunk, len(data))
+		resp, err := http.Post(c.base+"/v1/streams/"+opened.ID+"/chunks",
+			"application/octet-stream", bytes.NewReader(data[off:end]))
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			defer resp.Body.Close()
+			return apiError(resp)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&reply)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		for _, cand := range reply.New {
+			verdict := "potential"
+			if cand.Pruned {
+				verdict = "pruned:" + cand.PruneRule
+			}
+			fmt.Fprintf(c.out, "candidate\t%s\t%s\t%s\tevent=%d\tthreads=%s\n",
+				short(cand.Fingerprint), verdict, cand.Signature, cand.Event,
+				strings.Join(cand.Threads, ","))
+		}
+		if *interval > 0 && end < len(data) {
+			time.Sleep(*interval)
+		}
+	}
+	fmt.Fprintf(c.out, "streamed %d bytes, %d events, %d candidates\n",
+		reply.Bytes, reply.Events, reply.Candidates)
+
+	resp, err = http.Post(c.base+"/v1/streams/"+opened.ID+"/close", "", nil)
 	if err != nil {
 		return err
 	}

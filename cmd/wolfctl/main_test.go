@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"compress/gzip"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -145,6 +146,79 @@ func TestUploadDefectsTraceReplayRoundTrip(t *testing.T) {
 	}
 	if code, out = ctl(t, "-addr", base, "defects"); code != 0 || len(strings.Split(strings.TrimSpace(out), "\n")) != 2 {
 		t.Error("defect record must survive trace deletion")
+	}
+}
+
+func TestStreamCommand(t *testing.T) {
+	base := startWolfd(t)
+	path := traceFile(t)
+
+	// Stream in small chunks: candidates print mid-stream, the close
+	// finalizes into a normal job we wait on.
+	code, out := ctl(t, "-addr", base, "stream", path, "-chunk", "512", "-wait")
+	if code != 0 {
+		t.Fatalf("stream: code=%d out=%q", code, out)
+	}
+	if !strings.Contains(out, "stream s-") {
+		t.Errorf("output %q missing stream id line", out)
+	}
+	if !strings.Contains(out, "candidate\t") {
+		t.Errorf("output %q missing live candidate lines", out)
+	}
+	if !strings.Contains(out, "done") {
+		t.Errorf("output %q missing finalized job state", out)
+	}
+
+	// The finalized stream and a plain upload of the same file converge
+	// on the same defect record (occurrences = 2).
+	if code, _ = ctl(t, "-addr", base, "upload", path, "-wait"); code != 0 {
+		t.Fatal("upload after stream failed")
+	}
+	code, out = ctl(t, "-addr", base, "defects")
+	if code != 0 {
+		t.Fatalf("defects: code=%d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[1], "\t2\t") {
+		t.Errorf("defects table = %q, want one record with 2 occurrences", out)
+	}
+}
+
+func TestStreamCommandGzip(t *testing.T) {
+	base := startWolfd(t)
+	path := traceFile(t)
+
+	// Gzip the recording; stream must decompress locally since the
+	// chunk endpoint takes raw WTRC bytes.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gzPath := filepath.Join(t.TempDir(), "fig4.wtrc.gz")
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(gzPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out := ctl(t, "-addr", base, "stream", gzPath, "-wait")
+	if code != 0 || !strings.Contains(out, "done") {
+		t.Fatalf("stream gzip: code=%d out=%q", code, out)
+	}
+}
+
+func TestStreamUsageErrors(t *testing.T) {
+	if code, _ := ctl(t, "stream"); code != 1 {
+		t.Error("stream without file should exit 1")
+	}
+	if code, _ := ctl(t, "stream", "nope.wtrc", "-chunk", "0"); code != 1 {
+		t.Error("stream -chunk 0 should exit 1")
 	}
 }
 

@@ -6,6 +6,7 @@
 //
 //	wolfd [-addr :8077] [-workers 4] [-queue 64] [-timeout 30s] [-data]
 //	      [-data-dir /var/lib/wolfd] [-max-body 32] [-watchdog-grace 2s]
+//	      [-max-streams 64] [-stream-idle 2m] [-stream-budget 16]
 //	      [-log-format text|json] [-log-level info] [-debug-addr localhost:6060]
 //
 // -data-dir attaches a persistent corpus: uploaded traces are archived
@@ -48,6 +49,9 @@ func main() {
 		drain     = flag.Duration("drain", 60*time.Second, "graceful shutdown drain budget")
 		grace     = flag.Duration("watchdog-grace", 2*time.Second, "extra wait past -timeout before a worker abandons a stuck analysis")
 		maxBody   = flag.Int64("max-body", 32, "maximum decompressed upload size in MiB")
+		maxStr    = flag.Int("max-streams", 64, "maximum concurrently open ingestion streams (full returns 429)")
+		strIdle   = flag.Duration("stream-idle", 2*time.Minute, "evict ingestion streams idle longer than this")
+		strBudget = flag.Int64("stream-budget", 16, "per-stream decoder memory budget in MiB")
 		data      = flag.Bool("data", false, "enable the value-flow (data dependency) extension")
 		par       = flag.Int("analysis-parallelism", 0, "per-job Generator worker pool size (0 = GOMAXPROCS, capped; output is identical at any value)")
 		dataDir   = flag.String("data-dir", "", "persist traces, jobs and defect records in this directory")
@@ -106,14 +110,17 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Workers:        *workers,
-		QueueSize:      *queue,
-		JobTimeout:     *timeout,
-		WatchdogGrace:  *grace,
-		MaxUploadBytes: *maxBody << 20,
-		Analysis:       core.Config{DataDependency: *data, Parallelism: *par},
-		Logger:         log,
-		Store:          st,
+		Workers:           *workers,
+		QueueSize:         *queue,
+		JobTimeout:        *timeout,
+		WatchdogGrace:     *grace,
+		MaxUploadBytes:    *maxBody << 20,
+		MaxOpenStreams:    *maxStr,
+		StreamIdleTimeout: *strIdle,
+		StreamMemBudget:   *strBudget << 20,
+		Analysis:          core.Config{DataDependency: *data, Parallelism: *par},
+		Logger:            log,
+		Store:             st,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -151,6 +151,38 @@ func (h *Histogram) WritePrometheus(w io.Writer, name, help, extraLabels string)
 	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, h.Count())
 }
 
+// ObserveValue records one unitless value (a byte count, a queue
+// length) into the same bucket layout. Pair with WritePrometheusValues
+// so bounds render as raw values rather than seconds.
+func (h *Histogram) ObserveValue(v int64) { h.Observe(time.Duration(v)) }
+
+// WritePrometheusValues renders the histogram with raw (unit-free)
+// bucket bounds and sum — for value distributions such as per-stream
+// byte counts, where WritePrometheus's nanoseconds→seconds conversion
+// would corrupt the scale.
+func (h *Histogram) WritePrometheusValues(w io.Writer, name, help, extraLabels string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	sep := ""
+	if extraLabels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i := 0; i <= NumBuckets; i++ {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < NumBuckets {
+			le = strconv.FormatInt(bucketBoundNs(i), 10)
+		}
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, extraLabels, sep, le, cum)
+	}
+	suffix := ""
+	if extraLabels != "" {
+		suffix = "{" + extraLabels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %d\n", name, suffix, h.sumNs.Load())
+	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, h.Count())
+}
+
 // Label renders one key="value" label pair with Prometheus escaping,
 // for composing label strings passed to WritePrometheus and friends.
 func Label(key, value string) string {

@@ -66,6 +66,22 @@ type Metrics struct {
 	// size (core.Config.EffectiveParallelism), set once at startup.
 	AnalysisParallelism atomic.Int64
 
+	// Streaming ingestion (/v1/streams). StreamsOpen is the live gauge;
+	// StreamsOpened/StreamsRejected count admissions and shed opens;
+	// StreamEvents counts decoded tuples fed to the incremental engine;
+	// StreamCandidates counts cycle candidates emitted mid-stream.
+	StreamsOpen      atomic.Int64
+	StreamsOpened    atomic.Int64
+	StreamsRejected  atomic.Int64
+	StreamEvents     atomic.Int64
+	StreamCandidates atomic.Int64
+	// StreamEvicted counts streams removed before a normal close, by
+	// reason (idle, budget, corrupt, invalid, empty, aborted, shutdown).
+	StreamEvicted *obs.CounterSet
+	// StreamBytes is the per-stream total byte count, observed once per
+	// stream at its terminal transition (close or eviction).
+	StreamBytes obs.Histogram
+
 	// InvalidTraces counts uploads rejected by trace.Validate, by
 	// corruption class (422 responses).
 	InvalidTraces *obs.CounterSet
@@ -101,6 +117,7 @@ type Metrics struct {
 // newMetrics returns a registry with its counter sets initialized.
 func newMetrics() *Metrics {
 	return &Metrics{
+		StreamEvicted:    obs.NewCounterSet(),
 		InvalidTraces:    obs.NewCounterSet(),
 		ReplayDivergence: obs.NewCounterSet(),
 		ReplayConfirmed:  obs.NewCounterSet(),
@@ -177,6 +194,12 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("wolfd_jobs_panic_total", "Deprecated alias of wolfd_jobs_failed_total{reason=\"panic\"}.", m.JobsPanicked.Load())
 	counter("wolfd_sync_rejected_total", "Synchronous analyses shed because every worker slot was busy.", m.SyncRejected.Load())
 
+	gauge("wolfd_streams_open", "Currently open ingestion streams.", m.StreamsOpen.Load())
+	counter("wolfd_streams_opened_total", "Ingestion streams admitted.", m.StreamsOpened.Load())
+	counter("wolfd_streams_rejected_total", "Stream opens shed at the max-open-streams cap.", m.StreamsRejected.Load())
+	counter("wolfd_stream_events_total", "Tuples decoded from stream chunks and fed to the incremental detector.", m.StreamEvents.Load())
+	counter("wolfd_stream_candidates_total", "Cycle candidates emitted mid-stream.", m.StreamCandidates.Load())
+
 	gauge("wolfd_queue_depth", "Queued-but-not-started jobs.", m.QueueDepth.Load())
 	gauge("wolfd_analysis_parallelism", "Resolved per-job analysis worker pool size (-analysis-parallelism).", m.AnalysisParallelism.Load())
 	counter("wolfd_cycles_total", "Potential deadlock cycles detected across all reports.", m.CyclesTotal.Load())
@@ -191,6 +214,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
 		set.WritePrometheus(w, name, label)
 	}
+	counterSet(m.StreamEvicted, "wolfd_stream_evicted_total", "Streams removed before a normal close, by reason.", "reason")
 	counterSet(m.InvalidTraces, "wolfd_traces_invalid_total", "Uploads rejected by trace validation, by corruption class.", "class")
 	counterSet(m.ReplayDivergence, "wolfd_replay_divergence_total", "Failed replay attempts, by divergence reason.", "reason")
 	counterSet(m.ReplayConfirmed, "wolfd_replay_confirmed_total", "Cycles confirmed by replay, by method.", "method")
@@ -207,6 +231,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	m.PhasePrune.WritePrometheus(w, "wolfd_phase_prune_seconds", "Per-job pruner latency.", "")
 	m.PhaseGenerate.WritePrometheus(w, "wolfd_phase_generate_seconds", "Per-job generator latency.", "")
 	m.Analysis.WritePrometheus(w, "wolfd_analysis_seconds", "Per-job end-to-end analysis latency.", "")
+	m.StreamBytes.WritePrometheusValues(w, "wolfd_stream_bytes", "Total bytes per ingestion stream, observed at stream end.", "")
 
 	bi := obs.ReadBuildInfo()
 	name = "wolfd_build_info"

@@ -72,6 +72,15 @@ type Config struct {
 	WatchdogGrace time.Duration
 	// MaxUploadBytes bounds a decompressed upload (default 32 MiB).
 	MaxUploadBytes int64
+	// MaxOpenStreams bounds concurrently open ingestion streams; opens
+	// beyond it are shed with 429 + Retry-After (default 64).
+	MaxOpenStreams int
+	// StreamIdleTimeout evicts a stream that has not received a chunk
+	// for this long (default 2m).
+	StreamIdleTimeout time.Duration
+	// StreamMemBudget bounds one stream decoder's retained memory;
+	// breaching it rejects the stream with 413 (default 16 MiB).
+	StreamMemBudget int64
 	// Analysis configures the offline pipeline for every job.
 	Analysis core.Config
 	// Analyze overrides the analysis function (tests); default
@@ -108,6 +117,15 @@ func (c *Config) fill() {
 	if c.MaxUploadBytes <= 0 {
 		c.MaxUploadBytes = 32 << 20
 	}
+	if c.MaxOpenStreams <= 0 {
+		c.MaxOpenStreams = 64
+	}
+	if c.StreamIdleTimeout <= 0 {
+		c.StreamIdleTimeout = 2 * time.Minute
+	}
+	if c.StreamMemBudget <= 0 {
+		c.StreamMemBudget = 16 << 20
+	}
 	if c.Analyze == nil {
 		c.Analyze = core.AnalyzeTraceCtx
 	}
@@ -130,6 +148,10 @@ type Server struct {
 	// to the worker pool size; acquiring is non-blocking, so saturation
 	// sheds load with 429 instead of stacking goroutines.
 	syncSem chan struct{}
+	// streams is the open ingestion-stream registry; streamStop ends
+	// the idle-eviction janitor.
+	streams    *streamStore
+	streamStop chan struct{}
 
 	mu     sync.Mutex
 	queue  chan *Job
@@ -145,11 +167,13 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.fill()
 	s := &Server{
-		cfg:     cfg,
-		metrics: newMetrics(),
-		jobs:    newJobStore(),
-		queue:   make(chan *Job, cfg.QueueSize),
-		syncSem: make(chan struct{}, cfg.Workers),
+		cfg:        cfg,
+		metrics:    newMetrics(),
+		jobs:       newJobStore(),
+		queue:      make(chan *Job, cfg.QueueSize),
+		syncSem:    make(chan struct{}, cfg.Workers),
+		streams:    newStreamStore(),
+		streamStop: make(chan struct{}),
 	}
 	s.metrics.AnalysisParallelism.Store(int64(cfg.Analysis.EffectiveParallelism()))
 	if cfg.Store != nil {
@@ -164,6 +188,11 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/traces", s.handleUpload)
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyzeSync)
+	s.mux.HandleFunc("POST /v1/streams", s.handleStreamOpen)
+	s.mux.HandleFunc("POST /v1/streams/{id}/chunks", s.handleStreamChunk)
+	s.mux.HandleFunc("GET /v1/streams/{id}", s.handleStreamGet)
+	s.mux.HandleFunc("POST /v1/streams/{id}/close", s.handleStreamClose)
+	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.handleStreamDelete)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("POST /v1/workloads/{name}", s.handleWorkloadJob)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
@@ -184,6 +213,8 @@ func New(cfg Config) *Server {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	s.wg.Add(1)
+	go s.streamJanitor()
 	return s
 }
 
@@ -242,8 +273,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.closed {
 		s.closed = true
 		close(s.queue)
+		close(s.streamStop)
 	}
 	s.mu.Unlock()
+	// Open streams cannot finish once the queue is closed; release
+	// their slots now so the drained process accounts for them.
+	for _, ss := range s.streams.snapshot() {
+		s.dropStream(ss, "shutdown")
+	}
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()

@@ -1,0 +1,389 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wolf/internal/core"
+	"wolf/internal/obs"
+	"wolf/internal/workloads"
+)
+
+// encodeBinary serializes a trace to WTRC bytes.
+func encodeBinary(t *testing.T, tr interface{ WriteBinary(io.Writer) error }) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// openStream opens a stream and returns its id.
+func openStream(t *testing.T, base string) string {
+	t.Helper()
+	code, body := postTrace(t, base+"/v1/streams", nil, nil)
+	if code != http.StatusCreated {
+		t.Fatalf("open stream = %d (%v)", code, body)
+	}
+	id, _ := body["id"].(string)
+	if id == "" {
+		t.Fatalf("stream response without id: %v", body)
+	}
+	return id
+}
+
+// streamChunks feeds data in chunkSize pieces, returning the last
+// response and the candidate fingerprints collected along the way.
+func streamChunks(t *testing.T, base, id string, data []byte, chunkSize int) (map[string]any, []string) {
+	t.Helper()
+	var last map[string]any
+	var fps []string
+	for off := 0; off < len(data); off += chunkSize {
+		end := min(off+chunkSize, len(data))
+		code, body := postTrace(t, base+"/v1/streams/"+id+"/chunks", data[off:end], nil)
+		if code != http.StatusOK {
+			t.Fatalf("chunk at %d = %d (%v)", off, code, body)
+		}
+		last = body
+		if news, ok := body["new"].([]any); ok {
+			for _, c := range news {
+				if m, ok := c.(map[string]any); ok {
+					if fp, ok := m["fingerprint"].(string); ok {
+						fps = append(fps, fp)
+					}
+				}
+			}
+		}
+	}
+	return last, fps
+}
+
+// closeStream finalizes and returns the job id from the 202 response.
+func closeStream(t *testing.T, base, id string) string {
+	t.Helper()
+	code, body := postTrace(t, base+"/v1/streams/"+id+"/close", nil, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("close stream = %d (%v)", code, body)
+	}
+	jid, _ := body["id"].(string)
+	if jid == "" {
+		t.Fatalf("close response without job id: %v", body)
+	}
+	return jid
+}
+
+// reportFingerprints fetches a finished job's report and returns its
+// sorted cycle fingerprints.
+func reportFingerprints(t *testing.T, base, jobID string) []string {
+	t.Helper()
+	if v := pollJob(t, base, jobID); v.State != string(StateDone) {
+		t.Fatalf("job %s state = %s (%s)", jobID, v.State, v.Error)
+	}
+	var rep struct {
+		Cycles []struct {
+			Fingerprint string `json:"fingerprint"`
+		} `json:"cycles"`
+	}
+	if code := getJSON(t, base+"/v1/jobs/"+jobID+"/report", &rep); code != http.StatusOK {
+		t.Fatalf("report = %d", code)
+	}
+	fps := make([]string, 0, len(rep.Cycles))
+	for _, c := range rep.Cycles {
+		fps = append(fps, c.Fingerprint)
+	}
+	sort.Strings(fps)
+	return fps
+}
+
+// TestStreamMatchesBatchRegistry is the subsystem's acceptance
+// contract: for every workload in the registry, streaming the WTRC
+// trace in ≤4 KiB chunks yields a report whose cycle fingerprints are
+// byte-identical to the batch POST /v1/traces path, and the candidates
+// emitted mid-stream carry exactly those fingerprints.
+func TestStreamMatchesBatchRegistry(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 4, QueueSize: 64})
+	for _, wl := range workloads.Registry() {
+		t.Run(wl.Name, func(t *testing.T) {
+			seed, ok := workloads.FindTerminatingSeed(wl.New, 300)
+			if !ok {
+				t.Skipf("no terminating seed for %s", wl.Name)
+			}
+			tr := core.Record(wl.New, seed, 0)
+			data := encodeBinary(t, tr)
+
+			code, batchJob := postTrace(t, ts.URL+"/v1/traces", data, nil)
+			if code != http.StatusAccepted {
+				t.Fatalf("batch upload = %d", code)
+			}
+			batchFPs := reportFingerprints(t, ts.URL, batchJob["id"].(string))
+
+			id := openStream(t, ts.URL)
+			last, liveFPs := streamChunks(t, ts.URL, id, data, 4096)
+			if done, _ := last["done"].(bool); !done {
+				t.Fatalf("stream not done after all chunks: %v", last)
+			}
+			streamFPs := reportFingerprints(t, ts.URL, closeStream(t, ts.URL, id))
+
+			if !equalStrings(batchFPs, streamFPs) {
+				t.Errorf("report fingerprints differ\nbatch:  %v\nstream: %v", batchFPs, streamFPs)
+			}
+			sort.Strings(liveFPs)
+			if !equalStrings(dedup(liveFPs), dedup(batchFPs)) {
+				t.Errorf("mid-stream candidate fingerprints differ from batch cycles\nlive:  %v\nbatch: %v",
+					dedup(liveFPs), dedup(batchFPs))
+			}
+		})
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// dedup collapses a sorted slice to its distinct values.
+func dedup(sorted []string) []string {
+	var out []string
+	for _, s := range sorted {
+		if len(out) == 0 || out[len(out)-1] != s {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TestStreamShedding: the max-open-streams cap sheds with 429 +
+// Retry-After, and aborting a stream frees its slot.
+func TestStreamShedding(t *testing.T) {
+	s, ts := startServer(t, Config{MaxOpenStreams: 2})
+	a := openStream(t, ts.URL)
+	openStream(t, ts.URL)
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/streams", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third open = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if s.metrics.StreamsRejected.Load() == 0 {
+		t.Fatal("shed open not counted")
+	}
+
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/streams/"+a, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("abort = %d, want 204", resp.StatusCode)
+	}
+	openStream(t, ts.URL) // slot freed
+	if got := s.metrics.StreamsOpen.Load(); got != 2 {
+		t.Fatalf("streams_open = %d, want 2", got)
+	}
+}
+
+// TestStreamIdleEviction: a stream with no traffic is evicted by the
+// janitor and later appends see 404.
+func TestStreamIdleEviction(t *testing.T) {
+	s, ts := startServer(t, Config{StreamIdleTimeout: 50 * time.Millisecond})
+	id := openStream(t, ts.URL)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.metrics.StreamsOpen.Load() != 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := s.metrics.StreamsOpen.Load(); got != 0 {
+		t.Fatalf("streams_open = %d after idle timeout", got)
+	}
+	if n := s.metrics.StreamEvicted.Snapshot()["idle"]; n == 0 {
+		t.Fatal("idle eviction not counted")
+	}
+	code, _ := postTrace(t, ts.URL+"/v1/streams/"+id+"/chunks", []byte("WTRC"), nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("chunk after eviction = %d, want 404", code)
+	}
+}
+
+// TestStreamBudget: a starved per-stream budget rejects mid-stream with
+// 413 and evicts the stream.
+func TestStreamBudget(t *testing.T) {
+	s, ts := startServer(t, Config{StreamMemBudget: 1024})
+	data := encodeBinary(t, fig4Trace(t))
+	id := openStream(t, ts.URL)
+	got := 0
+	for off := 0; off < len(data); off += 256 {
+		end := min(off+256, len(data))
+		code, _ := postTrace(t, ts.URL+"/v1/streams/"+id+"/chunks", data[off:end], nil)
+		if code != http.StatusOK {
+			got = code
+			break
+		}
+	}
+	if got != http.StatusRequestEntityTooLarge {
+		t.Fatalf("starved stream = %d, want 413", got)
+	}
+	if n := s.metrics.StreamEvicted.Snapshot()["budget"]; n == 0 {
+		t.Fatal("budget eviction not counted")
+	}
+}
+
+// TestStreamRejectsMidStream: structurally corrupt bytes are a 400 and
+// an invalid-but-well-formed trace is a 422 labeled with its corruption
+// class — both evicting the stream at the offending chunk.
+func TestStreamRejectsMidStream(t *testing.T) {
+	s, ts := startServer(t, Config{})
+
+	id := openStream(t, ts.URL)
+	code, _ := postTrace(t, ts.URL+"/v1/streams/"+id+"/chunks", []byte("NOPE not a trace"), nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("corrupt chunk = %d, want 400", code)
+	}
+	if n := s.metrics.StreamEvicted.Snapshot()["corrupt"]; n == 0 {
+		t.Fatal("corrupt eviction not counted")
+	}
+
+	tr := fig4Trace(t)
+	tr.Tuples[0].Key.Occ = 0 // bad-key
+	data := encodeBinary(t, tr)
+	id = openStream(t, ts.URL)
+	status := 0
+	for off := 0; off < len(data); off += 512 {
+		end := min(off+512, len(data))
+		c, _ := postTrace(t, ts.URL+"/v1/streams/"+id+"/chunks", data[off:end], nil)
+		if c != http.StatusOK {
+			status = c
+			break
+		}
+	}
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("invalid stream = %d, want 422", status)
+	}
+	if n := s.metrics.InvalidTraces.Snapshot()["bad-key"]; n == 0 {
+		t.Fatal("validation class not counted")
+	}
+}
+
+// TestStreamConcurrent exercises many interleaved streams end to end —
+// the race-detector companion of the registry test.
+func TestStreamConcurrent(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 4, QueueSize: 64, MaxOpenStreams: 16})
+	data := encodeBinary(t, fig4Trace(t))
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, body := postTrace(t, ts.URL+"/v1/streams", nil, nil)
+			if code != http.StatusCreated {
+				errs <- fmt.Errorf("open = %d", code)
+				return
+			}
+			id := body["id"].(string)
+			for off := 0; off < len(data); off += 512 {
+				end := min(off+512, len(data))
+				if c, _ := postTrace(t, ts.URL+"/v1/streams/"+id+"/chunks", data[off:end], nil); c != http.StatusOK {
+					errs <- fmt.Errorf("chunk = %d", c)
+					return
+				}
+			}
+			code, body = postTrace(t, ts.URL+"/v1/streams/"+id+"/close", nil, nil)
+			if code != http.StatusAccepted {
+				errs <- fmt.Errorf("close = %d (%v)", code, body)
+				return
+			}
+			if v := pollJob(t, ts.URL, body["id"].(string)); v.State != string(StateDone) {
+				errs <- fmt.Errorf("job state = %s (%s)", v.State, v.Error)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestStreamMetricsLint: after stream traffic including evictions, the
+// exposition passes the strict linter and carries the stream families.
+func TestStreamMetricsLint(t *testing.T) {
+	s, ts := startServer(t, Config{StreamMemBudget: 1024})
+	data := encodeBinary(t, fig4Trace(t))
+
+	id := openStream(t, ts.URL)
+	streamChunksUntilError(t, ts.URL, id, data) // budget eviction
+	id = openStream(t, ts.URL)
+	closeStreamOrError(t, ts.URL, id)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(raw)
+	if errs := obs.PromLint(strings.NewReader(text)); len(errs) != 0 {
+		t.Fatalf("metrics lint: %v", errs)
+	}
+	for _, want := range []string{
+		"wolfd_streams_open ",
+		"wolfd_streams_opened_total 2",
+		"wolfd_stream_events_total",
+		`wolfd_stream_evicted_total{reason="budget"}`,
+		`wolfd_stream_bytes_bucket{le="+Inf"}`,
+		"wolfd_stream_bytes_count",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	_ = s
+}
+
+// streamChunksUntilError feeds chunks until the server rejects one.
+func streamChunksUntilError(t *testing.T, base, id string, data []byte) {
+	t.Helper()
+	for off := 0; off < len(data); off += 256 {
+		end := min(off+256, len(data))
+		if code, _ := postTrace(t, base+"/v1/streams/"+id+"/chunks", data[off:end], nil); code != http.StatusOK {
+			return
+		}
+	}
+	t.Fatal("no chunk was rejected")
+}
+
+// closeStreamOrError closes an (empty) stream, accepting the 400 an
+// empty trace earns — the point is exercising the terminal path.
+func closeStreamOrError(t *testing.T, base, id string) {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodPost, base+"/v1/streams/"+id+"/close", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}

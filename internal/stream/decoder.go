@@ -1,0 +1,565 @@
+// Package stream is the streaming ingestion subsystem: a chunked,
+// resumable WTRC decoder plus an incremental deadlock detector, the two
+// halves that turn wolfd from a file analyzer into a continuously-fed
+// service. A client opens a stream, appends trace bytes in arbitrary
+// chunks, and cycle candidates are emitted as soon as the closing
+// acquisition arrives — long before the upload completes.
+//
+// The decoder is an explicit state machine rather than a goroutine
+// wrapped around trace.ReadBinary: streams outlive requests, get
+// evicted on idle timeouts, and number in the hundreds per process, so
+// their suspended state must be plain data — a byte buffer and a
+// section cursor — not a parked stack.
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"wolf/internal/trace"
+	"wolf/internal/vclock"
+	"wolf/sim"
+)
+
+// ErrBudget is the sentinel wrapped by every per-stream memory budget
+// rejection (errors.Is(err, ErrBudget)). wolfd maps it to HTTP 413.
+var ErrBudget = errors.New("stream: memory budget exceeded")
+
+// DefaultBudget is the per-stream decoder memory budget when the
+// caller does not set one.
+const DefaultBudget = 16 << 20
+
+// section is the decoder's position in the WTRC layout. Sections are
+// strictly ordered; the cursor only moves forward.
+type section int
+
+const (
+	secMagic section = iota
+	secVersion
+	secSeed
+	secSteps
+	secTauCount
+	secTaus
+	secClockCount
+	secClockVecLen
+	secClockPair
+	secStringCount
+	secStrings
+	secTupleCount
+	secTupleHead
+	secTupleHeld
+	secDone
+)
+
+// Field kind codes for the tuple and held-lock schemas. The schema
+// strings below mirror WriteBinary's field order byte for byte; the
+// decoder is table-driven so the resume point inside a tuple is just
+// an index into the schema.
+const (
+	kStr = 's' // string-table index: uvarint, bounds-checked
+	kInt = 'i' // uvarint that must fit a non-negative int32
+	kVar = 'v' // signed varint
+)
+
+// tupleSchema: thread, lock, site, threadID, idx.thread, idx.seq,
+// key.thread, key.site, key.occ, tau, pos, held-count.
+const tupleSchema = "sssvsissivii"
+
+// heldSchema: lock, site, idx.thread, idx.seq, key.thread, key.site,
+// key.occ.
+const heldSchema = "sssissi"
+
+// Retained-memory cost estimates (bytes) for budget accounting. These
+// deliberately overestimate: the budget is a denial-of-service bound,
+// not an accounting ledger, and rounding up keeps the bound honest.
+const (
+	tupleCost  = 208 // Tuple struct + pointer + per-thread index slot
+	heldCost   = 96  // HeldLock struct
+	stringCost = 48  // string header + table slot
+	tauCost    = 8
+	pairCost   = 16 // vclock.SJ + amortized slice header
+)
+
+// Decoder incrementally parses a WTRC binary trace fed in arbitrary
+// byte chunks. Zero value is not usable; call NewDecoder.
+//
+// Contract with trace.ReadBinary: feeding the same bytes through Write
+// in any chunking either yields (via Finalize) a trace byte-identical
+// under WriteBinary to what ReadBinary returns, or rejects with an
+// error of the same family — ErrCorrupt for structural damage,
+// ErrInvalid (a *trace.ValidationError with its corruption class) for
+// well-formed bytes describing an impossible execution. Validation
+// runs incrementally: a bad tuple is rejected the moment it decodes,
+// not after the upload completes.
+type Decoder struct {
+	budget int
+	// retained is the estimated bytes held in decoded structures;
+	// mem/peak additionally count the unconsumed buffer.
+	retained int
+	peak     int
+	bytesIn  int64
+	err      error
+
+	buf []byte
+	off int
+
+	sec   section
+	seed  int64
+	steps int
+
+	nTaus int
+	taus  []int
+
+	nClocks  int
+	clockIdx int
+	clocks   []vclock.Vector
+	vecLen   int
+	curVec   vclock.Vector
+	pairS    int64
+	pairHasS bool
+
+	nStrings int
+	table    []string
+	strLen   int // pending string byte length; -1 = length not read yet
+
+	nTuples  int
+	tupleIdx int
+	tuples   []*trace.Tuple
+	drained  int
+
+	head    [len(tupleSchema)]int64
+	headIdx int
+	held    []trace.HeldLock
+	heldRec [len(heldSchema)]int64
+	heldIdx int
+	nHeld   int
+
+	validator *trace.TupleValidator
+}
+
+// NewDecoder returns a decoder enforcing the given memory budget in
+// bytes (<= 0 means DefaultBudget).
+func NewDecoder(budget int) *Decoder {
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	return &Decoder{budget: budget, strLen: -1}
+}
+
+// Write feeds the next chunk. Split points are arbitrary — a varint,
+// a string, even the magic may straddle chunks. The first error is
+// sticky: it is returned now and by every later call.
+func (d *Decoder) Write(p []byte) error {
+	if d.err != nil {
+		return d.err
+	}
+	d.bytesIn += int64(len(p))
+	if d.sec == secDone {
+		// Trailing bytes after the last tuple are ignored, exactly as
+		// ReadBinary never reads them.
+		return nil
+	}
+	d.buf = append(d.buf, p...)
+	d.note(d.retained + len(d.buf) - d.off)
+	for d.err == nil && d.step() {
+	}
+	// Compact: drop consumed bytes so suspended streams hold only the
+	// partial item at the split point.
+	if d.off > 0 {
+		d.buf = append(d.buf[:0], d.buf[d.off:]...)
+		d.off = 0
+	}
+	if d.sec == secDone {
+		d.buf = nil
+	}
+	mem := d.retained + len(d.buf)
+	d.note(mem)
+	if d.err == nil && mem > d.budget {
+		d.fail(fmt.Errorf("stream: decoder retains %d bytes, budget %d: %w", mem, d.budget, ErrBudget))
+	}
+	return d.err
+}
+
+// note tracks peak memory.
+func (d *Decoder) note(mem int) {
+	if mem > d.peak {
+		d.peak = mem
+	}
+}
+
+// fail records the first error.
+func (d *Decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// corruptf builds an ErrCorrupt-wrapping decode error matching the
+// batch decoder's message shape.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("trace: "+format+": %w", append(args, trace.ErrCorrupt)...)
+}
+
+// step advances the state machine by one wire item. It returns false
+// when more bytes are needed (or on error); state transitions that
+// consume nothing return true so the loop keeps draining.
+func (d *Decoder) step() bool {
+	switch d.sec {
+	case secMagic:
+		if len(d.buf)-d.off < len(trace.BinaryMagic) {
+			return false
+		}
+		var m [4]byte
+		copy(m[:], d.buf[d.off:])
+		if m != trace.BinaryMagic {
+			d.fail(corruptf("bad magic %q", m[:]))
+			return false
+		}
+		d.off += len(m)
+		d.sec = secVersion
+
+	case secVersion:
+		v, ok := d.uvarint()
+		if !ok {
+			return false
+		}
+		if v != trace.BinaryVersion {
+			d.fail(corruptf("unsupported binary version %d (want %d)", v, trace.BinaryVersion))
+			return false
+		}
+		d.sec = secSeed
+
+	case secSeed:
+		v, ok := d.varint()
+		if !ok {
+			return false
+		}
+		d.seed = v
+		d.sec = secSteps
+
+	case secSteps:
+		v, ok := d.intval()
+		if !ok {
+			return false
+		}
+		d.steps = v
+		d.sec = secTauCount
+
+	case secTauCount:
+		n, ok := d.intval()
+		if !ok {
+			return false
+		}
+		d.nTaus = n
+		if n > 0 {
+			d.taus = make([]int, 0, trace.CapAlloc(n))
+		}
+		d.sec = secTaus
+
+	case secTaus:
+		if len(d.taus) == d.nTaus {
+			d.sec = secClockCount
+			return true
+		}
+		v, ok := d.varint()
+		if !ok {
+			return false
+		}
+		d.taus = append(d.taus, int(v))
+		d.retained += tauCost
+
+	case secClockCount:
+		n, ok := d.intval()
+		if !ok {
+			return false
+		}
+		d.nClocks = n
+		d.sec = secClockVecLen
+
+	case secClockVecLen:
+		if d.clockIdx == d.nClocks {
+			d.endHeader()
+			return true
+		}
+		n, ok := d.intval()
+		if !ok {
+			return false
+		}
+		d.vecLen = n
+		d.curVec = make(vclock.Vector, 0, trace.CapAlloc(n))
+		d.sec = secClockPair
+
+	case secClockPair:
+		if len(d.curVec) == d.vecLen {
+			d.clocks = append(d.clocks, d.curVec)
+			d.curVec = nil
+			d.clockIdx++
+			d.sec = secClockVecLen
+			return true
+		}
+		v, ok := d.varint()
+		if !ok {
+			return false
+		}
+		if !d.pairHasS {
+			d.pairS, d.pairHasS = v, true
+			return true
+		}
+		d.curVec = append(d.curVec, vclock.SJ{S: int(d.pairS), J: int(v)})
+		d.pairHasS = false
+		d.retained += pairCost
+
+	case secStringCount:
+		n, ok := d.intval()
+		if !ok {
+			return false
+		}
+		d.nStrings = n
+		d.table = make([]string, 0, trace.CapAlloc(n))
+		d.sec = secStrings
+
+	case secStrings:
+		if len(d.table) == d.nStrings {
+			d.sec = secTupleCount
+			return true
+		}
+		if d.strLen < 0 {
+			n, ok := d.intval()
+			if !ok {
+				return false
+			}
+			if n > trace.MaxStringLen {
+				d.fail(corruptf("binary decode: string length %d exceeds limit", n))
+				return false
+			}
+			d.strLen = n
+			return true
+		}
+		if len(d.buf)-d.off < d.strLen {
+			return false
+		}
+		s := string(d.buf[d.off : d.off+d.strLen])
+		d.off += d.strLen
+		d.table = append(d.table, s)
+		d.retained += len(s) + stringCost
+		d.strLen = -1
+
+	case secTupleCount:
+		n, ok := d.intval()
+		if !ok {
+			return false
+		}
+		d.nTuples = n
+		d.sec = secTupleHead
+
+	case secTupleHead:
+		if d.tupleIdx == d.nTuples {
+			d.sec = secDone
+			return true
+		}
+		v, ok := d.field(tupleSchema[d.headIdx])
+		if !ok {
+			return false
+		}
+		d.head[d.headIdx] = v
+		d.headIdx++
+		if d.headIdx == len(tupleSchema) {
+			d.nHeld = int(d.head[len(tupleSchema)-1])
+			if d.nHeld > 0 {
+				d.held = make([]trace.HeldLock, 0, trace.CapAlloc(d.nHeld))
+			} else {
+				d.held = nil
+			}
+			d.sec = secTupleHeld
+		}
+
+	case secTupleHeld:
+		if len(d.held) == d.nHeld {
+			d.finishTuple()
+			return true
+		}
+		v, ok := d.field(heldSchema[d.heldIdx])
+		if !ok {
+			return false
+		}
+		d.heldRec[d.heldIdx] = v
+		d.heldIdx++
+		if d.heldIdx == len(heldSchema) {
+			r := d.heldRec
+			d.held = append(d.held, trace.HeldLock{
+				Lock: d.table[r[0]],
+				Site: d.table[r[1]],
+				Idx:  sim.Index{Thread: d.table[r[2]], Seq: int(r[3])},
+				Key:  trace.Key{Thread: d.table[r[4]], Site: d.table[r[5]], Occ: int(r[6])},
+			})
+			d.retained += heldCost
+			d.heldIdx = 0
+		}
+
+	case secDone:
+		d.off = len(d.buf)
+		return false
+	}
+	return d.err == nil
+}
+
+// endHeader runs once the taus and clocks sections are complete: the
+// trace-level shape checks fire here — the streaming analogue of
+// Validate rejecting before the first tuple — and the incremental
+// per-tuple validator is armed.
+func (d *Decoder) endHeader() {
+	if err := trace.ValidateClocks(d.clocks, d.taus); err != nil {
+		d.fail(err)
+		return
+	}
+	d.validator = trace.NewTupleValidator(d.clocks, d.taus)
+	d.sec = secStringCount
+}
+
+// finishTuple materializes the decoded tuple, validates it in stream
+// order, and makes it visible to Events.
+func (d *Decoder) finishTuple() {
+	h := d.head
+	tp := &trace.Tuple{
+		Thread:   d.table[h[0]],
+		Lock:     d.table[h[1]],
+		Site:     d.table[h[2]],
+		ThreadID: sim.ThreadID(h[3]),
+		Idx:      sim.Index{Thread: d.table[h[4]], Seq: int(h[5])},
+		Key:      trace.Key{Thread: d.table[h[6]], Site: d.table[h[7]], Occ: int(h[8])},
+		Tau:      int(h[9]),
+		Pos:      int(h[10]),
+		Held:     d.held,
+	}
+	d.held = nil
+	d.headIdx = 0
+	if err := d.validator.Check(tp); err != nil {
+		d.fail(err)
+		return
+	}
+	d.tuples = append(d.tuples, tp)
+	d.retained += tupleCost + len(tp.Held)*heldCost
+	d.tupleIdx++
+	d.sec = secTupleHead
+}
+
+// uvarint reads one unsigned varint, or reports that the buffer ends
+// mid-value. Overflow (>64 bits) is corruption, detected even when the
+// garbage spans chunk boundaries.
+func (d *Decoder) uvarint() (uint64, bool) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n > 0 {
+		d.off += n
+		return v, true
+	}
+	if n < 0 {
+		d.fail(corruptf("binary decode: varint overflows 64 bits"))
+	}
+	return 0, false
+}
+
+// varint reads one signed varint.
+func (d *Decoder) varint() (int64, bool) {
+	v, n := binary.Varint(d.buf[d.off:])
+	if n > 0 {
+		d.off += n
+		return v, true
+	}
+	if n < 0 {
+		d.fail(corruptf("binary decode: varint overflows 64 bits"))
+	}
+	return 0, false
+}
+
+// intval reads a uvarint that must fit a non-negative int, mirroring
+// the batch decoder's range rule (and its error text).
+func (d *Decoder) intval() (int, bool) {
+	v, ok := d.uvarint()
+	if !ok {
+		return 0, false
+	}
+	if v > math.MaxInt32 {
+		d.fail(corruptf("binary decode: value %d out of range", v))
+		return 0, false
+	}
+	return int(v), true
+}
+
+// field reads one schema-typed tuple field. String-table indices are
+// bounds-checked at read time, exactly like binReader.str.
+func (d *Decoder) field(kind byte) (int64, bool) {
+	switch kind {
+	case kStr:
+		i, ok := d.uvarint()
+		if !ok {
+			return 0, false
+		}
+		if i >= uint64(len(d.table)) {
+			d.fail(corruptf("binary decode: string index %d out of range (table size %d)", i, len(d.table)))
+			return 0, false
+		}
+		return int64(i), true
+	case kInt:
+		v, ok := d.intval()
+		return int64(v), ok
+	default: // kVar
+		return d.varint()
+	}
+}
+
+// HeaderDone reports whether the taus and clocks sections have fully
+// decoded, at which point Clocks and Taus are final.
+func (d *Decoder) HeaderDone() bool { return d.sec >= secStringCount }
+
+// Clocks returns the decoded vector-clock table (final once
+// HeaderDone). The caller must not mutate it.
+func (d *Decoder) Clocks() []vclock.Vector { return d.clocks }
+
+// Taus returns the decoded timestamp table (final once HeaderDone).
+func (d *Decoder) Taus() []int { return d.taus }
+
+// Events returns the tuples completed since the previous call, in
+// trace order. Each tuple is returned exactly once; the engine drains
+// this after every chunk.
+func (d *Decoder) Events() []*trace.Tuple {
+	out := d.tuples[d.drained:len(d.tuples):len(d.tuples)]
+	d.drained = len(d.tuples)
+	return out
+}
+
+// Len returns the number of tuples fully decoded so far.
+func (d *Decoder) Len() int { return len(d.tuples) }
+
+// BytesIn returns the total bytes fed through Write.
+func (d *Decoder) BytesIn() int64 { return d.bytesIn }
+
+// Mem returns the current estimated retained memory in bytes.
+func (d *Decoder) Mem() int { return d.retained + len(d.buf) - d.off }
+
+// Peak returns the high-water mark of Mem over the stream's life; a
+// well-formed stream never exceeds the budget plus one chunk.
+func (d *Decoder) Peak() int { return d.peak }
+
+// Done reports whether the full declared trace has decoded; trailing
+// bytes after that are ignored.
+func (d *Decoder) Done() bool { return d.sec == secDone }
+
+// Err returns the sticky error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Finalize assembles the completed stream into a batch trace — the
+// exact value ReadBinary would have produced from the concatenated
+// chunks — for handoff to the normal analysis pipeline. A stream that
+// ends mid-section is corrupt, matching ReadBinary's EOF behavior.
+func (d *Decoder) Finalize() (*trace.Trace, error) {
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.sec != secDone {
+		d.fail(corruptf("binary decode: stream truncated in section %d after %d bytes", int(d.sec), d.bytesIn))
+		return nil, d.err
+	}
+	return trace.Assemble(d.tuples, d.clocks, d.taus, d.steps, d.seed)
+}

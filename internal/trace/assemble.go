@@ -1,0 +1,30 @@
+package trace
+
+import "wolf/internal/vclock"
+
+// Assemble builds a Trace from already-decoded parts, rebuilding the
+// per-thread indexes. It is the single assembly point shared by the
+// JSON reader and the streaming decoder (internal/stream): per-thread
+// positions must be dense 0..n-1 in tuple order, anything else is
+// structural corruption (ErrCorrupt).
+func Assemble(tuples []*Tuple, clocks []vclock.Vector, taus []int, steps int, seed int64) (*Trace, error) {
+	tr := &Trace{
+		Tuples:   tuples,
+		byThread: make(map[string][]*Tuple),
+		Clocks:   clocks,
+		Taus:     taus,
+		Steps:    steps,
+		Seed:     seed,
+	}
+	for _, tp := range tuples {
+		if tp == nil {
+			return nil, corruptf("null tuple")
+		}
+		seq := tr.byThread[tp.Thread]
+		if tp.Pos != len(seq) {
+			return nil, corruptf("tuple %v has position %d, want %d", tp, tp.Pos, len(seq))
+		}
+		tr.byThread[tp.Thread] = append(seq, tp)
+	}
+	return tr, nil
+}

@@ -29,7 +29,7 @@ func corruptf(format string, args ...any) error {
 // reject foreign or future data without scanning it:
 //
 //	magic   4 bytes "WTRC"
-//	version uvarint (binaryVersion)
+//	version uvarint (BinaryVersion)
 //	seed    varint
 //	steps   uvarint
 //	taus    uvarint count, then varint each
@@ -44,20 +44,33 @@ func corruptf(format string, args ...any) error {
 // index, which is what makes the format both smaller and faster to
 // decode than JSON (no field names, no quoting, no reflection).
 
-// binaryMagic marks a binary trace stream.
-var binaryMagic = [4]byte{'W', 'T', 'R', 'C'}
+// BinaryMagic marks a binary trace stream ("WTRC"). Exported so the
+// streaming decoder (internal/stream) recognizes the same header.
+var BinaryMagic = [4]byte{'W', 'T', 'R', 'C'}
 
-// binaryVersion is the current binary schema version.
-const binaryVersion = 1
+// BinaryVersion is the current binary schema version.
+const BinaryVersion = 1
 
-// maxStringLen bounds a single interned string so corrupt length
-// prefixes cannot drive huge allocations.
-const maxStringLen = 1 << 20
+// MaxStringLen bounds a single interned string so corrupt length
+// prefixes cannot drive huge allocations. Shared by the batch and
+// streaming decoders.
+const MaxStringLen = 1 << 20
+
+// maxPrealloc caps slice preallocation from wire-declared counts.
+const maxPrealloc = 1024
+
+// CapAlloc returns the preallocation capacity for a collection whose
+// length n came from the wire: at most maxPrealloc, so an adversarial
+// length prefix costs the attacker bytes, not us memory — slices grow
+// incrementally past the bound. Both the batch (ReadBinary) and the
+// streaming (internal/stream) decoders size every count-prefixed
+// collection through this one helper.
+func CapAlloc(n int) int { return min(n, maxPrealloc) }
 
 // WriteBinary serializes the trace in the binary format.
 func (tr *Trace) WriteBinary(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(binaryMagic[:]); err != nil {
+	if _, err := bw.Write(BinaryMagic[:]); err != nil {
 		return err
 	}
 	e := &binWriter{w: bw, index: make(map[string]uint64)}
@@ -82,7 +95,7 @@ func (tr *Trace) WriteBinary(w io.Writer) error {
 		}
 	}
 
-	e.uvarint(binaryVersion)
+	e.uvarint(BinaryVersion)
 	e.varint(tr.Seed)
 	e.uvarint(uint64(tr.Steps))
 	e.uvarint(uint64(len(tr.Taus)))
@@ -182,7 +195,7 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, corruptf("binary magic: %v", err)
 	}
-	if magic != binaryMagic {
+	if magic != BinaryMagic {
 		return nil, corruptf("bad magic %q", magic[:])
 	}
 	return readBinaryBody(br)
@@ -191,8 +204,8 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 // readBinaryBody decodes everything after the magic.
 func readBinaryBody(br *bufio.Reader) (*Trace, error) {
 	d := &binReader{r: br}
-	if v := d.uvarint(); d.err == nil && v != binaryVersion {
-		return nil, corruptf("unsupported binary version %d (want %d)", v, binaryVersion)
+	if v := d.uvarint(); d.err == nil && v != BinaryVersion {
+		return nil, corruptf("unsupported binary version %d (want %d)", v, BinaryVersion)
 	}
 	tr := &Trace{byThread: make(map[string][]*Tuple)}
 	tr.Seed = d.varint()
@@ -203,7 +216,7 @@ func readBinaryBody(br *bufio.Reader) (*Trace, error) {
 	// length prefix costs the attacker bytes, not us memory.
 	nTaus := d.count()
 	if nTaus > 0 {
-		tr.Taus = make([]int, 0, min(nTaus, 1024))
+		tr.Taus = make([]int, 0, CapAlloc(nTaus))
 	}
 	for i := 0; i < nTaus && d.err == nil; i++ {
 		tr.Taus = append(tr.Taus, int(d.varint()))
@@ -211,7 +224,7 @@ func readBinaryBody(br *bufio.Reader) (*Trace, error) {
 	nClocks := d.count()
 	for i := 0; i < nClocks && d.err == nil; i++ {
 		n := d.count()
-		v := make(vclock.Vector, 0, min(n, 1024))
+		v := make(vclock.Vector, 0, CapAlloc(n))
 		for j := 0; j < n && d.err == nil; j++ {
 			v = append(v, vclock.SJ{S: int(d.varint()), J: int(d.varint())})
 		}
@@ -219,7 +232,7 @@ func readBinaryBody(br *bufio.Reader) (*Trace, error) {
 	}
 
 	nStrings := d.count()
-	table := make([]string, 0, min(nStrings, 1024))
+	table := make([]string, 0, CapAlloc(nStrings))
 	for i := 0; i < nStrings && d.err == nil; i++ {
 		table = append(table, d.string())
 	}
@@ -239,7 +252,7 @@ func readBinaryBody(br *bufio.Reader) (*Trace, error) {
 		tp.Pos = d.int()
 		nHeld := d.count()
 		if nHeld > 0 && d.err == nil {
-			tp.Held = make([]HeldLock, 0, min(nHeld, 1024))
+			tp.Held = make([]HeldLock, 0, CapAlloc(nHeld))
 		}
 		for j := 0; j < nHeld && d.err == nil; j++ {
 			h := HeldLock{Lock: d.str(), Site: d.str()}
@@ -320,7 +333,7 @@ func (d *binReader) string() string {
 	if d.err != nil {
 		return ""
 	}
-	if n > maxStringLen {
+	if n > MaxStringLen {
 		d.fail(fmt.Errorf("string length %d exceeds limit", n))
 		return ""
 	}
@@ -350,9 +363,9 @@ func (d *binReader) str() string {
 // the caller declaring which one it is.
 func Decode(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
-	head, err := br.Peek(len(binaryMagic))
-	if err == nil && [4]byte(head) == binaryMagic {
-		br.Discard(len(binaryMagic))
+	head, err := br.Peek(len(BinaryMagic))
+	if err == nil && [4]byte(head) == BinaryMagic {
+		br.Discard(len(BinaryMagic))
 		return readBinaryBody(br)
 	}
 	return Read(br)

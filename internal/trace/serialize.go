@@ -58,30 +58,13 @@ func Read(r io.Reader) (*Trace, error) {
 	if ff.Version != formatVersion {
 		return nil, fmt.Errorf("trace: unsupported format version %d (want %d)", ff.Version, formatVersion)
 	}
-	tr := &Trace{
-		Tuples:   ff.Tuples,
-		byThread: make(map[string][]*Tuple),
-		Taus:     ff.Taus,
-		Steps:    ff.Steps,
-		Seed:     ff.Seed,
-	}
+	var clocks []vclock.Vector
 	for _, row := range ff.Clocks {
 		v := make(vclock.Vector, len(row))
 		for i, p := range row {
 			v[i] = vclock.SJ{S: p.S, J: p.J}
 		}
-		tr.Clocks = append(tr.Clocks, v)
+		clocks = append(clocks, v)
 	}
-	// Rebuild per-thread sequences and validate positions.
-	for _, tp := range tr.Tuples {
-		if tp == nil {
-			return nil, fmt.Errorf("trace: null tuple")
-		}
-		seq := tr.byThread[tp.Thread]
-		if tp.Pos != len(seq) {
-			return nil, fmt.Errorf("trace: tuple %v has position %d, want %d", tp, tp.Pos, len(seq))
-		}
-		tr.byThread[tp.Thread] = append(seq, tp)
-	}
-	return tr, nil
+	return Assemble(ff.Tuples, clocks, ff.Taus, ff.Steps, ff.Seed)
 }

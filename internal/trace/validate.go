@@ -73,74 +73,122 @@ func invalidf(class string, tuple int, format string, args ...any) error {
 	return &ValidationError{Class: class, Tuple: tuple, Detail: fmt.Sprintf(format, args...)}
 }
 
+// ValidateClocks checks the clock and timestamp tables of a trace: the
+// two tables must agree in length when both were recorded, and no clock
+// vector may be wider than the thread table. It is split out of
+// Validate so the streaming decoder can run it as soon as the header
+// sections (taus, clocks) complete, before any tuple arrives.
+func ValidateClocks(clocks []vclock.Vector, taus []int) error {
+	if len(taus) > 0 && len(clocks) > 0 && len(taus) != len(clocks) {
+		return invalidf(InvalidClockShape, -1,
+			"%d timestamps but %d clock vectors", len(taus), len(clocks))
+	}
+	for i, v := range clocks {
+		if len(v) > len(clocks) {
+			return invalidf(InvalidClockShape, -1,
+				"clock vector %d has %d entries for %d threads", i, len(v), len(clocks))
+		}
+	}
+	return nil
+}
+
+// TupleValidator applies Validate's per-tuple rules incrementally, in
+// trace order — the mid-stream 422 gate of the streaming ingestion
+// path. Feed every tuple through Check as it decodes; the first defect
+// is returned as the same *ValidationError batch validation would
+// produce.
+type TupleValidator struct {
+	// nThreads is the recorded thread-table size tuples' thread IDs must
+	// resolve into (0 when neither clocks nor taus were recorded).
+	nThreads int
+	pos      map[string]int
+	lastTau  map[string]int
+	n        int
+}
+
+// NewTupleValidator returns a validator for a trace whose clock and
+// timestamp tables are clocks and taus (either may be empty).
+func NewTupleValidator(clocks []vclock.Vector, taus []int) *TupleValidator {
+	nThreads := len(clocks)
+	if nThreads == 0 {
+		nThreads = len(taus)
+	}
+	return &TupleValidator{
+		nThreads: nThreads,
+		pos:      make(map[string]int),
+		lastTau:  make(map[string]int),
+	}
+}
+
+// Check validates the next tuple in trace order, returning a
+// *ValidationError for the first defect found.
+func (v *TupleValidator) Check(tp *Tuple) error {
+	i := v.n
+	v.n++
+	if tp == nil {
+		return invalidf(InvalidMissingField, i, "nil tuple")
+	}
+	if tp.Thread == "" || tp.Lock == "" || tp.Site == "" {
+		return invalidf(InvalidMissingField, i,
+			"thread=%q lock=%q site=%q", tp.Thread, tp.Lock, tp.Site)
+	}
+	if tp.Key.Thread != tp.Thread || tp.Key.Site != tp.Site || tp.Key.Occ < 1 {
+		return invalidf(InvalidBadKey, i, "key %v contradicts tuple %v", tp.Key, tp)
+	}
+	if tp.Idx.Thread != tp.Thread || tp.Idx.Seq < 1 {
+		return invalidf(InvalidBadKey, i, "index %v contradicts tuple %v", tp.Idx, tp)
+	}
+	if tp.Pos != v.pos[tp.Thread] {
+		return invalidf(InvalidBadPosition, i,
+			"thread %s position %d, want %d", tp.Thread, tp.Pos, v.pos[tp.Thread])
+	}
+	v.pos[tp.Thread]++
+	seen := make(map[string]bool, len(tp.Held))
+	for _, h := range tp.Held {
+		switch {
+		case h.Lock == "":
+			return invalidf(InvalidHeldSet, i, "lockset entry without a lock name")
+		case h.Lock == tp.Lock:
+			return invalidf(InvalidHeldSet, i,
+				"acquired lock %s appears in its own lockset", tp.Lock)
+		case seen[h.Lock]:
+			return invalidf(InvalidHeldSet, i, "lock %s held twice", h.Lock)
+		}
+		seen[h.Lock] = true
+	}
+	// Thread IDs index the clock and timestamp tables; when neither
+	// was recorded (the base, timestamp-free detector) any
+	// non-negative dense ID is acceptable.
+	if tp.ThreadID < 0 || (v.nThreads > 0 && int(tp.ThreadID) >= v.nThreads) {
+		return invalidf(InvalidThreadID, i,
+			"thread id %d outside recorded table of %d", tp.ThreadID, v.nThreads)
+	}
+	if tp.Tau != vclock.Bottom {
+		if last, ok := v.lastTau[tp.Thread]; ok && tp.Tau < last {
+			return invalidf(InvalidNonMonotonicTau, i,
+				"thread %s timestamp %d after %d", tp.Thread, tp.Tau, last)
+		}
+		v.lastTau[tp.Thread] = tp.Tau
+	}
+	return nil
+}
+
 // Validate checks the structural integrity of a decoded trace and
 // returns the first defect found as a *ValidationError (nil when the
-// trace is well-formed). It never mutates the trace.
+// trace is well-formed). It never mutates the trace. It is the batch
+// composition of ValidateClocks and TupleValidator, which the streaming
+// decoder runs incrementally instead.
 func Validate(tr *Trace) error {
 	if tr == nil {
 		return invalidf(InvalidMissingField, -1, "nil trace")
 	}
-	if len(tr.Taus) > 0 && len(tr.Clocks) > 0 && len(tr.Taus) != len(tr.Clocks) {
-		return invalidf(InvalidClockShape, -1,
-			"%d timestamps but %d clock vectors", len(tr.Taus), len(tr.Clocks))
+	if err := ValidateClocks(tr.Clocks, tr.Taus); err != nil {
+		return err
 	}
-	for i, v := range tr.Clocks {
-		if len(v) > len(tr.Clocks) {
-			return invalidf(InvalidClockShape, -1,
-				"clock vector %d has %d entries for %d threads", i, len(v), len(tr.Clocks))
-		}
-	}
-	nThreads := len(tr.Clocks)
-	if nThreads == 0 {
-		nThreads = len(tr.Taus)
-	}
-	pos := make(map[string]int)
-	lastTau := make(map[string]int)
-	for i, tp := range tr.Tuples {
-		if tp == nil {
-			return invalidf(InvalidMissingField, i, "nil tuple")
-		}
-		if tp.Thread == "" || tp.Lock == "" || tp.Site == "" {
-			return invalidf(InvalidMissingField, i,
-				"thread=%q lock=%q site=%q", tp.Thread, tp.Lock, tp.Site)
-		}
-		if tp.Key.Thread != tp.Thread || tp.Key.Site != tp.Site || tp.Key.Occ < 1 {
-			return invalidf(InvalidBadKey, i, "key %v contradicts tuple %v", tp.Key, tp)
-		}
-		if tp.Idx.Thread != tp.Thread || tp.Idx.Seq < 1 {
-			return invalidf(InvalidBadKey, i, "index %v contradicts tuple %v", tp.Idx, tp)
-		}
-		if tp.Pos != pos[tp.Thread] {
-			return invalidf(InvalidBadPosition, i,
-				"thread %s position %d, want %d", tp.Thread, tp.Pos, pos[tp.Thread])
-		}
-		pos[tp.Thread]++
-		seen := make(map[string]bool, len(tp.Held))
-		for _, h := range tp.Held {
-			switch {
-			case h.Lock == "":
-				return invalidf(InvalidHeldSet, i, "lockset entry without a lock name")
-			case h.Lock == tp.Lock:
-				return invalidf(InvalidHeldSet, i,
-					"acquired lock %s appears in its own lockset", tp.Lock)
-			case seen[h.Lock]:
-				return invalidf(InvalidHeldSet, i, "lock %s held twice", h.Lock)
-			}
-			seen[h.Lock] = true
-		}
-		// Thread IDs index the clock and timestamp tables; when neither
-		// was recorded (the base, timestamp-free detector) any
-		// non-negative dense ID is acceptable.
-		if tp.ThreadID < 0 || (nThreads > 0 && int(tp.ThreadID) >= nThreads) {
-			return invalidf(InvalidThreadID, i,
-				"thread id %d outside recorded table of %d", tp.ThreadID, nThreads)
-		}
-		if tp.Tau != vclock.Bottom {
-			if last, ok := lastTau[tp.Thread]; ok && tp.Tau < last {
-				return invalidf(InvalidNonMonotonicTau, i,
-					"thread %s timestamp %d after %d", tp.Thread, tp.Tau, last)
-			}
-			lastTau[tp.Thread] = tp.Tau
+	v := NewTupleValidator(tr.Clocks, tr.Taus)
+	for _, tp := range tr.Tuples {
+		if err := v.Check(tp); err != nil {
+			return err
 		}
 	}
 	return nil
