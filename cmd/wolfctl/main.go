@@ -16,6 +16,10 @@
 //	wolfctl trace <hash> [-o out.wtrc]  fetch one blob (binary encoding)
 //	wolfctl rm <hash>                   delete a stored trace blob
 //	wolfctl replay <hash> [-wait]       re-enqueue analysis of a stored trace
+//	wolfctl status [-json]              one-shot ops rollup from /v1/status
+//	wolfctl tail [-follow] [-kind K] [-job J] [-trace T] [-since N]
+//	                                    flight-recorder events; -follow keeps an
+//	                                    SSE live tail open until interrupted
 //	wolfctl -version                    print build information
 //
 // The corpus commands need a wolfd started with -data-dir. Uploads may
@@ -24,6 +28,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"compress/gzip"
 	"encoding/json"
@@ -31,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"strings"
 	"time"
@@ -50,7 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	addr := fs.String("addr", envOr("WOLFD_ADDR", "http://localhost:8077"), "wolfd base URL")
 	version := fs.Bool("version", false, "print build information and exit")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: wolfctl [-addr URL] upload|stream|jobs|defects|trace|rm|replay ...")
+		fmt.Fprintln(stderr, "usage: wolfctl [-addr URL] upload|stream|jobs|defects|trace|rm|replay|status|tail ...")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -87,6 +93,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = c.rm(rest)
 	case "replay":
 		err = c.replay(rest)
+	case "status":
+		err = c.status(rest)
+	case "tail":
+		err = c.tail(rest)
 	default:
 		fmt.Fprintf(stderr, "wolfctl: unknown command %q\n", cmd)
 		fs.Usage()
@@ -169,12 +179,13 @@ func (c *client) upload(args []string) error {
 	fs := flag.NewFlagSet("upload", flag.ContinueOnError)
 	fs.SetOutput(c.err)
 	wait := fs.Bool("wait", false, "poll until the job reaches a terminal state")
+	traceparent := fs.String("traceparent", "", "W3C traceparent header forwarded with the upload")
 	pos, err := parseArgs(fs, args)
 	if err != nil {
 		return err
 	}
 	if len(pos) != 1 {
-		return fmt.Errorf("usage: wolfctl upload <trace-file> [-wait]")
+		return fmt.Errorf("usage: wolfctl upload <trace-file> [-wait] [-traceparent TP]")
 	}
 	data, err := os.ReadFile(pos[0])
 	if err != nil {
@@ -186,6 +197,9 @@ func (c *client) upload(args []string) error {
 	}
 	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
 		req.Header.Set("Content-Encoding", "gzip")
+	}
+	if *traceparent != "" {
+		req.Header.Set("traceparent", *traceparent)
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
@@ -538,6 +552,206 @@ func (c *client) rm(args []string) error {
 	}
 	fmt.Fprintf(c.out, "deleted %s\n", short(args[0]))
 	return nil
+}
+
+// statusView mirrors the /v1/status fields wolfctl renders.
+type statusView struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Build         struct {
+		Version  string `json:"version"`
+		Revision string `json:"revision"`
+	} `json:"build"`
+	Queue struct {
+		Depth    int64 `json:"depth"`
+		Capacity int   `json:"capacity"`
+	} `json:"queue"`
+	Workers struct {
+		Total int   `json:"total"`
+		Busy  int64 `json:"busy"`
+	} `json:"workers"`
+	Streams struct {
+		Open int64 `json:"open"`
+		Max  int   `json:"max"`
+	} `json:"streams"`
+	Jobs struct {
+		Accepted  int64 `json:"accepted"`
+		Completed int64 `json:"completed"`
+		Failed    int64 `json:"failed"`
+		Rejected  int64 `json:"rejected"`
+	} `json:"jobs"`
+	ErrorWindow struct {
+		Seconds float64 `json:"seconds"`
+		Done    int     `json:"done"`
+		Failed  int     `json:"failed"`
+		Rate    float64 `json:"rate"`
+	} `json:"error_window"`
+	Latency map[string]struct {
+		P50   float64 `json:"p50"`
+		P95   float64 `json:"p95"`
+		P99   float64 `json:"p99"`
+		Count uint64  `json:"count"`
+	} `json:"latency"`
+	Corpus *struct {
+		Traces  int `json:"traces"`
+		Defects int `json:"defects"`
+		Jobs    int `json:"jobs"`
+	} `json:"corpus"`
+	Events struct {
+		Seq      uint64 `json:"seq"`
+		Capacity int    `json:"capacity"`
+	} `json:"events"`
+}
+
+// status renders the one-shot ops rollup from /v1/status.
+func (c *client) status(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ContinueOnError)
+	fs.SetOutput(c.err)
+	asJSON := fs.Bool("json", false, "print raw JSON instead of the summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *asJSON {
+		var raw json.RawMessage
+		if err := c.getJSON("/v1/status", &raw); err != nil {
+			return err
+		}
+		return indentJSON(c.out, raw)
+	}
+	var v statusView
+	if err := c.getJSON("/v1/status", &v); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "wolfd %s\tversion=%s\tuptime=%s\n",
+		v.Status, v.Build.Version, (time.Duration(v.UptimeSeconds) * time.Second).String())
+	fmt.Fprintf(c.out, "queue\t%d/%d\tworkers\t%d/%d busy\tstreams\t%d/%d open\n",
+		v.Queue.Depth, v.Queue.Capacity, v.Workers.Busy, v.Workers.Total,
+		v.Streams.Open, v.Streams.Max)
+	fmt.Fprintf(c.out, "jobs\taccepted=%d completed=%d failed=%d rejected=%d\n",
+		v.Jobs.Accepted, v.Jobs.Completed, v.Jobs.Failed, v.Jobs.Rejected)
+	fmt.Fprintf(c.out, "errors\t%d/%d failed over last %.0fs (rate %.2f)\n",
+		v.ErrorWindow.Failed, v.ErrorWindow.Done+v.ErrorWindow.Failed,
+		v.ErrorWindow.Seconds, v.ErrorWindow.Rate)
+	for _, stage := range []string{"queue_wait", "detect", "prune", "generate", "analysis"} {
+		lat, ok := v.Latency[stage]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(c.out, "latency\t%s\tp50=%.3fs p95=%.3fs p99=%.3fs n=%d\n",
+			stage, lat.P50, lat.P95, lat.P99, lat.Count)
+	}
+	if v.Corpus != nil {
+		fmt.Fprintf(c.out, "corpus\ttraces=%d defects=%d jobs=%d\n",
+			v.Corpus.Traces, v.Corpus.Defects, v.Corpus.Jobs)
+	}
+	fmt.Fprintf(c.out, "events\tseq=%d capacity=%d\n", v.Events.Seq, v.Events.Capacity)
+	return nil
+}
+
+// eventView mirrors the flight-recorder event fields wolfctl renders.
+type eventView struct {
+	Seq    uint64            `json:"seq"`
+	Time   time.Time         `json:"time"`
+	Kind   string            `json:"kind"`
+	Job    string            `json:"job"`
+	Stream string            `json:"stream"`
+	Trace  string            `json:"trace"`
+	Msg    string            `json:"msg"`
+	Attrs  map[string]string `json:"attrs"`
+}
+
+// printEvent renders one flight-recorder event as a tab-separated line.
+func (c *client) printEvent(ev eventView) {
+	fmt.Fprintf(c.out, "%d\t%s\t%s", ev.Seq, ev.Time.UTC().Format(time.RFC3339Nano), ev.Kind)
+	if ev.Job != "" {
+		fmt.Fprintf(c.out, "\tjob=%s", ev.Job)
+	}
+	if ev.Stream != "" {
+		fmt.Fprintf(c.out, "\tstream=%s", ev.Stream)
+	}
+	if ev.Trace != "" {
+		fmt.Fprintf(c.out, "\ttrace=%s", ev.Trace)
+	}
+	if ev.Msg != "" {
+		fmt.Fprintf(c.out, "\t%s", ev.Msg)
+	}
+	for k, v := range ev.Attrs {
+		fmt.Fprintf(c.out, "\t%s=%s", k, v)
+	}
+	fmt.Fprintln(c.out)
+}
+
+// tail prints flight-recorder events from /v1/debug/events: a filtered
+// snapshot by default, or — with -follow — a live SSE tail that runs
+// until the connection drops or the process is interrupted.
+func (c *client) tail(args []string) error {
+	fs := flag.NewFlagSet("tail", flag.ContinueOnError)
+	fs.SetOutput(c.err)
+	follow := fs.Bool("follow", false, "keep the connection open and stream new events")
+	kind := fs.String("kind", "", "only events of this kind (e.g. job.failed)")
+	job := fs.String("job", "", "only events of this job ID")
+	stream := fs.String("stream", "", "only events of this stream ID")
+	trace := fs.String("trace", "", "only events of this W3C trace ID")
+	since := fs.Uint64("since", 0, "only events after this sequence number")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	q := url.Values{}
+	if *kind != "" {
+		q.Set("kind", *kind)
+	}
+	if *job != "" {
+		q.Set("job", *job)
+	}
+	if *stream != "" {
+		q.Set("stream", *stream)
+	}
+	if *trace != "" {
+		q.Set("trace", *trace)
+	}
+	if *since > 0 {
+		q.Set("since", fmt.Sprintf("%d", *since))
+	}
+	if !*follow {
+		var out struct {
+			Events []eventView `json:"events"`
+		}
+		path := "/v1/debug/events"
+		if len(q) > 0 {
+			path += "?" + q.Encode()
+		}
+		if err := c.getJSON(path, &out); err != nil {
+			return err
+		}
+		for _, ev := range out.Events {
+			c.printEvent(ev)
+		}
+		return nil
+	}
+	q.Set("follow", "1")
+	resp, err := http.Get(c.base + "/v1/debug/events?" + q.Encode())
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	// Consume SSE frames: `id: N` / `data: {...}` / blank separator.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		var ev eventView
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			continue
+		}
+		c.printEvent(ev)
+	}
+	return sc.Err()
 }
 
 // replay re-enqueues analysis of a stored trace.

@@ -255,3 +255,63 @@ func TestUsageErrors(t *testing.T) {
 		t.Error("unreachable server should exit 1")
 	}
 }
+
+func TestStatusCommand(t *testing.T) {
+	base := startWolfd(t)
+	path := traceFile(t)
+	if code, _ := ctl(t, "-addr", base, "upload", path, "-wait"); code != 0 {
+		t.Fatal("upload failed")
+	}
+
+	code, out := ctl(t, "-addr", base, "status")
+	if code != 0 {
+		t.Fatalf("status: code=%d out=%q", code, out)
+	}
+	for _, want := range []string{"wolfd ok", "queue\t", "jobs\t", "latency\tanalysis", "corpus\t", "events\tseq="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("status output %q missing %q", out, want)
+		}
+	}
+
+	code, out = ctl(t, "-addr", base, "status", "-json")
+	if code != 0 || !strings.Contains(out, `"uptime_seconds"`) {
+		t.Fatalf("status -json: code=%d out=%q", code, out)
+	}
+}
+
+func TestTailCommand(t *testing.T) {
+	base := startWolfd(t)
+	path := traceFile(t)
+
+	// Forward a client traceparent so the tail can filter on its ID.
+	const traceID = "0af7651916cd43dd8448eb211c80319c"
+	code, _ := ctl(t, "-addr", base, "upload", path, "-wait",
+		"-traceparent", "00-"+traceID+"-b7ad6b7169203331-01")
+	if code != 0 {
+		t.Fatal("upload failed")
+	}
+
+	code, out := ctl(t, "-addr", base, "tail")
+	if code != 0 {
+		t.Fatalf("tail: code=%d out=%q", code, out)
+	}
+	for _, want := range []string{"job.queued", "job.started", "job.done", "trace=" + traceID} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tail output %q missing %q", out, want)
+		}
+	}
+
+	// Kind and trace filters narrow the snapshot.
+	code, out = ctl(t, "-addr", base, "tail", "-kind", "job.done", "-trace", traceID)
+	if code != 0 {
+		t.Fatalf("tail filtered: code=%d out=%q", code, out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1 || !strings.Contains(lines[0], "job.done") {
+		t.Fatalf("filtered tail = %q, want exactly the job.done event", out)
+	}
+	// -since past the end yields nothing.
+	if _, out = ctl(t, "-addr", base, "tail", "-since", "1000000"); strings.TrimSpace(out) != "" {
+		t.Errorf("tail -since huge = %q, want empty", out)
+	}
+}

@@ -7,7 +7,8 @@
 //	wolfd [-addr :8077] [-workers 4] [-queue 64] [-timeout 30s] [-data]
 //	      [-data-dir /var/lib/wolfd] [-max-body 32] [-watchdog-grace 2s]
 //	      [-max-streams 64] [-stream-idle 2m] [-stream-budget 16]
-//	      [-log-format text|json] [-log-level info] [-debug-addr localhost:6060]
+//	      [-flight-recorder 4096] [-log-format text|json] [-log-level info]
+//	      [-debug-addr localhost:6060]
 //
 // -data-dir attaches a persistent corpus: uploaded traces are archived
 // by content address, finished analyses aggregate into fingerprinted
@@ -53,6 +54,7 @@ func main() {
 		strIdle   = flag.Duration("stream-idle", 2*time.Minute, "evict ingestion streams idle longer than this")
 		strBudget = flag.Int64("stream-budget", 16, "per-stream decoder memory budget in MiB")
 		data      = flag.Bool("data", false, "enable the value-flow (data dependency) extension")
+		flight    = flag.Int("flight-recorder", 4096, "flight-recorder ring capacity (lifecycle events kept for /v1/debug/events)")
 		par       = flag.Int("analysis-parallelism", 0, "per-job Generator worker pool size (0 = GOMAXPROCS, capped; output is identical at any value)")
 		dataDir   = flag.String("data-dir", "", "persist traces, jobs and defect records in this directory")
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
@@ -110,17 +112,18 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Workers:           *workers,
-		QueueSize:         *queue,
-		JobTimeout:        *timeout,
-		WatchdogGrace:     *grace,
-		MaxUploadBytes:    *maxBody << 20,
-		MaxOpenStreams:    *maxStr,
-		StreamIdleTimeout: *strIdle,
-		StreamMemBudget:   *strBudget << 20,
-		Analysis:          core.Config{DataDependency: *data, Parallelism: *par},
-		Logger:            log,
-		Store:             st,
+		Workers:            *workers,
+		QueueSize:          *queue,
+		JobTimeout:         *timeout,
+		WatchdogGrace:      *grace,
+		MaxUploadBytes:     *maxBody << 20,
+		MaxOpenStreams:     *maxStr,
+		StreamIdleTimeout:  *strIdle,
+		StreamMemBudget:    *strBudget << 20,
+		FlightRecorderSize: *flight,
+		Analysis:           core.Config{DataDependency: *data, Parallelism: *par},
+		Logger:             log,
+		Store:              st,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

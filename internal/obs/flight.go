@@ -1,0 +1,129 @@
+package obs
+
+// The flight recorder is a bounded, lock-free ring of recent Events:
+// completed spans, job state transitions, stream lifecycle, shedding
+// decisions, store writes, replay verdicts — whatever the embedding
+// process considers worth retaining for an incident. Unlike the
+// Recorder (which aggregates spans per job), the flight recorder is
+// daemon-wide and fixed-size: writers never block and never allocate
+// beyond the event itself, old entries are overwritten in ring order,
+// and readers get a consistent snapshot without stopping writers.
+//
+// Writers claim a slot with one atomic increment and publish the event
+// with one atomic pointer store; readers load the pointers they can see
+// and order by the per-event sequence number. A reader racing a
+// wrapping writer observes either the old or the new event — never a
+// torn one — so the ring is safe under any number of concurrent
+// writers and readers.
+
+import (
+	"cmp"
+	"slices"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one flight-recorder entry. Kind is a small closed vocabulary
+// (for example "job.done", "stream.evict"); Job, Stream and Trace are
+// optional correlation handles, and Attrs carries small kind-specific
+// details.
+type Event struct {
+	// Seq is the global, monotonically increasing sequence number the
+	// recorder assigned; readers use it for ordering and ?since cursors.
+	Seq uint64 `json:"seq"`
+	// Time is the wall-clock event time (stamped by Record when zero).
+	Time time.Time `json:"time"`
+	// Kind labels the event class, dot-namespaced per subsystem.
+	Kind string `json:"kind"`
+	// Job is the job ID the event concerns, if any.
+	Job string `json:"job,omitempty"`
+	// Stream is the ingestion-stream ID the event concerns, if any.
+	Stream string `json:"stream,omitempty"`
+	// Trace is the W3C trace ID correlating the event to a request.
+	Trace string `json:"trace,omitempty"`
+	// Msg is a short human-readable detail line.
+	Msg string `json:"msg,omitempty"`
+	// Attrs are small kind-specific key/value details.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// FlightRecorder is the bounded event ring. A nil *FlightRecorder is
+// valid and inert, mirroring the nil-*Span convention. Create with
+// NewFlightRecorder.
+type FlightRecorder struct {
+	mask  uint64
+	seq   atomic.Uint64
+	slots []atomic.Pointer[Event]
+}
+
+// NewFlightRecorder returns a ring retaining the most recent size
+// events (rounded up to a power of two, minimum 16).
+func NewFlightRecorder(size int) *FlightRecorder {
+	n := 16
+	for n < size {
+		n <<= 1
+	}
+	return &FlightRecorder{mask: uint64(n - 1), slots: make([]atomic.Pointer[Event], n)}
+}
+
+// Cap returns the ring capacity.
+func (f *FlightRecorder) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.slots)
+}
+
+// Seq returns the latest assigned sequence number (the total number of
+// events ever recorded).
+func (f *FlightRecorder) Seq() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.seq.Load()
+}
+
+// Record assigns the event its sequence number, stamps Time when unset,
+// and publishes it, overwriting the oldest retained entry once the ring
+// is full. It returns the assigned sequence number (0 on a nil ring).
+func (f *FlightRecorder) Record(ev Event) uint64 {
+	if f == nil {
+		return 0
+	}
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	n := f.seq.Add(1)
+	ev.Seq = n
+	f.slots[(n-1)&f.mask].Store(&ev)
+	return n
+}
+
+// Snapshot returns the retained events in sequence order. The result is
+// a consistent-per-entry copy: each entry is an event that was fully
+// published, though a concurrently writing ring may already have
+// overwritten some by the time the caller looks.
+func (f *FlightRecorder) Snapshot() []Event {
+	return f.Since(0)
+}
+
+// Since returns the retained events with Seq > seq, in sequence order.
+// It is the cursor primitive behind ?since= polling and the SSE tail:
+// a reader that remembers the last Seq it saw gets exactly the new
+// events (minus any the ring has already overwritten).
+func (f *FlightRecorder) Since(seq uint64) []Event {
+	if f == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(f.slots))
+	for i := range f.slots {
+		if ev := f.slots[i].Load(); ev != nil && ev.Seq > seq {
+			out = append(out, *ev)
+		}
+	}
+	// Ring order is not sequence order once wrapped (and concurrent
+	// writers can publish slightly out of slot order); sort the bounded
+	// snapshot.
+	slices.SortFunc(out, func(a, b Event) int { return cmp.Compare(a.Seq, b.Seq) })
+	return out
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderBasic(t *testing.T) {
+	f := NewFlightRecorder(16)
+	if f.Cap() != 16 {
+		t.Fatalf("Cap = %d, want 16", f.Cap())
+	}
+	for i := 0; i < 5; i++ {
+		seq := f.Record(Event{Kind: "job.queued", Job: fmt.Sprintf("j-%d", i)})
+		if seq != uint64(i+1) {
+			t.Fatalf("Record #%d returned seq %d", i, seq)
+		}
+	}
+	evs := f.Snapshot()
+	if len(evs) != 5 {
+		t.Fatalf("Snapshot len = %d, want 5", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Errorf("event %d: Seq = %d, want %d", i, ev.Seq, i+1)
+		}
+		if ev.Time.IsZero() {
+			t.Errorf("event %d: Time not stamped", i)
+		}
+	}
+	since := f.Since(3)
+	if len(since) != 2 || since[0].Seq != 4 || since[1].Seq != 5 {
+		t.Fatalf("Since(3) = %+v, want seqs 4,5", since)
+	}
+}
+
+func TestFlightRecorderWraparound(t *testing.T) {
+	f := NewFlightRecorder(16)
+	const total = 100
+	for i := 1; i <= total; i++ {
+		f.Record(Event{Kind: "k", Msg: fmt.Sprintf("m%d", i)})
+	}
+	if f.Seq() != total {
+		t.Fatalf("Seq = %d, want %d", f.Seq(), total)
+	}
+	evs := f.Snapshot()
+	if len(evs) != 16 {
+		t.Fatalf("after wrap: Snapshot len = %d, want ring size 16", len(evs))
+	}
+	// Exactly the newest 16, in order.
+	for i, ev := range evs {
+		want := uint64(total - 16 + 1 + i)
+		if ev.Seq != want {
+			t.Errorf("event %d: Seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestFlightRecorderRoundsSizeUp(t *testing.T) {
+	for size, want := range map[int]int{0: 16, 1: 16, 17: 32, 4096: 4096, 5000: 8192} {
+		if got := NewFlightRecorder(size).Cap(); got != want {
+			t.Errorf("NewFlightRecorder(%d).Cap() = %d, want %d", size, got, want)
+		}
+	}
+}
+
+func TestFlightRecorderNil(t *testing.T) {
+	var f *FlightRecorder
+	if seq := f.Record(Event{Kind: "k"}); seq != 0 {
+		t.Errorf("nil Record = %d, want 0", seq)
+	}
+	if f.Snapshot() != nil || f.Since(0) != nil || f.Cap() != 0 || f.Seq() != 0 {
+		t.Error("nil recorder not inert")
+	}
+}
+
+// TestFlightRecorderConcurrent hammers one ring with 8 writers while a
+// reader snapshots continuously: the bound must hold, published events
+// must never be torn (Kind always matches the writer that owns the
+// Seq), and sequence order must be strict within a snapshot.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 2000
+	)
+	f := NewFlightRecorder(64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			evs := f.Snapshot()
+			if len(evs) > f.Cap() {
+				select {
+				case errs <- fmt.Errorf("snapshot %d exceeds ring cap %d", len(evs), f.Cap()):
+				default:
+				}
+				return
+			}
+			for i := range evs {
+				if i > 0 && evs[i-1].Seq >= evs[i].Seq {
+					select {
+					case errs <- fmt.Errorf("snapshot out of order: %d then %d", evs[i-1].Seq, evs[i].Seq):
+					default:
+					}
+					return
+				}
+				// Each event's Job names its writer and Msg its count;
+				// a torn read would mix them.
+				if evs[i].Kind != "w."+evs[i].Job {
+					select {
+					case errs <- fmt.Errorf("torn event: kind %q job %q", evs[i].Kind, evs[i].Job):
+					default:
+					}
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			job := fmt.Sprintf("%d", w)
+			for i := 0; i < perWriter; i++ {
+				f.Record(Event{Kind: "w." + job, Job: job, Time: time.Unix(1, 0)})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	// Writers finish fast; give the reader a moment more, then stop it.
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	<-done
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if f.Seq() != writers*perWriter {
+		t.Fatalf("Seq = %d, want %d", f.Seq(), writers*perWriter)
+	}
+	if got := len(f.Snapshot()); got != f.Cap() {
+		t.Fatalf("final snapshot len = %d, want full ring %d", got, f.Cap())
+	}
+}

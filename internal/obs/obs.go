@@ -39,10 +39,13 @@ type Attr struct {
 // Span is one in-flight measurement. A nil *Span is valid and inert, so
 // callers never need to branch on whether recording is enabled.
 type Span struct {
-	rec   *Recorder
-	name  string
-	start time.Time
-	attrs []Attr
+	rec    *Recorder
+	name   string
+	start  time.Time
+	attrs  []Attr
+	trace  string
+	id     string
+	parent string
 }
 
 // Name returns the span's name.
@@ -74,7 +77,8 @@ func (s *Span) End() time.Duration {
 		return 0
 	}
 	d := time.Since(s.start)
-	s.rec.record(SpanRecord{Name: s.name, Start: s.start, Dur: d, Attrs: s.attrs})
+	s.rec.record(SpanRecord{Name: s.name, Start: s.start, Dur: d, Attrs: s.attrs,
+		Trace: s.trace, Span: s.id, Parent: s.parent})
 	return d
 }
 
@@ -88,6 +92,13 @@ type SpanRecord struct {
 	Dur time.Duration
 	// Attrs are the attribute counters accumulated before End.
 	Attrs []Attr
+	// Trace is the W3C trace ID of the request the span belongs to;
+	// empty when the context carried no trace identity.
+	Trace string
+	// Span is the span's own ID and Parent its parent span's ID, giving
+	// causal links within one trace ("" at the trace root).
+	Span   string
+	Parent string
 }
 
 // Attr returns the value of the named attribute counter (zero when
@@ -203,6 +214,29 @@ func (r *Recorder) start(name string) *Span {
 // ctxKey is the context key carrying the recorder.
 type ctxKey struct{}
 
+// traceKey is the context key carrying the trace identity.
+type traceKey struct{}
+
+// traceCtx is the propagated causal identity: the request's trace ID
+// and the ID of the innermost open span (the parent of whatever starts
+// next).
+type traceCtx struct{ trace, span string }
+
+// WithTrace returns a context carrying the given W3C trace ID (and,
+// optionally, a parent span ID). Spans started under it are stamped
+// with the trace ID and linked parent→child, so one client-supplied
+// traceparent correlates every phase of a request across layers.
+func WithTrace(ctx context.Context, traceID, parentSpan string) context.Context {
+	return context.WithValue(ctx, traceKey{}, traceCtx{trace: traceID, span: parentSpan})
+}
+
+// TraceFrom returns the trace ID and current parent span ID carried by
+// ctx ("" when none).
+func TraceFrom(ctx context.Context) (traceID, parentSpan string) {
+	tc, _ := ctx.Value(traceKey{}).(traceCtx)
+	return tc.trace, tc.span
+}
+
 // WithRecorder returns a context carrying rec; spans started under it
 // are collected there.
 func WithRecorder(ctx context.Context, rec *Recorder) context.Context {
@@ -216,15 +250,24 @@ func FromContext(ctx context.Context) *Recorder {
 }
 
 // Start opens a span named name on the context's recorder. When the
-// context carries no recorder the returned span is nil (inert). The
-// returned context is the input context: spans are aggregated by name,
-// not parented, which keeps Start allocation-free on the disabled path.
+// context carries no recorder the returned span is nil (inert) and the
+// input context is returned unchanged, which keeps the disabled path
+// allocation-free. When the context also carries a trace identity
+// (WithTrace), the span is stamped with the trace ID, minted a span ID,
+// linked to its parent, and the returned context carries it as the new
+// parent — giving causally linked spans end to end.
 func Start(ctx context.Context, name string) (context.Context, *Span) {
 	rec := FromContext(ctx)
 	if rec == nil {
 		return ctx, nil
 	}
-	return ctx, rec.start(name)
+	sp := rec.start(name)
+	if tc, ok := ctx.Value(traceKey{}).(traceCtx); ok && tc.trace != "" {
+		sp.trace, sp.parent = tc.trace, tc.span
+		sp.id = NewSpanID()
+		ctx = context.WithValue(ctx, traceKey{}, traceCtx{trace: tc.trace, span: sp.id})
+	}
+	return ctx, sp
 }
 
 // WriteTimeline appends every finished span as a complete ("X") Chrome

@@ -1,0 +1,102 @@
+package obs
+
+// W3C Trace Context (https://www.w3.org/TR/trace-context/) helpers.
+// wolfd ingests the `traceparent` header on every work-creating request
+// so one client-supplied trace ID correlates the job record, spans, log
+// lines, flight-recorder events and the timeline export; these helpers
+// are the parse/format/mint primitives shared by the server and the
+// CLIs.
+//
+// A traceparent is `version-traceid-parentid-flags`, e.g.
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//
+// with a 2-hex-digit version, a 32-hex-digit trace ID, a 16-hex-digit
+// parent span ID and 2 hex digits of flags. Trace and span IDs must not
+// be all-zero.
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+)
+
+// lowerHex reports whether s is entirely lowercase hex digits.
+func lowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// allZero reports whether s is entirely '0' characters.
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseTraceparent validates a W3C traceparent header value and returns
+// its trace-id and parent-id fields. Unknown future versions are
+// accepted as long as the four leading fields parse (the spec requires
+// treating them as version 00); version "ff" and all-zero IDs are
+// invalid.
+func ParseTraceparent(s string) (traceID, spanID string, err error) {
+	parts := strings.Split(s, "-")
+	if len(parts) < 4 {
+		return "", "", fmt.Errorf("traceparent: want version-traceid-parentid-flags, got %d field(s)", len(parts))
+	}
+	version, tid, pid, flags := parts[0], parts[1], parts[2], parts[3]
+	switch {
+	case len(version) != 2 || !lowerHex(version):
+		return "", "", fmt.Errorf("traceparent: bad version %q", version)
+	case version == "ff":
+		return "", "", fmt.Errorf("traceparent: version ff is forbidden")
+	case version == "00" && len(parts) != 4:
+		return "", "", fmt.Errorf("traceparent: version 00 allows exactly 4 fields, got %d", len(parts))
+	case len(tid) != 32 || !lowerHex(tid):
+		return "", "", fmt.Errorf("traceparent: bad trace-id %q", tid)
+	case allZero(tid):
+		return "", "", fmt.Errorf("traceparent: all-zero trace-id")
+	case len(pid) != 16 || !lowerHex(pid):
+		return "", "", fmt.Errorf("traceparent: bad parent-id %q", pid)
+	case allZero(pid):
+		return "", "", fmt.Errorf("traceparent: all-zero parent-id")
+	case len(flags) != 2 || !lowerHex(flags):
+		return "", "", fmt.Errorf("traceparent: bad flags %q", flags)
+	}
+	return tid, pid, nil
+}
+
+// FormatTraceparent renders a version-00 traceparent with the sampled
+// flag set, for echoing a trace identity back to clients.
+func FormatTraceparent(traceID, spanID string) string {
+	return "00-" + traceID + "-" + spanID + "-01"
+}
+
+// NewTraceID mints a random 32-hex-digit trace ID (never all-zero).
+// math/rand/v2 is deliberate: trace IDs are correlation handles, not
+// secrets, and minting must stay cheap on the request path.
+func NewTraceID() string {
+	for {
+		hi, lo := rand.Uint64(), rand.Uint64()
+		if hi|lo != 0 {
+			return fmt.Sprintf("%016x%016x", hi, lo)
+		}
+	}
+}
+
+// NewSpanID mints a random 16-hex-digit span ID (never all-zero).
+func NewSpanID() string {
+	for {
+		if v := rand.Uint64(); v != 0 {
+			return fmt.Sprintf("%016x", v)
+		}
+	}
+}

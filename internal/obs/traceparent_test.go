@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	const (
+		tid = "4bf92f3577b34da6a3ce929d0e0e4736"
+		pid = "00f067aa0ba902b7"
+	)
+	good := []string{
+		"00-" + tid + "-" + pid + "-01",
+		"00-" + tid + "-" + pid + "-00",
+		// Future version: extra trailing fields are legal.
+		"01-" + tid + "-" + pid + "-01-extra",
+	}
+	for _, in := range good {
+		gotT, gotS, err := ParseTraceparent(in)
+		if err != nil {
+			t.Errorf("ParseTraceparent(%q) = %v", in, err)
+			continue
+		}
+		if gotT != tid || gotS != pid {
+			t.Errorf("ParseTraceparent(%q) = %q, %q", in, gotT, gotS)
+		}
+	}
+	bad := []string{
+		"",
+		"00",
+		"00-" + tid + "-" + pid,               // missing flags
+		"00-" + tid + "-" + pid + "-01-extra", // v00 forbids extras
+		"ff-" + tid + "-" + pid + "-01",       // forbidden version
+		"0-" + tid + "-" + pid + "-01",        // short version
+		"00-" + strings.ToUpper(tid) + "-" + pid + "-01", // uppercase hex
+		"00-" + tid[:31] + "-" + pid + "-01",             // short trace-id
+		"00-" + strings.Repeat("0", 32) + "-" + pid + "-01",
+		"00-" + tid + "-" + strings.Repeat("0", 16) + "-01",
+		"00-" + tid + "-" + pid + "-0g",
+		"00-" + tid + "-" + pid[:15] + "-01",
+	}
+	for _, in := range bad {
+		if _, _, err := ParseTraceparent(in); err == nil {
+			t.Errorf("ParseTraceparent(%q): want error, got nil", in)
+		}
+	}
+}
+
+func TestFormatTraceparentRoundTrip(t *testing.T) {
+	tid, sid := NewTraceID(), NewSpanID()
+	if len(tid) != 32 || len(sid) != 16 {
+		t.Fatalf("minted IDs have wrong length: %q %q", tid, sid)
+	}
+	header := FormatTraceparent(tid, sid)
+	gotT, gotS, err := ParseTraceparent(header)
+	if err != nil {
+		t.Fatalf("round trip %q: %v", header, err)
+	}
+	if gotT != tid || gotS != sid {
+		t.Fatalf("round trip %q = %q, %q", header, gotT, gotS)
+	}
+}
+
+func TestSpanTraceIdentity(t *testing.T) {
+	rec := NewRecorder()
+	ctx := WithRecorder(context.Background(), rec)
+	ctx = WithTrace(ctx, "4bf92f3577b34da6a3ce929d0e0e4736", "")
+
+	ctx, outer := Start(ctx, "outer")
+	_, inner := Start(ctx, "inner")
+	inner.End()
+	outer.End()
+
+	spans := rec.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	in, out := spans[0], spans[1]
+	if in.Name != "inner" || out.Name != "outer" {
+		t.Fatalf("span order: %q, %q", in.Name, out.Name)
+	}
+	for _, sr := range spans {
+		if sr.Trace != "4bf92f3577b34da6a3ce929d0e0e4736" {
+			t.Errorf("span %q: trace = %q", sr.Name, sr.Trace)
+		}
+		if len(sr.Span) != 16 {
+			t.Errorf("span %q: bad span ID %q", sr.Name, sr.Span)
+		}
+	}
+	if out.Parent != "" {
+		t.Errorf("outer parent = %q, want root", out.Parent)
+	}
+	if in.Parent != out.Span {
+		t.Errorf("inner parent = %q, want outer's span ID %q", in.Parent, out.Span)
+	}
+}
+
+func TestSpanWithoutTraceContext(t *testing.T) {
+	rec := NewRecorder()
+	_, sp := Start(WithRecorder(context.Background(), rec), "plain")
+	sp.End()
+	sr := rec.Spans()[0]
+	if sr.Trace != "" || sr.Span != "" || sr.Parent != "" {
+		t.Fatalf("untraced span carries identity: %+v", sr)
+	}
+}
+
+// FuzzTraceparent asserts the parser never panics, never returns bad
+// IDs on success, and that accepted inputs with version 00 re-format to
+// an equally parseable header.
+func FuzzTraceparent(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-00000000000000000000000000000000-00f067aa0ba902b7-01")
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-tail")
+	f.Add("")
+	f.Add("----")
+	f.Add("00-abc-def-01")
+	f.Add(strings.Repeat("-", 300))
+	f.Fuzz(func(t *testing.T, in string) {
+		tid, sid, err := ParseTraceparent(in)
+		if err != nil {
+			return
+		}
+		if len(tid) != 32 || !lowerHex(tid) || allZero(tid) {
+			t.Fatalf("accepted bad trace-id %q from %q", tid, in)
+		}
+		if len(sid) != 16 || !lowerHex(sid) || allZero(sid) {
+			t.Fatalf("accepted bad parent-id %q from %q", sid, in)
+		}
+		tid2, sid2, err := ParseTraceparent(FormatTraceparent(tid, sid))
+		if err != nil || tid2 != tid || sid2 != sid {
+			t.Fatalf("re-format of %q not stable: %v", in, err)
+		}
+	})
+}

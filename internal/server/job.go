@@ -47,6 +47,7 @@ type Job struct {
 	state     JobState
 	err       string
 	source    string
+	trace     string
 	tuples    int
 	created   time.Time
 	started   time.Time
@@ -99,6 +100,14 @@ func (j *Job) Trace() *trace.Trace {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.tr
+}
+
+// TraceID returns the W3C trace ID correlating the job to the request
+// that created it (client-supplied via traceparent, or server-minted).
+func (j *Job) TraceID() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace
 }
 
 // TraceHash returns the content address of the job's trace in the
@@ -160,6 +169,7 @@ func (j *Job) record() store.JobRecord {
 		ID:        j.ID,
 		State:     string(j.state),
 		Source:    j.source,
+		Trace:     j.trace,
 		TraceHash: j.traceHash,
 		Error:     j.err,
 		Created:   j.created,
@@ -184,6 +194,9 @@ type JobView struct {
 	ID     string `json:"id"`
 	State  string `json:"state"`
 	Source string `json:"source"`
+	// Trace is the W3C trace ID correlating this job with the request
+	// that created it; filter /v1/debug/events?trace= with it.
+	Trace  string `json:"trace,omitempty"`
 	Tuples int    `json:"tuples,omitempty"`
 	// TraceHash is the content address of the job's trace in the corpus
 	// (fetch it via GET /v1/traces/{hash}); empty without -data-dir.
@@ -204,6 +217,7 @@ func (j *Job) view() JobView {
 		ID:        j.ID,
 		State:     string(j.state),
 		Source:    j.source,
+		Trace:     j.trace,
 		Tuples:    j.tuples,
 		TraceHash: j.traceHash,
 		Error:     j.err,
@@ -236,8 +250,9 @@ func newJobStore() *jobStore {
 	return &jobStore{jobs: make(map[string]*Job)}
 }
 
-// add registers a new job and assigns its ID.
-func (s *jobStore) add(source string, tr *trace.Trace, prepare func() (*trace.Trace, error)) *Job {
+// add registers a new job and assigns its ID. traceID is the causal
+// identity propagated from the creating request.
+func (s *jobStore) add(source, traceID string, tr *trace.Trace, prepare func() (*trace.Trace, error)) *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
@@ -245,6 +260,7 @@ func (s *jobStore) add(source string, tr *trace.Trace, prepare func() (*trace.Tr
 		ID:      fmt.Sprintf("j-%06d", s.seq),
 		state:   StateQueued,
 		source:  source,
+		trace:   traceID,
 		created: time.Now(),
 		tr:      tr,
 		prepare: prepare,
@@ -268,6 +284,7 @@ func (s *jobStore) restore(rec store.JobRecord) (*Job, bool) {
 		ID:         rec.ID,
 		state:      JobState(rec.State),
 		source:     rec.Source,
+		trace:      rec.Trace,
 		traceHash:  rec.TraceHash,
 		err:        rec.Error,
 		created:    rec.Created,

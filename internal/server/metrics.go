@@ -62,6 +62,9 @@ type Metrics struct {
 	SyncRejected atomic.Int64
 	// QueueDepth is the number of queued-but-not-started jobs.
 	QueueDepth atomic.Int64
+	// WorkersBusy is the number of workers currently running an
+	// analysis (the /v1/status utilization gauge).
+	WorkersBusy atomic.Int64
 	// AnalysisParallelism is the resolved per-job Generator worker pool
 	// size (core.Config.EffectiveParallelism), set once at startup.
 	AnalysisParallelism atomic.Int64
@@ -81,6 +84,11 @@ type Metrics struct {
 	// StreamBytes is the per-stream total byte count, observed once per
 	// stream at its terminal transition (close or eviction).
 	StreamBytes obs.Histogram
+
+	// Events counts flight-recorder events by kind — the aggregate
+	// (exemplar-style) face of GET /v1/debug/events, which holds the
+	// individual entries with their trace IDs.
+	Events *obs.CounterSet
 
 	// InvalidTraces counts uploads rejected by trace.Validate, by
 	// corruption class (422 responses).
@@ -117,6 +125,7 @@ type Metrics struct {
 // newMetrics returns a registry with its counter sets initialized.
 func newMetrics() *Metrics {
 	return &Metrics{
+		Events:           obs.NewCounterSet(),
 		StreamEvicted:    obs.NewCounterSet(),
 		InvalidTraces:    obs.NewCounterSet(),
 		ReplayDivergence: obs.NewCounterSet(),
@@ -201,6 +210,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("wolfd_stream_candidates_total", "Cycle candidates emitted mid-stream.", m.StreamCandidates.Load())
 
 	gauge("wolfd_queue_depth", "Queued-but-not-started jobs.", m.QueueDepth.Load())
+	gauge("wolfd_workers_busy", "Workers currently running an analysis.", m.WorkersBusy.Load())
 	gauge("wolfd_analysis_parallelism", "Resolved per-job analysis worker pool size (-analysis-parallelism).", m.AnalysisParallelism.Load())
 	counter("wolfd_cycles_total", "Potential deadlock cycles detected across all reports.", m.CyclesTotal.Load())
 	counter("wolfd_replay_faults_injected_total", "Scheduling perturbations injected across all replays.", m.FaultsInjected.Load())
@@ -214,6 +224,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
 		set.WritePrometheus(w, name, label)
 	}
+	counterSet(m.Events, "wolfd_events_total", "Flight-recorder events, by kind.", "kind")
 	counterSet(m.StreamEvicted, "wolfd_stream_evicted_total", "Streams removed before a normal close, by reason.", "reason")
 	counterSet(m.InvalidTraces, "wolfd_traces_invalid_total", "Uploads rejected by trace validation, by corruption class.", "class")
 	counterSet(m.ReplayDivergence, "wolfd_replay_divergence_total", "Failed replay attempts, by divergence reason.", "reason")

@@ -1,0 +1,477 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wolf/internal/obs"
+	"wolf/internal/store"
+)
+
+// syncBuffer is a goroutine-safe log sink for asserting slog output.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// debugEvents fetches /v1/debug/events with the given raw query.
+func debugEvents(t *testing.T, base, query string) []obs.Event {
+	t.Helper()
+	var out struct {
+		Events []obs.Event `json:"events"`
+		Seq    uint64      `json:"seq"`
+	}
+	if code := getJSON(t, base+"/v1/debug/events"+query, &out); code != http.StatusOK {
+		t.Fatalf("debug/events%s = %d", query, code)
+	}
+	return out.Events
+}
+
+// TestTraceparentRoundTrip is the PR's acceptance criterion end to end:
+// one client-supplied trace ID must appear verbatim in the upload
+// response (header and body), the job view, the slog lines, the
+// persisted job record, the flight-recorder events, and the exported
+// timeline.
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := fig4Trace(t)
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var logs syncBuffer
+	logger := slog.New(slog.NewTextHandler(&logs, nil))
+	_, ts := startServer(t, Config{Workers: 2, QueueSize: 8, Store: st, Logger: logger})
+
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	parent := "00-" + traceID + "-00f067aa0ba902b7-01"
+
+	var body bytes.Buffer
+	if err := tr.Write(&body); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/traces", bytes.NewReader(body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("traceparent", parent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("upload = %d", resp.StatusCode)
+	}
+
+	// 1. Echoed in the response header, with a fresh server-side span.
+	echo := resp.Header.Get("Traceparent")
+	gotTrace, gotSpan, err := obs.ParseTraceparent(echo)
+	if err != nil {
+		t.Fatalf("response traceparent %q: %v", echo, err)
+	}
+	if gotTrace != traceID {
+		t.Fatalf("response trace = %s, want %s", gotTrace, traceID)
+	}
+	if gotSpan == "00f067aa0ba902b7" {
+		t.Fatal("server echoed the client span ID instead of minting one")
+	}
+
+	// 2. In the upload response body and the job view.
+	var accepted JobView
+	if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil {
+		t.Fatal(err)
+	}
+	if accepted.Trace != traceID {
+		t.Fatalf("accepted.trace = %q, want %s", accepted.Trace, traceID)
+	}
+	v := pollJob(t, ts.URL, accepted.ID)
+	if v.State != string(StateDone) {
+		t.Fatalf("job state = %s (%s)", v.State, v.Error)
+	}
+	if v.Trace != traceID {
+		t.Fatalf("job view trace = %q, want %s", v.Trace, traceID)
+	}
+
+	// 3. In the persisted job record.
+	found := false
+	for _, rec := range st.Jobs() {
+		if rec.ID == accepted.ID {
+			found = true
+			if rec.Trace != traceID {
+				t.Fatalf("persisted trace = %q, want %s", rec.Trace, traceID)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("job %s not persisted", accepted.ID)
+	}
+
+	// 4. In the slog lines for the job.
+	if !strings.Contains(logs.String(), "trace="+traceID) {
+		t.Fatalf("slog output missing trace=%s:\n%s", traceID, logs.String())
+	}
+
+	// 5. In the flight-recorder events, filterable by ?trace=.
+	events := debugEvents(t, ts.URL, "?trace="+traceID)
+	kinds := map[string]bool{}
+	for _, ev := range events {
+		if ev.Trace != traceID {
+			t.Fatalf("event %d trace = %q, want %s", ev.Seq, ev.Trace, traceID)
+		}
+		kinds[ev.Kind] = true
+	}
+	for _, want := range []string{evJobQueued, evJobStarted, evJobDone} {
+		if !kinds[want] {
+			t.Fatalf("no %s event for trace; got %v", want, kinds)
+		}
+	}
+
+	// 6. In the exported timeline, verbatim.
+	httpResp, err := http.Get(ts.URL + "/v1/jobs/" + accepted.ID + "/timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	var tl bytes.Buffer
+	if _, err := tl.ReadFrom(httpResp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("timeline = %d", httpResp.StatusCode)
+	}
+	if !strings.Contains(tl.String(), traceID) {
+		t.Fatal("timeline export missing the trace ID")
+	}
+}
+
+// TestTraceparentMinted: without a client header (or with a mangled
+// one) wolfd mints a valid trace ID and still echoes it back.
+func TestTraceparentMinted(t *testing.T) {
+	tr := fig4Trace(t)
+	_, ts := startServer(t, Config{Workers: 1, QueueSize: 4})
+	var body bytes.Buffer
+	if err := tr.Write(&body); err != nil {
+		t.Fatal(err)
+	}
+	for _, hdr := range []string{"", "00-zz-bad-header"} {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/traces", bytes.NewReader(body.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hdr != "" {
+			req.Header.Set("traceparent", hdr)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var accepted JobView
+		err = json.NewDecoder(resp.Body).Decode(&accepted)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotTrace, _, perr := obs.ParseTraceparent(resp.Header.Get("Traceparent"))
+		if perr != nil {
+			t.Fatalf("minted traceparent %q: %v", resp.Header.Get("Traceparent"), perr)
+		}
+		if accepted.Trace != gotTrace {
+			t.Fatalf("body trace %q != header trace %q", accepted.Trace, gotTrace)
+		}
+	}
+}
+
+// TestStatusEndpoint checks the one-shot ops rollup: shape, config
+// echoes, per-stage latency keys, error window, and corpus counts.
+func TestStatusEndpoint(t *testing.T) {
+	tr := fig4Trace(t)
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_, ts := startServer(t, Config{Workers: 3, QueueSize: 16, Store: st})
+
+	var body bytes.Buffer
+	if err := tr.Write(&body); err != nil {
+		t.Fatal(err)
+	}
+	code, accepted := postTrace(t, ts.URL+"/v1/traces", body.Bytes(), nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("upload = %d", code)
+	}
+	id, _ := accepted["id"].(string)
+	pollJob(t, ts.URL, id)
+
+	var v StatusView
+	if code := getJSON(t, ts.URL+"/v1/status", &v); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if v.Status != "ok" {
+		t.Fatalf("status = %q, want ok", v.Status)
+	}
+	if v.UptimeSeconds <= 0 {
+		t.Fatal("uptime not positive")
+	}
+	if v.Queue.Capacity != 16 || v.Workers.Total != 3 {
+		t.Fatalf("config echo: queue cap %d workers %d", v.Queue.Capacity, v.Workers.Total)
+	}
+	if v.Jobs.Accepted < 1 || v.Jobs.Completed < 1 {
+		t.Fatalf("job counters: %+v", v.Jobs)
+	}
+	if v.ErrorWindow.Seconds != errorWindowSeconds || v.ErrorWindow.Done < 1 {
+		t.Fatalf("error window: %+v", v.ErrorWindow)
+	}
+	if v.ErrorWindow.Rate != 0 {
+		t.Fatalf("error rate = %v with no failures", v.ErrorWindow.Rate)
+	}
+	for _, stage := range []string{"queue_wait", "detect", "prune", "generate", "analysis"} {
+		lat, ok := v.Latency[stage]
+		if !ok {
+			t.Fatalf("latency missing stage %s", stage)
+		}
+		if lat.P50 > lat.P99 {
+			t.Fatalf("%s: p50 %v > p99 %v", stage, lat.P50, lat.P99)
+		}
+	}
+	if v.Latency["analysis"].Count < 1 {
+		t.Fatal("analysis histogram empty after a completed job")
+	}
+	if v.Corpus == nil || v.Corpus.Traces < 1 || v.Corpus.Jobs < 1 {
+		t.Fatalf("corpus view: %+v", v.Corpus)
+	}
+	if v.Events.Seq == 0 || v.Events.Capacity == 0 {
+		t.Fatalf("events cursor: %+v", v.Events)
+	}
+
+	// Without a corpus the block is omitted entirely.
+	_, ts2 := startServer(t, Config{Workers: 1, QueueSize: 4})
+	var bare StatusView
+	getJSON(t, ts2.URL+"/v1/status", &bare)
+	if bare.Corpus != nil {
+		t.Fatal("corpus view present without a store")
+	}
+}
+
+// TestDebugEventsFilters exercises the snapshot query surface: kind and
+// since filters, and rejection of a malformed cursor.
+func TestDebugEventsFilters(t *testing.T) {
+	tr := fig4Trace(t)
+	_, ts := startServer(t, Config{Workers: 1, QueueSize: 4})
+	var body bytes.Buffer
+	if err := tr.Write(&body); err != nil {
+		t.Fatal(err)
+	}
+	code, accepted := postTrace(t, ts.URL+"/v1/traces", body.Bytes(), nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("upload = %d", code)
+	}
+	id, _ := accepted["id"].(string)
+	pollJob(t, ts.URL, id)
+
+	all := debugEvents(t, ts.URL, "")
+	if len(all) < 3 {
+		t.Fatalf("want >=3 events, got %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Seq <= all[i-1].Seq {
+			t.Fatalf("events out of order at %d: %d then %d", i, all[i-1].Seq, all[i].Seq)
+		}
+	}
+	for _, ev := range debugEvents(t, ts.URL, "?kind="+evJobQueued) {
+		if ev.Kind != evJobQueued {
+			t.Fatalf("kind filter leaked %s", ev.Kind)
+		}
+	}
+	for _, ev := range debugEvents(t, ts.URL, "?job="+id) {
+		if ev.Job != id {
+			t.Fatalf("job filter leaked %s", ev.Job)
+		}
+	}
+	mid := all[len(all)/2].Seq
+	for _, ev := range debugEvents(t, ts.URL, fmt.Sprintf("?since=%d", mid)) {
+		if ev.Seq <= mid {
+			t.Fatalf("since=%d returned seq %d", mid, ev.Seq)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/debug/events?since=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad since = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestEventsSSEFraming is the framing golden test for the live tail:
+// every frame must be exactly `id: <seq>` / `data: <event JSON>` /
+// blank line, with strictly increasing ids matching the event's own
+// sequence number.
+func TestEventsSSEFraming(t *testing.T) {
+	tr := fig4Trace(t)
+	_, ts := startServer(t, Config{Workers: 1, QueueSize: 4})
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/debug/events?follow=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type = %q", ct)
+	}
+
+	var body bytes.Buffer
+	if err := tr.Write(&body); err != nil {
+		t.Fatal(err)
+	}
+	code, accepted := postTrace(t, ts.URL+"/v1/traces", body.Bytes(), nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("upload = %d", code)
+	}
+	id, _ := accepted["id"].(string)
+	pollJob(t, ts.URL, id)
+
+	idLine := regexp.MustCompile(`^id: (\d+)$`)
+	sc := bufio.NewScanner(resp.Body)
+	deadline := time.AfterFunc(15*time.Second, func() { resp.Body.Close() })
+	defer deadline.Stop()
+	var lastSeq uint64
+	frames := 0
+	for frames < 3 && sc.Scan() {
+		m := idLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			t.Fatalf("frame %d: first line %q, want `id: <seq>`", frames, sc.Text())
+		}
+		if !sc.Scan() {
+			t.Fatal("stream ended mid-frame")
+		}
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			t.Fatalf("frame %d: second line %q, want `data: ...`", frames, sc.Text())
+		}
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			t.Fatalf("frame %d: data not JSON: %v", frames, err)
+		}
+		if fmt.Sprintf("%d", ev.Seq) != m[1] {
+			t.Fatalf("frame %d: id %s != event seq %d", frames, m[1], ev.Seq)
+		}
+		if ev.Seq <= lastSeq {
+			t.Fatalf("frame %d: seq %d not increasing past %d", frames, ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		if ev.Kind == "" {
+			t.Fatalf("frame %d: empty kind", frames)
+		}
+		if !sc.Scan() || sc.Text() != "" {
+			t.Fatalf("frame %d: missing blank separator line", frames)
+		}
+		frames++
+	}
+	if frames < 3 {
+		t.Fatalf("tail delivered %d frames before close, want >=3 (%v)", frames, sc.Err())
+	}
+}
+
+// TestHealthzOps checks the upgraded liveness probe fields.
+func TestHealthzOps(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1, QueueSize: 4})
+	var v struct {
+		Status      string `json:"status"`
+		Draining    bool   `json:"draining"`
+		QueueDepth  int64  `json:"queue_depth"`
+		StreamsOpen int64  `json:"streams_open"`
+		Version     string `json:"version"`
+	}
+	if code := getJSON(t, ts.URL+"/healthz", &v); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	if v.Status != "ok" || v.Draining {
+		t.Fatalf("healthz: %+v", v)
+	}
+	if v.Version == "" {
+		t.Fatal("healthz missing build version")
+	}
+}
+
+// eventKindPattern is the lint rule for flight-recorder kinds: they
+// become Prometheus label values, so keep them lowercase dot-paths.
+var eventKindPattern = regexp.MustCompile(`^[a-z]+(\.[a-z]+)+$`)
+
+// TestEventKindLabels lints the event-kind vocabulary and checks the
+// wolfd_events_total family renders through the strict PromLint gate.
+func TestEventKindLabels(t *testing.T) {
+	for _, kind := range []string{
+		evJobQueued, evJobStarted, evJobDone, evJobFailed, evJobShed,
+		evSyncShed, evStreamOpen, evStreamClose, evStreamEvict,
+		evStreamShed, evStoreTrace, evStoreDefect, evReplayVerdict,
+	} {
+		if !eventKindPattern.MatchString(kind) {
+			t.Errorf("event kind %q breaks the label-value pattern %s", kind, eventKindPattern)
+		}
+	}
+
+	tr := fig4Trace(t)
+	_, ts := startServer(t, Config{Workers: 1, QueueSize: 4})
+	var body bytes.Buffer
+	if err := tr.Write(&body); err != nil {
+		t.Fatal(err)
+	}
+	code, accepted := postTrace(t, ts.URL+"/v1/traces", body.Bytes(), nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("upload = %d", code)
+	}
+	id, _ := accepted["id"].(string)
+	pollJob(t, ts.URL, id)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var text bytes.Buffer
+	if _, err := text.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if errs := obs.PromLint(strings.NewReader(text.String())); len(errs) != 0 {
+		t.Fatalf("promlint: %v", errs)
+	}
+	for _, want := range []string{
+		`wolfd_events_total{kind="job.queued"} 1`,
+		`wolfd_events_total{kind="job.started"} 1`,
+		`wolfd_events_total{kind="job.done"} 1`,
+		`wolfd_workers_busy`,
+	} {
+		if !strings.Contains(text.String(), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text.String())
+		}
+	}
+}

@@ -50,6 +50,7 @@ import (
 	"wolf/internal/core"
 	"wolf/internal/fingerprint"
 	"wolf/internal/obs"
+	"wolf/internal/replay"
 	"wolf/internal/report"
 	"wolf/internal/store"
 	"wolf/internal/trace"
@@ -81,6 +82,10 @@ type Config struct {
 	// StreamMemBudget bounds one stream decoder's retained memory;
 	// breaching it rejects the stream with 413 (default 16 MiB).
 	StreamMemBudget int64
+	// FlightRecorderSize bounds the daemon-wide flight recorder — the
+	// fixed ring of recent lifecycle events behind GET /v1/debug/events
+	// (default 4096 entries, rounded up to a power of two).
+	FlightRecorderSize int
 	// Analysis configures the offline pipeline for every job.
 	Analysis core.Config
 	// Analyze overrides the analysis function (tests); default
@@ -126,6 +131,9 @@ func (c *Config) fill() {
 	if c.StreamMemBudget <= 0 {
 		c.StreamMemBudget = 16 << 20
 	}
+	if c.FlightRecorderSize <= 0 {
+		c.FlightRecorderSize = 4096
+	}
 	if c.Analyze == nil {
 		c.Analyze = core.AnalyzeTraceCtx
 	}
@@ -149,9 +157,13 @@ type Server struct {
 	// sheds load with 429 instead of stacking goroutines.
 	syncSem chan struct{}
 	// streams is the open ingestion-stream registry; streamStop ends
-	// the idle-eviction janitor.
+	// the idle-eviction janitor and any /v1/debug/events SSE tails.
 	streams    *streamStore
 	streamStop chan struct{}
+	// flight is the daemon-wide flight recorder: a bounded lock-free
+	// ring of recent lifecycle events across all jobs and streams.
+	flight  *obs.FlightRecorder
+	started time.Time
 
 	mu     sync.Mutex
 	queue  chan *Job
@@ -174,6 +186,8 @@ func New(cfg Config) *Server {
 		syncSem:    make(chan struct{}, cfg.Workers),
 		streams:    newStreamStore(),
 		streamStop: make(chan struct{}),
+		flight:     obs.NewFlightRecorder(cfg.FlightRecorderSize),
+		started:    time.Now(),
 	}
 	s.metrics.AnalysisParallelism.Store(int64(cfg.Analysis.EffectiveParallelism()))
 	if cfg.Store != nil {
@@ -181,7 +195,7 @@ func New(cfg Config) *Server {
 			j, lost := s.jobs.restore(rec)
 			if lost {
 				s.persistJob(j)
-				cfg.Logger.Warn("job lost in restart", "job", j.ID)
+				cfg.Logger.Warn("job lost in restart", "job", j.ID, "trace", j.TraceID())
 			}
 		}
 	}
@@ -209,6 +223,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /version", s.handleVersion)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/debug/events", s.handleDebugEvents)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -238,24 +254,34 @@ func (s *Server) archiveTrace(ctx context.Context, j *Job, tr *trace.Trace) {
 	}
 	hash, _, err := s.cfg.Store.PutTrace(ctx, tr)
 	if err != nil {
-		s.cfg.Logger.Error("archive trace", "job", j.ID, "err", err)
+		s.cfg.Logger.Error("archive trace", "job", j.ID, "trace", j.TraceID(), "err", err)
 		return
 	}
 	j.setTraceHash(hash)
+	s.jobEvent(evStoreTrace, j, "trace archived", map[string]string{"hash": fingerprint.Short(hash)})
 }
 
-// recordDefects folds a finished analysis into the corpus.
-func (s *Server) recordDefects(ctx context.Context, traceHash string, rep *core.Report) {
+// recordDefects folds a finished analysis into the corpus. j carries
+// the causal identity for logs and events; it is nil on the synchronous
+// path, which has no job.
+func (s *Server) recordDefects(ctx context.Context, j *Job, traceHash string, rep *core.Report) {
 	if s.cfg.Store == nil {
 		return
 	}
+	jobID, traceID := "", ""
+	if j != nil {
+		jobID, traceID = j.ID, j.TraceID()
+	}
 	updated, err := s.cfg.Store.Record(ctx, traceHash, rep, time.Now())
 	if err != nil {
-		s.cfg.Logger.Error("record defects", "err", err)
+		s.cfg.Logger.Error("record defects", "job", jobID, "trace", traceID, "err", err)
 		return
 	}
 	for _, fp := range updated {
-		s.cfg.Logger.Info("defect recorded", "fingerprint", fingerprint.Short(fp))
+		s.cfg.Logger.Info("defect recorded", "job", jobID, "trace", traceID,
+			"fingerprint", fingerprint.Short(fp))
+		s.event(obs.Event{Kind: evStoreDefect, Job: jobID, Trace: traceID,
+			Msg: "defect recorded", Attrs: map[string]string{"fingerprint": fingerprint.Short(fp)}})
 	}
 }
 
@@ -324,7 +350,8 @@ func (s *Server) worker() {
 		if s.draining() {
 			s.metrics.Fail(FailDrained)
 			j.fail("server draining: job was queued but never started")
-			s.cfg.Logger.Info("job drained", "job", j.ID, "source", j.source)
+			s.cfg.Logger.Info("job drained", "job", j.ID, "source", j.source, "trace", j.TraceID())
+			s.jobEvent(evJobFailed, j, "drained", map[string]string{"reason": string(FailDrained)})
 			continue
 		}
 		s.runJob(j)
@@ -354,15 +381,21 @@ func (p *analysisPanic) Error() string { return fmt.Sprintf("analysis panicked: 
 // its result channel (buffered) so it exits cleanly whenever it does
 // return.
 func (s *Server) runJob(j *Job) {
-	log := s.cfg.Logger.With("job", j.ID, "source", j.source)
+	log := s.cfg.Logger.With("job", j.ID, "source", j.source, "trace", j.TraceID())
 	s.metrics.QueueWait.Observe(time.Since(j.created))
+	s.metrics.WorkersBusy.Add(1)
+	defer s.metrics.WorkersBusy.Add(-1)
 	j.begin()
 	// Journal the terminal state whichever exit path the job takes.
 	defer s.persistJob(j)
 	log.Info("job started", "queue_wait", time.Since(j.created))
+	s.jobEvent(evJobStarted, j, "", nil)
 	start := time.Now()
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.JobTimeout)
 	defer cancel()
+	// Propagate the job's causal identity into the pipeline so every
+	// span the analysis records carries the client's trace ID.
+	ctx = obs.WithTrace(ctx, j.TraceID(), "")
 
 	type result struct {
 		rep *core.Report
@@ -400,6 +433,7 @@ func (s *Server) runJob(j *Job) {
 			s.cfg.JobTimeout+s.cfg.WatchdogGrace))
 		log.Error("analysis abandoned by watchdog",
 			"timeout", s.cfg.JobTimeout, "grace", s.cfg.WatchdogGrace)
+		s.jobEvent(evJobFailed, j, "abandoned by watchdog", map[string]string{"reason": string(FailWatchdog)})
 		return
 	}
 	if res.err != nil {
@@ -409,16 +443,19 @@ func (s *Server) runJob(j *Job) {
 			s.metrics.Fail(FailPanic)
 			j.fail(ap.Error())
 			log.Error("analysis panicked", "panic", fmt.Sprint(ap.val))
+			s.jobEvent(evJobFailed, j, ap.Error(), map[string]string{"reason": string(FailPanic)})
 			// The stack is server-side diagnostics, not client payload.
 			os.Stderr.Write(ap.stack)
 		case errors.Is(res.err, context.DeadlineExceeded):
 			s.metrics.Fail(FailTimeout)
 			j.fail(fmt.Sprintf("analysis timed out after %v", s.cfg.JobTimeout))
 			log.Warn("analysis timed out", "timeout", s.cfg.JobTimeout)
+			s.jobEvent(evJobFailed, j, "timed out", map[string]string{"reason": string(FailTimeout)})
 		default:
 			s.metrics.Fail(FailError)
 			j.fail(res.err.Error())
 			log.Warn("analysis failed", "err", res.err)
+			s.jobEvent(evJobFailed, j, res.err.Error(), map[string]string{"reason": string(FailError)})
 		}
 		return
 	}
@@ -427,10 +464,23 @@ func (s *Server) runJob(j *Job) {
 	if j.TraceHash() == "" {
 		s.archiveTrace(context.Background(), j, j.Trace())
 	}
-	s.recordDefects(context.Background(), j.TraceHash(), res.rep)
+	s.recordDefects(context.Background(), j, j.TraceHash(), res.rep)
 	s.metrics.observe(res.rep, time.Since(start))
 	j.finish(res.rep)
 	log.Info("job done", "cycles", len(res.rep.Cycles), "defects", len(res.rep.Defects), "elapsed", time.Since(start))
+	for _, cr := range res.rep.Cycles {
+		if cr.ReplayMethod == replay.MethodNone || cr.Cycle == nil {
+			continue
+		}
+		s.jobEvent(evReplayVerdict, j, "cycle confirmed by replay", map[string]string{
+			"method":      string(cr.ReplayMethod),
+			"fingerprint": fingerprint.Short(fingerprint.Of(cr.Cycle)),
+		})
+	}
+	s.jobEvent(evJobDone, j, "", map[string]string{
+		"cycles":  strconv.Itoa(len(res.rep.Cycles)),
+		"defects": strconv.Itoa(len(res.rep.Defects)),
+	})
 }
 
 // readTrace decodes an uploaded trace body — either format, gzip-aware
@@ -485,13 +535,15 @@ type readCloser struct{ *gzip.Reader }
 func (rc readCloser) Close() error { return rc.Reader.Close() }
 
 // handleUpload is POST /v1/traces: decode, archive in the corpus,
-// enqueue, 202.
+// enqueue, 202. The traceparent header (minted when absent) becomes the
+// job's causal identity and is echoed in the response.
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	traceID := ingestTraceparent(w, r)
 	tr, ok := s.readTrace(w, r)
 	if !ok {
 		return
 	}
-	j := s.jobs.add("upload", tr, nil)
+	j := s.jobs.add("upload", traceID, tr, nil)
 	s.archiveTrace(r.Context(), j, tr)
 	s.admit(w, j)
 }
@@ -507,6 +559,7 @@ func (s *Server) handleWorkloadJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown workload %q", name))
 		return
 	}
+	traceID := ingestTraceparent(w, r)
 	seed := int64(0)
 	if v := r.URL.Query().Get("seed"); v != "" {
 		parsed, err := strconv.ParseInt(v, 10, 64)
@@ -528,7 +581,7 @@ func (s *Server) handleWorkloadJob(w http.ResponseWriter, r *http.Request) {
 		}
 		return core.Record(wl.New, sd, 0), nil
 	}
-	j := s.jobs.add("workload:"+name, nil, prepare)
+	j := s.jobs.add("workload:"+name, traceID, nil, prepare)
 	s.admit(w, j)
 }
 
@@ -542,14 +595,17 @@ func (s *Server) admit(w http.ResponseWriter, j *Job) {
 	case closed:
 		j.fail("server shutting down")
 		s.persistJob(j)
+		s.jobEvent(evJobShed, j, "server shutting down", nil)
 		httpError(w, http.StatusServiceUnavailable, "server shutting down")
 	case !ok:
 		j.fail("queue full")
 		s.persistJob(j)
+		s.jobEvent(evJobShed, j, "queue full", nil)
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "analysis queue full")
 	default:
 		s.persistJob(j)
+		s.jobEvent(evJobQueued, j, "", map[string]string{"source": j.source})
 		w.Header().Set("Location", "/v1/jobs/"+j.ID)
 		writeJSON(w, http.StatusAccepted, j.view())
 	}
@@ -568,16 +624,19 @@ func (s *Server) handleAnalyzeSync(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-s.syncSem }()
 	default:
 		s.metrics.SyncRejected.Add(1)
+		s.event(obs.Event{Kind: evSyncShed, Msg: "all analysis slots busy"})
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "all analysis slots busy")
 		return
 	}
+	traceID := ingestTraceparent(w, r)
 	tr, ok := s.readTrace(w, r)
 	if !ok {
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.JobTimeout)
 	defer cancel()
+	ctx = obs.WithTrace(ctx, traceID, "")
 	start := time.Now()
 	rep, err := s.cfg.Analyze(ctx, tr, s.cfg.Analysis)
 	if err != nil {
@@ -592,9 +651,9 @@ func (s *Server) handleAnalyzeSync(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.cfg.Store != nil {
 		if hash, _, perr := s.cfg.Store.PutTrace(r.Context(), tr); perr == nil {
-			s.recordDefects(r.Context(), hash, rep)
+			s.recordDefects(r.Context(), nil, hash, rep)
 		} else {
-			s.cfg.Logger.Error("archive trace", "err", perr)
+			s.cfg.Logger.Error("archive trace", "source", "sync", "trace", traceID, "err", perr)
 		}
 	}
 	s.metrics.observe(rep, time.Since(start))
@@ -751,6 +810,12 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 	}
 	tl := obs.NewTimeline()
 	core.TimelineFromTrace(tr, tl, 1)
+	// Stamp the job's causal identity into the export: the instant's
+	// args carry the trace ID verbatim, so a timeline can be matched
+	// back to the request (and the flight-recorder events) that made it.
+	if traceID := j.TraceID(); traceID != "" {
+		tl.Instant(1, 0, "traceparent", "meta", 0, "g", map[string]any{"trace": traceID, "job": j.ID})
+	}
 	w.Header().Set("Content-Type", "application/json")
 	tl.WriteJSON(w)
 }
@@ -825,7 +890,7 @@ func (s *Server) handleTraceReplay(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no such trace")
 		return
 	}
-	j := s.jobs.add("replay:"+hash[:12], tr, nil)
+	j := s.jobs.add("replay:"+hash[:12], ingestTraceparent(w, r), tr, nil)
 	j.setTraceHash(hash)
 	s.admit(w, j)
 }
@@ -891,7 +956,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleHealthz is GET /healthz: 200 while accepting work, 503 during
-// shutdown.
+// shutdown. The body shares its shape with the planned fleet heartbeat:
+// probes and a future coordinator read the same queue/stream/build
+// rollup.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	closed := s.closed
@@ -903,8 +970,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		state = "draining"
 	}
 	writeJSON(w, status, map[string]any{
-		"status":      state,
-		"queue_depth": s.metrics.QueueDepth.Load(),
+		"status":       state,
+		"draining":     closed,
+		"queue_depth":  s.metrics.QueueDepth.Load(),
+		"streams_open": s.metrics.StreamsOpen.Load(),
+		"version":      obs.ReadBuildInfo().Version,
 	})
 }
 

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -40,6 +41,10 @@ type streamSession struct {
 	ID      string
 	created time.Time
 	rec     *obs.Recorder
+	// trace is the W3C trace ID from the opening request (minted when
+	// absent), stamped on every chunk span, log line and event the
+	// stream produces — and inherited by the job its close creates.
+	trace string
 
 	mu    sync.Mutex
 	last  time.Time
@@ -53,6 +58,7 @@ type streamSession struct {
 // StreamView is the wire form of a stream's status.
 type StreamView struct {
 	ID         string    `json:"id"`
+	Trace      string    `json:"trace,omitempty"`
 	Created    time.Time `json:"created"`
 	Bytes      int64     `json:"bytes"`
 	Events     int       `json:"events"`
@@ -69,6 +75,7 @@ func (ss *streamSession) view(budget int) StreamView {
 	defer ss.mu.Unlock()
 	return StreamView{
 		ID:         ss.ID,
+		Trace:      ss.trace,
 		Created:    ss.created,
 		Bytes:      ss.dec.BytesIn(),
 		Events:     ss.eng.Events(),
@@ -92,7 +99,7 @@ func newStreamStore() *streamStore {
 }
 
 // open admits a new stream unless max are already open.
-func (st *streamStore) open(max, budget int) (*streamSession, bool) {
+func (st *streamStore) open(max, budget int, traceID string) (*streamSession, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if len(st.m) >= max {
@@ -105,6 +112,7 @@ func (st *streamStore) open(max, budget int) (*streamSession, bool) {
 		created: now,
 		last:    now,
 		rec:     obs.NewRecorder(),
+		trace:   traceID,
 		dec:     stream.NewDecoder(budget),
 		eng:     stream.NewEngine(stream.EngineConfig{}),
 	}
@@ -154,7 +162,10 @@ func (s *Server) dropStream(ss *streamSession, reason string) bool {
 	s.metrics.StreamBytes.ObserveValue(bytes)
 	if reason != "" {
 		s.metrics.StreamEvicted.Add(reason, 1)
-		s.cfg.Logger.Info("stream evicted", "stream", ss.ID, "reason", reason, "bytes", bytes)
+		s.cfg.Logger.Info("stream evicted", "stream", ss.ID, "trace", ss.trace,
+			"reason", reason, "bytes", bytes)
+		s.event(obs.Event{Kind: evStreamEvict, Stream: ss.ID, Trace: ss.trace,
+			Msg: reason, Attrs: map[string]string{"reason": reason}})
 	}
 	return true
 }
@@ -188,10 +199,12 @@ func (s *Server) handleStreamOpen(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "server shutting down")
 		return
 	}
+	traceID := ingestTraceparent(w, r)
 	budget := int(s.cfg.StreamMemBudget)
-	ss, ok := s.streams.open(s.cfg.MaxOpenStreams, budget)
+	ss, ok := s.streams.open(s.cfg.MaxOpenStreams, budget, traceID)
 	if !ok {
 		s.metrics.StreamsRejected.Add(1)
+		s.event(obs.Event{Kind: evStreamShed, Trace: traceID, Msg: "too many open streams"})
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("too many open streams (max %d)", s.cfg.MaxOpenStreams))
@@ -199,7 +212,8 @@ func (s *Server) handleStreamOpen(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.StreamsOpen.Add(1)
 	s.metrics.StreamsOpened.Add(1)
-	s.cfg.Logger.Info("stream opened", "stream", ss.ID)
+	s.cfg.Logger.Info("stream opened", "stream", ss.ID, "trace", ss.trace)
+	s.event(obs.Event{Kind: evStreamOpen, Stream: ss.ID, Trace: ss.trace})
 	w.Header().Set("Location", "/v1/streams/"+ss.ID)
 	writeJSON(w, http.StatusCreated, ss.view(budget))
 }
@@ -243,7 +257,7 @@ func (s *Server) handleStreamChunk(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ss.last = time.Now()
-	_, sp := obs.Start(obs.WithRecorder(r.Context(), ss.rec), "stream.chunk")
+	_, sp := obs.Start(obs.WithTrace(obs.WithRecorder(r.Context(), ss.rec), ss.trace, ""), "stream.chunk")
 	sp.Add("bytes", int64(len(data)))
 	werr := ss.dec.Write(data)
 	var resp chunkResponse
@@ -331,7 +345,7 @@ func (s *Server) handleStreamClose(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ss.last = time.Now()
-	_, sp := obs.Start(obs.WithRecorder(r.Context(), ss.rec), "stream.finalize")
+	_, sp := obs.Start(obs.WithTrace(obs.WithRecorder(r.Context(), ss.rec), ss.trace, ""), "stream.finalize")
 	tr, err := ss.dec.Finalize()
 	sp.Add("events", int64(ss.eng.Events()))
 	sp.End()
@@ -348,9 +362,17 @@ func (s *Server) handleStreamClose(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.dropStream(ss, "")
-	s.cfg.Logger.Info("stream closed", "stream", ss.ID,
+	s.cfg.Logger.Info("stream closed", "stream", ss.ID, "trace", ss.trace,
 		"bytes", bytes, "events", len(tr.Tuples), "candidates", cands)
-	j := s.jobs.add("stream:"+ss.ID, tr, nil)
+	s.event(obs.Event{Kind: evStreamClose, Stream: ss.ID, Trace: ss.trace,
+		Attrs: map[string]string{
+			"bytes":      strconv.FormatInt(bytes, 10),
+			"events":     strconv.Itoa(len(tr.Tuples)),
+			"candidates": strconv.Itoa(cands),
+		}})
+	// The finalized job inherits the stream's causal identity, so the
+	// whole ingest→analyze→report arc shares one trace ID.
+	j := s.jobs.add("stream:"+ss.ID, ss.trace, tr, nil)
 	s.archiveTrace(r.Context(), j, tr)
 	s.admit(w, j)
 }

@@ -15,9 +15,12 @@ import (
 // visibly stuck in "queued" after a restart (and the server fails it on
 // rehydration).
 type JobRecord struct {
-	ID        string    `json:"id"`
-	State     string    `json:"state"`
-	Source    string    `json:"source"`
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Source string `json:"source"`
+	// Trace is the W3C trace ID of the request that created the job, so
+	// causal correlation survives restarts along with the job itself.
+	Trace     string    `json:"trace,omitempty"`
 	TraceHash string    `json:"trace_hash,omitempty"`
 	Error     string    `json:"error,omitempty"`
 	Created   time.Time `json:"created,omitzero"`
