@@ -16,6 +16,7 @@
 //	wolfctl trace <hash> [-o out.wtrc]  fetch one blob (binary encoding)
 //	wolfctl rm <hash>                   delete a stored trace blob
 //	wolfctl replay <hash> [-wait]       re-enqueue analysis of a stored trace
+//	wolfctl nodes [-json]               analyzer fleet from /v1/nodes
 //	wolfctl status [-json]              one-shot ops rollup from /v1/status
 //	wolfctl tail [-follow] [-kind K] [-job J] [-trace T] [-since N]
 //	                                    flight-recorder events; -follow keeps an
@@ -25,6 +26,12 @@
 // The corpus commands need a wolfd started with -data-dir. Uploads may
 // be JSON or binary WTRC, gzipped or not — gzip is detected by magic
 // and forwarded with the right Content-Encoding.
+//
+// Every request goes through the shared retrying client: 429/502/503
+// responses (load shedding, drain, a restarting coordinator) are
+// retried with exponential backoff plus jitter, honoring Retry-After —
+// so scripted wolfctl loops survive a wolfd restart instead of failing
+// the batch.
 package main
 
 import (
@@ -41,6 +48,7 @@ import (
 	"strings"
 	"time"
 
+	"wolf/internal/httpx"
 	"wolf/internal/obs"
 )
 
@@ -56,7 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	addr := fs.String("addr", envOr("WOLFD_ADDR", "http://localhost:8077"), "wolfd base URL")
 	version := fs.Bool("version", false, "print build information and exit")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: wolfctl [-addr URL] upload|stream|jobs|defects|trace|rm|replay|status|tail ...")
+		fmt.Fprintln(stderr, "usage: wolfctl [-addr URL] upload|stream|jobs|defects|trace|rm|replay|nodes|status|tail ...")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -75,7 +83,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	c := &client{base: strings.TrimRight(*addr, "/"), out: stdout, err: stderr}
+	c := &client{base: strings.TrimRight(*addr, "/"), hc: &httpx.Client{}, out: stdout, err: stderr}
 	cmd, rest := fs.Arg(0), fs.Args()[1:]
 	var err error
 	switch cmd {
@@ -93,6 +101,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = c.rm(rest)
 	case "replay":
 		err = c.replay(rest)
+	case "nodes":
+		err = c.nodes(rest)
 	case "status":
 		err = c.status(rest)
 	case "tail":
@@ -136,8 +146,11 @@ func envOr(key, def string) string {
 
 type client struct {
 	base string
-	out  io.Writer
-	err  io.Writer
+	// hc retries 429/502/503 with backoff so scripted invocations ride
+	// out load shedding and restarts.
+	hc  *httpx.Client
+	out io.Writer
+	err io.Writer
 }
 
 // apiError decodes wolfd's {"error": ...} body into a readable error.
@@ -153,7 +166,7 @@ func apiError(resp *http.Response) error {
 }
 
 func (c *client) getJSON(path string, out any) error {
-	resp, err := http.Get(c.base + path)
+	resp, err := c.hc.Get(c.base + path)
 	if err != nil {
 		return err
 	}
@@ -201,7 +214,7 @@ func (c *client) upload(args []string) error {
 	if *traceparent != "" {
 		req.Header.Set("traceparent", *traceparent)
 	}
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
 	}
@@ -285,7 +298,7 @@ func (c *client) stream(args []string) error {
 	var opened struct {
 		ID string `json:"id"`
 	}
-	resp, err := http.Post(c.base+"/v1/streams", "", nil)
+	resp, err := c.hc.Post(c.base+"/v1/streams", "", nil)
 	if err != nil {
 		return err
 	}
@@ -303,8 +316,8 @@ func (c *client) stream(args []string) error {
 	var reply chunkReply
 	for off := 0; off < len(data); off += *chunk {
 		end := min(off+*chunk, len(data))
-		resp, err := http.Post(c.base+"/v1/streams/"+opened.ID+"/chunks",
-			"application/octet-stream", bytes.NewReader(data[off:end]))
+		resp, err := c.hc.Post(c.base+"/v1/streams/"+opened.ID+"/chunks",
+			"application/octet-stream", data[off:end])
 		if err != nil {
 			return err
 		}
@@ -333,7 +346,7 @@ func (c *client) stream(args []string) error {
 	fmt.Fprintf(c.out, "streamed %d bytes, %d events, %d candidates\n",
 		reply.Bytes, reply.Events, reply.Candidates)
 
-	resp, err = http.Post(c.base+"/v1/streams/"+opened.ID+"/close", "", nil)
+	resp, err = c.hc.Post(c.base+"/v1/streams/"+opened.ID+"/close", "", nil)
 	if err != nil {
 		return err
 	}
@@ -512,7 +525,7 @@ func (c *client) trace(args []string) error {
 	if len(pos) != 1 {
 		return fmt.Errorf("usage: wolfctl trace [hash] [-o file]")
 	}
-	resp, err := http.Get(c.base + "/v1/traces/" + pos[0])
+	resp, err := c.hc.Get(c.base + "/v1/traces/" + pos[0])
 	if err != nil {
 		return err
 	}
@@ -542,7 +555,7 @@ func (c *client) rm(args []string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
 	}
@@ -554,9 +567,63 @@ func (c *client) rm(args []string) error {
 	return nil
 }
 
+// nodeView mirrors the /v1/nodes fields wolfctl renders.
+type nodeView struct {
+	ID            string `json:"id"`
+	Name          string `json:"name"`
+	State         string `json:"state"`
+	Leased        int    `json:"leased"`
+	Completed     int64  `json:"completed"`
+	Failed        int64  `json:"failed"`
+	Registered    string `json:"registered"`
+	LastHeartbeat string `json:"last_heartbeat"`
+}
+
+// nodes lists the analyzer fleet a coordinator knows about. A
+// single-process wolfd answers with an empty list.
+func (c *client) nodes(args []string) error {
+	fs := flag.NewFlagSet("nodes", flag.ContinueOnError)
+	fs.SetOutput(c.err)
+	asJSON := fs.Bool("json", false, "print raw JSON instead of the table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var raw struct {
+		Nodes json.RawMessage `json:"nodes"`
+	}
+	if err := c.getJSON("/v1/nodes", &raw); err != nil {
+		return err
+	}
+	if *asJSON {
+		return indentJSON(c.out, raw.Nodes)
+	}
+	var nodes []nodeView
+	if err := json.Unmarshal(raw.Nodes, &nodes); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "NODE\tNAME\tSTATE\tLEASED\tCOMPLETED\tFAILED\tLAST HEARTBEAT\n")
+	for _, n := range nodes {
+		hb := n.LastHeartbeat
+		if hb == "" {
+			hb = "-"
+		}
+		fmt.Fprintf(c.out, "%s\t%s\t%s\t%d\t%d\t%d\t%s\n",
+			n.ID, n.Name, n.State, n.Leased, n.Completed, n.Failed, hb)
+	}
+	return nil
+}
+
 // statusView mirrors the /v1/status fields wolfctl renders.
 type statusView struct {
-	Status        string  `json:"status"`
+	Status string `json:"status"`
+	Role   string `json:"role"`
+	Fleet  *struct {
+		Nodes      int   `json:"nodes"`
+		Alive      int   `json:"alive"`
+		Leased     int   `json:"leased"`
+		Pending    int   `json:"pending"`
+		Reassigned int64 `json:"reassigned"`
+	} `json:"fleet"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Build         struct {
 		Version  string `json:"version"`
@@ -622,8 +689,12 @@ func (c *client) status(args []string) error {
 	if err := c.getJSON("/v1/status", &v); err != nil {
 		return err
 	}
-	fmt.Fprintf(c.out, "wolfd %s\tversion=%s\tuptime=%s\n",
-		v.Status, v.Build.Version, (time.Duration(v.UptimeSeconds) * time.Second).String())
+	fmt.Fprintf(c.out, "wolfd %s\trole=%s\tversion=%s\tuptime=%s\n",
+		v.Status, v.Role, v.Build.Version, (time.Duration(v.UptimeSeconds) * time.Second).String())
+	if v.Fleet != nil {
+		fmt.Fprintf(c.out, "fleet\tnodes=%d alive=%d leased=%d pending=%d reassigned=%d\n",
+			v.Fleet.Nodes, v.Fleet.Alive, v.Fleet.Leased, v.Fleet.Pending, v.Fleet.Reassigned)
+	}
 	fmt.Fprintf(c.out, "queue\t%d/%d\tworkers\t%d/%d busy\tstreams\t%d/%d open\n",
 		v.Queue.Depth, v.Queue.Capacity, v.Workers.Busy, v.Workers.Total,
 		v.Streams.Open, v.Streams.Max)
@@ -729,7 +800,7 @@ func (c *client) tail(args []string) error {
 		return nil
 	}
 	q.Set("follow", "1")
-	resp, err := http.Get(c.base + "/v1/debug/events?" + q.Encode())
+	resp, err := c.hc.Get(c.base + "/v1/debug/events?" + q.Encode())
 	if err != nil {
 		return err
 	}
@@ -766,7 +837,7 @@ func (c *client) replay(args []string) error {
 	if len(pos) != 1 {
 		return fmt.Errorf("usage: wolfctl replay <hash> [-wait]")
 	}
-	resp, err := http.Post(c.base+"/v1/traces/"+pos[0]+"/replay", "", nil)
+	resp, err := c.hc.Post(c.base+"/v1/traces/"+pos[0]+"/replay", "", nil)
 	if err != nil {
 		return err
 	}

@@ -3,10 +3,12 @@ package main
 import (
 	"bytes"
 	"compress/gzip"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"wolf/internal/core"
@@ -313,5 +315,59 @@ func TestTailCommand(t *testing.T) {
 	// -since past the end yields nothing.
 	if _, out = ctl(t, "-addr", base, "tail", "-since", "1000000"); strings.TrimSpace(out) != "" {
 		t.Errorf("tail -since huge = %q, want empty", out)
+	}
+}
+
+// TestNodesCommand covers the fleet listing: empty in single mode,
+// one alive row against a coordinator with a registered analyzer.
+func TestNodesCommand(t *testing.T) {
+	base := startWolfd(t)
+	code, out := ctl(t, "-addr", base, "nodes")
+	if code != 0 || !strings.Contains(out, "NODE\tNAME\tSTATE") {
+		t.Fatalf("nodes (single mode): code=%d out=%q", code, out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 1 {
+		t.Fatalf("nodes in single mode = %q, want header only", out)
+	}
+
+	s := server.New(server.Config{QueueSize: 4, Role: server.RoleCoordinator})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	resp, err := http.Post(ts.URL+"/v1/nodes", "application/json", strings.NewReader(`{"name":"worker-1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	code, out = ctl(t, "-addr", ts.URL, "nodes")
+	if code != 0 || !strings.Contains(out, "worker-1") || !strings.Contains(out, "alive") {
+		t.Fatalf("nodes (coordinator): code=%d out=%q", code, out)
+	}
+	code, out = ctl(t, "-addr", ts.URL, "nodes", "-json")
+	if code != 0 || !strings.Contains(out, `"state": "alive"`) {
+		t.Fatalf("nodes -json: code=%d out=%q", code, out)
+	}
+}
+
+// TestRetryOnShedding pins the CLI-wide retry policy: a server that
+// sheds the first attempt with 503 + Retry-After sees the command
+// succeed on the retry instead of failing the invocation.
+func TestRetryOnShedding(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"jobs":[{"id":"j-1","state":"done","source":"upload"}]}`))
+	}))
+	t.Cleanup(ts.Close)
+	code, out := ctl(t, "-addr", ts.URL, "jobs")
+	if code != 0 || !strings.Contains(out, "j-1") {
+		t.Fatalf("jobs after shed: code=%d out=%q", code, out)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want 2 (one shed, one retry)", calls.Load())
 	}
 }

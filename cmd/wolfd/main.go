@@ -9,11 +9,21 @@
 //	      [-max-streams 64] [-stream-idle 2m] [-stream-budget 16]
 //	      [-flight-recorder 4096] [-log-format text|json] [-log-level info]
 //	      [-debug-addr localhost:6060]
+//	      [-role coordinator|analyzer] [-coordinator URL] [-node-name NAME]
+//	      [-lease-ttl 15s] [-heartbeat 3s] [-heartbeat-timeout 10s]
+//	      [-max-deliveries 3] [-max-renewals 8] [-poll 500ms]
 //
 // -data-dir attaches a persistent corpus: uploaded traces are archived
 // by content address, finished analyses aggregate into fingerprinted
 // defect records, and jobs survive restarts. Without it the server is
 // fully in-memory.
+//
+// Without -role wolfd is the classic single process. -role=coordinator
+// serves the same API but hands analysis to registered analyzer nodes
+// under time-bounded leases; -role=analyzer -coordinator=URL runs one
+// such node — it registers, heartbeats, pulls leased work, and
+// delivers results, retrying every coordinator call with exponential
+// backoff so either side can restart without losing work.
 //
 // Logs are structured (log/slog) and tagged with job IDs; -log-format
 // json emits one JSON object per line for log shippers. -debug-addr
@@ -36,10 +46,62 @@ import (
 	"time"
 
 	"wolf/internal/core"
+	"wolf/internal/fleet"
 	"wolf/internal/obs"
 	"wolf/internal/server"
 	"wolf/internal/store"
 )
+
+// analyzerOpts carries the -role=analyzer flag subset into runAnalyzer.
+type analyzerOpts struct {
+	addr        string
+	coordinator string
+	name        string
+	poll        time.Duration
+	timeout     time.Duration
+	analysis    core.Config
+}
+
+// runAnalyzer is the -role=analyzer main: register with the
+// coordinator, pull and analyze leased work until SIGINT/SIGTERM, and
+// serve a small /healthz listener so fleet members probe uniformly.
+func runAnalyzer(log *slog.Logger, opts analyzerOpts) {
+	name := opts.name
+	if name == "" {
+		if hn, err := os.Hostname(); err == nil {
+			name = hn
+		}
+	}
+	a := fleet.NewAnalyzer(fleet.AnalyzerConfig{
+		Coordinator: opts.coordinator,
+		Name:        name,
+		Poll:        opts.poll,
+		JobTimeout:  opts.timeout,
+		Analysis:    opts.analysis,
+		Logger:      log,
+	})
+
+	httpSrv := &http.Server{Addr: opts.addr, Handler: a.Handler()}
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Error("analyzer health listener failed", "err", err)
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Info("wolfd analyzer starting", "addr", opts.addr,
+		"coordinator", opts.coordinator, "name", name)
+	err := a.Run(ctx)
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(shutCtx)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		log.Error("analyzer stopped", "err", err)
+		os.Exit(1)
+	}
+	log.Info("analyzer stopped", "node", a.ID())
+}
 
 func main() {
 	var (
@@ -61,6 +123,16 @@ func main() {
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (for example localhost:6060)")
 		version   = flag.Bool("version", false, "print build information and exit")
+
+		role     = flag.String("role", "", "fleet role: empty (single process), coordinator, or analyzer")
+		coordURL = flag.String("coordinator", "", "coordinator base URL (required with -role=analyzer)")
+		nodeName = flag.String("node-name", "", "analyzer node label (default: hostname)")
+		leaseTTL = flag.Duration("lease-ttl", 15*time.Second, "coordinator: work lease duration analyzers must renew within")
+		hbEvery  = flag.Duration("heartbeat", 3*time.Second, "coordinator: heartbeat cadence handed to analyzers")
+		hbOut    = flag.Duration("heartbeat-timeout", 10*time.Second, "coordinator: silence after which a node is lost and its jobs reassigned")
+		maxDeliv = flag.Int("max-deliveries", 3, "coordinator: deliveries per job before it fails with reason reassign-exhausted")
+		maxRenew = flag.Int("max-renewals", 8, "coordinator: lease renewals before a job is re-offered to a second node")
+		poll     = flag.Duration("poll", 500*time.Millisecond, "analyzer: idle sleep between work pulls")
 	)
 	flag.Parse()
 
@@ -97,6 +169,27 @@ func main() {
 		log.Info("pprof enabled", "addr", *debugAddr)
 	}
 
+	switch *role {
+	case "", "coordinator":
+	case "analyzer":
+		if *coordURL == "" {
+			fmt.Fprintln(os.Stderr, "-role=analyzer requires -coordinator=URL")
+			os.Exit(2)
+		}
+		runAnalyzer(log, analyzerOpts{
+			addr:        *addr,
+			coordinator: *coordURL,
+			name:        *nodeName,
+			poll:        *poll,
+			timeout:     *timeout,
+			analysis:    core.Config{DataDependency: *data, Parallelism: *par},
+		})
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "bad -role %q (want coordinator or analyzer)\n", *role)
+		os.Exit(2)
+	}
+
 	var st *store.Store
 	if *dataDir != "" {
 		var err error
@@ -111,6 +204,10 @@ func main() {
 			"traces", stats.Traces, "defects", stats.Defects, "jobs", stats.Jobs)
 	}
 
+	srvRole := server.RoleSingle
+	if *role == "coordinator" {
+		srvRole = server.RoleCoordinator
+	}
 	srv := server.New(server.Config{
 		Workers:            *workers,
 		QueueSize:          *queue,
@@ -124,6 +221,12 @@ func main() {
 		Analysis:           core.Config{DataDependency: *data, Parallelism: *par},
 		Logger:             log,
 		Store:              st,
+		Role:               srvRole,
+		LeaseTTL:           *leaseTTL,
+		HeartbeatInterval:  *hbEvery,
+		HeartbeatTimeout:   *hbOut,
+		MaxDeliveries:      *maxDeliv,
+		MaxRenewals:        *maxRenew,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -1,0 +1,191 @@
+package fleet
+
+// Analyzer-side unit tests against a scripted fake coordinator: the
+// happy path delivers a report plus corpus summaries, and a renew 409
+// (lease revoked mid-analysis) abandons the run without a completion —
+// the invariant that keeps a reassigned job from being terminal-failed
+// by its previous owner.
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wolf/internal/core"
+	"wolf/internal/store"
+	"wolf/internal/trace"
+	"wolf/internal/workloads"
+)
+
+// fig4B64 records a Figure4 detection trace and returns its base64
+// WTRC encoding plus content hash.
+func fig4B64(t *testing.T) (string, string) {
+	t.Helper()
+	w, ok := workloads.ByName("Figure4")
+	if !ok {
+		t.Fatal("Figure4 not registered")
+	}
+	seed, ok := workloads.FindTerminatingSeed(w.New, 300)
+	if !ok {
+		t.Fatal("no terminating seed")
+	}
+	hash, data, err := store.HashTrace(core.Record(w.New, seed, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base64.StdEncoding.EncodeToString(data), hash
+}
+
+// fakeCoordinator scripts the fleet protocol: it grants one job and
+// records what the analyzer sends back.
+type fakeCoordinator struct {
+	ts *httptest.Server
+
+	leaseTTL    time.Duration
+	renewStatus int // status for /v1/work/renew (200 or 409)
+	work        WorkView
+
+	granted   atomic.Bool
+	completes chan CompleteRequest
+	renewed   atomic.Int64
+}
+
+func newFakeCoordinator(t *testing.T, work WorkView, leaseTTL time.Duration, renewStatus int) *fakeCoordinator {
+	t.Helper()
+	f := &fakeCoordinator{
+		leaseTTL: leaseTTL, renewStatus: renewStatus, work: work,
+		completes: make(chan CompleteRequest, 4),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/nodes", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(RegisterView{
+			ID: "n-0001", Name: "fake",
+			HeartbeatMillis:        ToMillis(50 * time.Millisecond),
+			HeartbeatTimeoutMillis: ToMillis(time.Second),
+			LeaseTTLMillis:         ToMillis(leaseTTL),
+		})
+	})
+	mux.HandleFunc("POST /v1/nodes/{id}/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /v1/work/pull", func(w http.ResponseWriter, r *http.Request) {
+		if f.granted.Swap(true) {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		work := f.work
+		work.LeaseTTLMillis = ToMillis(f.leaseTTL)
+		work.Attempts = 1
+		json.NewEncoder(w).Encode(work)
+	})
+	mux.HandleFunc("POST /v1/work/renew", func(w http.ResponseWriter, r *http.Request) {
+		f.renewed.Add(1)
+		if f.renewStatus != http.StatusOK {
+			w.WriteHeader(f.renewStatus)
+			return
+		}
+		json.NewEncoder(w).Encode(RenewView{Job: f.work.Job, LeaseTTLMillis: ToMillis(f.leaseTTL)})
+	})
+	mux.HandleFunc("POST /v1/work/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req CompleteRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		f.completes <- req
+		json.NewEncoder(w).Encode(CompleteView{Job: req.Job, Result: "accepted"})
+	})
+	f.ts = httptest.NewServer(mux)
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+// runAnalyzer drives one analyzer against the fake until cleanup.
+func runAnalyzer(t *testing.T, cfg AnalyzerConfig) *Analyzer {
+	t.Helper()
+	a := NewAnalyzer(cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); a.Run(ctx) }()
+	t.Cleanup(func() { cancel(); <-done })
+	return a
+}
+
+// TestAnalyzerDeliversResult is the analyzer happy path: pull a
+// shipped trace, analyze it, and deliver a report with corpus
+// summaries for the known Figure 4 deadlock.
+func TestAnalyzerDeliversResult(t *testing.T) {
+	b64, hash := fig4B64(t)
+	fc := newFakeCoordinator(t, WorkView{
+		Job: "j-000001", Source: "upload", TraceB64: b64, TraceHash: hash,
+	}, time.Second, http.StatusOK)
+	runAnalyzer(t, AnalyzerConfig{
+		Coordinator: fc.ts.URL, Name: "t", Poll: 10 * time.Millisecond,
+		JobTimeout: 15 * time.Second,
+	})
+
+	select {
+	case req := <-fc.completes:
+		if !req.OK || req.Job != "j-000001" || req.Node != "n-0001" {
+			t.Fatalf("completion = %+v, want ok from n-0001 for j-000001", req)
+		}
+		if len(req.Summaries) == 0 {
+			t.Fatal("completion carries no defect summaries for Figure 4")
+		}
+		if req.TraceHash != hash {
+			t.Fatalf("completion hash = %s, want %s", req.TraceHash, hash)
+		}
+		if len(req.Report) == 0 {
+			t.Fatal("completion carries no report")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("no completion delivered")
+	}
+}
+
+// TestAnalyzerAbandonsOnLeaseLost pins the reassignment invariant: a
+// renew 409 cancels the running analysis and the analyzer sends NO
+// completion — the job now belongs to another node.
+func TestAnalyzerAbandonsOnLeaseLost(t *testing.T) {
+	b64, hash := fig4B64(t)
+	// Short lease so renewals start almost immediately; every renewal
+	// answers 409.
+	fc := newFakeCoordinator(t, WorkView{
+		Job: "j-000001", Source: "upload", TraceB64: b64, TraceHash: hash,
+	}, 30*time.Millisecond, http.StatusConflict)
+
+	analyzing := make(chan struct{}, 1)
+	runAnalyzer(t, AnalyzerConfig{
+		Coordinator: fc.ts.URL, Name: "t", Poll: 10 * time.Millisecond,
+		JobTimeout: 15 * time.Second,
+		// Block until the renewal goroutine cancels the run, proving the
+		// cancellation (not completion of the work) ends the analysis.
+		Analyze: func(ctx context.Context, tr *trace.Trace, cfg core.Config) (*core.Report, error) {
+			analyzing <- struct{}{}
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	})
+
+	select {
+	case <-analyzing:
+	case <-time.After(15 * time.Second):
+		t.Fatal("analysis never started")
+	}
+	// The renewal must fire, flip leaseLost, and the run must end with
+	// no completion call.
+	deadline := time.Now().Add(10 * time.Second)
+	for fc.renewed.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if fc.renewed.Load() == 0 {
+		t.Fatal("lease was never renewed")
+	}
+	select {
+	case req := <-fc.completes:
+		t.Fatalf("abandoned run still sent a completion: %+v", req)
+	case <-time.After(300 * time.Millisecond):
+	}
+}

@@ -1,0 +1,533 @@
+package server
+
+// Fleet (coordinator + analyzer) tests: the failure drills behind the
+// robustness story. Raw-protocol tests drive the lease endpoints by
+// hand so expiry, reassignment, exhaustion, stragglers and duplicate
+// completions happen deterministically; the end-to-end test runs a
+// real internal/fleet.Analyzer against the coordinator and checks the
+// distributed path lands the same defects as the local one.
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"wolf/internal/core"
+	"wolf/internal/fleet"
+	"wolf/internal/store"
+	"wolf/internal/trace"
+)
+
+// fleetPost posts v as JSON and decodes the reply into out (when 2xx
+// and out != nil), returning the status code.
+func fleetPost(t *testing.T, url string, v, out any) int {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 && resp.StatusCode != http.StatusNoContent && out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// registerNode registers one analyzer identity, returning its ID.
+func registerNode(t *testing.T, base, name string) string {
+	t.Helper()
+	var view fleet.RegisterView
+	if code := fleetPost(t, base+"/v1/nodes", fleet.RegisterRequest{Name: name}, &view); code != http.StatusOK {
+		t.Fatalf("register = %d", code)
+	}
+	return view.ID
+}
+
+// pullWork polls /v1/work/pull as node until a grant arrives.
+func pullWork(t *testing.T, base, node string) fleet.WorkView {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		var w fleet.WorkView
+		code := fleetPost(t, base+"/v1/work/pull", fleet.PullRequest{Node: node}, &w)
+		switch code {
+		case http.StatusOK:
+			return w
+		case http.StatusNoContent:
+			time.Sleep(5 * time.Millisecond)
+		default:
+			t.Fatalf("pull = %d", code)
+		}
+	}
+	t.Fatal("no work granted in time")
+	return fleet.WorkView{}
+}
+
+// uploadFig4 uploads the Figure 4 trace and returns the job ID.
+func uploadFig4(t *testing.T, base string) string {
+	t.Helper()
+	tr := fig4Trace(t)
+	var body bytes.Buffer
+	if err := tr.Write(&body); err != nil {
+		t.Fatal(err)
+	}
+	code, accepted := postTrace(t, base+"/v1/traces", body.Bytes(), nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("upload = %d", code)
+	}
+	id, _ := accepted["id"].(string)
+	if id == "" {
+		t.Fatal("no job id in upload reply")
+	}
+	return id
+}
+
+// okComplete is a minimal successful completion for protocol tests
+// that do not care about report contents.
+func okComplete(node, job string) fleet.CompleteRequest {
+	return fleet.CompleteRequest{
+		Node: node, Job: job, OK: true,
+		Report: json.RawMessage(`{"summary":{"candidates":0}}`),
+	}
+}
+
+// TestFleetAnalyzerEndToEnd runs a real analyzer against a coordinator
+// with a persistent corpus and checks the distributed path records the
+// same defect fingerprints as a local analysis of the same trace.
+func TestFleetAnalyzerEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_, ts := startServer(t, Config{
+		QueueSize: 8, Role: RoleCoordinator, Store: st,
+		LeaseTTL: 2 * time.Second, HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatTimeout: 5 * time.Second,
+	})
+
+	a := fleet.NewAnalyzer(fleet.AnalyzerConfig{
+		Coordinator: ts.URL, Name: "e2e", Poll: 10 * time.Millisecond,
+		JobTimeout: 15 * time.Second,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); a.Run(ctx) }()
+	t.Cleanup(func() { cancel(); <-done })
+
+	id := uploadFig4(t, ts.URL)
+	v := pollJob(t, ts.URL, id)
+	if v.State != string(StateDone) {
+		t.Fatalf("job = %s (%s), want done", v.State, v.Error)
+	}
+	if v.Node == "" || v.Attempts != 1 {
+		t.Fatalf("job view node=%q attempts=%d, want a node and 1 attempt", v.Node, v.Attempts)
+	}
+
+	// The corpus must hold exactly what a local analysis records.
+	rep, err := core.AnalyzeTraceCtx(context.Background(), fig4Trace(t), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := store.Summarize(rep)
+	if len(want) == 0 {
+		t.Fatal("local analysis found no defects to compare")
+	}
+	var defects struct {
+		Defects []struct {
+			Fingerprint string `json:"fingerprint"`
+		} `json:"defects"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/defects", &defects); code != http.StatusOK {
+		t.Fatalf("defects = %d", code)
+	}
+	got := map[string]bool{}
+	for _, d := range defects.Defects {
+		got[d.Fingerprint] = true
+	}
+	for _, sum := range want {
+		if !got[sum.Fingerprint] {
+			t.Errorf("fingerprint %s missing from the distributed corpus", sum.Fingerprint)
+		}
+	}
+
+	// The ops surface reports the fleet.
+	var status StatusView
+	if code := getJSON(t, ts.URL+"/v1/status", &status); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if status.Role != "coordinator" || status.Fleet == nil || status.Fleet.Nodes != 1 {
+		t.Fatalf("status role=%q fleet=%+v, want coordinator with 1 node", status.Role, status.Fleet)
+	}
+	var nodes struct {
+		Nodes []fleet.NodeView `json:"nodes"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/nodes", &nodes); code != http.StatusOK {
+		t.Fatalf("nodes = %d", code)
+	}
+	if len(nodes.Nodes) != 1 || nodes.Nodes[0].State != "alive" || nodes.Nodes[0].Completed != 1 {
+		t.Fatalf("nodes = %+v, want one alive node with 1 completion", nodes.Nodes)
+	}
+	var hz map[string]any
+	if code := getJSON(t, ts.URL+"/healthz", &hz); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	if hz["role"] != "coordinator" || hz["nodes"] != float64(1) {
+		t.Fatalf("healthz = %v, want coordinator with 1 node", hz)
+	}
+}
+
+// TestFleetSingleModeSurface pins the default role: fleet mutation
+// endpoints refuse, the node list is empty, and role reporting says
+// single.
+func TestFleetSingleModeSurface(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1, QueueSize: 4})
+	var w fleet.WorkView
+	if code := fleetPost(t, ts.URL+"/v1/work/pull", fleet.PullRequest{Node: "n-0001"}, &w); code != http.StatusServiceUnavailable {
+		t.Fatalf("pull in single mode = %d, want 503", code)
+	}
+	if code := fleetPost(t, ts.URL+"/v1/nodes", fleet.RegisterRequest{Name: "x"}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("register in single mode = %d, want 503", code)
+	}
+	var nodes struct {
+		Nodes []fleet.NodeView `json:"nodes"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/nodes", &nodes); code != http.StatusOK || len(nodes.Nodes) != 0 {
+		t.Fatalf("nodes in single mode = %d %v, want 200 and empty", code, nodes.Nodes)
+	}
+	var status StatusView
+	getJSON(t, ts.URL+"/v1/status", &status)
+	if status.Role != "single" || status.Fleet != nil {
+		t.Fatalf("status role=%q fleet=%v, want single and no fleet block", status.Role, status.Fleet)
+	}
+	var hz map[string]any
+	getJSON(t, ts.URL+"/healthz", &hz)
+	if hz["role"] != "single" {
+		t.Fatalf("healthz role = %v, want single", hz["role"])
+	}
+}
+
+// TestLeaseExpiryReassignFirstResultWins is the core failure drill: a
+// lease expires unrenewed, the job is redelivered to a second node,
+// and then the FIRST node — lease long dead — still delivers first and
+// wins; the second result is a duplicate.
+func TestLeaseExpiryReassignFirstResultWins(t *testing.T) {
+	s, ts := startServer(t, Config{
+		QueueSize: 8, Role: RoleCoordinator,
+		LeaseTTL: 40 * time.Millisecond, HeartbeatTimeout: time.Hour,
+		MaxDeliveries: 3,
+	})
+	nodeA := registerNode(t, ts.URL, "a")
+	nodeB := registerNode(t, ts.URL, "b")
+	id := uploadFig4(t, ts.URL)
+
+	wA := pullWork(t, ts.URL, nodeA)
+	if wA.Job != id || wA.Attempts != 1 {
+		t.Fatalf("grant A = %+v, want job %s attempt 1", wA, id)
+	}
+	if wA.TraceB64 == "" {
+		t.Fatal("grant A carries no trace blob")
+	}
+	// A never renews: the janitor expires the lease and the job goes
+	// back to pending, where B picks it up.
+	wB := pullWork(t, ts.URL, nodeB)
+	if wB.Job != id || wB.Attempts != 2 {
+		t.Fatalf("grant B = %+v, want job %s attempt 2", wB, id)
+	}
+	if s.metrics.JobsReassigned.Load() == 0 {
+		t.Fatal("no reassignment counted")
+	}
+
+	// A's late result wins because the job is still non-terminal.
+	var verdict fleet.CompleteView
+	if code := fleetPost(t, ts.URL+"/v1/work/complete", okComplete(nodeA, id), &verdict); code != http.StatusOK {
+		t.Fatalf("complete A = %d", code)
+	}
+	if verdict.Result != "accepted" {
+		t.Fatalf("complete A result = %q, want accepted (first result wins)", verdict.Result)
+	}
+	if code := fleetPost(t, ts.URL+"/v1/work/complete", okComplete(nodeB, id), &verdict); code != http.StatusOK {
+		t.Fatalf("complete B = %d", code)
+	}
+	if verdict.Result != "duplicate" {
+		t.Fatalf("complete B result = %q, want duplicate", verdict.Result)
+	}
+	if v := pollJob(t, ts.URL, id); v.State != string(StateDone) {
+		t.Fatalf("job = %s, want done", v.State)
+	}
+	if s.metrics.DuplicateResults.Load() != 1 {
+		t.Fatalf("duplicates = %d, want 1", s.metrics.DuplicateResults.Load())
+	}
+}
+
+// TestReassignExhausted pins the redelivery bound: a job whose leases
+// keep expiring is terminal-failed with reason reassign-exhausted
+// instead of ping-ponging forever.
+func TestReassignExhausted(t *testing.T) {
+	s, ts := startServer(t, Config{
+		QueueSize: 8, Role: RoleCoordinator,
+		LeaseTTL: 30 * time.Millisecond, HeartbeatTimeout: time.Hour,
+		MaxDeliveries: 2,
+	})
+	node := registerNode(t, ts.URL, "flaky")
+	id := uploadFig4(t, ts.URL)
+
+	first := pullWork(t, ts.URL, node)
+	if first.Job != id {
+		t.Fatalf("granted %s, want %s", first.Job, id)
+	}
+	second := pullWork(t, ts.URL, node) // after expiry: redelivery 2/2
+	if second.Job != id || second.Attempts != 2 {
+		t.Fatalf("grant 2 = %+v, want job %s attempt 2", second, id)
+	}
+	// Let the final lease expire too; the budget is spent.
+	v := pollJob(t, ts.URL, id)
+	if v.State != string(StateFailed) || !strings.Contains(v.Error, "reassign budget exhausted") {
+		t.Fatalf("job = %s (%q), want failed with reassign budget exhausted", v.State, v.Error)
+	}
+	if s.metrics.JobsReassignEx.Load() != 1 {
+		t.Fatalf("reassign-exhausted count = %d, want 1", s.metrics.JobsReassignEx.Load())
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var text bytes.Buffer
+	text.ReadFrom(resp.Body)
+	if !strings.Contains(text.String(), `wolfd_jobs_failed_total{reason="reassign-exhausted"} 1`) {
+		t.Fatal("metrics missing the reassign-exhausted failure reason")
+	}
+}
+
+// TestNodeLostReassignsWork drills the heartbeat path: a node that
+// goes silent past HeartbeatTimeout is declared lost, its heartbeats
+// are refused with 404 (forcing re-registration), and its leased job
+// is redelivered to a surviving node.
+func TestNodeLostReassignsWork(t *testing.T) {
+	s, ts := startServer(t, Config{
+		QueueSize: 8, Role: RoleCoordinator,
+		LeaseTTL: time.Hour, HeartbeatTimeout: 40 * time.Millisecond,
+		MaxDeliveries: 3,
+	})
+	dead := registerNode(t, ts.URL, "dead")
+	id := uploadFig4(t, ts.URL)
+	if w := pullWork(t, ts.URL, dead); w.Job != id {
+		t.Fatalf("granted %s, want %s", w.Job, id)
+	}
+
+	// The survivor registers and polls; each pull refreshes its own
+	// liveness, while "dead" never heartbeats again.
+	live := registerNode(t, ts.URL, "live")
+	w := pullWork(t, ts.URL, live)
+	if w.Job != id || w.Attempts != 2 {
+		t.Fatalf("survivor grant = %+v, want job %s attempt 2", w, id)
+	}
+	if code := fleetPost(t, ts.URL+"/v1/nodes/"+dead+"/heartbeat", struct{}{}, nil); code != http.StatusNotFound {
+		t.Fatalf("heartbeat from lost node = %d, want 404", code)
+	}
+	var nodes struct {
+		Nodes []fleet.NodeView `json:"nodes"`
+	}
+	getJSON(t, ts.URL+"/v1/nodes", &nodes)
+	states := map[string]string{}
+	for _, n := range nodes.Nodes {
+		states[n.ID] = n.State
+	}
+	if states[dead] != "lost" || states[live] != "alive" {
+		t.Fatalf("node states = %v, want %s lost and %s alive", states, dead, live)
+	}
+	if s.metrics.NodesLost.Load() != 1 {
+		t.Fatalf("nodes lost = %d, want 1", s.metrics.NodesLost.Load())
+	}
+
+	var verdict fleet.CompleteView
+	fleetPost(t, ts.URL+"/v1/work/complete", okComplete(live, id), &verdict)
+	if verdict.Result != "accepted" {
+		t.Fatalf("survivor result = %q, want accepted", verdict.Result)
+	}
+
+	// The flight recorder saw the whole story.
+	for _, kind := range []string{"node.join", "node.lost", "job.reassigned"} {
+		var evs struct {
+			Events []json.RawMessage `json:"events"`
+		}
+		getJSON(t, ts.URL+"/v1/debug/events?kind="+kind, &evs)
+		if len(evs.Events) == 0 {
+			t.Errorf("no %s event recorded", kind)
+		}
+	}
+}
+
+// TestStragglerReoffer drills the slow-node path: a lease renewed past
+// MaxRenewals re-offers the job to a second node while the first keeps
+// its lease; the second node's result lands first and wins, and the
+// straggler's renewals then report the lease lost.
+func TestStragglerReoffer(t *testing.T) {
+	_, ts := startServer(t, Config{
+		QueueSize: 8, Role: RoleCoordinator,
+		LeaseTTL: time.Hour, HeartbeatTimeout: time.Hour,
+		MaxDeliveries: 3, MaxRenewals: 1,
+	})
+	slow := registerNode(t, ts.URL, "slow")
+	fast := registerNode(t, ts.URL, "fast")
+	id := uploadFig4(t, ts.URL)
+	if w := pullWork(t, ts.URL, slow); w.Job != id {
+		t.Fatalf("granted %s, want %s", w.Job, id)
+	}
+
+	// Renewal 1 is within budget; renewal 2 crosses MaxRenewals=1 and
+	// triggers the re-offer.
+	for i := 0; i < 2; i++ {
+		var rv fleet.RenewView
+		if code := fleetPost(t, ts.URL+"/v1/work/renew", fleet.RenewRequest{Node: slow, Job: id}, &rv); code != http.StatusOK {
+			t.Fatalf("renew %d = %d", i+1, code)
+		}
+	}
+	w := pullWork(t, ts.URL, fast)
+	if w.Job != id || w.Attempts != 2 {
+		t.Fatalf("re-offer grant = %+v, want job %s attempt 2", w, id)
+	}
+
+	var verdict fleet.CompleteView
+	fleetPost(t, ts.URL+"/v1/work/complete", okComplete(fast, id), &verdict)
+	if verdict.Result != "accepted" {
+		t.Fatalf("fast result = %q, want accepted", verdict.Result)
+	}
+	if code := fleetPost(t, ts.URL+"/v1/work/renew", fleet.RenewRequest{Node: slow, Job: id}, nil); code != http.StatusConflict {
+		t.Fatalf("straggler renew after finish = %d, want 409", code)
+	}
+	fleetPost(t, ts.URL+"/v1/work/complete", okComplete(slow, id), &verdict)
+	if verdict.Result != "duplicate" {
+		t.Fatalf("straggler result = %q, want duplicate", verdict.Result)
+	}
+}
+
+// TestCoordinatorRestartRequeuesLeased proves leased-but-unfinished
+// work survives a coordinator restart: journal rehydration re-queues
+// the job (attempt count intact) instead of failing it, and a fresh
+// node finishes it against the corpus blob.
+func TestCoordinatorRestartRequeuesLeased(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		QueueSize: 8, Role: RoleCoordinator,
+		LeaseTTL: time.Hour, HeartbeatTimeout: time.Hour, MaxDeliveries: 3,
+	}
+
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Store = st1
+	s1 := New(cfg)
+	ts1 := httptest.NewServer(s1.Handler())
+	node := registerNode(t, ts1.URL, "doomed")
+	id := uploadFig4(t, ts1.URL)
+	w1 := pullWork(t, ts1.URL, node)
+	if w1.Job != id || w1.Attempts != 1 {
+		t.Fatalf("grant = %+v, want job %s attempt 1", w1, id)
+	}
+	ts1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st1.Close()
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	cfg.Store = st2
+	_, ts2 := startServer(t, cfg)
+
+	// The restored job is queued again, not failed, with its delivery
+	// history intact.
+	var v JobView
+	if code := getJSON(t, ts2.URL+"/v1/jobs/"+id, &v); code != http.StatusOK {
+		t.Fatalf("restored job status = %d", code)
+	}
+	if v.State != string(StateQueued) || v.Attempts != 1 {
+		t.Fatalf("restored job = %s attempts=%d (%q), want queued with 1 attempt", v.State, v.Attempts, v.Error)
+	}
+
+	fresh := registerNode(t, ts2.URL, "fresh")
+	w2 := pullWork(t, ts2.URL, fresh)
+	if w2.Job != id || w2.Attempts != 2 {
+		t.Fatalf("post-restart grant = %+v, want job %s attempt 2", w2, id)
+	}
+	if w2.TraceB64 == "" {
+		t.Fatal("post-restart grant carries no trace blob (corpus rehydration failed)")
+	}
+	raw, err := base64.StdEncoding.DecodeString(w2.TraceB64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.ReadBinary(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("shipped blob does not decode: %v", err)
+	}
+
+	// Finish it like a real analyzer: analyze the shipped blob and
+	// deliver the summaries, which must land in the corpus.
+	rep, err := core.AnalyzeTraceCtx(context.Background(), tr, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := okComplete(fresh, id)
+	req.Summaries = store.Summarize(rep)
+	req.TraceHash = w2.TraceHash
+	var verdict fleet.CompleteView
+	if code := fleetPost(t, ts2.URL+"/v1/work/complete", req, &verdict); code != http.StatusOK || verdict.Result != "accepted" {
+		t.Fatalf("post-restart complete = %d %q, want 200 accepted", code, verdict.Result)
+	}
+	if v := pollJob(t, ts2.URL, id); v.State != string(StateDone) {
+		t.Fatalf("job = %s, want done", v.State)
+	}
+	var defects struct {
+		Defects []json.RawMessage `json:"defects"`
+	}
+	getJSON(t, ts2.URL+"/v1/defects", &defects)
+	if len(defects.Defects) == 0 {
+		t.Fatal("no defects recorded after the post-restart completion")
+	}
+}
+
+// TestCompleteFromForgottenNode pins the restart-completion edge: a
+// result from a node identity the coordinator no longer knows (it
+// restarted) is still accepted when the job is live — the work is
+// done; identity is not what wins, timing is.
+func TestCompleteFromForgottenNode(t *testing.T) {
+	_, ts := startServer(t, Config{
+		QueueSize: 8, Role: RoleCoordinator,
+		LeaseTTL: 40 * time.Millisecond, HeartbeatTimeout: time.Hour,
+		MaxDeliveries: 3,
+	})
+	node := registerNode(t, ts.URL, "a")
+	id := uploadFig4(t, ts.URL)
+	if w := pullWork(t, ts.URL, node); w.Job != id {
+		t.Fatalf("granted %s, want %s", w.Job, id)
+	}
+	var verdict fleet.CompleteView
+	if code := fleetPost(t, ts.URL+"/v1/work/complete", okComplete("n-9999", id), &verdict); code != http.StatusOK {
+		t.Fatalf("complete = %d", code)
+	}
+	if verdict.Result != "accepted" {
+		t.Fatalf("result = %q, want accepted even from an unknown node", verdict.Result)
+	}
+}

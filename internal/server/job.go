@@ -54,6 +54,15 @@ type Job struct {
 	finished  time.Time
 	tr        *trace.Trace
 	traceHash string
+	// Fleet (coordinator role): the analyzer node currently holding the
+	// job, the lease expiry, and the delivery count against the bounded
+	// redelivery budget. wlSeed pins the detection schedule of a
+	// workload job so a remote analyzer records the same trace a local
+	// worker would.
+	node        string
+	attempts    int
+	leaseExpiry time.Time
+	wlSeed      int64
 	// prepare produces the trace on the worker for jobs that record a
 	// workload server-side; nil for uploads.
 	prepare func() (*trace.Trace, error)
@@ -151,6 +160,84 @@ func (j *Job) fail(msg string) {
 	j.finished = time.Now()
 }
 
+// CreatedAt returns the admission time.
+func (j *Job) CreatedAt() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.created
+}
+
+// terminal reports whether the job reached done or failed.
+func (j *Job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state == StateDone || j.state == StateFailed
+}
+
+// Attempts returns the delivery count (coordinator role).
+func (j *Job) Attempts() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempts
+}
+
+// WorkloadSeed returns the pinned detection seed of a workload job (0
+// means the analyzer searches).
+func (j *Job) WorkloadSeed() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.wlSeed
+}
+
+// setWorkloadSeed records the requested detection seed.
+func (j *Job) setWorkloadSeed(seed int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.wlSeed = seed
+}
+
+// leaseTo marks the job delivered to a node under a lease and returns
+// the new delivery count.
+func (j *Job) leaseTo(node string, expiry time.Time) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateRunning
+	if j.started.IsZero() {
+		j.started = time.Now()
+	}
+	j.node = node
+	j.leaseExpiry = expiry
+	j.attempts++
+	return j.attempts
+}
+
+// unlease returns a job to queued after its lease was revoked.
+func (j *Job) unlease() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateQueued
+	j.node = ""
+	j.leaseExpiry = time.Time{}
+}
+
+// setLeaseExpiry extends the recorded lease deadline (renewals).
+func (j *Job) setLeaseExpiry(t time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.leaseExpiry = t
+}
+
+// finishRaw records a successful remote analysis by its wire-format
+// report; the report endpoint serves it verbatim, exactly like a job
+// rehydrated from the journal.
+func (j *Job) finishRaw(raw json.RawMessage) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateDone
+	j.reportJSON = raw
+	j.finished = time.Now()
+}
+
 // setTrace attaches the prepared trace (worker side, workload jobs).
 func (j *Job) setTrace(tr *trace.Trace) {
 	j.mu.Lock()
@@ -166,15 +253,18 @@ func (j *Job) record() store.JobRecord {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	rec := store.JobRecord{
-		ID:        j.ID,
-		State:     string(j.state),
-		Source:    j.source,
-		Trace:     j.trace,
-		TraceHash: j.traceHash,
-		Error:     j.err,
-		Created:   j.created,
-		Started:   j.started,
-		Finished:  j.finished,
+		ID:          j.ID,
+		State:       string(j.state),
+		Source:      j.source,
+		Trace:       j.trace,
+		TraceHash:   j.traceHash,
+		Error:       j.err,
+		Created:     j.created,
+		Started:     j.started,
+		Finished:    j.finished,
+		Node:        j.node,
+		Attempts:    j.attempts,
+		LeaseExpiry: j.leaseExpiry,
 	}
 	if j.state == StateDone {
 		switch {
@@ -202,9 +292,14 @@ type JobView struct {
 	// (fetch it via GET /v1/traces/{hash}); empty without -data-dir.
 	TraceHash string `json:"trace_hash,omitempty"`
 	Error     string `json:"error,omitempty"`
-	Created   string `json:"created"`
-	Started   string `json:"started,omitempty"`
-	Finished  string `json:"finished,omitempty"`
+	// Node is the analyzer currently (or last) holding the job's lease;
+	// Attempts counts deliveries against the redelivery budget. Both
+	// are only set in coordinator mode.
+	Node     string `json:"node,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+	Created  string `json:"created"`
+	Started  string `json:"started,omitempty"`
+	Finished string `json:"finished,omitempty"`
 	// ReportURL is set once the report can be fetched.
 	ReportURL string `json:"report_url,omitempty"`
 }
@@ -221,6 +316,8 @@ func (j *Job) view() JobView {
 		Tuples:    j.tuples,
 		TraceHash: j.traceHash,
 		Error:     j.err,
+		Node:      j.node,
+		Attempts:  j.attempts,
 		Created:   j.created.UTC().Format(time.RFC3339Nano),
 	}
 	if !j.started.IsZero() {
@@ -273,14 +370,9 @@ func (s *jobStore) add(source, traceID string, tr *trace.Trace, prepare func() (
 	return j
 }
 
-// restore inserts a job rehydrated from a persisted record. Jobs that
-// never reached a terminal state before the previous process died are
-// failed: their queue position is gone. It reports whether the job's
-// state changed (so the caller can persist the correction).
-func (s *jobStore) restore(rec store.JobRecord) (*Job, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j := &Job{
+// fromRecord builds the in-memory job a persisted record describes.
+func fromRecord(rec store.JobRecord) *Job {
+	return &Job{
 		ID:         rec.ID,
 		state:      JobState(rec.State),
 		source:     rec.Source,
@@ -290,8 +382,31 @@ func (s *jobStore) restore(rec store.JobRecord) (*Job, bool) {
 		created:    rec.Created,
 		started:    rec.Started,
 		finished:   rec.Finished,
+		node:       rec.Node,
+		attempts:   rec.Attempts,
 		reportJSON: rec.Report,
 	}
+}
+
+// insertRestored registers a rehydrated job and advances the ID
+// sequence past it. Caller holds s.mu.
+func (s *jobStore) insertRestored(j *Job) {
+	var n int
+	if _, err := fmt.Sscanf(j.ID, "j-%d", &n); err == nil && n > s.seq {
+		s.seq = n
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j)
+}
+
+// restore inserts a job rehydrated from a persisted record. Jobs that
+// never reached a terminal state before the previous process died are
+// failed: their queue position is gone. It reports whether the job's
+// state changed (so the caller can persist the correction).
+func (s *jobStore) restore(rec store.JobRecord) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := fromRecord(rec)
 	lost := false
 	switch j.state {
 	case StateDone, StateFailed:
@@ -300,13 +415,24 @@ func (s *jobStore) restore(rec store.JobRecord) (*Job, bool) {
 		j.err = "job lost in wolfd restart before analysis finished"
 		lost = true
 	}
-	var n int
-	if _, err := fmt.Sscanf(rec.ID, "j-%d", &n); err == nil && n > s.seq {
-		s.seq = n
-	}
-	s.jobs[j.ID] = j
-	s.order = append(s.order, j)
+	s.insertRestored(j)
 	return j, lost
+}
+
+// restoreQueued inserts a non-terminal rehydrated job back into the
+// queued state — the coordinator path, where losing the process does
+// not lose the work: the job is re-delivered to the fleet. The lease
+// died with the process and is cleared; the delivery count survives so
+// the redelivery budget cannot be reset by bouncing the coordinator.
+func (s *jobStore) restoreQueued(rec store.JobRecord) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := fromRecord(rec)
+	j.state = StateQueued
+	j.node = ""
+	j.leaseExpiry = time.Time{}
+	s.insertRestored(j)
+	return j
 }
 
 // get looks a job up by ID.

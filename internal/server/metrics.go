@@ -28,6 +28,10 @@ const (
 	// FailDrained: the job was still queued when Shutdown began and was
 	// failed fast instead of analyzed.
 	FailDrained FailReason = "drained"
+	// FailReassign: the job's bounded redelivery budget was exhausted —
+	// every delivery to an analyzer node ended in a lost lease
+	// (coordinator role only).
+	FailReassign FailReason = "reassign-exhausted"
 )
 
 // Metrics is the wolfd in-process metrics registry. Counters are plain
@@ -57,6 +61,22 @@ type Metrics struct {
 	JobsWatchdogged atomic.Int64
 	// JobsDrained counts queued jobs failed fast during shutdown.
 	JobsDrained atomic.Int64
+	// JobsReassignEx counts jobs terminal-failed because the bounded
+	// redelivery budget ran out (coordinator role).
+	JobsReassignEx atomic.Int64
+
+	// Fleet (coordinator role). NodesRegistered/NodesLost are lifetime
+	// counters; NodesAlive is the live gauge. JobsReassigned counts
+	// lease revocations that re-queued a job (including straggler
+	// re-offers); LeaseRenewals counts granted renewals;
+	// DuplicateResults counts completions that lost the
+	// first-result-wins race.
+	NodesRegistered  atomic.Int64
+	NodesLost        atomic.Int64
+	NodesAlive       atomic.Int64
+	JobsReassigned   atomic.Int64
+	LeaseRenewals    atomic.Int64
+	DuplicateResults atomic.Int64
 	// SyncRejected counts synchronous analyses shed because every worker
 	// slot was busy.
 	SyncRejected atomic.Int64
@@ -144,6 +164,8 @@ func (m *Metrics) Fail(reason FailReason) {
 		m.JobsWatchdogged.Add(1)
 	case FailDrained:
 		m.JobsDrained.Add(1)
+	case FailReassign:
+		m.JobsReassignEx.Add(1)
 	default:
 		m.JobsErrored.Add(1)
 	}
@@ -152,7 +174,7 @@ func (m *Metrics) Fail(reason FailReason) {
 // JobsFailed is the total across failure reasons.
 func (m *Metrics) JobsFailed() int64 {
 	return m.JobsErrored.Load() + m.JobsTimedOut.Load() + m.JobsPanicked.Load() +
-		m.JobsWatchdogged.Load() + m.JobsDrained.Load()
+		m.JobsWatchdogged.Load() + m.JobsDrained.Load() + m.JobsReassignEx.Load()
 }
 
 // observe folds one completed analysis into the registry.
@@ -199,6 +221,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "%s{reason=\"panic\"} %d\n", name, m.JobsPanicked.Load())
 	fmt.Fprintf(w, "%s{reason=\"watchdog\"} %d\n", name, m.JobsWatchdogged.Load())
 	fmt.Fprintf(w, "%s{reason=\"drained\"} %d\n", name, m.JobsDrained.Load())
+	fmt.Fprintf(w, "%s{reason=\"reassign-exhausted\"} %d\n", name, m.JobsReassignEx.Load())
 	counter("wolfd_jobs_timeout_total", "Deprecated alias of wolfd_jobs_failed_total{reason=\"timeout\"}.", m.JobsTimedOut.Load())
 	counter("wolfd_jobs_panic_total", "Deprecated alias of wolfd_jobs_failed_total{reason=\"panic\"}.", m.JobsPanicked.Load())
 	counter("wolfd_sync_rejected_total", "Synchronous analyses shed because every worker slot was busy.", m.SyncRejected.Load())
@@ -249,4 +272,22 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP %s Build information; value is always 1.\n# TYPE %s gauge\n", name, name)
 	fmt.Fprintf(w, "%s{%s,%s,%s} 1\n", name,
 		obs.Label("version", bi.Version), obs.Label("goversion", bi.GoVersion), obs.Label("revision", bi.Revision))
+}
+
+// WriteFleetPrometheus renders the coordinator-only fleet families.
+// Separate from WritePrometheus so the single-process exposition stays
+// byte-identical to earlier releases.
+func (m *Metrics) WriteFleetPrometheus(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("wolfd_nodes_registered_total", "Analyzer nodes that ever registered.", m.NodesRegistered.Load())
+	counter("wolfd_nodes_lost_total", "Analyzer nodes declared lost after missed heartbeats.", m.NodesLost.Load())
+	gauge("wolfd_nodes_alive", "Currently registered, non-lost analyzer nodes.", m.NodesAlive.Load())
+	counter("wolfd_jobs_reassigned_total", "Jobs re-queued after a revoked lease (including straggler re-offers).", m.JobsReassigned.Load())
+	counter("wolfd_lease_renewals_total", "Work lease renewals granted.", m.LeaseRenewals.Load())
+	counter("wolfd_results_duplicate_total", "Completions that lost the first-result-wins race.", m.DuplicateResults.Load())
 }

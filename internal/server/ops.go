@@ -43,6 +43,11 @@ const (
 	evStoreTrace    = "store.trace"
 	evStoreDefect   = "store.defect"
 	evReplayVerdict = "replay.verdict"
+	// Fleet lifecycle (coordinator role): analyzer nodes joining and
+	// being declared lost, and jobs re-queued after a revoked lease.
+	evNodeJoin      = "node.join"
+	evNodeLost      = "node.lost"
+	evJobReassigned = "job.reassigned"
 )
 
 // event publishes one lifecycle event to the flight recorder and bumps
@@ -75,9 +80,13 @@ func ingestTraceparent(w http.ResponseWriter, r *http.Request) string {
 // StatusView is the wire form of GET /v1/status: everything a probe,
 // a fleet heartbeat or an operator's first glance needs in one shot.
 type StatusView struct {
-	Status        string        `json:"status"`
-	UptimeSeconds float64       `json:"uptime_seconds"`
-	Build         obs.BuildInfo `json:"build"`
+	Status string `json:"status"`
+	// Role is "single" or "coordinator"; Fleet summarizes the node and
+	// lease state in coordinator mode.
+	Role          string           `json:"role"`
+	Fleet         *FleetStatusView `json:"fleet,omitempty"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Build         obs.BuildInfo    `json:"build"`
 	Queue         struct {
 		Depth    int64 `json:"depth"`
 		Capacity int   `json:"capacity"`
@@ -123,6 +132,17 @@ type LatencyView struct {
 	Count uint64  `json:"count"`
 }
 
+// FleetStatusView summarizes the coordinator's fleet: known/alive
+// nodes, jobs currently out under lease, and jobs waiting for
+// redelivery.
+type FleetStatusView struct {
+	Nodes      int   `json:"nodes"`
+	Alive      int   `json:"alive"`
+	Leased     int   `json:"leased"`
+	Pending    int   `json:"pending"`
+	Reassigned int64 `json:"reassigned"`
+}
+
 // CorpusView summarizes the persistent corpus (absent without -data-dir).
 type CorpusView struct {
 	Traces  int `json:"traces"`
@@ -149,6 +169,17 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	v.Status = "ok"
 	if s.draining() {
 		v.Status = "draining"
+	}
+	v.Role = s.role()
+	if s.fleet != nil {
+		nodes, alive, leased, pending := s.fleet.counts()
+		v.Fleet = &FleetStatusView{
+			Nodes:      nodes,
+			Alive:      alive,
+			Leased:     leased,
+			Pending:    pending,
+			Reassigned: s.metrics.JobsReassigned.Load(),
+		}
 	}
 	v.UptimeSeconds = time.Since(s.started).Seconds()
 	v.Build = obs.ReadBuildInfo()

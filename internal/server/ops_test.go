@@ -433,6 +433,7 @@ func TestEventKindLabels(t *testing.T) {
 		evJobQueued, evJobStarted, evJobDone, evJobFailed, evJobShed,
 		evSyncShed, evStreamOpen, evStreamClose, evStreamEvict,
 		evStreamShed, evStoreTrace, evStoreDefect, evReplayVerdict,
+		evNodeJoin, evNodeLost, evJobReassigned,
 	} {
 		if !eventKindPattern.MatchString(kind) {
 			t.Errorf("event kind %q breaks the label-value pattern %s", kind, eventKindPattern)

@@ -59,6 +59,27 @@ import (
 
 // Config controls a wolfd server.
 type Config struct {
+	// Role selects the fleet role: RoleSingle (default — admit and
+	// analyze in one process) or RoleCoordinator (admit and persist
+	// here, hand analysis to registered analyzer nodes under leases).
+	// Analyzer nodes are not servers; see internal/fleet.
+	Role string
+	// LeaseTTL bounds one work lease; analyzers must renew before it
+	// elapses or the job is reassigned (default 15s).
+	LeaseTTL time.Duration
+	// HeartbeatInterval is the cadence registration hands to analyzers
+	// (default 3s); HeartbeatTimeout is how long a node may stay silent
+	// before it is declared lost and its jobs reassigned (default 10s).
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// MaxDeliveries bounds how many times a job is handed out before
+	// reassignment terminal-fails it with reason "reassign-exhausted"
+	// (default 3).
+	MaxDeliveries int
+	// MaxRenewals is how many renewals one lease may take before its
+	// holder is treated as a straggler and the job is re-offered to a
+	// second node, first result winning (default 8).
+	MaxRenewals int
 	// Workers is the analysis pool size (default 4).
 	Workers int
 	// QueueSize bounds the job queue; a full queue rejects uploads with
@@ -107,6 +128,21 @@ type Config struct {
 }
 
 func (c *Config) fill() {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 15 * time.Second
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 3 * time.Second
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 10 * time.Second
+	}
+	if c.MaxDeliveries <= 0 {
+		c.MaxDeliveries = 3
+	}
+	if c.MaxRenewals <= 0 {
+		c.MaxRenewals = 8
+	}
 	if c.Workers <= 0 {
 		c.Workers = 4
 	}
@@ -164,6 +200,9 @@ type Server struct {
 	// ring of recent lifecycle events across all jobs and streams.
 	flight  *obs.FlightRecorder
 	started time.Time
+	// fleet is the coordinator's node/lease bookkeeping; nil outside
+	// RoleCoordinator.
+	fleet *fleetState
 
 	mu     sync.Mutex
 	queue  chan *Job
@@ -190,13 +229,33 @@ func New(cfg Config) *Server {
 		started:    time.Now(),
 	}
 	s.metrics.AnalysisParallelism.Store(int64(cfg.Analysis.EffectiveParallelism()))
+	if cfg.Role == RoleCoordinator {
+		s.fleet = newFleetState(s)
+	}
 	if cfg.Store != nil {
+		var requeued []*Job
 		for _, rec := range cfg.Store.Jobs() {
+			// Coordinator restarts survive in-flight work: a non-terminal
+			// job whose trace is recoverable (corpus blob, or a workload
+			// the analyzer records itself) goes back to the fleet instead
+			// of being failed. Everything else takes the single-process
+			// path: terminal jobs restore as-is, unrecoverable ones fail.
+			if s.fleet != nil && !terminalRecord(rec) && recoverableRecord(rec, cfg.Store) {
+				j := s.jobs.restoreQueued(rec)
+				requeued = append(requeued, j)
+				s.persistJob(j)
+				cfg.Logger.Info("job re-queued after coordinator restart",
+					"job", j.ID, "trace", j.TraceID(), "attempts", j.Attempts())
+				continue
+			}
 			j, lost := s.jobs.restore(rec)
 			if lost {
 				s.persistJob(j)
 				cfg.Logger.Warn("job lost in restart", "job", j.ID, "trace", j.TraceID())
 			}
+		}
+		if len(requeued) > 0 {
+			s.fleet.requeueRestored(requeued)
 		}
 	}
 	s.mux = http.NewServeMux()
@@ -225,13 +284,46 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/debug/events", s.handleDebugEvents)
-	for i := 0; i < cfg.Workers; i++ {
+	s.mux.HandleFunc("POST /v1/nodes", s.handleNodeRegister)
+	s.mux.HandleFunc("GET /v1/nodes", s.handleNodeList)
+	s.mux.HandleFunc("POST /v1/nodes/{id}/heartbeat", s.handleNodeHeartbeat)
+	s.mux.HandleFunc("POST /v1/work/pull", s.handleWorkPull)
+	s.mux.HandleFunc("POST /v1/work/renew", s.handleWorkRenew)
+	s.mux.HandleFunc("POST /v1/work/complete", s.handleWorkComplete)
+	if s.fleet == nil {
+		// Single-process mode: local workers drain the queue. A
+		// coordinator has none — registered analyzers pull the work.
+		for i := 0; i < cfg.Workers; i++ {
+			s.wg.Add(1)
+			go s.worker()
+		}
+	} else {
 		s.wg.Add(1)
-		go s.worker()
+		go s.fleet.janitor()
 	}
 	s.wg.Add(1)
 	go s.streamJanitor()
 	return s
+}
+
+// terminalRecord reports whether a persisted job record is done or
+// failed.
+func terminalRecord(rec store.JobRecord) bool {
+	switch JobState(rec.State) {
+	case StateDone, StateFailed:
+		return true
+	}
+	return false
+}
+
+// recoverableRecord reports whether a restarted coordinator can still
+// deliver the job's work: the trace blob is in the corpus, or the job
+// is a workload an analyzer records itself.
+func recoverableRecord(rec store.JobRecord, st *store.Store) bool {
+	if rec.TraceHash != "" && st.HasTrace(rec.TraceHash) {
+		return true
+	}
+	return strings.HasPrefix(rec.Source, "workload:")
 }
 
 // persistJob appends the job's current state to the corpus job log. A
@@ -582,6 +674,7 @@ func (s *Server) handleWorkloadJob(w http.ResponseWriter, r *http.Request) {
 		return core.Record(wl.New, sd, 0), nil
 	}
 	j := s.jobs.add("workload:"+name, traceID, nil, prepare)
+	j.setWorkloadSeed(seed)
 	s.admit(w, j)
 }
 
@@ -946,13 +1039,26 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, obs.ReadBuildInfo())
 }
 
-// handleMetrics is GET /metrics.
+// handleMetrics is GET /metrics. The fleet families render only in
+// coordinator mode, keeping the single-process exposition unchanged.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WritePrometheus(w)
+	if s.fleet != nil {
+		s.metrics.WriteFleetPrometheus(w)
+		s.fleet.writePrometheus(w)
+	}
 	if s.cfg.Store != nil {
 		s.cfg.Store.WritePrometheus(w)
 	}
+}
+
+// role names the server's fleet role for status surfaces.
+func (s *Server) role() string {
+	if s.fleet != nil {
+		return "coordinator"
+	}
+	return "single"
 }
 
 // handleHealthz is GET /healthz: 200 while accepting work, 503 during
@@ -969,13 +1075,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusServiceUnavailable
 		state = "draining"
 	}
-	writeJSON(w, status, map[string]any{
+	body := map[string]any{
 		"status":       state,
 		"draining":     closed,
+		"role":         s.role(),
 		"queue_depth":  s.metrics.QueueDepth.Load(),
 		"streams_open": s.metrics.StreamsOpen.Load(),
 		"version":      obs.ReadBuildInfo().Version,
-	})
+	}
+	if s.fleet != nil {
+		nodes, alive, leased, _ := s.fleet.counts()
+		body["nodes"] = nodes
+		body["nodes_alive"] = alive
+		body["jobs_leased"] = leased
+	}
+	writeJSON(w, status, body)
 }
 
 // Metrics exposes the registry (for the binary's logs and tests).

@@ -1,0 +1,209 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// churnJobs runs n jobs through queued → running → done, writing three
+// journal records per job (one more than the 2× steady-state floor).
+func churnJobs(t *testing.T, dir string, n int) {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		for _, state := range []string{"queued", "running", "done"} {
+			rec := JobRecord{
+				ID:      jobID(i),
+				State:   state,
+				Source:  "upload",
+				Created: time.Date(2026, 8, 1, 0, 0, i, 0, time.UTC),
+			}
+			if err := s.AppendJob(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func logLines(t *testing.T, dir string) []string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, "jobs.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	return strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+}
+
+// TestCompactionOnOpen: a journal holding three records per job (above
+// the 2× floor) is rewritten on Open to one latest-state line per job,
+// preserving state and first-seen order.
+func TestCompactionOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	churnJobs(t, dir, 3) // 9 records, 3 live → compacts
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.jobs.compacted {
+		t.Error("journal above the 2x floor was not compacted")
+	}
+	if lines := logLines(t, dir); len(lines) != 3 {
+		t.Fatalf("compacted log lines = %d, want 3", len(lines))
+	}
+	jobs := s.Jobs()
+	if len(jobs) != 3 {
+		t.Fatalf("jobs = %d, want 3", len(jobs))
+	}
+	for i, j := range jobs {
+		if j.ID != jobID(i+1) || j.State != "done" {
+			t.Errorf("job %d = %s/%s, want %s/done", i, j.ID, j.State, jobID(i+1))
+		}
+	}
+
+	// Appends after compaction land cleanly and survive another reopen
+	// (which must not compact again: 4 records, 4 live).
+	if err := s.AppendJob(JobRecord{ID: "j-990000", State: "queued", Source: "upload"}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.jobs.compacted {
+		t.Error("freshly compacted journal re-compacted on next open")
+	}
+	if got := len(s2.Jobs()); got != 4 {
+		t.Fatalf("jobs after append+reopen = %d, want 4", got)
+	}
+}
+
+// TestNoCompactionAtSteadyState: the normal lifecycle writes exactly two
+// records per job (admission + terminal). That is the floor, not churn,
+// and must never trigger a rewrite.
+func TestNoCompactionAtSteadyState(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		for _, state := range []string{"queued", "done"} {
+			if err := s.AppendJob(JobRecord{ID: jobID(i), State: state, Source: "upload"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.jobs.compacted {
+		t.Error("steady-state journal (replayed == 2x live) was compacted")
+	}
+	if lines := logLines(t, dir); len(lines) != 8 {
+		t.Fatalf("log lines = %d, want 8 (untouched)", len(lines))
+	}
+}
+
+// TestKillDuringCompaction: a crash mid-compaction leaves the original
+// journal intact plus an orphaned temp file (atomicWrite renames only
+// after a complete fsynced write). The next Open must sweep the orphan
+// and compact from the intact original — no records lost.
+func TestKillDuringCompaction(t *testing.T) {
+	dir := t.TempDir()
+	churnJobs(t, dir, 3)
+
+	// Simulate the crash artifact: a half-written compaction temp next
+	// to jobs.jsonl.
+	tmp := filepath.Join(dir, ".tmp-jobs-123456")
+	if err := os.WriteFile(tmp, []byte(`{"id":"j-010000","state":"do`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Error("orphaned compaction temp file was not swept")
+	}
+	jobs := s.Jobs()
+	if len(jobs) != 3 {
+		t.Fatalf("jobs = %d, want 3 (original journal intact)", len(jobs))
+	}
+	for i, j := range jobs {
+		if j.ID != jobID(i+1) || j.State != "done" {
+			t.Errorf("job %d = %s/%s, want %s/done", i, j.ID, j.State, jobID(i+1))
+		}
+	}
+	if lines := logLines(t, dir); len(lines) != 3 {
+		t.Fatalf("log lines = %d, want 3 (compaction retried)", len(lines))
+	}
+}
+
+// TestJobRecordFleetFieldsRoundTrip: the lease/node/attempts fields
+// survive journal replay and compaction, and are omitted entirely from
+// records that never touched the fleet path (single-process
+// byte-compat).
+func TestJobRecordFleetFieldsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expiry := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	leased := JobRecord{
+		ID: "j-000001", State: "running", Source: "upload",
+		Node: "analyzer-1", Attempts: 2, LeaseExpiry: expiry,
+	}
+	plain := JobRecord{ID: "j-000002", State: "queued", Source: "upload"}
+	for _, rec := range []JobRecord{leased, plain} {
+		if err := s.AppendJob(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	for _, line := range logLines(t, dir) {
+		if strings.Contains(line, `"j-000002"`) {
+			for _, field := range []string{"node", "attempts", "lease_expiry"} {
+				if strings.Contains(line, field) {
+					t.Errorf("fleet field %q leaked into a non-fleet record: %s", field, line)
+				}
+			}
+		}
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	jobs := s2.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2", len(jobs))
+	}
+	got := jobs[0]
+	if got.Node != "analyzer-1" || got.Attempts != 2 || !got.LeaseExpiry.Equal(expiry) {
+		t.Fatalf("fleet fields after replay = %q/%d/%v", got.Node, got.Attempts, got.LeaseExpiry)
+	}
+}

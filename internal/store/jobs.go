@@ -26,6 +26,13 @@ type JobRecord struct {
 	Created   time.Time `json:"created,omitzero"`
 	Started   time.Time `json:"started,omitzero"`
 	Finished  time.Time `json:"finished,omitzero"`
+	// Fleet fields (wolfd -role=coordinator): the analyzer node the job
+	// was last leased to, the lease expiry, and how many times the job
+	// has been delivered. Attempts survives restarts so the bounded
+	// redelivery budget cannot be reset by bouncing the coordinator.
+	Node        string    `json:"node,omitempty"`
+	Attempts    int       `json:"attempts,omitempty"`
+	LeaseExpiry time.Time `json:"lease_expiry,omitzero"`
 	// Report is the wire-format analysis report (report.JSONReport) of a
 	// done job, kept verbatim so it can be served after a restart.
 	Report json.RawMessage `json:"report,omitempty"`
@@ -38,11 +45,24 @@ type jobLog struct {
 	f      *os.File
 	latest map[string]int // job ID → index in order
 	order  []JobRecord    // latest record per job, first-seen order
+	// replayed counts the raw records parsed at open — the journal's
+	// on-disk length in records, as opposed to len(order) live jobs.
+	replayed int
+	// compacted marks that this open rewrote the journal (tests/stats).
+	compacted bool
 }
 
 // openJobLog replays the journal, tolerating a torn tail: a crash
 // mid-append can leave a final partial line, which is dropped and
 // truncated away so the next append starts on a record boundary.
+//
+// When the replayed history exceeds twice the live job count — every
+// job writes at least an admission and a terminal record, so 2× is the
+// steady-state floor — the journal is compacted: rewritten atomically
+// (same-directory temp file, fsync, rename) with exactly one
+// latest-state line per job. A crash anywhere during compaction leaves
+// either the intact original or the complete replacement, never a mix;
+// an orphaned temp file is swept by the next Open.
 func openJobLog(path string) (*jobLog, error) {
 	jl := &jobLog{path: path, latest: make(map[string]int)}
 	data, err := os.ReadFile(path)
@@ -68,9 +88,17 @@ func openJobLog(path string) (*jobLog, error) {
 			break // torn or corrupt: drop this and everything after
 		}
 		jl.upsert(rec)
+		jl.replayed++
 		good = end
 	}
-	if good < int64(len(data)) {
+	switch {
+	case jl.replayed > 2*len(jl.order):
+		// Compaction rewrites the whole file, which also discards any
+		// torn tail without a separate truncate.
+		if err := jl.compact(); err != nil {
+			return nil, err
+		}
+	case good < int64(len(data)):
 		// Repair: truncate the torn tail so future appends are clean.
 		if err := os.Truncate(path, good); err != nil {
 			return nil, fmt.Errorf("store: repair job log: %w", err)
@@ -82,6 +110,27 @@ func openJobLog(path string) (*jobLog, error) {
 	}
 	jl.f = f
 	return jl, nil
+}
+
+// compact atomically rewrites the journal as one latest-state record
+// per live job, in first-seen order. Must run before the append handle
+// is opened (the handle's offset would go stale across the rename).
+func (jl *jobLog) compact() error {
+	var buf bytes.Buffer
+	for _, rec := range jl.order {
+		data, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("store: compact job log: %w", err)
+		}
+		buf.Write(data)
+		buf.WriteByte('\n')
+	}
+	if err := atomicWrite(jl.path, buf.Bytes()); err != nil {
+		return fmt.Errorf("store: compact job log: %w", err)
+	}
+	jl.replayed = len(jl.order)
+	jl.compacted = true
+	return nil
 }
 
 // upsert merges one record into the latest-per-ID view.

@@ -142,6 +142,15 @@ func Open(dir string) (*Store, error) {
 			return nil, fmt.Errorf("store: %w", err)
 		}
 	}
+	// Sweep root-level temp files: a crash during journal compaction
+	// leaves an orphaned ".tmp-*" next to jobs.jsonl.
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), ".tmp-") {
+				os.Remove(filepath.Join(dir, e.Name()))
+			}
+		}
+	}
 	if err := s.scanTraces(); err != nil {
 		return nil, err
 	}
@@ -347,21 +356,31 @@ func (s *Store) HasTrace(hash string) bool {
 	return ok
 }
 
-// Record folds one analysis into the defect corpus: every confirmed or
-// still-candidate cycle of rep (false positives are excluded — they are
-// refuted, not defects) is fingerprinted and merged into its defect
-// record. One analysis contributes at most one occurrence per
-// fingerprint no matter how many of its cycles collapse to it. Updated
-// records are persisted atomically before Record returns; it reports
-// the fingerprints it touched.
-func (s *Store) Record(ctx context.Context, traceHash string, rep *core.Report, now time.Time) ([]string, error) {
-	_, sp := obs.Start(ctx, "store.record-defects")
-	defer sp.End()
+// CycleSummary is the defect-relevant distillation of one analyzed
+// cycle: just enough to merge into a DefectRecord without the full
+// *core.Report. It is what fleet analyzers ship back to the
+// coordinator, so its JSON form is wire format.
+type CycleSummary struct {
+	// Fingerprint is the canonical cycle identity (fingerprint.Of).
+	Fingerprint string `json:"fingerprint"`
+	// Signature is the paper's source-location defect signature.
+	Signature string `json:"signature"`
+	// Edges is the human-readable abstraction the fingerprint hashes.
+	Edges []fingerprint.Edge `json:"edges"`
+	// Confirmed reports whether replay reproduced the deadlock; Method
+	// names the confirming pass ("steering" or "fallback") when it did.
+	Confirmed bool   `json:"confirmed,omitempty"`
+	Method    string `json:"method,omitempty"`
+}
 
+// Summarize distills a report into the per-fingerprint summaries Record
+// would fold in: false positives are excluded (refuted, not defects)
+// and each fingerprint appears once no matter how many cycles collapse
+// to it, with the first cycle providing the summary — exactly the
+// dedup Record has always applied.
+func Summarize(rep *core.Report) []CycleSummary {
 	seen := make(map[string]bool)
-	var updated []string
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	var out []CycleSummary
 	for _, cr := range rep.Cycles {
 		if cr.Class.IsFalse() {
 			continue
@@ -371,23 +390,71 @@ func (s *Store) Record(ctx context.Context, traceHash string, rep *core.Report, 
 			continue
 		}
 		seen[fp] = true
-		rec, ok := s.defects[fp]
+		cs := CycleSummary{
+			Fingerprint: fp,
+			Signature:   cr.Cycle.Signature(),
+			Edges:       fingerprint.Edges(cr.Cycle),
+		}
+		if cr.Class == core.Confirmed {
+			cs.Confirmed = true
+			cs.Method = string(cr.ReplayMethod)
+		}
+		out = append(out, cs)
+	}
+	return out
+}
+
+// Record folds one analysis into the defect corpus: every confirmed or
+// still-candidate cycle of rep (false positives are excluded — they are
+// refuted, not defects) is fingerprinted and merged into its defect
+// record. One analysis contributes at most one occurrence per
+// fingerprint no matter how many of its cycles collapse to it. Updated
+// records are persisted atomically before Record returns; it reports
+// the fingerprints it touched.
+func (s *Store) Record(ctx context.Context, traceHash string, rep *core.Report, now time.Time) ([]string, error) {
+	return s.RecordSummaries(ctx, traceHash, Summarize(rep), now)
+}
+
+// RecordSummaries merges pre-distilled cycle summaries into the corpus —
+// the remote-completion path, where the coordinator holds an analyzer's
+// summaries rather than a live *core.Report. Fingerprints are
+// untrusted wire input and become filenames, so anything that is not a
+// plain hex digest is rejected. Duplicate fingerprints within one call
+// are collapsed (first wins), matching Summarize's dedup for callers
+// that bypass it.
+func (s *Store) RecordSummaries(ctx context.Context, traceHash string, sums []CycleSummary, now time.Time) ([]string, error) {
+	_, sp := obs.Start(ctx, "store.record-defects")
+	defer sp.End()
+
+	seen := make(map[string]bool)
+	var updated []string
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, cs := range sums {
+		if !validHash(cs.Fingerprint) {
+			return updated, fmt.Errorf("store: invalid fingerprint %q", cs.Fingerprint)
+		}
+		if seen[cs.Fingerprint] {
+			continue
+		}
+		seen[cs.Fingerprint] = true
+		rec, ok := s.defects[cs.Fingerprint]
 		if !ok {
 			rec = &DefectRecord{
-				Fingerprint: fp,
-				Signature:   cr.Cycle.Signature(),
-				Edges:       fingerprint.Edges(cr.Cycle),
+				Fingerprint: cs.Fingerprint,
+				Signature:   cs.Signature,
+				Edges:       append([]fingerprint.Edge(nil), cs.Edges...),
 				Class:       "candidate",
 				FirstSeen:   now,
 			}
-			s.defects[fp] = rec
+			s.defects[cs.Fingerprint] = rec
 		}
 		rec.Occurrences++
 		rec.LastSeen = now
-		if cr.Class == core.Confirmed {
+		if cs.Confirmed {
 			rec.Class = "confirmed"
 			if rec.Method == "" {
-				rec.Method = string(cr.ReplayMethod)
+				rec.Method = cs.Method
 			}
 		}
 		if traceHash != "" && !containsString(rec.Traces, traceHash) {
@@ -397,7 +464,7 @@ func (s *Store) Record(ctx context.Context, traceHash string, rep *core.Report, 
 			return updated, err
 		}
 		s.defectUpdates.Add(1)
-		updated = append(updated, fp)
+		updated = append(updated, cs.Fingerprint)
 	}
 	sp.Add("updated", int64(len(updated)))
 	return updated, nil
