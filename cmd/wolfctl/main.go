@@ -6,7 +6,11 @@
 //	wolfctl [-addr http://localhost:8077] <command> [args]
 //
 //	wolfctl upload trace.wtrc [-wait]   upload a recorded trace, print the job
-//	wolfctl stream trace.wtrc [-chunk N] [-interval D] [-wait]
+//	wolfctl run [-o FILE] [-stream] -- <command> [args]
+//	                                    run an instrumented program with the
+//	                                    WOLFSYNC_* recording environment set,
+//	                                    then upload its trace and wait
+//	wolfctl stream trace.wtrc [-chunk N] [-interval D] [-source S] [-wait]
 //	                                    replay a trace into /v1/streams chunk by
 //	                                    chunk, printing candidates as they arrive
 //	wolfctl jobs [-state done] [-limit N]
@@ -64,7 +68,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	addr := fs.String("addr", envOr("WOLFD_ADDR", "http://localhost:8077"), "wolfd base URL")
 	version := fs.Bool("version", false, "print build information and exit")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: wolfctl [-addr URL] upload|stream|jobs|defects|trace|rm|replay|nodes|status|tail ...")
+		fmt.Fprintln(stderr, "usage: wolfctl [-addr URL] upload|run|stream|jobs|defects|trace|rm|replay|nodes|status|tail ...")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -89,6 +93,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	switch cmd {
 	case "upload":
 		err = c.upload(rest)
+	case "run":
+		err = c.run(rest)
 	case "stream":
 		err = c.stream(rest)
 	case "jobs":
@@ -269,12 +275,13 @@ func (c *client) stream(args []string) error {
 	chunk := fs.Int("chunk", 4096, "chunk size in bytes")
 	interval := fs.Duration("interval", 0, "pause between chunks (simulates a live client)")
 	wait := fs.Bool("wait", false, "poll until the finalized job reaches a terminal state")
+	source := fs.String("source", "sim", "source label recorded on the stream (wolfd's streams-opened metric)")
 	pos, err := parseArgs(fs, args)
 	if err != nil {
 		return err
 	}
 	if len(pos) != 1 {
-		return fmt.Errorf("usage: wolfctl stream <trace-file> [-chunk N] [-interval D] [-wait]")
+		return fmt.Errorf("usage: wolfctl stream <trace-file> [-chunk N] [-interval D] [-source S] [-wait]")
 	}
 	if *chunk <= 0 {
 		return fmt.Errorf("-chunk must be positive")
@@ -298,7 +305,15 @@ func (c *client) stream(args []string) error {
 	var opened struct {
 		ID string `json:"id"`
 	}
-	resp, err := c.hc.Post(c.base+"/v1/streams", "", nil)
+	var meta []byte
+	ctype := ""
+	if *source != "" {
+		meta, _ = json.Marshal(struct {
+			Source string `json:"source"`
+		}{Source: *source})
+		ctype = "application/json"
+	}
+	resp, err := c.hc.Post(c.base+"/v1/streams", ctype, meta)
 	if err != nil {
 		return err
 	}

@@ -371,3 +371,48 @@ func TestRetryOnShedding(t *testing.T) {
 		t.Fatalf("server saw %d calls, want 2 (one shed, one retry)", calls.Load())
 	}
 }
+
+// TestRunCommand: wolfctl run hands the child a WOLFSYNC_OUT path and
+// uploads whatever the child records there.
+func TestRunCommand(t *testing.T) {
+	base := startWolfd(t)
+	path := traceFile(t)
+
+	code, out := ctl(t, "-addr", base, "run", "--",
+		"sh", "-c", `cp '`+path+`' "$WOLFSYNC_OUT"`)
+	if code != 0 || !strings.Contains(out, "done") {
+		t.Fatalf("run: code=%d out=%q", code, out)
+	}
+}
+
+// TestRunCommandChildFailure: a non-zero child exit does not lose the
+// trace — the upload completes first, then the child's failure is
+// reported and wolfctl exits non-zero.
+func TestRunCommandChildFailure(t *testing.T) {
+	base := startWolfd(t)
+	path := traceFile(t)
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-addr", base, "run", "--",
+		"sh", "-c", `cp '` + path + `' "$WOLFSYNC_OUT"; exit 3`}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run with failing child: code=%d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "done") {
+		t.Fatalf("trace was not uploaded before reporting the failure: %q", out.String())
+	}
+	if !strings.Contains(errb.String(), "command failed") {
+		t.Fatalf("child failure not reported: %q", errb.String())
+	}
+}
+
+// TestRunCommandNoTrace: a child that never records is an error, not a
+// silent no-op.
+func TestRunCommandNoTrace(t *testing.T) {
+	base := startWolfd(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-addr", base, "run", "--", "true"}, &out, &errb)
+	if code != 1 || !strings.Contains(errb.String(), "no trace recorded") {
+		t.Fatalf("run with idle child: code=%d stderr=%q", code, errb.String())
+	}
+}

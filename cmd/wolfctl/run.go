@@ -1,0 +1,105 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"wolf/wolfsync"
+)
+
+// run executes an instrumented program under a recording environment
+// and gets its trace analyzed: wolfctl sets the WOLFSYNC_* variables
+// wolfsync.Start consults, runs the command, then uploads the recorded
+// .wtrc and waits for the verdict. The upload happens even when the
+// command exits non-zero or wedges past its own timeout — a failing
+// run is exactly the trace worth analyzing — and the command's error
+// is reported after the trace is safe.
+//
+// With -stream the child ships snapshots itself (WOLFSYNC_URL points
+// at this wolfctl's wolfd), so there is no file and no upload step;
+// quiesce-triggered ships mean even a deadlocked child that never
+// reaches Stop gets its trace in.
+func (c *client) run(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	fs.SetOutput(c.err)
+	out := fs.String("o", "", "keep the recorded trace at this path (default: a temp file, removed after upload)")
+	stream := fs.Bool("stream", false, "child live-streams to wolfd (WOLFSYNC_URL) instead of recording a file")
+	wait := fs.Bool("wait", true, "poll the upload job to a terminal state")
+	traceparent := fs.String("traceparent", "", "W3C traceparent forwarded to the child and on the upload")
+
+	// Everything after "--" is the command; flags come before it. With
+	// no "--", flag parsing stops at the first positional, which starts
+	// the command.
+	cmdArgs := []string(nil)
+	flagArgs := args
+	for i, a := range args {
+		if a == "--" {
+			flagArgs, cmdArgs = args[:i], args[i+1:]
+			break
+		}
+	}
+	if err := fs.Parse(flagArgs); err != nil {
+		return err
+	}
+	if cmdArgs == nil {
+		cmdArgs = fs.Args()
+	}
+	if len(cmdArgs) == 0 {
+		return fmt.Errorf("usage: wolfctl run [-o FILE] [-stream] [-wait=false] [-traceparent TP] -- <command> [args]")
+	}
+
+	path := *out
+	if !*stream && path == "" {
+		f, err := os.CreateTemp("", "wolfsync-*.wtrc")
+		if err != nil {
+			return err
+		}
+		path = f.Name()
+		f.Close()
+		defer os.Remove(path)
+	}
+
+	child := exec.Command(cmdArgs[0], cmdArgs[1:]...)
+	child.Stdout = c.out
+	child.Stderr = c.err
+	child.Stdin = os.Stdin
+	env := os.Environ()
+	if *stream {
+		env = append(env, wolfsync.EnvURL+"="+c.base)
+	} else {
+		env = append(env, wolfsync.EnvOut+"="+path)
+	}
+	if *traceparent != "" {
+		env = append(env, wolfsync.EnvTraceparent+"="+*traceparent)
+	}
+	child.Env = env
+	runErr := child.Run()
+
+	if !*stream {
+		if st, err := os.Stat(path); err != nil || st.Size() == 0 {
+			if runErr != nil {
+				return fmt.Errorf("command failed with no trace recorded (does it call wolfsync.Start?): %w", runErr)
+			}
+			return fmt.Errorf("no trace recorded at %s (does the program call wolfsync.Start?)", path)
+		}
+		upArgs := []string{path}
+		if *wait {
+			upArgs = append(upArgs, "-wait")
+		}
+		if *traceparent != "" {
+			upArgs = append(upArgs, "-traceparent", *traceparent)
+		}
+		if err := c.upload(upArgs); err != nil {
+			if runErr != nil {
+				return fmt.Errorf("%w (command also failed: %v)", err, runErr)
+			}
+			return err
+		}
+	}
+	if runErr != nil {
+		return fmt.Errorf("command failed: %w", runErr)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+// The global-lock scenario as a real, instrumented Go program: HTTP
+// control goroutines lock pipeline-then-registry, pipeline goroutines
+// lock registry-then-pipeline (see internal/workloads/globallock.go
+// for the post-mortem this models). Run the raw variant and it usually
+// deadlocks for real; because wolfsync records acquisitions at request
+// time, the wedged run's trace still contains the blocked requests,
+// and Stop ships it wherever WOLFSYNC_OUT / WOLFSYNC_URL point.
+//
+//	WOLFSYNC_URL=http://localhost:8077 go run ./examples/globallock -variant deadlock
+//	go run ./examples/globallock -variant fixed -o fixed.wtrc
+//
+// Variants: deadlock (raw reversal), crashed (holder faults with the
+// registry held), fixed (message-posting fix; completes cleanly).
+// Or drive it through wolfctl, which sets the environment and uploads:
+//
+//	wolfctl run -- go run ./examples/globallock -variant deadlock
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wolf/internal/workloads"
+	"wolf/wolfsync"
+)
+
+func main() {
+	variant := flag.String("variant", "deadlock", "deadlock|crashed|fixed")
+	timeout := flag.Duration("timeout", 5*time.Second, "how long to wait before declaring the run wedged")
+	out := flag.String("o", "", "write the trace here (overrides WOLFSYNC_OUT)")
+	flag.Parse()
+
+	var opts []wolfsync.Option
+	if *out != "" {
+		opts = append(opts, wolfsync.WithFile(*out))
+	}
+	rec, err := wolfsync.Start(opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "globallock:", err)
+		os.Exit(1)
+	}
+
+	spec := workloads.DefaultGlobalLockSpec()
+	switch *variant {
+	case "deadlock":
+	case "crashed":
+		spec.Crash = true
+	case "fixed":
+		spec.Fixed = true
+	default:
+		fmt.Fprintf(os.Stderr, "globallock: unknown variant %q\n", *variant)
+		os.Exit(2)
+	}
+
+	ok := workloads.RunGlobalLockReal(workloads.GlobalLockRealOptions{
+		Spec:    spec,
+		Timeout: *timeout,
+	})
+	if !ok {
+		fmt.Fprintf(os.Stderr, "globallock: wedged after %s — shipping the trace of the stuck run\n", *timeout)
+	}
+	if err := rec.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "globallock: flush:", err)
+		os.Exit(1)
+	}
+	st := rec.Stats()
+	fmt.Printf("recorded %d acquisitions (%d dropped)", st.Recorded, st.Dropped)
+	if st.LastJob != "" {
+		fmt.Printf(", shipped as job %s", st.LastJob)
+	}
+	fmt.Println()
+	if !ok {
+		os.Exit(2)
+	}
+}

@@ -90,11 +90,14 @@ type Metrics struct {
 	AnalysisParallelism atomic.Int64
 
 	// Streaming ingestion (/v1/streams). StreamsOpen is the live gauge;
-	// StreamsOpened/StreamsRejected count admissions and shed opens;
-	// StreamEvents counts decoded tuples fed to the incremental engine;
-	// StreamCandidates counts cycle candidates emitted mid-stream.
+	// StreamsOpened counts admissions by the client-declared source
+	// ("sim" for trace replays, "wolfsync" for live runtime recorders,
+	// "unknown" when the open carried no metadata); StreamsRejected
+	// counts shed opens; StreamEvents counts decoded tuples fed to the
+	// incremental engine; StreamCandidates counts cycle candidates
+	// emitted mid-stream.
 	StreamsOpen      atomic.Int64
-	StreamsOpened    atomic.Int64
+	StreamsOpened    *obs.CounterSet
 	StreamsRejected  atomic.Int64
 	StreamEvents     atomic.Int64
 	StreamCandidates atomic.Int64
@@ -146,6 +149,7 @@ type Metrics struct {
 func newMetrics() *Metrics {
 	return &Metrics{
 		Events:           obs.NewCounterSet(),
+		StreamsOpened:    obs.NewCounterSet(),
 		StreamEvicted:    obs.NewCounterSet(),
 		InvalidTraces:    obs.NewCounterSet(),
 		ReplayDivergence: obs.NewCounterSet(),
@@ -227,7 +231,6 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("wolfd_sync_rejected_total", "Synchronous analyses shed because every worker slot was busy.", m.SyncRejected.Load())
 
 	gauge("wolfd_streams_open", "Currently open ingestion streams.", m.StreamsOpen.Load())
-	counter("wolfd_streams_opened_total", "Ingestion streams admitted.", m.StreamsOpened.Load())
 	counter("wolfd_streams_rejected_total", "Stream opens shed at the max-open-streams cap.", m.StreamsRejected.Load())
 	counter("wolfd_stream_events_total", "Tuples decoded from stream chunks and fed to the incremental detector.", m.StreamEvents.Load())
 	counter("wolfd_stream_candidates_total", "Cycle candidates emitted mid-stream.", m.StreamCandidates.Load())
@@ -248,6 +251,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		set.WritePrometheus(w, name, label)
 	}
 	counterSet(m.Events, "wolfd_events_total", "Flight-recorder events, by kind.", "kind")
+	counterSet(m.StreamsOpened, "wolfd_streams_opened_total", "Ingestion streams admitted, by client-declared source.", "source")
 	counterSet(m.StreamEvicted, "wolfd_stream_evicted_total", "Streams removed before a normal close, by reason.", "reason")
 	counterSet(m.InvalidTraces, "wolfd_traces_invalid_total", "Uploads rejected by trace validation, by corruption class.", "class")
 	counterSet(m.ReplayDivergence, "wolfd_replay_divergence_total", "Failed replay attempts, by divergence reason.", "reason")

@@ -22,6 +22,8 @@ package server
 // once.
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -45,6 +47,10 @@ type streamSession struct {
 	// absent), stamped on every chunk span, log line and event the
 	// stream produces — and inherited by the job its close creates.
 	trace string
+	// source is the client-declared origin from the open request's
+	// metadata body ("sim", "wolfsync", ...; "unknown" when absent),
+	// the label on wolfd_streams_opened_total.
+	source string
 
 	mu    sync.Mutex
 	last  time.Time
@@ -59,6 +65,7 @@ type streamSession struct {
 type StreamView struct {
 	ID         string    `json:"id"`
 	Trace      string    `json:"trace,omitempty"`
+	Source     string    `json:"source"`
 	Created    time.Time `json:"created"`
 	Bytes      int64     `json:"bytes"`
 	Events     int       `json:"events"`
@@ -76,6 +83,7 @@ func (ss *streamSession) view(budget int) StreamView {
 	return StreamView{
 		ID:         ss.ID,
 		Trace:      ss.trace,
+		Source:     ss.source,
 		Created:    ss.created,
 		Bytes:      ss.dec.BytesIn(),
 		Events:     ss.eng.Events(),
@@ -99,7 +107,7 @@ func newStreamStore() *streamStore {
 }
 
 // open admits a new stream unless max are already open.
-func (st *streamStore) open(max, budget int, traceID string) (*streamSession, bool) {
+func (st *streamStore) open(max, budget int, traceID, source string) (*streamSession, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if len(st.m) >= max {
@@ -113,6 +121,7 @@ func (st *streamStore) open(max, budget int, traceID string) (*streamSession, bo
 		last:    now,
 		rec:     obs.NewRecorder(),
 		trace:   traceID,
+		source:  source,
 		dec:     stream.NewDecoder(budget),
 		eng:     stream.NewEngine(stream.EngineConfig{}),
 	}
@@ -200,8 +209,13 @@ func (s *Server) handleStreamOpen(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	traceID := ingestTraceparent(w, r)
+	source, err := ingestStreamMeta(w, r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	budget := int(s.cfg.StreamMemBudget)
-	ss, ok := s.streams.open(s.cfg.MaxOpenStreams, budget, traceID)
+	ss, ok := s.streams.open(s.cfg.MaxOpenStreams, budget, traceID, source)
 	if !ok {
 		s.metrics.StreamsRejected.Add(1)
 		s.event(obs.Event{Kind: evStreamShed, Trace: traceID, Msg: "too many open streams"})
@@ -211,11 +225,52 @@ func (s *Server) handleStreamOpen(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.StreamsOpen.Add(1)
-	s.metrics.StreamsOpened.Add(1)
-	s.cfg.Logger.Info("stream opened", "stream", ss.ID, "trace", ss.trace)
-	s.event(obs.Event{Kind: evStreamOpen, Stream: ss.ID, Trace: ss.trace})
+	s.metrics.StreamsOpened.Add(source, 1)
+	s.cfg.Logger.Info("stream opened", "stream", ss.ID, "trace", ss.trace, "source", source)
+	s.event(obs.Event{Kind: evStreamOpen, Stream: ss.ID, Trace: ss.trace,
+		Attrs: map[string]string{"source": source}})
 	w.Header().Set("Location", "/v1/streams/"+ss.ID)
 	writeJSON(w, http.StatusCreated, ss.view(budget))
+}
+
+// ingestStreamMeta reads the optional JSON metadata body of a stream
+// open ({"source": "sim" | "wolfsync" | ...}). An empty body is fine
+// (clients predating the field, curl) and yields "unknown"; a body
+// that is present but not valid JSON is a client error. The source is
+// a metrics label, so it is clamped to a small safe alphabet rather
+// than trusted.
+func ingestStreamMeta(w http.ResponseWriter, r *http.Request) (string, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4096))
+	if err != nil {
+		return "", fmt.Errorf("read stream metadata: %v", err)
+	}
+	if len(bytes.TrimSpace(body)) == 0 {
+		return "unknown", nil
+	}
+	var meta struct {
+		Source string `json:"source"`
+	}
+	if err := json.Unmarshal(body, &meta); err != nil {
+		return "", fmt.Errorf("stream metadata: %v", err)
+	}
+	return sanitizeSource(meta.Source), nil
+}
+
+// sanitizeSource clamps a client-declared source to a label-safe
+// token: lowercase letters, digits, '-', '_', at most 32 bytes.
+// Anything else collapses to "unknown" — a label cardinality bound,
+// not a validation error.
+func sanitizeSource(s string) string {
+	if s == "" || len(s) > 32 {
+		return "unknown"
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '-' && c != '_' {
+			return "unknown"
+		}
+	}
+	return s
 }
 
 // chunkResponse answers one append: running totals plus the candidates

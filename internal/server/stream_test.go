@@ -350,7 +350,7 @@ func TestStreamMetricsLint(t *testing.T) {
 	}
 	for _, want := range []string{
 		"wolfd_streams_open ",
-		"wolfd_streams_opened_total 2",
+		`wolfd_streams_opened_total{source="unknown"} 2`,
 		"wolfd_stream_events_total",
 		`wolfd_stream_evicted_total{reason="budget"}`,
 		`wolfd_stream_bytes_bucket{le="+Inf"}`,
@@ -377,6 +377,52 @@ func streamChunksUntilError(t *testing.T, base, id string, data []byte) {
 
 // closeStreamOrError closes an (empty) stream, accepting the 400 an
 // empty trace earns — the point is exercising the terminal path.
+// TestStreamOpenSourceLabel: the optional metadata body of a stream
+// open labels wolfd_streams_opened_total by source, surfaces in the
+// stream view, and collapses unsafe values to "unknown"; a malformed
+// body is a 400.
+func TestStreamOpenSourceLabel(t *testing.T) {
+	_, ts := startServer(t, Config{})
+
+	open := func(body string) (int, map[string]any) {
+		t.Helper()
+		return postTrace(t, ts.URL+"/v1/streams", []byte(body), nil)
+	}
+
+	code, view := open(`{"source":"wolfsync"}`)
+	if code != http.StatusCreated || view["source"] != "wolfsync" {
+		t.Fatalf("wolfsync open = %d %v", code, view)
+	}
+	if code, view = open(`{"source":"sim"}`); code != http.StatusCreated || view["source"] != "sim" {
+		t.Fatalf("sim open = %d %v", code, view)
+	}
+	if code, view = open(`{"source":"Weird Label!"}`); code != http.StatusCreated || view["source"] != "unknown" {
+		t.Fatalf("unsafe open = %d %v", code, view)
+	}
+	if code, _ = open(`{not json`); code != http.StatusBadRequest {
+		t.Fatalf("malformed metadata = %d, want 400", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`wolfd_streams_opened_total{source="wolfsync"} 1`,
+		`wolfd_streams_opened_total{source="sim"} 1`,
+		`wolfd_streams_opened_total{source="unknown"} 1`,
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if errs := obs.PromLint(bytes.NewReader(raw)); len(errs) != 0 {
+		t.Fatalf("metrics lint: %v", errs)
+	}
+}
+
 func closeStreamOrError(t *testing.T, base, id string) {
 	t.Helper()
 	req, _ := http.NewRequest(http.MethodPost, base+"/v1/streams/"+id+"/close", nil)

@@ -8,6 +8,29 @@ package trace
 // per-thread timestamps never run backwards. wolfd runs it on every
 // upload and rejects failures with HTTP 422 before any analysis work is
 // queued.
+//
+// Every invariant here is deliberately per-thread, because recorders
+// fall into two classes with different global guarantees:
+//
+//   - The sim recorder serializes the whole execution, so its traces
+//     happen to be globally ordered — taus grow along the entire trace
+//     and the clock/timestamp tables are fully populated.
+//   - Runtime recorders (wolfsync) observe real goroutines running on
+//     real CPUs. Trace order is a drain order, not a happens-before
+//     order: tuples from concurrent goroutines interleave arbitrarily,
+//     and wall-clock taus from different goroutines may run "backwards"
+//     across threads (goroutine A's τ=1000 can precede B's τ=50 in
+//     trace order). That skew is legal — only each thread's own
+//     subsequence must be non-decreasing, which is exactly what
+//     InvalidNonMonotonicTau checks. Validate never compares taus
+//     across threads.
+//
+// Runtime recorders also omit the clock and timestamp tables entirely
+// (vector clocks are a sim artifact); with no tables recorded, thread
+// IDs only need to be non-negative, and Bottom taus are exempt from the
+// monotonicity rule. What survives recorder class is the per-thread
+// core the detector depends on: dense positions, self-consistent
+// keys/indices, and well-formed locksets.
 
 import (
 	"errors"
@@ -42,7 +65,9 @@ const (
 	// length, or a clock vector is wider than the thread table.
 	InvalidClockShape = "clock-shape"
 	// InvalidNonMonotonicTau: a thread's timestamps decrease along its
-	// own tuple sequence (τ is a per-thread logical clock; it only grows).
+	// own tuple sequence (τ is a per-thread logical clock; it only
+	// grows). Taus are never compared across threads: wall-clock skew
+	// between concurrent goroutines is legal in runtime-recorded traces.
 	InvalidNonMonotonicTau = "non-monotonic-tau"
 )
 

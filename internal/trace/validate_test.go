@@ -201,3 +201,44 @@ func TestReadBinaryOversizedCounts(t *testing.T) {
 		t.Fatalf("error %v does not wrap ErrCorrupt", err)
 	}
 }
+
+// TestValidateCrossThreadTauSkew: runtime recorders stamp tuples with
+// per-goroutine wall-clock readings, so in trace order (a drain order,
+// not a happens-before order) taus from concurrent threads interleave
+// arbitrarily — thread A's τ=1000 can precede thread B's τ=50. Validate
+// must accept that skew: τ monotonicity is strictly per-thread.
+func TestValidateCrossThreadTauSkew(t *testing.T) {
+	mk := func(thread string, tid sim.ThreadID, seq, occ, pos, tau int) *Tuple {
+		return &Tuple{
+			Thread:   thread,
+			ThreadID: tid,
+			Lock:     "L",
+			Site:     "s.go:1",
+			Idx:      sim.Index{Thread: thread, Seq: seq},
+			Key:      Key{Thread: thread, Site: "s.go:1", Occ: occ},
+			Tau:      tau,
+			Pos:      pos,
+		}
+	}
+	tups := []*Tuple{
+		mk("main/a.0", 0, 1, 1, 0, 1000),
+		mk("main/b.0", 1, 1, 1, 0, 50), // far behind a.0 in trace order: legal
+		mk("main/a.0", 0, 2, 2, 1, 1001),
+		mk("main/b.0", 1, 2, 2, 1, 60),
+	}
+	tr, err := Assemble(tups, nil, nil, len(tups), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(tr); err != nil {
+		t.Fatalf("cross-thread tau skew rejected: %v", err)
+	}
+
+	// The per-thread rule still bites: make b.0's second tau decrease.
+	tups[3].Tau = 40
+	err = Validate(tr)
+	var verr *ValidationError
+	if !errors.As(err, &verr) || verr.Class != InvalidNonMonotonicTau {
+		t.Fatalf("per-thread tau decrease not rejected: %v", err)
+	}
+}

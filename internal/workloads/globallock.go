@@ -1,0 +1,229 @@
+package workloads
+
+import (
+	"fmt"
+
+	"wolf/sim"
+)
+
+// The global-lock family models the GStreamer/GLib post-mortem that
+// motivated WOLF-style tracing for media pipelines: a process-global
+// type-registry lock (GLib's type system takes it inside g_object_set)
+// acquired by HTTP control threads while they hold a per-pipeline
+// lock, and by pipeline threads in the opposite nesting — the classic
+// AB/BA reversal, smeared across a process-global resource so every
+// pipeline is exposed to every handler. Three variants:
+//
+//   - GlobalLock: the raw reversal. Any run, terminating or not,
+//     records both nesting orders, so detection finds the cycle even
+//     when the schedule got lucky.
+//   - GlobalLockCrash: a crashed holder. Pipeline 0 takes the registry
+//     and then faults (modeled as blocking on a wedge lock the parent
+//     holds forever); every other thread piles up behind the registry
+//     and the whole process wedges without any cycle — the failure
+//     mode where only the trace tells you who held what.
+//   - GlobalLockFixed: the message-posting fix. HTTP threads post
+//     switch requests to a per-pipeline bus and never touch the
+//     registry or pipeline locks themselves; the owning pipeline
+//     thread applies them, so both locks are only ever nested in one
+//     order and the cycle is gone.
+//
+// The same scenario exists as a real instrumented program — see
+// RunGlobalLockReal and examples/globallock — sharing these lock
+// names and site strings verbatim, which is what makes sim and
+// wolfsync fingerprints byte-comparable.
+
+// Lock names shared by the sim and wolfsync drivers.
+const (
+	glRegistryLock = "TypeRegistry"
+	glWedgeLock    = "crashwedge"
+)
+
+func glPipelineLock(i int) string { return fmt.Sprintf("pipeline#%d", i) }
+func glBusLock(i int) string      { return fmt.Sprintf("bus#%d", i) }
+
+// Acquisition sites shared by the sim and wolfsync drivers. The
+// fingerprint hashes these strings, so the two drivers must agree on
+// them byte for byte.
+const (
+	glSiteRefClass  = "gsttype.c:type-class-ref"   // pipeline thread → registry
+	glSiteConfigure = "interpipe.c:configure-src"  // pipeline thread → its pipeline lock
+	glSiteSwitch    = "server.cpp:switch-producer" // HTTP thread → pipeline lock
+	glSiteObjectSet = "gobject.c:g_object_set"     // HTTP thread → registry
+	glSiteCrash     = "interpipe.c:buffer-unref"   // crashed holder's faulting wait
+	glSiteWedge     = "harness:hold-wedge"         // parent arming the fault
+	glSitePost      = "bus.c:post-message"         // fixed: HTTP thread → bus
+	glSiteDrain     = "bus.c:bus-drain"            // fixed: owner draining its bus
+	glSiteApplySet  = "bus.c:apply-g_object_set"   // fixed: owner → registry
+	glSiteApplyCfg  = "bus.c:apply-configure"      // fixed: owner → its pipeline lock
+	glSiteInit      = "interpipe.c:init"           // compute inside the nesting
+	glSiteHandle    = "server.cpp:handle"          // compute inside the nesting
+	glSiteSpawnPipe = "main.go:spawn-pipeline"
+	glSiteSpawnHTTP = "main.go:spawn-http"
+	glSiteJoin      = "main.go:join"
+)
+
+// GlobalLockSpec sizes one run of the scenario.
+type GlobalLockSpec struct {
+	// Pipelines is the number of pipeline threads (and pipeline locks).
+	Pipelines int
+	// HTTP is the number of HTTP control threads.
+	HTTP int
+	// Requests is how many switch requests each HTTP thread issues,
+	// round-robin over pipelines.
+	Requests int
+	// Rounds is how many create/configure rounds each pipeline thread
+	// runs.
+	Rounds int
+	// Crash makes pipeline 0 fault while holding the registry.
+	Crash bool
+	// Fixed applies the message-posting fix.
+	Fixed bool
+}
+
+// DefaultGlobalLockSpec is the shape the registered workloads and the
+// fingerprint-identity test use: small enough that random schedules
+// terminate often, large enough that both nesting orders and several
+// same-abstraction instances appear.
+func DefaultGlobalLockSpec() GlobalLockSpec {
+	return GlobalLockSpec{Pipelines: 2, HTTP: 2, Requests: 2, Rounds: 2}
+}
+
+func (s GlobalLockSpec) withDefaults() GlobalLockSpec {
+	d := DefaultGlobalLockSpec()
+	if s.Pipelines <= 0 {
+		s.Pipelines = d.Pipelines
+	}
+	if s.HTTP <= 0 {
+		s.HTTP = d.HTTP
+	}
+	if s.Requests <= 0 {
+		s.Requests = d.Requests
+	}
+	if s.Rounds <= 0 {
+		s.Rounds = d.Rounds
+	}
+	return s
+}
+
+// expectedMsgs returns, per pipeline, how many switch messages the
+// fixed variant's HTTP threads will post to it.
+func expectedMsgs(s GlobalLockSpec) []int {
+	out := make([]int, s.Pipelines)
+	for j := 0; j < s.HTTP; j++ {
+		for q := 0; q < s.Requests; q++ {
+			out[(j+q)%s.Pipelines]++
+		}
+	}
+	return out
+}
+
+// globalLockFactory builds the sim program for one spec.
+func globalLockFactory(spec GlobalLockSpec) sim.Factory {
+	spec = spec.withDefaults()
+	return func() (sim.Program, sim.Options) {
+		var reg, wedge *sim.Lock
+		pipes := make([]*sim.Lock, spec.Pipelines)
+		buses := make([]*sim.Lock, spec.Pipelines)
+		queues := make([]int, spec.Pipelines)
+		opts := sim.Options{Setup: func(w *sim.World) {
+			reg = w.NewLock(glRegistryLock)
+			for i := range pipes {
+				pipes[i] = w.NewLock(glPipelineLock(i))
+				if spec.Fixed {
+					buses[i] = w.NewLock(glBusLock(i))
+				}
+			}
+			if spec.Crash {
+				wedge = w.NewLock(glWedgeLock)
+			}
+		}}
+		expected := expectedMsgs(spec)
+		prog := func(th *sim.Thread) {
+			if spec.Crash {
+				// The parent arms the fault: it holds the wedge forever,
+				// so the crashed holder's next acquisition never returns.
+				th.Lock(wedge, glSiteWedge)
+			}
+			var children []*sim.Thread
+			for i := 0; i < spec.Pipelines; i++ {
+				i := i
+				children = append(children, th.Go("pipeline", func(u *sim.Thread) {
+					if spec.Crash && i == 0 {
+						u.Lock(reg, glSiteRefClass)
+						u.Lock(wedge, glSiteCrash) // faults holding the registry
+						return
+					}
+					for r := 0; r < spec.Rounds; r++ {
+						u.Lock(reg, glSiteRefClass)
+						u.Yield(glSiteInit)
+						u.Lock(pipes[i], glSiteConfigure)
+						u.Unlock(pipes[i], glSiteConfigure)
+						u.Unlock(reg, glSiteRefClass)
+					}
+					if spec.Fixed {
+						for got := 0; got < expected[i]; got++ {
+							u.Lock(buses[i], glSiteDrain)
+							for queues[i] == 0 {
+								u.Wait(buses[i], glSiteDrain)
+							}
+							queues[i]--
+							u.Unlock(buses[i], glSiteDrain)
+							// Apply the switch on the owner thread: the
+							// same two locks, always registry-first.
+							u.Lock(reg, glSiteApplySet)
+							u.Lock(pipes[i], glSiteApplyCfg)
+							u.Unlock(pipes[i], glSiteApplyCfg)
+							u.Unlock(reg, glSiteApplySet)
+						}
+					}
+				}, glSiteSpawnPipe))
+			}
+			for j := 0; j < spec.HTTP; j++ {
+				j := j
+				children = append(children, th.Go("http", func(u *sim.Thread) {
+					for q := 0; q < spec.Requests; q++ {
+						p := (j + q) % spec.Pipelines
+						if spec.Fixed {
+							u.Lock(buses[p], glSitePost)
+							queues[p]++
+							u.Notify(buses[p], glSitePost)
+							u.Unlock(buses[p], glSitePost)
+						} else {
+							u.Lock(pipes[p], glSiteSwitch)
+							u.Yield(glSiteHandle)
+							u.Lock(reg, glSiteObjectSet)
+							u.Unlock(reg, glSiteObjectSet)
+							u.Unlock(pipes[p], glSiteSwitch)
+						}
+					}
+				}, glSiteSpawnHTTP))
+			}
+			for _, c := range children {
+				th.Join(c, glSiteJoin)
+			}
+		}
+		return prog, opts
+	}
+}
+
+// GlobalLock is the raw registry/pipeline lock-order reversal.
+func GlobalLock() Workload {
+	return Workload{Name: "GlobalLock", New: globalLockFactory(DefaultGlobalLockSpec())}
+}
+
+// GlobalLockCrash is the crashed-holder variant: no cycle, a wedged
+// process, and a trace that names the holder. It never terminates —
+// registry-wide tests that need a terminating seed skip it.
+func GlobalLockCrash() Workload {
+	spec := DefaultGlobalLockSpec()
+	spec.Crash = true
+	return Workload{Name: "GlobalLockCrash", New: globalLockFactory(spec)}
+}
+
+// GlobalLockFixed is the message-posting fix: zero cycles.
+func GlobalLockFixed() Workload {
+	spec := DefaultGlobalLockSpec()
+	spec.Fixed = true
+	return Workload{Name: "GlobalLockFixed", New: globalLockFactory(spec)}
+}

@@ -1,0 +1,139 @@
+package workloads
+
+import (
+	"sync"
+	"time"
+
+	"wolf/wolfsync"
+)
+
+// RunGlobalLockReal is the global-lock scenario as a real concurrent
+// Go program: real goroutines, real wolfsync mutexes, the same lock
+// names and site strings as the sim driver — so a trace recorded by an
+// active wolfsync session lands on byte-identical defect fingerprints.
+//
+// Call it from the goroutine that called wolfsync.Start (the session's
+// "main"), so spawned workers get the creation-chain names
+// "main/pipeline.N" and "main/http.N" that match sim's.
+type GlobalLockRealOptions struct {
+	Spec GlobalLockSpec
+	// Staged serializes the two phases — pipeline threads finish all
+	// their registry→pipeline rounds before HTTP threads start — so
+	// the deadlock variant is guaranteed to terminate while still
+	// recording both nesting orders. Unstaged, the raw variant races
+	// for real and usually wedges.
+	Staged bool
+	// Timeout bounds the wait for completion (default 10s). On
+	// timeout the function returns false with the workers left in
+	// whatever state they reached — for a wedged run that is the
+	// point: the recorder has their blocked requests.
+	Timeout time.Duration
+	// CrashRelease, when non-nil, lets a test un-wedge the crashed
+	// holder afterwards: closing it makes the holder release the
+	// registry and return. Nil means the holder blocks forever, like
+	// the real crash.
+	CrashRelease <-chan struct{}
+}
+
+// glPause models the computation sim marks with Yield inside the
+// nested critical sections. Holding the outer lock for a visible
+// window is what makes the raw variant's reversal race actually fire
+// on a real scheduler instead of depending on a lucky preemption.
+func glPause() { time.Sleep(200 * time.Microsecond) }
+
+// RunGlobalLockReal runs the scenario and reports whether every worker
+// finished before the timeout.
+func RunGlobalLockReal(opt GlobalLockRealOptions) bool {
+	spec := opt.Spec.withDefaults()
+	if opt.Timeout <= 0 {
+		opt.Timeout = 10 * time.Second
+	}
+
+	reg := wolfsync.NewMutex(glRegistryLock)
+	pipes := make([]*wolfsync.Mutex, spec.Pipelines)
+	queues := make([]chan struct{}, spec.Pipelines)
+	expected := expectedMsgs(spec)
+	for i := range pipes {
+		pipes[i] = wolfsync.NewMutex(glPipelineLock(i))
+		queues[i] = make(chan struct{}, spec.HTTP*spec.Requests)
+	}
+
+	// Staged mode gates HTTP threads until every pipeline thread has
+	// finished its registry→pipeline rounds.
+	gate := make(chan struct{})
+	var pipePhase sync.WaitGroup
+	if opt.Staged && !spec.Crash {
+		pipePhase.Add(spec.Pipelines)
+		go func() { // plain goroutine: acquires nothing, records nothing
+			pipePhase.Wait()
+			close(gate)
+		}()
+	} else {
+		close(gate)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(spec.Pipelines + spec.HTTP)
+	for i := 0; i < spec.Pipelines; i++ {
+		i := i
+		wolfsync.Go("pipeline", func() {
+			defer wg.Done()
+			if spec.Crash && i == 0 {
+				reg.LockAt(glSiteRefClass)
+				<-opt.CrashRelease // the fault: never returns unless released
+				reg.Unlock()
+				return
+			}
+			for r := 0; r < spec.Rounds; r++ {
+				reg.LockAt(glSiteRefClass)
+				glPause() // sim's Yield(glSiteInit): compute inside the nesting
+				pipes[i].LockAt(glSiteConfigure)
+				pipes[i].Unlock()
+				reg.Unlock()
+			}
+			if opt.Staged && !spec.Crash {
+				pipePhase.Done()
+			}
+			if spec.Fixed {
+				for got := 0; got < expected[i]; got++ {
+					<-queues[i]
+					reg.LockAt(glSiteApplySet)
+					pipes[i].LockAt(glSiteApplyCfg)
+					pipes[i].Unlock()
+					reg.Unlock()
+				}
+			}
+		})
+	}
+	for j := 0; j < spec.HTTP; j++ {
+		j := j
+		wolfsync.Go("http", func() {
+			defer wg.Done()
+			<-gate
+			for q := 0; q < spec.Requests; q++ {
+				p := (j + q) % spec.Pipelines
+				if spec.Fixed {
+					queues[p] <- struct{}{}
+				} else {
+					pipes[p].LockAt(glSiteSwitch)
+					glPause() // sim's Yield(glSiteHandle)
+					reg.LockAt(glSiteObjectSet)
+					reg.Unlock()
+					pipes[p].Unlock()
+				}
+			}
+		})
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(opt.Timeout):
+		return false
+	}
+}

@@ -1,0 +1,179 @@
+package workloads_test
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"time"
+
+	"wolf/internal/core"
+	"wolf/internal/detect"
+	"wolf/internal/fingerprint"
+	"wolf/internal/trace"
+	"wolf/internal/workloads"
+	"wolf/sim"
+	"wolf/wolfsync"
+)
+
+// fpSet returns the deduplicated fingerprints of every cycle the base
+// detector finds in tr, sorted.
+func fpSet(tr *trace.Trace) []string {
+	seen := map[string]bool{}
+	for _, c := range detect.Cycles(tr, detect.Config{}) {
+		seen[fingerprint.Of(c)] = true
+	}
+	out := make([]string, 0, len(seen))
+	for fp := range seen {
+		out = append(out, fp)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// simTrace records one terminating run of the named workload.
+func simTrace(t *testing.T, name string) *trace.Trace {
+	t.Helper()
+	w, ok := workloads.ByName(name)
+	if !ok {
+		t.Fatalf("%s not registered", name)
+	}
+	seed, ok := workloads.FindTerminatingSeed(w.New, 300)
+	if !ok {
+		t.Fatalf("no terminating seed for %s", name)
+	}
+	return core.Record(w.New, seed, 0)
+}
+
+// realTrace records one staged real run of the scenario through
+// wolfsync and round-trips it through the binary codec.
+func realTrace(t *testing.T, spec workloads.GlobalLockSpec) *trace.Trace {
+	t.Helper()
+	rec, err := wolfsync.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := workloads.RunGlobalLockReal(workloads.GlobalLockRealOptions{
+		Spec:    spec,
+		Staged:  true,
+		Timeout: 30 * time.Second,
+	})
+	var buf bytes.Buffer
+	if _, werr := rec.WriteTo(&buf); werr != nil {
+		t.Fatal(werr)
+	}
+	if serr := rec.Stop(); serr != nil {
+		t.Fatal(serr)
+	}
+	if !ok {
+		t.Fatal("staged real run did not terminate")
+	}
+	tr, err := trace.ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Validate(tr); err != nil {
+		t.Fatalf("real trace invalid: %v", err)
+	}
+	return tr
+}
+
+// TestGlobalLockFingerprintIdentity is the acceptance test for the
+// wolfsync instrumentation: the same global-lock scenario, run once
+// under sim and once as a real instrumented Go program, must converge
+// on byte-identical defect fingerprints — same thread abstractions,
+// same lock abstractions, same sites, same held stacks, hashed to the
+// same digests.
+func TestGlobalLockFingerprintIdentity(t *testing.T) {
+	simFPs := fpSet(simTrace(t, "GlobalLock"))
+	if len(simFPs) == 0 {
+		t.Fatal("sim run of GlobalLock found no cycles")
+	}
+	realFPs := fpSet(realTrace(t, workloads.DefaultGlobalLockSpec()))
+	if len(realFPs) == 0 {
+		t.Fatal("real run of GlobalLock found no cycles")
+	}
+	if len(simFPs) != len(realFPs) {
+		t.Fatalf("fingerprint sets differ:\n  sim  %v\n  real %v", simFPs, realFPs)
+	}
+	for i := range simFPs {
+		if simFPs[i] != realFPs[i] {
+			t.Fatalf("fingerprint sets differ:\n  sim  %v\n  real %v", simFPs, realFPs)
+		}
+	}
+}
+
+// TestGlobalLockFixedZeroCycles: the message-posting fix eliminates
+// the cycle on both paths.
+func TestGlobalLockFixedZeroCycles(t *testing.T) {
+	spec := workloads.DefaultGlobalLockSpec()
+	spec.Fixed = true
+	if fps := fpSet(simTrace(t, "GlobalLockFixed")); len(fps) != 0 {
+		t.Fatalf("sim fixed variant still has cycles: %v", fps)
+	}
+	if fps := fpSet(realTrace(t, spec)); len(fps) != 0 {
+		t.Fatalf("real fixed variant still has cycles: %v", fps)
+	}
+}
+
+// TestGlobalLockCrashWedges: the crashed-holder variant deadlocks the
+// whole sim world without a cycle — the wedge is a stuck holder, not a
+// reversal — and the trace still identifies the holder.
+func TestGlobalLockCrashWedges(t *testing.T) {
+	w, ok := workloads.ByName("GlobalLockCrash")
+	if !ok {
+		t.Fatal("GlobalLockCrash not registered")
+	}
+	prog, opts := w.New()
+	opts.Seed = 1
+	opts.MaxSteps = 100000
+	out := sim.Run(prog, sim.NewRandomStrategy(1), opts)
+	if out.Kind != sim.Deadlocked {
+		t.Fatalf("crash variant ended %v, want Deadlocked", out.Kind)
+	}
+}
+
+// TestGlobalLockCrashRealReleases: the real crashed-holder run wedges
+// (timeout) while holding the registry, and the recorded trace names
+// the holder; releasing the fault drains the run.
+func TestGlobalLockCrashRealReleases(t *testing.T) {
+	rec, err := wolfsync.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := workloads.DefaultGlobalLockSpec()
+	spec.Crash = true
+	release := make(chan struct{})
+	ok := workloads.RunGlobalLockReal(workloads.GlobalLockRealOptions{
+		Spec:         spec,
+		Timeout:      300 * time.Millisecond,
+		CrashRelease: release,
+	})
+	if ok {
+		t.Fatal("crashed run completed before release")
+	}
+	tr := func() *trace.Trace {
+		var buf bytes.Buffer
+		if _, err := rec.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		tr, err := trace.ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}()
+	close(release) // un-wedge so the goroutines drain
+	defer rec.Stop()
+
+	// The wedged trace must contain the crashed holder's registry
+	// acquisition — the record that answers "who held it".
+	found := false
+	for _, tp := range tr.Tuples {
+		if tp.Lock == "TypeRegistry" && tp.Thread == "main/pipeline.0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("wedged trace does not name the registry holder: %v", tr.Tuples)
+	}
+}

@@ -76,6 +76,9 @@ func Named() []Workload {
 		Bank(),
 		TaskQueue(),
 		AppServer(),
+		GlobalLock(),
+		GlobalLockCrash(),
+		GlobalLockFixed(),
 	}
 }
 

@@ -1,0 +1,6 @@
+package wolfsync
+
+// WithHTTPClient exposes the streaming sink's HTTP-client override to
+// the external test package (sink_test.go lives there to break the
+// wolfsync → server → workloads → wolfsync test-import cycle).
+var WithHTTPClient = withHTTPClient

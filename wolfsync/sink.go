@@ -1,0 +1,139 @@
+package wolfsync
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"wolf/internal/httpx"
+	"wolf/internal/trace"
+)
+
+// streamSink ships trace snapshots to wolfd over the streaming
+// ingestion API: open a stream (POST /v1/streams, tagged
+// source=wolfsync), append the serialized WTRC in chunks, close into a
+// job. Requests go through the shared retrying client, so transient
+// 429/502/503 from wolfd are absorbed; a sink that still fails drops
+// the ship, counts it, and leaves the tuples for the next attempt —
+// the instrumented program never notices either way.
+//
+// WTRC's layout (counts and string table before tuples) means a
+// snapshot can only be serialized once its contents are fixed, so the
+// sink ships whole snapshots rather than appending live events; each
+// ship supersedes the last, and wolfd's content-addressed dedup plus
+// fingerprint-keyed corpus make repeated ships of a growing trace
+// converge on one defect record per defect.
+type streamSink struct {
+	base   string
+	tp     string
+	source string
+	chunk  int
+	hc     *httpx.Client
+
+	ships    atomic.Int64
+	shipErrs atomic.Int64
+	lastJob  atomic.Pointer[string]
+}
+
+func newStreamSink(o options) *streamSink {
+	hc := o.httpClient
+	if hc == nil {
+		// Bounded end to end: modest per-request timeout, retries with
+		// backoff inside the client. A dead wolfd costs the background
+		// shipper a few seconds per attempt, nothing more.
+		hc = &httpx.Client{HTTP: &http.Client{Timeout: 10 * time.Second}}
+	}
+	return &streamSink{
+		base:   o.streamURL,
+		tp:     o.traceparent,
+		source: o.source,
+		chunk:  o.chunk,
+		hc:     hc,
+	}
+}
+
+// ship delivers one snapshot, returning the job ID wolfd minted for
+// it. Every failure path increments shipErrs exactly once.
+func (s *streamSink) ship(tr *trace.Trace) (string, error) {
+	job, err := s.shipOnce(tr)
+	if err != nil {
+		s.shipErrs.Add(1)
+		return "", err
+	}
+	s.ships.Add(1)
+	s.lastJob.Store(&job)
+	return job, nil
+}
+
+func (s *streamSink) shipOnce(tr *trace.Trace) (string, error) {
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		return "", err
+	}
+	data := buf.Bytes()
+
+	meta, _ := json.Marshal(struct {
+		Source string `json:"source"`
+	}{Source: s.source})
+	req, err := http.NewRequest(http.MethodPost, s.base+"/v1/streams", bytes.NewReader(meta))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if s.tp != "" {
+		req.Header.Set("traceparent", s.tp)
+	}
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	var opened struct {
+		ID string `json:"id"`
+	}
+	err = decodeJSON(resp, http.StatusCreated, &opened)
+	if err != nil {
+		return "", fmt.Errorf("open stream: %w", err)
+	}
+
+	for off := 0; off < len(data); off += s.chunk {
+		end := min(off+s.chunk, len(data))
+		resp, err := s.hc.Post(s.base+"/v1/streams/"+opened.ID+"/chunks",
+			"application/octet-stream", data[off:end])
+		if err != nil {
+			return "", err
+		}
+		if err := decodeJSON(resp, http.StatusOK, &struct{}{}); err != nil {
+			return "", fmt.Errorf("chunk at %d: %w", off, err)
+		}
+	}
+
+	resp, err = s.hc.Post(s.base+"/v1/streams/"+opened.ID+"/close", "", nil)
+	if err != nil {
+		return "", err
+	}
+	var j struct {
+		ID string `json:"id"`
+	}
+	if err := decodeJSON(resp, http.StatusAccepted, &j); err != nil {
+		return "", fmt.Errorf("close stream: %w", err)
+	}
+	return j.ID, nil
+}
+
+// decodeJSON consumes a response, enforcing the expected status.
+func decodeJSON(resp *http.Response, want int, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("%s", resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

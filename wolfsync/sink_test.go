@@ -1,0 +1,127 @@
+package wolfsync_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"wolf/internal/httpx"
+	"wolf/internal/server"
+	"wolf/internal/store"
+	"wolf/wolfsync"
+)
+
+// startWolfd runs a corpus-backed wolfd behind httptest.
+func startWolfd(t *testing.T) string {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(server.Config{Workers: 2, QueueSize: 8, Store: st})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		st.Close()
+	})
+	return ts.URL
+}
+
+// TestStreamSinkEndToEnd records a small run with the live streaming
+// sink pointed at a real in-process wolfd: Stop ships the snapshot over
+// POST /v1/streams, the resulting analysis job completes, and the
+// stream is labeled source=wolfsync in wolfd's metrics.
+func TestStreamSinkEndToEnd(t *testing.T) {
+	base := startWolfd(t)
+
+	rec, err := wolfsync.Start(wolfsync.WithStream(base), wolfsync.WithQuiesce(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := wolfsync.NewMutex("outer"), wolfsync.NewMutex("inner")
+	for i := 0; i < 3; i++ {
+		a.Lock()
+		b.Lock()
+		b.Unlock()
+		a.Unlock()
+	}
+	if err := rec.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+
+	st := rec.Stats()
+	if st.Ships != 1 || st.ShipErrors != 0 || st.LastJob == "" {
+		t.Fatalf("ships=%d shipErrs=%d lastJob=%q, want 1/0/non-empty",
+			st.Ships, st.ShipErrors, st.LastJob)
+	}
+
+	// The shipped snapshot must decode and analyze server-side.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + st.LastJob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&j)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State == "done" {
+			break
+		}
+		if j.State == "failed" {
+			t.Fatalf("job failed: %s", j.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q", st.LastJob, j.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if want := `wolfd_streams_opened_total{source="wolfsync"} 1`; !strings.Contains(string(raw), want) {
+		t.Fatalf("wolfd metrics missing %q", want)
+	}
+}
+
+// TestStreamSinkUnreachable: a dead wolfd costs the recorder a counted
+// ship error on Stop — recording itself never fails or blocks.
+func TestStreamSinkUnreachable(t *testing.T) {
+	rec, err := wolfsync.Start(
+		wolfsync.WithStream("http://127.0.0.1:1"), // reserved port, connection refused
+		wolfsync.WithQuiesce(0),
+		wolfsync.WithHTTPClient(&httpx.Client{
+			HTTP:        &http.Client{Timeout: 200 * time.Millisecond},
+			MaxAttempts: 1,
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := wolfsync.NewMutex("lonely")
+	m.Lock()
+	m.Unlock()
+
+	if err := rec.Stop(); err == nil {
+		t.Fatal("Stop should surface the failed final ship")
+	}
+	st := rec.Stats()
+	if st.Recorded != 1 || st.Ships != 0 || st.ShipErrors != 1 {
+		t.Fatalf("recorded=%d ships=%d shipErrs=%d, want 1/0/1",
+			st.Recorded, st.Ships, st.ShipErrors)
+	}
+}

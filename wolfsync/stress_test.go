@@ -1,0 +1,120 @@
+package wolfsync
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+
+	"wolf/internal/trace"
+)
+
+// TestStressConcurrentFlush is the recorder's -race gauntlet: 64
+// goroutines hammer a pool of shared mutexes (always acquiring in
+// index order, so the stress never deadlocks for real) while another
+// goroutine snapshots the trace concurrently the whole time. The final
+// trace must pass trace.Validate — per-thread dense positions and
+// monotone taus surviving concurrent partial drains is exactly the
+// ordering guarantee the sharded buffer exists to provide — and must
+// round-trip through the binary codec.
+func TestStressConcurrentFlush(t *testing.T) {
+	const (
+		goroutines = 64
+		iters      = 100
+		pool       = 8
+	)
+	locks := make([]*Mutex, pool)
+	for i := range locks {
+		locks[i] = NewMutex("shared#" + string(rune('a'+i)))
+	}
+	r, err := Start(WithWallClockTau())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for i := range goroutines {
+		i := i
+		Go("stress", func() {
+			defer wg.Done()
+			for k := range iters {
+				a := (i + k) % pool
+				b := (i + k + 1 + k%(pool-1)) % pool
+				if a > b {
+					a, b = b, a
+				}
+				locks[a].Lock()
+				if a != b {
+					locks[b].Lock()
+				}
+				if a != b {
+					locks[b].Unlock()
+				}
+				locks[a].Unlock()
+			}
+		})
+	}
+
+	// Concurrent flusher: serialize snapshots as fast as possible
+	// while the stress runs, exercising drain/push races under -race.
+	stop := make(chan struct{})
+	flusher := make(chan struct{})
+	go func() {
+		defer close(flusher)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if _, err := r.WriteTo(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	<-flusher
+
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Validate(tr); err != nil {
+		t.Fatalf("stress trace invalid: %v", err)
+	}
+	want := goroutines * iters * 2
+	if len(tr.Tuples) != want {
+		t.Fatalf("recorded %d tuples, want %d", len(tr.Tuples), want)
+	}
+
+	// Round trip: re-encode and re-decode must preserve the relation.
+	var buf2 bytes.Buffer
+	if err := tr.WriteBinary(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := trace.ReadBinary(&buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr2.Tuples) != len(tr.Tuples) {
+		t.Fatalf("round trip lost tuples: %d != %d", len(tr2.Tuples), len(tr.Tuples))
+	}
+	for i := range tr.Tuples {
+		a, b := tr.Tuples[i], tr2.Tuples[i]
+		if a.Thread != b.Thread || a.Lock != b.Lock || a.Site != b.Site ||
+			a.Key != b.Key || a.Pos != b.Pos || a.Tau != b.Tau || len(a.Held) != len(b.Held) {
+			t.Fatalf("tuple %d diverged: %+v != %+v", i, a, b)
+		}
+	}
+}

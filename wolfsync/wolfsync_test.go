@@ -1,0 +1,297 @@
+package wolfsync
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"wolf/internal/trace"
+	"wolf/internal/vclock"
+)
+
+// record runs body under a fresh session and returns the decoded
+// trace, exercising the full WriteTo → ReadBinary round trip.
+func record(t *testing.T, body func(), opts ...Option) *trace.Trace {
+	t.Helper()
+	r, err := Start(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body()
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Validate(tr); err != nil {
+		t.Fatalf("recorded trace invalid: %v", err)
+	}
+	return tr
+}
+
+func TestNestedAcquisitionRecordsHeldSet(t *testing.T) {
+	a, b := NewMutex("A"), NewMutex("B")
+	tr := record(t, func() {
+		a.LockAt("x.go:1")
+		b.LockAt("x.go:2")
+		b.Unlock()
+		a.Unlock()
+	})
+	if len(tr.Tuples) != 2 {
+		t.Fatalf("got %d tuples, want 2", len(tr.Tuples))
+	}
+	first, second := tr.Tuples[0], tr.Tuples[1]
+	if first.Thread != "main" || first.Lock != "A" || first.Site != "x.go:1" {
+		t.Fatalf("first tuple = %+v", first)
+	}
+	if len(first.Held) != 0 {
+		t.Fatalf("first acquisition held %v, want nothing", first.Held)
+	}
+	if second.Lock != "B" || len(second.Held) != 1 || second.Held[0].Lock != "A" {
+		t.Fatalf("second tuple = %+v", second)
+	}
+	if second.Held[0].Site != "x.go:1" {
+		t.Fatalf("held site = %q, want x.go:1", second.Held[0].Site)
+	}
+}
+
+func TestCallSiteCapture(t *testing.T) {
+	m := NewMutex("L")
+	tr := record(t, func() {
+		m.Lock() // the recorded site must be this line of this file
+		m.Unlock()
+	})
+	if len(tr.Tuples) != 1 {
+		t.Fatalf("got %d tuples, want 1", len(tr.Tuples))
+	}
+	site := tr.Tuples[0].Site
+	if filepath.Ext(site) == site || site[:13] != "wolfsync_test" {
+		t.Fatalf("site = %q, want wolfsync_test.go:<line>", site)
+	}
+}
+
+func TestReentrancyAndTryLock(t *testing.T) {
+	rw := NewRWMutex("R")
+	m := NewMutex("M")
+	busy := NewMutex("busy")
+	tr := record(t, func() {
+		rw.RLockAt("r.go:1")
+		rw.RLockAt("r.go:2") // reentrant: no tuple
+		rw.RUnlock()
+		rw.RUnlock()
+
+		if !m.TryLock() { // uncontended try succeeds: one tuple
+			t.Error("TryLock failed on free mutex")
+		}
+		m.Unlock()
+
+		busy.LockAt("b.go:1")
+		done := make(chan bool)
+		go func() { done <- busy.TryLock() }() // contended try: no tuple
+		if <-done {
+			t.Error("TryLock succeeded on held mutex")
+		}
+		busy.Unlock()
+	})
+	var locks []string
+	for _, tp := range tr.Tuples {
+		locks = append(locks, tp.Lock)
+	}
+	want := []string{"R", "M", "busy"}
+	if len(locks) != len(want) {
+		t.Fatalf("recorded %v, want %v", locks, want)
+	}
+	for i := range want {
+		if locks[i] != want[i] {
+			t.Fatalf("recorded %v, want %v", locks, want)
+		}
+	}
+}
+
+func TestGoCreationChainNaming(t *testing.T) {
+	m := NewMutex("shared")
+	tr := record(t, func() {
+		var wg sync.WaitGroup
+		wg.Add(3)
+		for range 2 {
+			Go("worker", func() {
+				defer wg.Done()
+				m.LockAt("w.go:1")
+				m.Unlock()
+			})
+		}
+		Go("other", func() {
+			defer wg.Done()
+			m.LockAt("o.go:1")
+			m.Unlock()
+		})
+		wg.Wait()
+	})
+	names := map[string]bool{}
+	for _, tp := range tr.Tuples {
+		names[tp.Thread] = true
+	}
+	for _, want := range []string{"main/worker.0", "main/worker.1", "main/other.0"} {
+		if !names[want] {
+			t.Fatalf("thread %s missing from %v", want, names)
+		}
+	}
+}
+
+func TestDropWhenBufferFull(t *testing.T) {
+	m := NewMutex("cap")
+	r, err := Start(WithMaxBuffered(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range 10 {
+		m.Lock()
+		m.Unlock()
+	}
+	st := r.Stats()
+	tr := r.snapshot()
+	if err := r.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Dropped == 0 {
+		t.Fatalf("stats = %+v, want drops", st)
+	}
+	if err := trace.Validate(tr); err != nil {
+		t.Fatalf("trace with drops invalid: %v", err)
+	}
+	if len(tr.Tuples) == 0 || len(tr.Tuples) > 5 {
+		t.Fatalf("got %d tuples with cap 4", len(tr.Tuples))
+	}
+}
+
+func TestStartExclusive(t *testing.T) {
+	r, err := Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Start(); err != ErrActive {
+		t.Fatalf("second Start: %v, want ErrActive", err)
+	}
+	if err := r.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Stop(); err != nil {
+		t.Fatalf("double Stop: %v", err)
+	}
+}
+
+func TestEnvFileSink(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "run.wtrc")
+	t.Setenv(EnvOut, out)
+	m := NewMutex("envd")
+	r, err := Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Lock()
+	m.Unlock()
+	if err := r.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadBinary(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Tuples) != 1 || tr.Tuples[0].Lock != "envd" {
+		t.Fatalf("env sink trace = %+v", tr.Tuples)
+	}
+}
+
+func TestWallClockTau(t *testing.T) {
+	m := NewMutex("tau")
+	tr := record(t, func() {
+		for range 3 {
+			m.Lock()
+			m.Unlock()
+			time.Sleep(time.Millisecond)
+		}
+	}, WithWallClockTau())
+	last := vclock.Bottom
+	for i, tp := range tr.Tuples {
+		if tp.Tau == vclock.Bottom {
+			t.Fatalf("tuple %d has Bottom tau in wall-clock mode", i)
+		}
+		if tp.Tau < last {
+			t.Fatalf("tau ran backwards: %d after %d", tp.Tau, last)
+		}
+		last = tp.Tau
+	}
+}
+
+func TestCrossGoroutineUnlockCountsAnomaly(t *testing.T) {
+	m := NewMutex("handoff")
+	r, err := Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	locked := make(chan struct{})
+	done := make(chan struct{})
+	Go("locker", func() {
+		m.Lock()
+		close(locked)
+		<-done
+	})
+	<-locked
+	m.Unlock() // legal for sync.Mutex; unattributable for the recorder
+	close(done)
+	if st := r.Stats(); st.Anomalies != 1 {
+		t.Fatalf("anomalies = %d, want 1", st.Anomalies)
+	}
+}
+
+// TestWallClockTauCrossGoroutine: concurrent goroutines stamping
+// wall-clock taus produce cross-thread skew in drain order; the
+// recorded trace must still pass trace.Validate (which record()
+// asserts), and each goroutine's own taus must be non-decreasing.
+func TestWallClockTauCrossGoroutine(t *testing.T) {
+	tr := record(t, func() {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		for _, name := range []string{"a", "b"} {
+			name := name
+			Go(name, func() {
+				defer wg.Done()
+				m := NewMutex("own-" + name)
+				for range 5 {
+					m.Lock()
+					m.Unlock()
+					time.Sleep(100 * time.Microsecond)
+				}
+			})
+		}
+		wg.Wait()
+	}, WithWallClockTau())
+	last := map[string]int{}
+	for i, tp := range tr.Tuples {
+		if tp.Tau == vclock.Bottom {
+			t.Fatalf("tuple %d has Bottom tau in wall-clock mode", i)
+		}
+		if prev, ok := last[tp.Thread]; ok && tp.Tau < prev {
+			t.Fatalf("thread %s tau ran backwards: %d after %d", tp.Thread, tp.Tau, prev)
+		}
+		last[tp.Thread] = tp.Tau
+	}
+	if len(last) != 2 {
+		t.Fatalf("expected 2 recording threads, saw %d", len(last))
+	}
+}
