@@ -10,7 +10,10 @@ cd "$(dirname "$0")/.."
 workdir="$(mktemp -d)"
 wolfd_pid=""
 cleanup() {
-  [ -n "$wolfd_pid" ] && kill "$wolfd_pid" 2>/dev/null || true
+  if [ -n "$wolfd_pid" ]; then
+    kill "$wolfd_pid" 2>/dev/null || true
+    wait "$wolfd_pid" 2>/dev/null || true # let the shutdown snapshot land
+  fi
   rm -rf "$workdir"
 }
 trap cleanup EXIT
@@ -67,5 +70,34 @@ grep -q '"occurrences": 2' "$workdir/defects-after.json" \
   || { echo "defect record lost or occurrence count changed across restart" >&2; exit 1; }
 jobs="$("$workdir/wolfctl" -addr "$base" jobs -state done | wc -l)"
 [ "$jobs" -eq 2 ] || { echo "expected 2 done jobs after restart, got $jobs" >&2; exit 1; }
+
+echo "== flatten the corpus to the pre-sharding layout"
+# A -data-dir written before the sharded layout has every blob directly
+# under traces/ and defects/ and no index snapshot. Rewrite the corpus
+# into that shape and prove the server still serves it unchanged.
+kill -TERM "$wolfd_pid"
+wait "$wolfd_pid" || true
+wolfd_pid=""
+hash="$(basename "$(find "$datadir/traces" -name '*.wtrc' | head -1)" .wtrc)"
+find "$datadir/traces" -mindepth 2 -type f -exec mv {} "$datadir/traces/" \;
+find "$datadir/defects" -mindepth 2 -type f -exec mv {} "$datadir/defects/" \;
+find "$datadir/traces" "$datadir/defects" -mindepth 1 -type d -delete
+rm -f "$datadir/index.bin" "$datadir/index.dirty"
+[ -f "$datadir/traces/$hash.wtrc" ] || { echo "flatten failed" >&2; exit 1; }
+start_wolfd
+
+echo "== flat corpus serves unchanged results"
+blobs="$("$workdir/wolfctl" -addr "$base" trace | wc -l)"
+[ "$blobs" -eq 1 ] || { echo "expected 1 stored blob from flat layout, got $blobs" >&2; exit 1; }
+"$workdir/wolfctl" -addr "$base" defects -json | tee "$workdir/defects-flat.json"
+grep -q '"occurrences": 2' "$workdir/defects-flat.json" \
+  || { echo "defect record lost migrating from the flat layout" >&2; exit 1; }
+
+echo "== reading the blob migrates it into its shard"
+curl -fsS "$base/v1/traces/$hash" -o "$workdir/served.wtrc"
+cmp -s "$workdir/served.wtrc" "$datadir/traces/${hash:0:2}/$hash.wtrc" \
+  || { echo "blob not at its sharded path (or content changed) after read" >&2; exit 1; }
+[ ! -f "$datadir/traces/$hash.wtrc" ] \
+  || { echo "flat blob still present after lazy migration" >&2; exit 1; }
 
 echo "== corpus smoke OK"

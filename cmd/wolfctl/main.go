@@ -16,6 +16,9 @@
 //	wolfctl jobs [-state done] [-limit N]
 //	wolfctl defects [-json]             aggregated defect records
 //	wolfctl defects <fingerprint>       one record (full or 12-char prefix)
+//	wolfctl top [-n 10] [-class C] [-workload W] [-json]
+//	                                    highest-ranked defects (confirmed first,
+//	                                    then occurrence weight and recency)
 //	wolfctl trace                       list stored trace blobs
 //	wolfctl trace <hash> [-o out.wtrc]  fetch one blob (binary encoding)
 //	wolfctl rm <hash>                   delete a stored trace blob
@@ -68,7 +71,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	addr := fs.String("addr", envOr("WOLFD_ADDR", "http://localhost:8077"), "wolfd base URL")
 	version := fs.Bool("version", false, "print build information and exit")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: wolfctl [-addr URL] upload|run|stream|jobs|defects|trace|rm|replay|nodes|status|tail ...")
+		fmt.Fprintln(stderr, "usage: wolfctl [-addr URL] upload|run|stream|jobs|defects|top|trace|rm|replay|nodes|status|tail ...")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -101,6 +104,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = c.jobs(rest)
 	case "defects":
 		err = c.defects(rest)
+	case "top":
+		err = c.top(rest)
 	case "trace":
 		err = c.trace(rest)
 	case "rm":
@@ -459,6 +464,64 @@ type defectRecord struct {
 	FirstSeen   time.Time `json:"first_seen"`
 	LastSeen    time.Time `json:"last_seen"`
 	Traces      []string  `json:"traces"`
+	Workloads   []string  `json:"workloads,omitempty"`
+	Rank        float64   `json:"rank,omitempty"`
+}
+
+// top renders the highest-ranked defects in the corpus: wolfd sorts by
+// the corpus triage score (confirmed reproductions first, then
+// occurrence weight and recency) and wolfctl prints one line per
+// defect.
+func (c *client) top(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	fs.SetOutput(c.err)
+	n := fs.Int("n", 10, "number of defects to show")
+	class := fs.String("class", "", "filter by class: candidate or confirmed")
+	workload := fs.String("workload", "", "filter by workload name")
+	asJSON := fs.Bool("json", false, "print raw JSON instead of the table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 1 {
+		return fmt.Errorf("-n must be positive")
+	}
+	q := url.Values{}
+	q.Set("sort", "rank")
+	q.Set("limit", fmt.Sprintf("%d", *n))
+	if *class != "" {
+		q.Set("class", *class)
+	}
+	if *workload != "" {
+		q.Set("workload", *workload)
+	}
+	var raw struct {
+		Defects json.RawMessage `json:"defects"`
+		Total   int             `json:"total"`
+	}
+	if err := c.getJSON("/v1/defects?"+q.Encode(), &raw); err != nil {
+		return err
+	}
+	if *asJSON {
+		return indentJSON(c.out, raw.Defects)
+	}
+	var defects []defectRecord
+	if err := json.Unmarshal(raw.Defects, &defects); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "RANK\tFINGERPRINT\tCLASS\tOCCURRENCES\tWORKLOADS\tLAST SEEN\tSIGNATURE\n")
+	for _, d := range defects {
+		wl := strings.Join(d.Workloads, ",")
+		if wl == "" {
+			wl = "-"
+		}
+		fmt.Fprintf(c.out, "%.1f\t%s\t%s\t%d\t%s\t%s\t%s\n",
+			d.Rank, short(d.Fingerprint), d.Class, d.Occurrences, wl,
+			d.LastSeen.UTC().Format(time.RFC3339), d.Signature)
+	}
+	if raw.Total > len(defects) {
+		fmt.Fprintf(c.out, "(%d of %d defects)\n", len(defects), raw.Total)
+	}
+	return nil
 }
 
 // defects lists the corpus defect records, or one record by

@@ -416,3 +416,63 @@ func TestRunCommandNoTrace(t *testing.T) {
 		t.Fatalf("run with idle child: code=%d stderr=%q", code, errb.String())
 	}
 }
+
+func TestTopCommand(t *testing.T) {
+	base := startWolfd(t)
+	path := traceFile(t)
+	// Two uploads: dedup leaves one trace, the defect record counts two
+	// occurrences and carries the Figure4 workload tag.
+	for i := 0; i < 2; i++ {
+		if code, out := ctl(t, "-addr", base, "upload", path, "-wait"); code != 0 {
+			t.Fatalf("upload: code=%d out=%q", code, out)
+		}
+	}
+
+	code, out := ctl(t, "-addr", base, "top")
+	if code != 0 {
+		t.Fatalf("top: code=%d out=%q", code, out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.HasPrefix(lines[0], "RANK\tFINGERPRINT\tCLASS") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+	if len(lines) < 2 {
+		t.Fatalf("no defect rows: %q", out)
+	}
+	for _, want := range []string{"upload", "\t2\t"} {
+		if !strings.Contains(lines[1], want) {
+			t.Errorf("top row %q missing %q", lines[1], want)
+		}
+	}
+
+	// -n 1 truncates and reports the hidden remainder when there is one.
+	code, out = ctl(t, "-addr", base, "top", "-n", "1")
+	if code != 0 {
+		t.Fatalf("top -n 1: code=%d out=%q", code, out)
+	}
+	rows := strings.Split(strings.TrimSpace(out), "\n")
+	var dataRows int
+	for _, l := range rows[1:] {
+		if !strings.HasPrefix(l, "(") {
+			dataRows++
+		}
+	}
+	if dataRows != 1 {
+		t.Fatalf("top -n 1 printed %d rows: %q", dataRows, out)
+	}
+
+	code, out = ctl(t, "-addr", base, "top", "-json")
+	if code != 0 || !strings.Contains(out, `"rank"`) || !strings.Contains(out, `"workloads"`) {
+		t.Fatalf("top -json: code=%d out=%q", code, out)
+	}
+
+	// Filter that matches nothing still exits 0 with only the header.
+	code, out = ctl(t, "-addr", base, "top", "-workload", "nosuch")
+	if code != 0 || strings.Count(out, "\n") != 1 {
+		t.Fatalf("top empty filter: code=%d out=%q", code, out)
+	}
+
+	if code, _ = ctl(t, "-addr", base, "top", "-n", "0"); code == 0 {
+		t.Error("top -n 0 should fail")
+	}
+}

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	wolfd [-addr :8077] [-workers 4] [-queue 64] [-timeout 30s] [-data]
-//	      [-data-dir /var/lib/wolfd] [-max-body 32] [-watchdog-grace 2s]
+//	      [-data-dir /var/lib/wolfd] [-max-corpus-bytes N] [-trace-ttl 0]
+//	      [-gc-interval 1m] [-max-body 32] [-watchdog-grace 2s]
 //	      [-max-streams 64] [-stream-idle 2m] [-stream-budget 16]
 //	      [-flight-recorder 4096] [-log-format text|json] [-log-level info]
 //	      [-debug-addr localhost:6060]
@@ -119,6 +120,9 @@ func main() {
 		flight    = flag.Int("flight-recorder", 4096, "flight-recorder ring capacity (lifecycle events kept for /v1/debug/events)")
 		par       = flag.Int("analysis-parallelism", 0, "per-job Generator worker pool size (0 = GOMAXPROCS, capped; output is identical at any value)")
 		dataDir   = flag.String("data-dir", "", "persist traces, jobs and defect records in this directory")
+		maxCorpus = flag.Int64("max-corpus-bytes", 0, "trace GC: total stored-trace byte budget (0 = unbounded); unreferenced blobs are pruned oldest-first")
+		traceTTL  = flag.Duration("trace-ttl", 0, "trace GC: expire unreferenced trace blobs older than this (0 = never)")
+		gcEvery   = flag.Duration("gc-interval", time.Minute, "trace GC: pass cadence when -max-corpus-bytes or -trace-ttl is set")
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (for example localhost:6060)")
@@ -200,8 +204,10 @@ func main() {
 		}
 		defer st.Close()
 		stats := st.Stats()
+		warm, openSecs := st.OpenInfo()
 		log.Info("corpus opened", "dir", *dataDir,
-			"traces", stats.Traces, "defects", stats.Defects, "jobs", stats.Jobs)
+			"traces", stats.Traces, "defects", stats.Defects, "jobs", stats.Jobs,
+			"warm", warm, "open_seconds", fmt.Sprintf("%.3f", openSecs))
 	}
 
 	srvRole := server.RoleSingle
@@ -221,6 +227,9 @@ func main() {
 		Analysis:           core.Config{DataDependency: *data, Parallelism: *par},
 		Logger:             log,
 		Store:              st,
+		MaxCorpusBytes:     *maxCorpus,
+		TraceTTL:           *traceTTL,
+		GCInterval:         *gcEvery,
 		Role:               srvRole,
 		LeaseTTL:           *leaseTTL,
 		HeartbeatInterval:  *hbEvery,

@@ -1,0 +1,224 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"wolf/internal/store"
+)
+
+// seedDefects records n synthetic defect records straight into the
+// store, alternating workloads and confirming every third one.
+func seedDefects(t *testing.T, st *store.Store, n int) {
+	t.Helper()
+	ctx := context.Background()
+	t0 := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		sum := store.CycleSummary{
+			Fingerprint: fmt.Sprintf("%064x", i+1),
+			Signature:   fmt.Sprintf("sig-%d", i),
+		}
+		if i%3 == 0 {
+			sum.Confirmed = true
+			sum.Method = "steering"
+		}
+		src := "workload:Alpha"
+		if i%2 == 1 {
+			src = "workload:Beta"
+		}
+		traceHash := fmt.Sprintf("%064x", 100_000+i)
+		// i%4+1 occurrences so sorts have structure.
+		for occ := 0; occ <= i%4; occ++ {
+			now := t0.Add(time.Duration(i) * time.Hour)
+			if _, err := st.RecordSummaries(ctx, traceHash, []store.CycleSummary{sum}, src, now); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// defectsPage mirrors the GET /v1/defects response envelope.
+type defectsPage struct {
+	Defects []store.DefectRecord `json:"defects"`
+	Total   int                  `json:"total"`
+	Limit   int                  `json:"limit"`
+	Offset  int                  `json:"offset"`
+}
+
+// TestDefectsDefaultLimit: with no parameters the endpoint caps the
+// page at 100 records while total reports the full corpus.
+func TestDefectsDefaultLimit(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	seedDefects(t, st, 150)
+	_, ts := startServer(t, Config{Workers: 1, QueueSize: 4, Store: st})
+
+	var page defectsPage
+	if code := getJSON(t, ts.URL+"/v1/defects", &page); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(page.Defects) != 100 || page.Total != 150 || page.Limit != 100 || page.Offset != 0 {
+		t.Fatalf("default page = %d records, total=%d limit=%d offset=%d; want 100/150/100/0",
+			len(page.Defects), page.Total, page.Limit, page.Offset)
+	}
+	// Default order is unchanged from pre-query behavior: most
+	// occurrences first.
+	for i := 1; i < len(page.Defects); i++ {
+		if page.Defects[i-1].Occurrences < page.Defects[i].Occurrences {
+			t.Fatalf("default sort violated at %d", i)
+		}
+	}
+}
+
+// TestDefectsPagination: limit/offset walk the whole match set without
+// gaps or repeats, and limits above the cap clamp to 1000.
+func TestDefectsPagination(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	seedDefects(t, st, 25)
+	_, ts := startServer(t, Config{Workers: 1, QueueSize: 4, Store: st})
+
+	seen := make(map[string]bool)
+	for offset := 0; ; offset += 10 {
+		var page defectsPage
+		if code := getJSON(t, fmt.Sprintf("%s/v1/defects?limit=10&offset=%d", ts.URL, offset), &page); code != http.StatusOK {
+			t.Fatalf("status = %d", code)
+		}
+		if page.Total != 25 {
+			t.Fatalf("total = %d, want 25", page.Total)
+		}
+		if len(page.Defects) == 0 {
+			break
+		}
+		for _, rec := range page.Defects {
+			if seen[rec.Fingerprint] {
+				t.Fatalf("fingerprint %s repeated across pages", rec.Fingerprint[:12])
+			}
+			seen[rec.Fingerprint] = true
+		}
+	}
+	if len(seen) != 25 {
+		t.Fatalf("pages covered %d records, want 25", len(seen))
+	}
+
+	var page defectsPage
+	if code := getJSON(t, ts.URL+"/v1/defects?limit=99999", &page); code != http.StatusOK || page.Limit != 1000 {
+		t.Errorf("oversized limit: code=%d limit=%d, want 200/1000", code, page.Limit)
+	}
+}
+
+// TestDefectsFilters: class, workload, method, min_occurrences, since
+// and sort parameters narrow and order the listing.
+func TestDefectsFilters(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	seedDefects(t, st, 30)
+	_, ts := startServer(t, Config{Workers: 1, QueueSize: 4, Store: st})
+
+	var page defectsPage
+	getJSON(t, ts.URL+"/v1/defects?class=confirmed", &page)
+	if page.Total != 10 {
+		t.Errorf("confirmed = %d, want 10", page.Total)
+	}
+	for _, rec := range page.Defects {
+		if rec.Class != store.ClassConfirmed {
+			t.Errorf("class filter leaked %s record", rec.Class)
+		}
+	}
+
+	getJSON(t, ts.URL+"/v1/defects?workload=Beta", &page)
+	if page.Total != 15 {
+		t.Errorf("workload Beta = %d, want 15", page.Total)
+	}
+
+	getJSON(t, ts.URL+"/v1/defects?method=steering&min_occurrences=2", &page)
+	for _, rec := range page.Defects {
+		if rec.Occurrences < 2 {
+			t.Errorf("min_occurrences leaked %d-occurrence record", rec.Occurrences)
+		}
+	}
+
+	// since excludes everything recorded before hour 20 (indexes 0..19).
+	since := time.Date(2026, 8, 1, 20, 0, 0, 0, time.UTC).Format(time.RFC3339)
+	getJSON(t, ts.URL+"/v1/defects?since="+since, &page)
+	if page.Total != 10 {
+		t.Errorf("since window = %d, want 10", page.Total)
+	}
+
+	getJSON(t, ts.URL+"/v1/defects?sort=rank", &page)
+	for i := 1; i < len(page.Defects); i++ {
+		if page.Defects[i-1].Rank < page.Defects[i].Rank {
+			t.Errorf("rank sort violated at %d", i)
+		}
+	}
+}
+
+// TestDefectsBadParams: malformed parameters are 400s, not silent
+// defaults.
+func TestDefectsBadParams(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_, ts := startServer(t, Config{Workers: 1, QueueSize: 4, Store: st})
+
+	for _, q := range []string{
+		"sort=bogus",
+		"since=yesterday",
+		"until=not-a-time",
+		"min_occurrences=-1",
+		"min_occurrences=two",
+		"limit=0",
+		"limit=-5",
+		"limit=abc",
+		"offset=-1",
+		"offset=x",
+	} {
+		if code := getJSON(t, ts.URL+"/v1/defects?"+q, nil); code != http.StatusBadRequest {
+			t.Errorf("?%s: status = %d, want 400", q, code)
+		}
+	}
+}
+
+// TestGCJanitor: with a TTL policy configured the janitor reclaims
+// expired unreferenced traces in the background.
+func TestGCJanitor(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	tr := fig4Trace(t)
+	hash, _, err := st.PutTrace(context.Background(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No defect references the trace, so the TTL applies to it.
+	startServer(t, Config{
+		Workers: 1, QueueSize: 4, Store: st,
+		TraceTTL:   50 * time.Millisecond,
+		GCInterval: 10 * time.Millisecond,
+	})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if !st.HasTrace(hash) {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("janitor did not reclaim the expired trace")
+}

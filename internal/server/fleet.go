@@ -640,7 +640,7 @@ func (s *Server) acceptResultLocked(ctx context.Context, j *Job, node *fleetNode
 		}
 	}
 	if s.cfg.Store != nil && len(req.Summaries) > 0 {
-		updated, err := s.cfg.Store.RecordSummaries(ctx, j.TraceHash(), req.Summaries, time.Now())
+		updated, err := s.cfg.Store.RecordSummaries(ctx, j.TraceHash(), req.Summaries, j.Source(), time.Now())
 		if err != nil {
 			s.cfg.Logger.Error("record remote defects", "job", j.ID, "err", err)
 		}

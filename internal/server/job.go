@@ -119,6 +119,14 @@ func (j *Job) TraceID() string {
 	return j.trace
 }
 
+// Source returns the job's provenance tag ("upload", "workload:NAME",
+// ...) as submitted.
+func (j *Job) Source() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.source
+}
+
 // TraceHash returns the content address of the job's trace in the
 // corpus, empty when the server runs without one.
 func (j *Job) TraceHash() string {

@@ -42,6 +42,7 @@ const (
 	evStreamShed    = "stream.shed"
 	evStoreTrace    = "store.trace"
 	evStoreDefect   = "store.defect"
+	evStoreGC       = "store.gc"
 	evReplayVerdict = "replay.verdict"
 	// Fleet lifecycle (coordinator role): analyzer nodes joining and
 	// being declared lost, and jobs re-queued after a revoked lease.
@@ -145,9 +146,10 @@ type FleetStatusView struct {
 
 // CorpusView summarizes the persistent corpus (absent without -data-dir).
 type CorpusView struct {
-	Traces  int `json:"traces"`
-	Defects int `json:"defects"`
-	Jobs    int `json:"jobs"`
+	Traces  int   `json:"traces"`
+	Bytes   int64 `json:"bytes"`
+	Defects int   `json:"defects"`
+	Jobs    int   `json:"jobs"`
 }
 
 // latencyView snapshots one histogram's quantiles.
@@ -220,7 +222,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.cfg.Store != nil {
 		st := s.cfg.Store.Stats()
-		v.Corpus = &CorpusView{Traces: st.Traces, Defects: st.Defects, Jobs: st.Jobs}
+		v.Corpus = &CorpusView{Traces: st.Traces, Bytes: st.TraceBytes, Defects: st.Defects, Jobs: st.Jobs}
 	}
 	v.Events.Seq = s.flight.Seq()
 	v.Events.Capacity = s.flight.Cap()

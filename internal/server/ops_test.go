@@ -432,7 +432,7 @@ func TestEventKindLabels(t *testing.T) {
 	for _, kind := range []string{
 		evJobQueued, evJobStarted, evJobDone, evJobFailed, evJobShed,
 		evSyncShed, evStreamOpen, evStreamClose, evStreamEvict,
-		evStreamShed, evStoreTrace, evStoreDefect, evReplayVerdict,
+		evStreamShed, evStoreTrace, evStoreDefect, evStoreGC, evReplayVerdict,
 		evNodeJoin, evNodeLost, evJobReassigned,
 	} {
 		if !eventKindPattern.MatchString(kind) {

@@ -27,7 +27,9 @@
 //	GET    /v1/traces/{hash}        one stored trace, binary encoding
 //	DELETE /v1/traces/{hash}        remove a stored trace blob
 //	POST   /v1/traces/{hash}/replay re-enqueue analysis of a stored trace
-//	GET    /v1/defects              defect records, most occurrences first
+//	GET    /v1/defects              defect records (?class=&workload=&method=
+//	                                &since=&until=&min_occurrences=&sort=
+//	                                &limit=&offset=; default limit 100)
 //	GET    /v1/defects/{fp}         one defect record by fingerprint
 package server
 
@@ -125,6 +127,14 @@ type Config struct {
 	// defect records, the job log survives restarts, and the corpus
 	// endpoints are live. Nil keeps the server fully in-memory.
 	Store *store.Store
+	// MaxCorpusBytes bounds the total size of stored trace blobs (wolfd
+	// -max-corpus-bytes); TraceTTL expires blobs by age (wolfd
+	// -trace-ttl). When either is set a GC janitor prunes unreferenced
+	// blobs every GCInterval (default 1m). Traces confirming a defect
+	// are never deleted.
+	MaxCorpusBytes int64
+	TraceTTL       time.Duration
+	GCInterval     time.Duration
 }
 
 func (c *Config) fill() {
@@ -178,6 +188,9 @@ func (c *Config) fill() {
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.GCInterval <= 0 {
+		c.GCInterval = time.Minute
 	}
 }
 
@@ -303,7 +316,38 @@ func New(cfg Config) *Server {
 	}
 	s.wg.Add(1)
 	go s.streamJanitor()
+	if cfg.Store != nil && (cfg.MaxCorpusBytes > 0 || cfg.TraceTTL > 0) {
+		s.wg.Add(1)
+		go s.gcJanitor()
+	}
 	return s
+}
+
+// gcJanitor periodically prunes unreferenced trace blobs under the
+// configured size budget and age ceiling. Runs only with a corpus
+// attached and at least one bound set; stops with the server.
+func (s *Server) gcJanitor() {
+	defer s.wg.Done()
+	policy := store.GCPolicy{MaxBytes: s.cfg.MaxCorpusBytes, TTL: s.cfg.TraceTTL}
+	ticker := time.NewTicker(s.cfg.GCInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.streamStop:
+			return
+		case <-ticker.C:
+			stats := s.cfg.Store.GC(policy, time.Now())
+			if stats.Deleted == 0 {
+				continue
+			}
+			s.cfg.Logger.Info("corpus gc", "deleted", stats.Deleted,
+				"bytes_reclaimed", stats.BytesReclaimed, "kept_referenced", stats.Kept)
+			s.event(obs.Event{Kind: evStoreGC, Msg: "trace gc pass", Attrs: map[string]string{
+				"deleted":         strconv.Itoa(stats.Deleted),
+				"bytes_reclaimed": strconv.FormatInt(stats.BytesReclaimed, 10),
+			}})
+		}
+	}
 }
 
 // terminalRecord reports whether a persisted job record is done or
@@ -360,11 +404,11 @@ func (s *Server) recordDefects(ctx context.Context, j *Job, traceHash string, re
 	if s.cfg.Store == nil {
 		return
 	}
-	jobID, traceID := "", ""
+	jobID, traceID, source := "", "", ""
 	if j != nil {
-		jobID, traceID = j.ID, j.TraceID()
+		jobID, traceID, source = j.ID, j.TraceID(), j.Source()
 	}
-	updated, err := s.cfg.Store.Record(ctx, traceHash, rep, time.Now())
+	updated, err := s.cfg.Store.Record(ctx, traceHash, rep, source, time.Now())
 	if err != nil {
 		s.cfg.Logger.Error("record defects", "job", jobID, "trace", traceID, "err", err)
 		return
@@ -988,18 +1032,81 @@ func (s *Server) handleTraceReplay(w http.ResponseWriter, r *http.Request) {
 	s.admit(w, j)
 }
 
-// handleDefects is GET /v1/defects: aggregated defect records, most
-// occurrences first.
+// defectsMaxLimit caps one page of GET /v1/defects.
+const defectsMaxLimit = 1000
+
+// handleDefects is GET /v1/defects: aggregated defect records, filtered
+// and paginated. With no parameters it keeps the pre-query behavior
+// (most occurrences first) except for the default page cap of 100.
+// Filters: class, workload, method, since/until (RFC 3339),
+// min_occurrences. sort is occurrences|last_seen|first_seen|rank;
+// limit (<=1000) and offset page through the sorted match set, whose
+// size is returned as total.
 func (s *Server) handleDefects(w http.ResponseWriter, r *http.Request) {
 	st, ok := s.corpus(w)
 	if !ok {
 		return
 	}
-	defects := st.Defects()
-	if defects == nil {
-		defects = []*store.DefectRecord{}
+	q := r.URL.Query()
+	opts := store.QueryOptions{
+		Class:    q.Get("class"),
+		Workload: q.Get("workload"),
+		Method:   q.Get("method"),
+		Sort:     q.Get("sort"),
+		Limit:    100,
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"defects": defects})
+	if !store.ValidSort(opts.Sort) {
+		httpError(w, http.StatusBadRequest, "invalid sort")
+		return
+	}
+	var err error
+	if opts.Since, err = parseTimeParam(q.Get("since")); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid since")
+		return
+	}
+	if opts.Until, err = parseTimeParam(q.Get("until")); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid until")
+		return
+	}
+	if v := q.Get("min_occurrences"); v != "" {
+		if opts.MinOccurrences, err = strconv.Atoi(v); err != nil || opts.MinOccurrences < 0 {
+			httpError(w, http.StatusBadRequest, "invalid min_occurrences")
+			return
+		}
+	}
+	if v := q.Get("limit"); v != "" {
+		if opts.Limit, err = strconv.Atoi(v); err != nil || opts.Limit < 1 {
+			httpError(w, http.StatusBadRequest, "invalid limit")
+			return
+		}
+	}
+	if opts.Limit > defectsMaxLimit {
+		opts.Limit = defectsMaxLimit
+	}
+	if v := q.Get("offset"); v != "" {
+		if opts.Offset, err = strconv.Atoi(v); err != nil || opts.Offset < 0 {
+			httpError(w, http.StatusBadRequest, "invalid offset")
+			return
+		}
+	}
+	res := st.Query(opts)
+	if res.Defects == nil {
+		res.Defects = []store.DefectRecord{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"defects": res.Defects,
+		"total":   res.Total,
+		"limit":   opts.Limit,
+		"offset":  opts.Offset,
+	})
+}
+
+// parseTimeParam parses an optional RFC 3339 query parameter.
+func parseTimeParam(v string) (time.Time, error) {
+	if v == "" {
+		return time.Time{}, nil
+	}
+	return time.Parse(time.RFC3339, v)
 }
 
 // handleDefect is GET /v1/defects/{fp}: one defect record by full or

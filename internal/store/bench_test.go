@@ -1,0 +1,217 @@
+package store
+
+// Corpus-scale benchmarks backing the "millions of traces" acceptance
+// numbers: warm Open must be index-bound (no readdir over the blob
+// tree), cold Open is the parallel scan floor, and Query must stay
+// sublinear in corpus size through the postings. CI runs these at the
+// default 1k corpus on every push and at 100k in a dedicated step with
+// WOLF_STORE_BENCH_LARGE=1.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// benchCorpusSize is 1000 by default; WOLF_STORE_BENCH_LARGE=1 selects
+// the 100k corpus used for the headline Open/Query numbers.
+func benchCorpusSize() int {
+	if os.Getenv("WOLF_STORE_BENCH_LARGE") == "1" {
+		return 100_000
+	}
+	return 1000
+}
+
+// buildBenchCorpus lays out n synthetic trace blobs plus n/100+1 defect
+// records directly on disk (no fsync — the scanner only stats entries),
+// sharded or flat.
+func buildBenchCorpus(b *testing.B, dir string, n int, flat bool) {
+	b.Helper()
+	t0 := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	blob := make([]byte, 64)
+	for i := 0; i < n; i++ {
+		hash := fakeHash(i)
+		path := filepath.Join(dir, "traces", hash[:2], hash+traceExt)
+		if flat {
+			path = filepath.Join(dir, "traces", hash+traceExt)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < n/100+1; i++ {
+		fp := fakeHash(2_000_000 + i)
+		rec := DefectRecord{
+			Fingerprint: fp,
+			Signature:   fmt.Sprintf("sig-%d", i),
+			Class:       ClassCandidate,
+			Occurrences: i%7 + 1,
+			FirstSeen:   t0,
+			LastSeen:    t0.Add(time.Duration(i) * time.Minute),
+			Traces:      []string{fakeHash(i % n)},
+			Workloads:   []string{fmt.Sprintf("wl-%d", i%5)},
+		}
+		data, err := json.Marshal(&rec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		path := filepath.Join(dir, "defects", fp[:2], fp+".json")
+		if flat {
+			path = filepath.Join(dir, "defects", fp+".json")
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// openOnce opens and closes the store once, leaving a fresh snapshot.
+func openOnce(b *testing.B, dir string) {
+	b.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkStoreOpen measures corpus open latency: warm (snapshot
+// load), cold (sharded parallel scan) and flat (legacy layout scan).
+// The warm/cold ratio at 100k traces is the ISSUE's >=50x acceptance
+// number.
+func BenchmarkStoreOpen(b *testing.B) {
+	n := benchCorpusSize()
+	for _, tc := range []struct {
+		name string
+		flat bool
+		warm bool
+	}{
+		{"warm", false, true},
+		{"cold", false, false},
+		{"flat", true, false},
+	} {
+		b.Run(fmt.Sprintf("%s-%d", tc.name, n), func(b *testing.B) {
+			dir := b.TempDir()
+			buildBenchCorpus(b, dir, n, tc.flat)
+			openOnce(b, dir) // write the snapshot once
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !tc.warm {
+					b.StopTimer()
+					os.Remove(filepath.Join(dir, "index.bin"))
+					b.StartTimer()
+				}
+				s, err := Open(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if warm, _ := s.OpenInfo(); warm != tc.warm {
+					b.Fatalf("warm = %v, want %v", warm, tc.warm)
+				}
+				b.StopTimer()
+				if len(s.Traces()) != n {
+					b.Fatalf("indexed %d traces, want %d", len(s.Traces()), n)
+				}
+				if err := s.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// benchQueryStore builds an in-memory corpus of n defect records
+// (inserted under the store lock, no per-record file writes) so Query
+// itself is the only cost measured.
+func benchQueryStore(b *testing.B, n int) *Store {
+	b.Helper()
+	s, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	t0 := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	s.mu.Lock()
+	for i := 0; i < n; i++ {
+		class := ClassCandidate
+		if i%5 == 0 {
+			class = ClassConfirmed
+		}
+		rec := &DefectRecord{
+			Fingerprint: fakeHash(i),
+			Signature:   fmt.Sprintf("sig-%d", i),
+			Class:       class,
+			Occurrences: i%13 + 1,
+			FirstSeen:   t0.Add(time.Duration(i) * time.Second),
+			LastSeen:    t0.Add(time.Duration(2*i) * time.Second),
+			Workloads:   []string{fmt.Sprintf("wl-%d", i%50)},
+		}
+		s.defects[rec.Fingerprint] = rec
+		s.indexDefectLocked(rec, true)
+	}
+	s.mu.Unlock()
+	return s
+}
+
+// BenchmarkStoreQuery measures the fingerprint query layer over the
+// postings. The acceptance criterion is sublinearity: the filtered
+// variants must not grow proportionally with corpus size.
+func BenchmarkStoreQuery(b *testing.B) {
+	n := benchCorpusSize()
+	s := benchQueryStore(b, n)
+	for _, tc := range []struct {
+		name string
+		opts QueryOptions
+	}{
+		{"workload", QueryOptions{Workload: "wl-7", Limit: 100}},
+		{"workload-confirmed", QueryOptions{Workload: "wl-0", Class: ClassConfirmed, Limit: 100}},
+		{"since", QueryOptions{Since: time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(2*n-200) * time.Second), Limit: 100}},
+		{"top-rank", QueryOptions{Sort: "rank", Limit: 100}},
+	} {
+		b.Run(fmt.Sprintf("%s-%d", tc.name, n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := s.Query(tc.opts)
+				if res.Total == 0 {
+					b.Fatal("query matched nothing")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPutTraceDedup exercises the put hot path on a duplicate
+// upload: pooled encode buffer, content hash, singleflight admission,
+// no blob write.
+func BenchmarkPutTraceDedup(b *testing.B) {
+	s, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	tr, _ := recordedTrace(b, "Figure4", 1)
+	ctx := context.Background()
+	if _, _, err := s.PutTrace(ctx, tr); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, created, err := s.PutTrace(ctx, tr); err != nil || created {
+			b.Fatalf("dedup put: created=%v err=%v", created, err)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+)
+
+// putFakeTrace stores a synthetic blob under a deterministic content
+// address, bypassing trace encoding — GC only cares about files, sizes
+// and mtimes.
+func putFakeTrace(t *testing.T, s *Store, i int, size int) string {
+	t.Helper()
+	hash := fakeHash(i)
+	path := s.shardTracePath(hash)
+	if err := os.MkdirAll(fmt.Sprintf("%s/%s", s.tracesDir(), hash[:2]), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, make([]byte, size), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	s.traces.put(TraceInfo{Hash: hash, Bytes: int64(size), ModTime: time.Now()})
+	s.mu.Unlock()
+	return hash
+}
+
+// fakeHash derives a well-distributed synthetic content address.
+func fakeHash(i int) string {
+	h := fmt.Sprintf("%063x", i)
+	// Spread shards: lead with the low byte so consecutive i land in
+	// different buckets.
+	return h[len(h)-2:] + h[:62]
+}
+
+// recordFakeDefect registers a defect referencing the given traces.
+func recordFakeDefect(t *testing.T, s *Store, i int, traces []string) string {
+	t.Helper()
+	fp := fakeHash(1_000_000 + i)
+	sums := []CycleSummary{{Fingerprint: fp, Signature: fmt.Sprintf("sig-%d", i)}}
+	now := time.Now()
+	for _, tr := range traces {
+		if _, err := s.RecordSummaries(context.Background(), tr, sums, "workload:gc", now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fp
+}
+
+// TestGCNeverOrphansConfirmingTraces is the GC safety property test:
+// across randomized corpora and aggressive policies, a trace referenced
+// by any defect record survives every GC pass — on disk and in the
+// index — while unreferenced traces are reclaimable.
+func TestGCNeverOrphansConfirmingTraces(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		dir := t.TempDir()
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		nTraces := 10 + rng.Intn(40)
+		hashes := make([]string, nTraces)
+		for i := range hashes {
+			hashes[i] = putFakeTrace(t, s, trial*1000+i, 100+rng.Intn(400))
+		}
+		// Reference a random subset through defect records.
+		referenced := make(map[string]bool)
+		nDefects := 1 + rng.Intn(5)
+		for d := 0; d < nDefects; d++ {
+			var confirming []string
+			for _, h := range hashes {
+				if rng.Intn(3) == 0 {
+					confirming = append(confirming, h)
+					referenced[h] = true
+				}
+			}
+			if len(confirming) == 0 {
+				confirming = []string{hashes[rng.Intn(len(hashes))]}
+				referenced[confirming[0]] = true
+			}
+			recordFakeDefect(t, s, trial*100+d, confirming)
+		}
+		// Backdate everything so the TTL policy sees every blob expired.
+		for _, h := range hashes {
+			s.touchModTime(h, time.Now().Add(-48*time.Hour))
+		}
+
+		// The most aggressive policy expressible: a 1-byte budget and a
+		// TTL every blob violates.
+		stats := s.GC(GCPolicy{MaxBytes: 1, TTL: time.Hour}, time.Now())
+
+		for _, h := range hashes {
+			if referenced[h] {
+				if !s.HasTrace(h) {
+					t.Fatalf("trial %d: GC deleted referenced trace %s", trial, h[:12])
+				}
+				rc, _, err := s.OpenTrace(h)
+				if err != nil {
+					t.Fatalf("trial %d: referenced trace %s unreadable after GC: %v", trial, h[:12], err)
+				}
+				rc.Close()
+			} else if s.HasTrace(h) {
+				t.Fatalf("trial %d: GC kept unreferenced expired trace %s under a 1-byte budget", trial, h[:12])
+			}
+		}
+		if want := nTraces - len(referenced); stats.Deleted != want {
+			t.Errorf("trial %d: deleted = %d, want %d", trial, stats.Deleted, want)
+		}
+		if stats.Kept != len(referenced) {
+			t.Errorf("trial %d: kept = %d, want %d", trial, stats.Kept, len(referenced))
+		}
+		s.Close()
+	}
+}
+
+// TestGCTTLOnly: with only a TTL set, young blobs survive regardless of
+// corpus size and old unreferenced blobs go.
+func TestGCTTLOnly(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	old := putFakeTrace(t, s, 1, 100)
+	young := putFakeTrace(t, s, 2, 100)
+	s.touchModTime(old, time.Now().Add(-2*time.Hour))
+
+	stats := s.GC(GCPolicy{TTL: time.Hour}, time.Now())
+	if s.HasTrace(old) {
+		t.Error("expired blob survived TTL GC")
+	}
+	if !s.HasTrace(young) {
+		t.Error("young blob deleted by TTL GC")
+	}
+	if stats.Deleted != 1 {
+		t.Errorf("deleted = %d, want 1", stats.Deleted)
+	}
+}
+
+// TestGCBudgetOldestFirst: over budget, the oldest unreferenced blobs
+// go first and deletion stops at the budget line.
+func TestGCBudgetOldestFirst(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	oldest := putFakeTrace(t, s, 1, 100)
+	middle := putFakeTrace(t, s, 2, 100)
+	newest := putFakeTrace(t, s, 3, 100)
+	now := time.Now()
+	s.touchModTime(oldest, now.Add(-3*time.Hour))
+	s.touchModTime(middle, now.Add(-2*time.Hour))
+	s.touchModTime(newest, now.Add(-1*time.Hour))
+
+	stats := s.GC(GCPolicy{MaxBytes: 250}, now)
+	if s.HasTrace(oldest) {
+		t.Error("oldest blob survived over-budget GC")
+	}
+	if !s.HasTrace(middle) || !s.HasTrace(newest) {
+		t.Error("GC deleted past the budget line")
+	}
+	if stats.Deleted != 1 || stats.BytesReclaimed != 100 {
+		t.Errorf("stats = %+v, want 1 deletion of 100 bytes", stats)
+	}
+}
+
+// TestGCDisabledIsNoOp: a zero policy touches nothing.
+func TestGCDisabledIsNoOp(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	h := putFakeTrace(t, s, 1, 100)
+	s.touchModTime(h, time.Now().Add(-1000*time.Hour))
+	if stats := s.GC(GCPolicy{}, time.Now()); stats.Deleted != 0 || !s.HasTrace(h) {
+		t.Errorf("zero policy deleted blobs: %+v", stats)
+	}
+}

@@ -1,0 +1,258 @@
+package store
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// flattenCorpus rewrites a sharded corpus into the pre-sharding layout:
+// every blob and defect record moved up to the top of its kind
+// directory, shard directories removed, index snapshot deleted — the
+// exact on-disk shape an old -data-dir has.
+func flattenCorpus(t *testing.T, dir string) {
+	t.Helper()
+	for _, kind := range []string{"traces", "defects"} {
+		root := filepath.Join(dir, kind)
+		entries, err := os.ReadDir(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if !e.IsDir() {
+				continue
+			}
+			shard := filepath.Join(root, e.Name())
+			files, err := os.ReadDir(shard)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range files {
+				if err := os.Rename(filepath.Join(shard, f.Name()), filepath.Join(root, f.Name())); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := os.Remove(shard); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	os.Remove(filepath.Join(dir, "index.bin"))
+	os.Remove(filepath.Join(dir, "index.dirty"))
+}
+
+// seedCorpus opens a store at dir, ingests one Figure4 trace plus its
+// defects, closes it, and returns the trace hash and defect count.
+func seedCorpus(t *testing.T, dir string) (hash string, defects int) {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	tr, _ := recordedTrace(t, "Figure4", 1)
+	hash, _, err = s.PutTrace(ctx, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Record(ctx, hash, analyze(t, tr), "workload:Figure4", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	defects = len(s.Defects())
+	if defects == 0 {
+		t.Fatal("seed produced no defects")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return hash, defects
+}
+
+// TestFlatCorpusReadThrough proves an old flat-layout -data-dir keeps
+// working: Open indexes the flat files and every read serves unchanged
+// results.
+func TestFlatCorpusReadThrough(t *testing.T) {
+	dir := t.TempDir()
+	hash, wantDefects := seedCorpus(t, dir)
+	flattenCorpus(t, dir)
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !s.HasTrace(hash) {
+		t.Fatal("flat trace not indexed")
+	}
+	if _, err := s.GetTrace(hash); err != nil {
+		t.Fatalf("flat trace not readable: %v", err)
+	}
+	if got := len(s.Defects()); got != wantDefects {
+		t.Errorf("flat defects = %d, want %d", got, wantDefects)
+	}
+}
+
+// TestLazyTraceMigration: opening a flat-layout blob moves it into its
+// shard, and the flat path empties out.
+func TestLazyTraceMigration(t *testing.T) {
+	dir := t.TempDir()
+	hash, _ := seedCorpus(t, dir)
+	flattenCorpus(t, dir)
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	flat := filepath.Join(dir, "traces", hash+traceExt)
+	sharded := filepath.Join(dir, "traces", hash[:2], hash+traceExt)
+	if _, err := os.Stat(flat); err != nil {
+		t.Fatalf("precondition: blob not flat: %v", err)
+	}
+	if _, err := s.GetTrace(hash); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(sharded); err != nil {
+		t.Errorf("blob not migrated to shard: %v", err)
+	}
+	if _, err := os.Stat(flat); !os.IsNotExist(err) {
+		t.Error("flat blob still present after migration")
+	}
+	// Migrated blob still reads.
+	if _, err := s.GetTrace(hash); err != nil {
+		t.Errorf("migrated blob unreadable: %v", err)
+	}
+}
+
+// TestLazyTraceMigrationOnDedup: re-putting a trace the flat corpus
+// already holds both dedups and migrates it.
+func TestLazyTraceMigrationOnDedup(t *testing.T) {
+	dir := t.TempDir()
+	hash, _ := seedCorpus(t, dir)
+	flattenCorpus(t, dir)
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	tr, _ := recordedTrace(t, "Figure4", 1)
+	h2, created, err := s.PutTrace(context.Background(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created || h2 != hash {
+		t.Fatalf("dedup put: created=%v hash=%s want %s", created, h2, hash)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "traces", hash[:2], hash+traceExt)); err != nil {
+		t.Errorf("dedup hit did not migrate the blob: %v", err)
+	}
+}
+
+// TestLazyDefectMigration: updating a flat-layout defect record writes
+// it at its sharded path and removes the flat file.
+func TestLazyDefectMigration(t *testing.T) {
+	dir := t.TempDir()
+	hash, _ := seedCorpus(t, dir)
+	flattenCorpus(t, dir)
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	recs := s.Defects()
+	fp := recs[0].Fingerprint
+	wantOcc := recs[0].Occurrences + 1
+	tr, _ := recordedTrace(t, "Figure4", 1)
+	if _, err := s.Record(context.Background(), hash, analyze(t, tr), "workload:Figure4", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "defects", fp[:2], fp+".json")); err != nil {
+		t.Errorf("defect not migrated to shard: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "defects", fp+".json")); !os.IsNotExist(err) {
+		t.Error("flat defect record still present after update")
+	}
+	d, ok := s.Defect(fp)
+	if !ok || d.Occurrences != wantOcc {
+		t.Errorf("defect after migration: ok=%v occ=%d want %d", ok, d.Occurrences, wantOcc)
+	}
+}
+
+// TestCrashDuringMigrationDuplicate: tooling that resolved a partial
+// migration by copying can leave a blob at both paths. The cold scan
+// keeps the sharded copy and sweeps the flat one.
+func TestCrashDuringMigrationDuplicate(t *testing.T) {
+	dir := t.TempDir()
+	hash, _ := seedCorpus(t, dir)
+
+	sharded := filepath.Join(dir, "traces", hash[:2], hash+traceExt)
+	flat := filepath.Join(dir, "traces", hash+traceExt)
+	data, err := os.ReadFile(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(flat, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Join(dir, "index.bin")) // force the scan
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !s.HasTrace(hash) {
+		t.Fatal("trace lost resolving the duplicate")
+	}
+	if _, err := os.Stat(flat); !os.IsNotExist(err) {
+		t.Error("flat duplicate not swept")
+	}
+	if _, err := s.GetTrace(hash); err != nil {
+		t.Errorf("trace unreadable after duplicate resolution: %v", err)
+	}
+}
+
+// TestStaleSnapshotFlatHint: a snapshot can record a blob as flat when
+// the disk has since migrated it (or vice versa). Reads must fall back
+// to the other path instead of failing.
+func TestStaleSnapshotFlatHint(t *testing.T) {
+	dir := t.TempDir()
+	hash, _ := seedCorpus(t, dir)
+	flattenCorpus(t, dir)
+
+	// Cold open indexes the blob as flat; Close snapshots that.
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Behind the snapshot's back, migrate the blob on disk.
+	flat := filepath.Join(dir, "traces", hash+traceExt)
+	sharded := filepath.Join(dir, "traces", hash[:2], hash+traceExt)
+	if err := os.MkdirAll(filepath.Dir(sharded), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(flat, sharded); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	warm, _ := s2.OpenInfo()
+	if !warm {
+		t.Fatal("expected a warm open (snapshot should validate)")
+	}
+	if _, err := s2.GetTrace(hash); err != nil {
+		t.Errorf("stale flat hint broke the read: %v", err)
+	}
+}

@@ -1,0 +1,256 @@
+package store
+
+// Sharded corpus layout. At the "millions of traces" scale the ROADMAP
+// targets, one flat directory per kind stops working: directory lookups
+// degrade, a full listing is O(corpus), and parallel scans have nothing
+// to fan out over. Blobs therefore live two levels deep, bucketed by
+// the first byte of their content address:
+//
+//	traces/ab/<sha256>.wtrc
+//	defects/ab/<fp>.json
+//
+// with 256 shards per kind. Corpora written before sharding keep their
+// files directly under traces/ and defects/; Open indexes both
+// locations transparently and files migrate to their shard lazily — a
+// trace when it is next opened (or its put dedups), a defect record
+// when it is next updated. Migration is a same-filesystem rename, so a
+// crash at any point leaves the file wholly at exactly one of the two
+// paths, and the scanner accepts either.
+
+import (
+	"encoding/json"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+)
+
+// shardOf returns the shard bucket of a content address: its first two
+// hex characters.
+func shardOf(hash string) string { return hash[:2] }
+
+// flatTracePath is the pre-sharding location of a trace blob.
+func (s *Store) flatTracePath(hash string) string {
+	return filepath.Join(s.tracesDir(), hash+traceExt)
+}
+
+// shardTracePath is the sharded location of a trace blob.
+func (s *Store) shardTracePath(hash string) string {
+	return filepath.Join(s.tracesDir(), shardOf(hash), hash+traceExt)
+}
+
+// tracePath resolves a blob's current location from its index entry.
+func (s *Store) tracePath(hash string, flat bool) string {
+	if flat {
+		return s.flatTracePath(hash)
+	}
+	return s.shardTracePath(hash)
+}
+
+// flatDefectPath is the pre-sharding location of a defect record.
+func (s *Store) flatDefectPath(fp string) string {
+	return filepath.Join(s.defectsDir(), fp+".json")
+}
+
+// shardDefectPath is the sharded location of a defect record.
+func (s *Store) shardDefectPath(fp string) string {
+	return filepath.Join(s.defectsDir(), shardOf(fp), fp+".json")
+}
+
+// migrateTraceLocked moves a flat-layout blob into its shard. Purely an
+// optimization: every failure mode leaves the blob readable at one of
+// the two paths, so errors are swallowed and the entry just stays flat.
+// Caller holds s.mu.
+func (s *Store) migrateTraceLocked(hash string) {
+	info, ok := s.traces.get(hash)
+	if !ok || !info.flat {
+		return
+	}
+	dst := s.shardTracePath(hash)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return
+	}
+	if err := os.Rename(s.flatTracePath(hash), dst); err != nil {
+		return
+	}
+	// The on-disk layout no longer matches the last index snapshot.
+	s.markDirtyLocked()
+	info.flat = false
+	s.traces.put(info)
+}
+
+// scanWorkers is the fan-out of a cold corpus scan.
+func scanWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// forEachShard runs fn over every shard subdirectory name in dir on a
+// worker pool, returning the non-directory (flat legacy) entries for
+// the caller to handle inline. Stale ".tmp-*" files at the top level
+// are swept here; fn sweeps its own shard.
+func forEachShard(dir string, fn func(shard string)) ([]fs.DirEntry, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var flat []fs.DirEntry
+	shards := make(chan string, len(entries))
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, ".tmp-"):
+			os.Remove(filepath.Join(dir, name))
+		case e.IsDir():
+			shards <- name
+		default:
+			flat = append(flat, e)
+		}
+	}
+	close(shards)
+	var wg sync.WaitGroup
+	for i := 0; i < scanWorkers(); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for shard := range shards {
+				fn(shard)
+			}
+		}()
+	}
+	wg.Wait()
+	return flat, nil
+}
+
+// scanTraces rebuilds the trace index from the filesystem: the cold
+// path of Open, fanned out over the shard directories. Flat legacy
+// entries are indexed too; a blob present at both paths (a corpus
+// copied with tooling that resolved a partial migration by duplicating)
+// keeps the sharded copy and sweeps the flat one.
+func (s *Store) scanTraces() error {
+	var mu sync.Mutex
+	flat, err := forEachShard(s.tracesDir(), func(shard string) {
+		dir := filepath.Join(s.tracesDir(), shard)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if strings.HasPrefix(name, ".tmp-") {
+				os.Remove(filepath.Join(dir, name))
+				continue
+			}
+			hash, ok := strings.CutSuffix(name, traceExt)
+			if !ok || !validHash(hash) || shardOf(hash) != shard {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil {
+				continue
+			}
+			mu.Lock()
+			s.traces.put(TraceInfo{Hash: hash, Bytes: info.Size(), ModTime: info.ModTime()})
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		return err
+	}
+	for _, e := range flat {
+		hash, ok := strings.CutSuffix(e.Name(), traceExt)
+		if !ok || !validHash(hash) {
+			continue
+		}
+		if _, dup := s.traces.get(hash); dup {
+			os.Remove(s.flatTracePath(hash))
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		s.traces.put(TraceInfo{Hash: hash, Bytes: info.Size(), ModTime: info.ModTime(), flat: true})
+	}
+	return nil
+}
+
+// scanDefects rebuilds the defect index from the filesystem, in
+// parallel per shard. Unreadable or mismatched records are skipped
+// rather than fatal, so one corrupt file cannot take the corpus down.
+func (s *Store) scanDefects() error {
+	var mu sync.Mutex
+	readRecord := func(path, fp string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return
+		}
+		var rec DefectRecord
+		if err := json.Unmarshal(data, &rec); err != nil || rec.Fingerprint != fp {
+			return // corrupt record: skip, never fatal
+		}
+		mu.Lock()
+		s.defects[fp] = &rec
+		mu.Unlock()
+	}
+	flat, err := forEachShard(s.defectsDir(), func(shard string) {
+		dir := filepath.Join(s.defectsDir(), shard)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if strings.HasPrefix(name, ".tmp-") {
+				os.Remove(filepath.Join(dir, name))
+				continue
+			}
+			fp, ok := strings.CutSuffix(name, ".json")
+			if !ok || !validHash(fp) || shardOf(fp) != shard {
+				continue
+			}
+			readRecord(filepath.Join(dir, name), fp)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	for _, e := range flat {
+		fp, ok := strings.CutSuffix(e.Name(), ".json")
+		if !ok || !validHash(fp) {
+			continue
+		}
+		if _, dup := s.defects[fp]; dup {
+			os.Remove(s.flatDefectPath(fp))
+			continue
+		}
+		readRecord(s.flatDefectPath(fp), fp)
+		if _, ok := s.defects[fp]; ok {
+			s.flatDefects[fp] = true
+		}
+	}
+	return nil
+}
+
+// touchModTime is a seam for GC tests: it backdates a blob's both
+// on-disk and indexed modification time.
+func (s *Store) touchModTime(hash string, t time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.traces.get(hash)
+	if !ok {
+		return
+	}
+	os.Chtimes(s.tracePath(hash, info.flat), t, t)
+	info.ModTime = t
+	s.traces.put(info)
+}

@@ -4,27 +4,38 @@
 //
 // Layout under the data directory:
 //
-//	traces/<sha256>.wtrc   one binary-encoded trace per file, named by
-//	                       the SHA-256 of its encoding (content
-//	                       addressing: identical traces dedup to one
-//	                       blob, and a JSON upload and its binary
-//	                       re-encoding share a hash)
-//	defects/<fp>.json      one defect record per fingerprint
-//	jobs.jsonl             append-only job log, one JSON record per line
+//	traces/ab/<sha256>.wtrc  one binary-encoded trace per file, named by
+//	                         the SHA-256 of its encoding (content
+//	                         addressing: identical traces dedup to one
+//	                         blob, and a JSON upload and its binary
+//	                         re-encoding share a hash), sharded by the
+//	                         first address byte (shard.go)
+//	defects/ab/<fp>.json     one defect record per fingerprint, sharded
+//	                         the same way
+//	jobs.jsonl               append-only job log, one JSON record per line
+//	index.bin                persistent index snapshot (index.go); purely
+//	                         a cache — deleting it costs one rescan
+//	index.dirty              marker: mutations since the last snapshot
+//
+// Pre-sharding corpora with blobs directly under traces/ and defects/
+// keep working: Open indexes both layouts and files migrate to their
+// shard lazily on access.
 //
 // Crash-safety invariants:
 //
-//   - Trace blobs and defect records are written to a temp file in the
-//     same directory, fsynced, then renamed into place — a reader never
-//     observes a partial file, and a crash leaves at most an orphaned
-//     ".tmp-*" file that the next Open sweeps.
+//   - Trace blobs, defect records and the index snapshot are written to
+//     a temp file in the same directory, fsynced, then renamed into
+//     place — a reader never observes a partial file, and a crash
+//     leaves at most an orphaned ".tmp-*" file that the next Open
+//     sweeps.
 //   - The job log is append-only and fsynced per record; a crash can
 //     truncate at most the final line. Open tolerates a torn tail by
 //     dropping the partial line and truncating the file back to the
 //     last intact record before appending again.
-//   - There is no separate manifest to desync: the index is rebuilt by
-//     scanning the directories on Open, so the filesystem state is the
-//     only source of truth.
+//   - The filesystem stays the source of truth: the index snapshot is
+//     validated against the journal generation and a dirty marker, and
+//     on any doubt Open falls back to rebuilding the index with a
+//     parallel scan of the shard directories.
 package store
 
 import (
@@ -58,6 +69,12 @@ var ErrNotFound = errors.New("store: not found")
 // traceExt is the filename extension of stored trace blobs.
 const traceExt = ".wtrc"
 
+// Defect classes: the best verdict observed for a fingerprint.
+const (
+	ClassCandidate = "candidate"
+	ClassConfirmed = "confirmed"
+)
+
 // TraceInfo describes one stored trace blob.
 type TraceInfo struct {
 	// Hash is the SHA-256 of the binary encoding, hex encoded — both the
@@ -65,6 +82,12 @@ type TraceInfo struct {
 	Hash string `json:"hash"`
 	// Bytes is the blob size on disk.
 	Bytes int64 `json:"bytes"`
+	// ModTime is when the blob was stored (its file mtime) — the age GC
+	// policies act on.
+	ModTime time.Time `json:"mod_time"`
+
+	// flat marks a blob still at its pre-sharding path.
+	flat bool
 }
 
 // DefectRecord is the longitudinal view of one deadlock fingerprint:
@@ -90,16 +113,24 @@ type DefectRecord struct {
 	FirstSeen time.Time `json:"first_seen"`
 	LastSeen  time.Time `json:"last_seen"`
 	// Traces lists the hashes of the stored traces the fingerprint was
-	// detected in, in first-seen order, deduplicated.
+	// detected in, in first-seen order, deduplicated. GC never deletes a
+	// blob on this list.
 	Traces []string `json:"traces"`
+	// Workloads lists the workload names whose recordings exhibited the
+	// defect, in first-seen order, deduplicated.
+	Workloads []string `json:"workloads,omitempty"`
+	// Rank is the corpus triage score (core.ScoreDefect), computed at
+	// query time and never persisted.
+	Rank float64 `json:"rank,omitempty"`
 }
 
 // clone deep-copies the record so callers can't mutate the index.
-func (d *DefectRecord) clone() *DefectRecord {
+func (d *DefectRecord) clone() DefectRecord {
 	c := *d
 	c.Edges = append([]fingerprint.Edge(nil), d.Edges...)
 	c.Traces = append([]string(nil), d.Traces...)
-	return &c
+	c.Workloads = append([]string(nil), d.Workloads...)
+	return c
 }
 
 // Stats summarizes the corpus for logs and metrics.
@@ -114,36 +145,61 @@ type Stats struct {
 type Store struct {
 	dir string
 
-	mu      sync.Mutex
-	traces  map[string]TraceInfo
-	defects map[string]*DefectRecord
-	jobs    *jobLog
+	mu          sync.Mutex
+	traces      traceIndex
+	defects     map[string]*DefectRecord
+	flatDefects map[string]bool // fingerprints still at pre-sharding paths
+	postings    *postings
+	jobs        *jobLog
+
+	// rawDefects holds the snapshot's still-encoded defect block after a
+	// warm Open; ensureDefectsLocked parses it on first defect access.
+	// rawDefectN is its record count (for Stats without parsing).
+	rawDefects []byte
+	rawDefectN int
+
+	// dirty mirrors the on-disk index.dirty marker; writing counts blob
+	// writes in flight outside s.mu (they block marker clearing).
+	dirty   bool
+	writing int
+	// inflight dedups concurrent puts of the same content address: one
+	// writer per hash, followers wait on its channel.
+	inflight map[string]chan struct{}
+
+	// openSeconds and warm describe the last Open for logs and metrics.
+	openSeconds float64
+	warm        bool
 
 	// Counters and latency for the wolfd_store_* metric family.
-	tracePuts     atomic.Int64
-	traceDedups   atomic.Int64
-	traceDeletes  atomic.Int64
-	defectUpdates atomic.Int64
-	putLatency    obs.Histogram
+	tracePuts        atomic.Int64
+	traceDedups      atomic.Int64
+	traceDeletes     atomic.Int64
+	defectUpdates    atomic.Int64
+	gcRuns           atomic.Int64
+	gcBytesReclaimed atomic.Int64
+	putLatency       obs.Histogram
 }
 
-// Open opens (creating if needed) the corpus rooted at dir and rebuilds
-// the in-memory index by scanning it. Leftover temp files from a crash
-// are removed; unreadable defect records are skipped rather than fatal,
-// so one corrupt file cannot take the corpus down.
+// Open opens (creating if needed) the corpus rooted at dir. When a
+// valid index snapshot exists the in-memory index is loaded from it in
+// O(index) — no directory walk; otherwise it is rebuilt by a parallel
+// scan of the shard directories and a fresh snapshot is written so the
+// next Open is warm.
 func Open(dir string) (*Store, error) {
+	start := time.Now()
 	s := &Store{
-		dir:     dir,
-		traces:  make(map[string]TraceInfo),
-		defects: make(map[string]*DefectRecord),
+		dir:         dir,
+		defects:     make(map[string]*DefectRecord),
+		flatDefects: make(map[string]bool),
+		inflight:    make(map[string]chan struct{}),
 	}
 	for _, sub := range []string{s.tracesDir(), s.defectsDir()} {
 		if err := os.MkdirAll(sub, 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
 	}
-	// Sweep root-level temp files: a crash during journal compaction
-	// leaves an orphaned ".tmp-*" next to jobs.jsonl.
+	// Sweep root-level temp files: a crash during journal compaction or
+	// an index snapshot leaves an orphaned ".tmp-*" next to jobs.jsonl.
 	if entries, err := os.ReadDir(dir); err == nil {
 		for _, e := range entries {
 			if strings.HasPrefix(e.Name(), ".tmp-") {
@@ -151,24 +207,50 @@ func Open(dir string) (*Store, error) {
 			}
 		}
 	}
-	if err := s.scanTraces(); err != nil {
-		return nil, err
+	// The snapshot must be validated before the job log is opened:
+	// opening can truncate a torn tail or compact the journal, moving
+	// the generation stamp the snapshot was taken against.
+	s.warm = s.loadIndex()
+	if !s.warm {
+		if err := s.scanTraces(); err != nil {
+			return nil, err
+		}
+		if err := s.scanDefects(); err != nil {
+			return nil, err
+		}
 	}
-	if err := s.scanDefects(); err != nil {
-		return nil, err
-	}
-	jl, err := openJobLog(filepath.Join(dir, "jobs.jsonl"))
+	jl, err := openJobLog(s.jobsPath())
 	if err != nil {
 		return nil, err
 	}
 	s.jobs = jl
+	if s.rawDefects == nil {
+		// Cold open: defects were just scanned into the map. (A warm open
+		// defers both the defect parse and the postings rebuild to the
+		// first defect access — see ensureDefectsLocked.)
+		s.rebuildPostingsLocked()
+	}
+	if !s.warm || jl.compacted {
+		// Cold open or a journal rewrite: persist a snapshot stamped
+		// against the journal as it is now, so the next Open is warm.
+		s.saveIndexLocked()
+	}
+	s.openSeconds = time.Since(start).Seconds()
 	return s, nil
 }
 
-// Close releases the job log. The store must not be used afterwards.
+// OpenInfo reports whether the last Open was served from the index
+// snapshot and how long it took.
+func (s *Store) OpenInfo() (warm bool, seconds float64) {
+	return s.warm, s.openSeconds
+}
+
+// Close snapshots the index and releases the job log. The store must
+// not be used afterwards.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.saveIndexLocked()
 	return s.jobs.close()
 }
 
@@ -177,60 +259,6 @@ func (s *Store) Dir() string { return s.dir }
 
 func (s *Store) tracesDir() string  { return filepath.Join(s.dir, "traces") }
 func (s *Store) defectsDir() string { return filepath.Join(s.dir, "defects") }
-
-// scanTraces rebuilds the trace index from the filesystem.
-func (s *Store) scanTraces() error {
-	entries, err := os.ReadDir(s.tracesDir())
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	for _, e := range entries {
-		name := e.Name()
-		if strings.HasPrefix(name, ".tmp-") {
-			os.Remove(filepath.Join(s.tracesDir(), name))
-			continue
-		}
-		hash, ok := strings.CutSuffix(name, traceExt)
-		if !ok || !validHash(hash) {
-			continue
-		}
-		info, err := e.Info()
-		if err != nil {
-			continue
-		}
-		s.traces[hash] = TraceInfo{Hash: hash, Bytes: info.Size()}
-	}
-	return nil
-}
-
-// scanDefects rebuilds the defect index from the filesystem.
-func (s *Store) scanDefects() error {
-	entries, err := os.ReadDir(s.defectsDir())
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	for _, e := range entries {
-		name := e.Name()
-		if strings.HasPrefix(name, ".tmp-") {
-			os.Remove(filepath.Join(s.defectsDir(), name))
-			continue
-		}
-		fp, ok := strings.CutSuffix(name, ".json")
-		if !ok || !validHash(fp) {
-			continue
-		}
-		data, err := os.ReadFile(filepath.Join(s.defectsDir(), name))
-		if err != nil {
-			continue
-		}
-		var rec DefectRecord
-		if err := json.Unmarshal(data, &rec); err != nil || rec.Fingerprint != fp {
-			continue // corrupt record: skip, never fatal
-		}
-		s.defects[fp] = &rec
-	}
-	return nil
-}
 
 // validHash reports whether name is a plausible lowercase hex digest —
 // the only filenames the scanner trusts.
@@ -246,6 +274,10 @@ func validHash(name string) bool {
 	return true
 }
 
+// encodeBufPool recycles trace-encoding buffers on the put path; at
+// ingest rates the per-put buffer was the dominant allocation.
+var encodeBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // HashTrace returns the content address a trace would be stored under.
 func HashTrace(tr *trace.Trace) (string, []byte, error) {
 	var buf bytes.Buffer
@@ -256,34 +288,79 @@ func HashTrace(tr *trace.Trace) (string, []byte, error) {
 	return hex.EncodeToString(sum[:]), buf.Bytes(), nil
 }
 
+// hashTracePooled is HashTrace on a pooled buffer; the caller must
+// return the buffer to encodeBufPool when done with its bytes.
+func hashTracePooled(tr *trace.Trace) (string, *bytes.Buffer, error) {
+	buf := encodeBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := tr.WriteBinary(buf); err != nil {
+		encodeBufPool.Put(buf)
+		return "", nil, fmt.Errorf("store: encode trace: %w", err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), buf, nil
+}
+
 // PutTrace stores the trace under its content address. It reports the
 // hash and whether a new blob was written; storing a trace the corpus
-// already holds is a cheap no-op (dedup).
+// already holds is a cheap no-op (dedup). Concurrent puts of the same
+// content collapse to one disk write (singleflight), and the write
+// itself happens outside the store lock so a slow disk does not
+// serialize unrelated ingest.
 func (s *Store) PutTrace(ctx context.Context, tr *trace.Trace) (hash string, created bool, err error) {
 	start := time.Now()
 	_, sp := obs.Start(ctx, "store.put-trace")
 	defer sp.End()
-	hash, data, err := HashTrace(tr)
+	hash, buf, err := hashTracePooled(tr)
 	if err != nil {
 		return "", false, err
 	}
+	defer encodeBufPool.Put(buf)
+	data := buf.Bytes()
 	sp.Add("bytes", int64(len(data)))
 	defer s.putLatency.ObserveSince(start)
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.traces[hash]; ok {
-		s.traceDedups.Add(1)
-		sp.Add("dedup", 1)
-		return hash, false, nil
+	for {
+		s.mu.Lock()
+		if _, ok := s.traces.get(hash); ok {
+			s.migrateTraceLocked(hash)
+			s.mu.Unlock()
+			s.traceDedups.Add(1)
+			sp.Add("dedup", 1)
+			return hash, false, nil
+		}
+		if ch, ok := s.inflight[hash]; ok {
+			// Another goroutine is writing this exact content; wait for it
+			// and re-check (it may have failed — then this one retries).
+			s.mu.Unlock()
+			<-ch
+			continue
+		}
+		ch := make(chan struct{})
+		s.inflight[hash] = ch
+		s.markDirtyLocked()
+		s.writing++
+		s.mu.Unlock()
+
+		path := s.shardTracePath(hash)
+		werr := os.MkdirAll(filepath.Dir(path), 0o755)
+		if werr == nil {
+			werr = atomicWrite(path, data)
+		}
+
+		s.mu.Lock()
+		s.writing--
+		delete(s.inflight, hash)
+		close(ch)
+		if werr != nil {
+			s.mu.Unlock()
+			return "", false, werr
+		}
+		s.traces.put(TraceInfo{Hash: hash, Bytes: int64(len(data)), ModTime: time.Now()})
+		s.mu.Unlock()
+		s.tracePuts.Add(1)
+		return hash, true, nil
 	}
-	path := filepath.Join(s.tracesDir(), hash+traceExt)
-	if err := atomicWrite(path, data); err != nil {
-		return "", false, err
-	}
-	s.traces[hash] = TraceInfo{Hash: hash, Bytes: int64(len(data))}
-	s.tracePuts.Add(1)
-	return hash, true, nil
 }
 
 // GetTrace loads and decodes a stored trace.
@@ -300,16 +377,27 @@ func (s *Store) GetTrace(hash string) (*trace.Trace, error) {
 	return tr, nil
 }
 
-// OpenTrace opens the raw blob of a stored trace for streaming, with its
-// size.
+// OpenTrace opens the raw blob of a stored trace for streaming, with
+// its size. Opening a pre-sharding blob migrates it to its shard first
+// (a rename; the open observes the post-migration path).
 func (s *Store) OpenTrace(hash string) (io.ReadCloser, int64, error) {
 	s.mu.Lock()
-	info, ok := s.traces[hash]
+	info, ok := s.traces.get(hash)
+	if ok && info.flat {
+		s.migrateTraceLocked(hash)
+		info, _ = s.traces.get(hash)
+	}
 	s.mu.Unlock()
 	if !ok {
 		return nil, 0, ErrNotFound
 	}
-	f, err := os.Open(filepath.Join(s.tracesDir(), hash+traceExt))
+	f, err := os.Open(s.tracePath(hash, info.flat))
+	if errors.Is(err, fs.ErrNotExist) {
+		// The index hint can be stale (e.g. a snapshot written mid-
+		// migration); the blob is wholly at exactly one path, so try the
+		// other before giving up.
+		f, err = os.Open(s.tracePath(hash, !info.flat))
+	}
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
 			return nil, 0, ErrNotFound
@@ -325,13 +413,15 @@ func (s *Store) OpenTrace(hash string) (io.ReadCloser, int64, error) {
 func (s *Store) DeleteTrace(hash string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.traces[hash]; !ok {
+	info, ok := s.traces.get(hash)
+	if !ok {
 		return ErrNotFound
 	}
-	if err := os.Remove(filepath.Join(s.tracesDir(), hash+traceExt)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+	if err := os.Remove(s.tracePath(hash, info.flat)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return fmt.Errorf("store: %w", err)
 	}
-	delete(s.traces, hash)
+	s.markDirtyLocked()
+	s.traces.del(hash)
 	s.traceDeletes.Add(1)
 	return nil
 }
@@ -339,10 +429,10 @@ func (s *Store) DeleteTrace(hash string) error {
 // Traces lists the stored blobs, ordered by hash.
 func (s *Store) Traces() []TraceInfo {
 	s.mu.Lock()
-	out := make([]TraceInfo, 0, len(s.traces))
-	for _, info := range s.traces {
+	out := make([]TraceInfo, 0, s.traces.len())
+	s.traces.each(func(info TraceInfo) {
 		out = append(out, info)
-	}
+	})
 	s.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Hash < out[j].Hash })
 	return out
@@ -352,7 +442,7 @@ func (s *Store) Traces() []TraceInfo {
 func (s *Store) HasTrace(hash string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, ok := s.traces[hash]
+	_, ok := s.traces.get(hash)
 	return ok
 }
 
@@ -408,11 +498,13 @@ func Summarize(rep *core.Report) []CycleSummary {
 // still-candidate cycle of rep (false positives are excluded — they are
 // refuted, not defects) is fingerprinted and merged into its defect
 // record. One analysis contributes at most one occurrence per
-// fingerprint no matter how many of its cycles collapse to it. Updated
-// records are persisted atomically before Record returns; it reports
-// the fingerprints it touched.
-func (s *Store) Record(ctx context.Context, traceHash string, rep *core.Report, now time.Time) ([]string, error) {
-	return s.RecordSummaries(ctx, traceHash, Summarize(rep), now)
+// fingerprint no matter how many of its cycles collapse to it. source
+// tags the defect with the workload that produced the trace
+// ("workload:NAME" or a bare name; empty adds nothing). Updated records
+// are persisted atomically before Record returns; it reports the
+// fingerprints it touched.
+func (s *Store) Record(ctx context.Context, traceHash string, rep *core.Report, source string, now time.Time) ([]string, error) {
+	return s.RecordSummaries(ctx, traceHash, Summarize(rep), source, now)
 }
 
 // RecordSummaries merges pre-distilled cycle summaries into the corpus —
@@ -422,14 +514,16 @@ func (s *Store) Record(ctx context.Context, traceHash string, rep *core.Report, 
 // plain hex digest is rejected. Duplicate fingerprints within one call
 // are collapsed (first wins), matching Summarize's dedup for callers
 // that bypass it.
-func (s *Store) RecordSummaries(ctx context.Context, traceHash string, sums []CycleSummary, now time.Time) ([]string, error) {
+func (s *Store) RecordSummaries(ctx context.Context, traceHash string, sums []CycleSummary, source string, now time.Time) ([]string, error) {
 	_, sp := obs.Start(ctx, "store.record-defects")
 	defer sp.End()
 
+	workload := workloadFromSource(source)
 	seen := make(map[string]bool)
 	var updated []string
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.ensureDefectsLocked()
 	for _, cs := range sums {
 		if !validHash(cs.Fingerprint) {
 			return updated, fmt.Errorf("store: invalid fingerprint %q", cs.Fingerprint)
@@ -444,7 +538,7 @@ func (s *Store) RecordSummaries(ctx context.Context, traceHash string, sums []Cy
 				Fingerprint: cs.Fingerprint,
 				Signature:   cs.Signature,
 				Edges:       append([]fingerprint.Edge(nil), cs.Edges...),
-				Class:       "candidate",
+				Class:       ClassCandidate,
 				FirstSeen:   now,
 			}
 			s.defects[cs.Fingerprint] = rec
@@ -452,7 +546,7 @@ func (s *Store) RecordSummaries(ctx context.Context, traceHash string, sums []Cy
 		rec.Occurrences++
 		rec.LastSeen = now
 		if cs.Confirmed {
-			rec.Class = "confirmed"
+			rec.Class = ClassConfirmed
 			if rec.Method == "" {
 				rec.Method = cs.Method
 			}
@@ -460,9 +554,14 @@ func (s *Store) RecordSummaries(ctx context.Context, traceHash string, sums []Cy
 		if traceHash != "" && !containsString(rec.Traces, traceHash) {
 			rec.Traces = append(rec.Traces, traceHash)
 		}
+		if workload != "" && !containsString(rec.Workloads, workload) {
+			rec.Workloads = append(rec.Workloads, workload)
+		}
+		s.markDirtyLocked()
 		if err := s.writeDefect(rec); err != nil {
 			return updated, err
 		}
+		s.indexDefectLocked(rec, !ok)
 		s.defectUpdates.Add(1)
 		updated = append(updated, cs.Fingerprint)
 	}
@@ -470,22 +569,39 @@ func (s *Store) RecordSummaries(ctx context.Context, traceHash string, sums []Cy
 	return updated, nil
 }
 
-// writeDefect persists one record atomically. Caller holds s.mu.
+// writeDefect persists one record atomically at its sharded path. A
+// record still at a pre-sharding path migrates here: the sharded copy
+// is durably in place before the flat one is removed, so a crash
+// between the two leaves at worst a duplicate that the next cold scan
+// resolves in favor of the shard. Caller holds s.mu.
 func (s *Store) writeDefect(rec *DefectRecord) error {
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		return fmt.Errorf("store: encode defect: %w", err)
 	}
-	return atomicWrite(filepath.Join(s.defectsDir(), rec.Fingerprint+".json"), append(data, '\n'))
+	path := s.shardDefectPath(rec.Fingerprint)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := atomicWrite(path, append(data, '\n')); err != nil {
+		return err
+	}
+	if s.flatDefects[rec.Fingerprint] {
+		os.Remove(s.flatDefectPath(rec.Fingerprint))
+		delete(s.flatDefects, rec.Fingerprint)
+	}
+	return nil
 }
 
 // Defects lists the defect records, most occurrences first (fingerprint
 // as tiebreak for determinism).
 func (s *Store) Defects() []*DefectRecord {
 	s.mu.Lock()
+	s.ensureDefectsLocked()
 	out := make([]*DefectRecord, 0, len(s.defects))
 	for _, rec := range s.defects {
-		out = append(out, rec.clone())
+		c := rec.clone()
+		out = append(out, &c)
 	}
 	s.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
@@ -501,11 +617,13 @@ func (s *Store) Defects() []*DefectRecord {
 func (s *Store) Defect(fp string) (*DefectRecord, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.ensureDefectsLocked()
 	rec, ok := s.defects[fp]
 	if !ok {
 		return nil, false
 	}
-	return rec.clone(), true
+	c := rec.clone()
+	return &c, true
 }
 
 // AppendJob durably appends one job record to the log.
@@ -527,18 +645,27 @@ func (s *Store) Jobs() []JobRecord {
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := Stats{Traces: len(s.traces), Defects: len(s.defects), Jobs: s.jobs.len()}
-	for _, info := range s.traces {
-		st.TraceBytes += info.Bytes
+	defects := len(s.defects)
+	if s.rawDefects != nil {
+		defects = s.rawDefectN
 	}
-	return st
+	return Stats{
+		Traces:     s.traces.len(),
+		TraceBytes: s.traces.totalBytes(),
+		Defects:    defects,
+		Jobs:       s.jobs.len(),
+	}
 }
 
-// WritePrometheus renders the wolfd_store_* metric family in Prometheus
-// text exposition format: corpus gauges, operation counters and the
-// trace-write latency histogram.
+// WritePrometheus renders the wolfd_store_* and wolfd_corpus_* metric
+// families in Prometheus text exposition format: corpus gauges,
+// operation counters, startup cost and the trace-write latency
+// histogram.
 func (s *Store) WritePrometheus(w io.Writer) {
 	st := s.Stats()
+	s.mu.Lock()
+	openSeconds := s.openSeconds
+	s.mu.Unlock()
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
@@ -549,10 +676,16 @@ func (s *Store) WritePrometheus(w io.Writer) {
 	gauge("wolfd_store_trace_bytes", "Total bytes of stored trace blobs.", st.TraceBytes)
 	gauge("wolfd_store_defects", "Defect records in the corpus.", int64(st.Defects))
 	gauge("wolfd_store_jobs", "Jobs in the persisted job log.", int64(st.Jobs))
+	gauge("wolfd_corpus_traces", "Trace blobs in the corpus (corpus view).", int64(st.Traces))
+	gauge("wolfd_corpus_defects", "Defect records in the corpus (corpus view).", int64(st.Defects))
+	gauge("wolfd_corpus_bytes", "Total bytes of stored trace blobs (corpus view).", st.TraceBytes)
+	fmt.Fprintf(w, "# HELP wolfd_store_open_seconds Duration of the last corpus Open.\n# TYPE wolfd_store_open_seconds gauge\nwolfd_store_open_seconds %g\n", openSeconds)
 	counter("wolfd_store_trace_writes_total", "New trace blobs written.", s.tracePuts.Load())
 	counter("wolfd_store_trace_dedup_total", "Trace puts deduplicated by content address.", s.traceDedups.Load())
 	counter("wolfd_store_trace_deletes_total", "Trace blobs deleted.", s.traceDeletes.Load())
 	counter("wolfd_store_defect_updates_total", "Defect record updates persisted.", s.defectUpdates.Load())
+	counter("wolfd_store_gc_runs_total", "Trace GC passes completed.", s.gcRuns.Load())
+	counter("wolfd_store_gc_bytes_reclaimed_total", "Trace bytes reclaimed by GC.", s.gcBytesReclaimed.Load())
 	s.putLatency.WritePrometheus(w, "wolfd_store_put_seconds", "Trace put latency (including dedup hits).", "")
 }
 

@@ -21,7 +21,7 @@ import (
 // recordedTrace records a detection trace of the named workload on the
 // first terminating seed at or after from, so tests can get distinct
 // traces of the same defect by advancing from.
-func recordedTrace(t *testing.T, name string, from int64) (*trace.Trace, int64) {
+func recordedTrace(t testing.TB, name string, from int64) (*trace.Trace, int64) {
 	t.Helper()
 	w, ok := workloads.ByName(name)
 	if !ok {
@@ -159,10 +159,10 @@ func TestRecordAggregatesByFingerprint(t *testing.T) {
 	}
 	t0 := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
 	t1 := t0.Add(time.Hour)
-	if _, err := s.Record(ctx, h1, rep1, t0); err != nil {
+	if _, err := s.Record(ctx, h1, rep1, "workload:figure4", t0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Record(ctx, h2, rep2, t1); err != nil {
+	if _, err := s.Record(ctx, h2, rep2, "workload:figure4", t1); err != nil {
 		t.Fatal(err)
 	}
 
@@ -189,7 +189,7 @@ func TestRecordAggregatesByFingerprint(t *testing.T) {
 
 	// Re-recording the same trace's analysis counts another occurrence
 	// but does not duplicate the trace hash.
-	if _, err := s.Record(ctx, h1, rep1, t1.Add(time.Hour)); err != nil {
+	if _, err := s.Record(ctx, h1, rep1, "workload:figure4", t1.Add(time.Hour)); err != nil {
 		t.Fatal(err)
 	}
 	d2, ok := s.Defect(d.Fingerprint)
@@ -212,7 +212,7 @@ func TestRecordSkipsFalsePositives(t *testing.T) {
 	for _, cr := range rep.Cycles {
 		cr.Class = core.FalseByPruner
 	}
-	updated, err := s.Record(context.Background(), "", rep, time.Now())
+	updated, err := s.Record(context.Background(), "", rep, "", time.Now())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +234,7 @@ func TestReopenRebuildsIndexByScan(t *testing.T) {
 		t.Fatal(err)
 	}
 	rep := analyze(t, tr)
-	if _, err := s.Record(ctx, hash, rep, time.Now()); err != nil {
+	if _, err := s.Record(ctx, hash, rep, "upload", time.Now()); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.AppendJob(JobRecord{ID: "j-000001", State: "done", Source: "upload", TraceHash: hash}); err != nil {
@@ -245,6 +245,11 @@ func TestReopenRebuildsIndexByScan(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Force the cold path: a clean Close leaves a valid index snapshot,
+	// and this test is about the scan rebuilding the index from disk.
+	if err := os.Remove(filepath.Join(dir, "index.bin")); err != nil {
+		t.Fatal(err)
+	}
 	// Drop in garbage the scanner must ignore: a stale temp file and a
 	// corrupt defect record.
 	if err := os.WriteFile(filepath.Join(dir, "traces", ".tmp-123"), []byte("junk"), 0o644); err != nil {
@@ -322,6 +327,12 @@ func TestStoreMetricsLintClean(t *testing.T) {
 		"wolfd_store_traces 1",
 		"wolfd_store_trace_writes_total 1",
 		"wolfd_store_put_seconds_count",
+		"wolfd_corpus_traces 1",
+		"wolfd_corpus_defects 0",
+		"wolfd_corpus_bytes ",
+		"wolfd_store_open_seconds ",
+		"wolfd_store_gc_runs_total 0",
+		"wolfd_store_gc_bytes_reclaimed_total 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q", want)
@@ -346,7 +357,7 @@ func TestPutTraceEmitsSpans(t *testing.T) {
 		t.Fatal(err)
 	}
 	rep := analyze(t, tr)
-	if _, err := s.Record(ctx, hash, rep, time.Now()); err != nil {
+	if _, err := s.Record(ctx, hash, rep, "upload", time.Now()); err != nil {
 		t.Fatal(err)
 	}
 	if rec.Count("store.put-trace") != 1 {
